@@ -1,0 +1,52 @@
+"""Figure 10: Streamcluster's ``block`` and the parallel-init fix.
+
+Paper: 98.2% of remote accesses are heap data; ``block`` draws 92.6%,
+split 55.5%/37% over the two OpenMP contexts that reach ``dist`` (line
+175); ``point.p`` draws 5.5%.  Parallel first-touch initialization of
+``block`` and ``point.p`` speeds the program up by 28%.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.metrics import MetricKind
+from repro.core.render import render_top_down
+from repro.core.storage import StorageClass
+
+
+def test_fig10_streamcluster(benchmark, sc_runs):
+    exp = sc_runs["profiled"].experiment
+    orig = sc_runs["original"]
+    fixed = sc_runs["parallel-init"]
+
+    view = benchmark.pedantic(
+        lambda: exp.top_down(MetricKind.REMOTE, accesses_per_var=3),
+        rounds=1, iterations=1,
+    )
+    speedup = fixed.speedup_over(orig)
+    report(
+        "Figure 10: Streamcluster remote accesses by variable",
+        render_top_down(view, top_n=3)
+        + f"\nparallel-init speedup: {speedup:.3f}x (paper: 1.28x)"
+        + "\npaper: heap 98.2%; block 92.6% (contexts 55.5%/37%); point.p 5.5%",
+    )
+
+    assert view.storage_share(StorageClass.HEAP) > 0.85   # paper: 98.2%
+
+    block = view.find_variable("block")
+    assert block is not None
+    assert block.share > 0.75                             # paper: 92.6%
+    assert view.variables[0].name == "block"
+
+    # Two access contexts through dist(), both on source line 175.
+    assert len(block.accesses) >= 2
+    ctx1, ctx2 = block.accesses[0], block.accesses[1]
+    assert "175" in ctx1.label and "175" in ctx2.label
+    assert ctx1.share > ctx2.share > 0.05                 # paper: 55.5% / 37%
+
+    point_p = view.find_variable("point.p")
+    assert point_p is not None
+    assert 0.005 < point_p.share < 0.15                   # paper: 5.5%
+
+    assert 1.15 < speedup < 1.45                          # paper: 1.28x

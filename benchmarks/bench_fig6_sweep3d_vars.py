@@ -1,0 +1,42 @@
+"""Figure 6: Sweep3D heap variables ranked by data-fetch latency.
+
+Paper: 97.4% of total latency is heap data; Flux 39.4%, Src 39.1%,
+Face 14.6% (together 93.1%), measured with AMD IBS.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.metrics import MetricKind
+from repro.core.render import render_variable_table
+from repro.core.storage import StorageClass
+
+
+def test_fig6_sweep3d_variables(benchmark, sweep_runs):
+    exp = sweep_runs["profiled"].experiment
+
+    view = benchmark.pedantic(
+        lambda: exp.top_down(MetricKind.LATENCY), rounds=1, iterations=1
+    )
+    report(
+        "Figure 6: Sweep3D variables by data-fetch latency",
+        render_variable_table(view, top_n=5)
+        + "\npaper: heap 97.4%; Flux 39.4%, Src 39.1%, Face 14.6%",
+    )
+
+    assert view.storage_share(StorageClass.HEAP) > 0.88   # paper: 97.4%
+
+    shares = {v.name: v.share for v in view.variables}
+    assert set(list(shares)[:3]) >= {"Flux", "Src"}
+    # Flux and Src are comparable and each well above Face.
+    assert 0.25 < shares["Flux"] < 0.55
+    assert 0.25 < shares["Src"] < 0.55
+    assert 0.5 < shares["Flux"] / shares["Src"] < 2.0
+    assert 0.04 < shares["Face"] < 0.25
+    assert shares["Flux"] + shares["Src"] + shares["Face"] > 0.80  # paper: 93.1%
+
+    # Pure MPI: every access is node-local (the paper's NUMA non-issue).
+    for name in ("Flux", "Src", "Face"):
+        var = view.find_variable(name)
+        assert var.remote_fraction == 0.0

@@ -1,0 +1,104 @@
+"""A2 (§4.2): post-mortem merge scalability.
+
+Paper claims: (a) profile-merge cost grows linearly with the number of
+threads/processes, and (b) the MPI reduction tree parallelizes the merge.
+We synthesize per-thread profiles with realistic shared structure, merge
+2..256 of them, and check linear total work plus a logarithmic-depth
+critical path well below the sequential cost.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.cct import KIND_FRAME, KIND_IP
+from repro.core.merge import reduction_tree_merge
+from repro.core.profiledb import ProfileDB, ThreadProfile
+from repro.core.storage import StorageClass
+from repro.pmu.sample import Sample
+from repro.util.fmt import format_table
+
+
+def _sample(latency=10):
+    return Sample("T", 1, 1, 0x10, latency, 3, False, False, 64)
+
+
+def _make_profile(thread_id: int) -> ThreadProfile:
+    """A per-thread profile with shared hot paths + a few private ones."""
+    profile = ThreadProfile(f"t{thread_id}")
+    heap = profile.cct(StorageClass.HEAP)
+    for fn in ("alloc_a", "alloc_b", "alloc_c"):
+        for line in (10, 11, 12):
+            heap.add_sample_at(
+                [
+                    ((KIND_FRAME, "main", 0), None),
+                    ((KIND_FRAME, fn, 4), None),
+                    ((KIND_IP, fn, line, 0), None),
+                ],
+                _sample(),
+            )
+    # A thread-private context (does not coalesce).
+    heap.add_sample_at(
+        [
+            ((KIND_FRAME, "main", 0), None),
+            ((KIND_IP, "main", 100 + thread_id % 7, 0), None),
+        ],
+        _sample(),
+    )
+    return profile
+
+
+def _dbs(n: int) -> list[ProfileDB]:
+    out = []
+    for i in range(n):
+        db = ProfileDB(f"p{i}")
+        db.add_thread(_make_profile(i))
+        out.append(db)
+    return out
+
+
+def test_merge_scaling(benchmark):
+    sizes = (2, 8, 32, 128, 256)
+
+    def sweep():
+        stats = {}
+        for n in sizes:
+            _, s = reduction_tree_merge(_dbs(n))
+            stats[n] = s
+        return stats
+
+    stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n in sizes:
+        s = stats[n]
+        rows.append(
+            (n, s.rounds, s.node_visits, s.critical_path_visits,
+             f"{s.node_visits / n:.1f}")
+        )
+    report(
+        "Ablation A2: reduction-tree merge scaling",
+        format_table(
+            ("profiles", "rounds", "total node visits",
+             "critical path visits", "visits/profile"),
+            rows,
+        ),
+    )
+
+    # Linear total work: visits per profile roughly constant (within 2x).
+    per_profile = [stats[n].node_visits / n for n in sizes]
+    assert max(per_profile) / min(per_profile) < 2.0
+
+    # Logarithmic rounds.
+    assert stats[256].rounds == 8
+    assert stats[32].rounds == 5
+
+    # The parallel critical path is far below the sequential total.
+    assert stats[256].critical_path_visits < stats[256].node_visits / 8
+
+    # Merged result is identical regardless of count: shared paths coalesce.
+    merged, _ = reduction_tree_merge(_dbs(64))
+    profile = next(iter(merged.threads.values()))
+    heap = profile.cct(StorageClass.HEAP)
+    # 1 root + main + 3 alloc fns + 9 shared leaves + <=7 private leaves
+    assert heap.node_count() <= 1 + 1 + 3 + 9 + 7

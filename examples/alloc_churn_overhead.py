@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Why allocation tracking needs the §4.1.3 strategies (and Figure 2).
+
+Two demonstrations on an allocation-heavy workload:
+
+1. *Merging*: a loop that mallocs 100 blocks from one call site produces
+   ONE logical variable in the profile (Figure 2) — metrics don't scatter.
+2. *Overhead*: tracking every allocation with full unwinds is ruinous for
+   allocation-churn codes; the size threshold, fast context capture, and
+   trampoline unwinding each cut the cost, together reaching the paper's
+   <10% regime (the AMG2006 +150% -> <10% story).
+
+Run:  python examples/alloc_churn_overhead.py
+"""
+
+from repro.apps import amg2006
+from repro.core.profiler import ProfilerConfig
+
+CFG = dict(n_ranks=1)
+
+STRATEGIES = [
+    ("track everything, getcontext, full unwinds",
+     ProfilerConfig(track_threshold=0, fast_context=False, use_trampoline=False)),
+    ("+ size threshold (skip blocks < 4KB)",
+     ProfilerConfig(track_threshold=4096, fast_context=False, use_trampoline=False)),
+    ("+ inlined-assembly context capture",
+     ProfilerConfig(track_threshold=4096, fast_context=True, use_trampoline=False)),
+    ("+ trampoline incremental unwinds (all three)",
+     ProfilerConfig(track_threshold=4096, fast_context=True, use_trampoline=True)),
+]
+
+
+def main() -> None:
+    print("baseline AMG2006 rank (no profiler)...")
+    base = amg2006.run(amg2006.Config(variant="original", **CFG))
+    print(f"  {base.elapsed_seconds * 1e3:.3f} ms simulated\n")
+
+    print(f"{'strategy':50s} {'overhead':>9s} {'frames unwound':>15s}")
+    for label, config in STRATEGIES:
+        run = amg2006.run(
+            amg2006.Config(variant="original", profile=True,
+                           profiler_config=config, **CFG)
+        )
+        stats = run.profilers[0].stats
+        print(f"{label:50s} {run.overhead_vs(base):8.1%} {stats.frames_unwound:15d}")
+
+    print("\npaper: +150% naive -> <10% with all three strategies (§4.1.3)")
+
+    # Figure 2 in one paragraph: the churn allocations above came from one
+    # deep call chain — ask the profiler how many logical heap variables
+    # the *tracked* big arrays produced despite thousands of allocations.
+    run = amg2006.run(amg2006.Config(variant="original", profile=True, **CFG))
+    profiler = run.profilers[0]
+    print(
+        f"\nallocations seen: {profiler.stats.allocs_seen}, "
+        f"skipped below threshold: {profiler.stats.allocs_skipped_small}, "
+        f"tracked: {profiler.stats.allocs_tracked}"
+    )
+    from repro.core.metrics import MetricKind
+    heap_vars = run.experiment.top_variables(MetricKind.SAMPLES, 100)
+    print(f"logical variables in the merged profile: {len(heap_vars)} "
+          "(one per allocation context, not per allocation — Figure 2)")
+
+
+if __name__ == "__main__":
+    main()

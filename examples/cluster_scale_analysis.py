@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scalable measurement and analysis of an MPI+OpenMP job (paper §2.2, §4.2).
+
+Profiles AMG2006 across 4 simulated POWER7 nodes x 128 threads, then
+demonstrates the scalability machinery the paper emphasizes:
+
+- compact per-rank profiles (CCTs, not traces): sizes stay in kilobytes,
+- the reduction-tree merge whose critical path is logarithmic in ranks,
+- heap variables coalescing across threads *and* processes because their
+  allocation call paths match,
+- the three-phase Table 2 experiment with both NUMA fixes.
+
+Run:  python examples/cluster_scale_analysis.py
+"""
+
+from repro import MetricKind, render_bottom_up
+from repro.apps import amg2006
+from repro.util.fmt import human_bytes
+
+
+def main() -> None:
+    print("== profile: 4 ranks x 128 threads, PM_MRK_DATA_FROM_RMEM ==")
+    profiled = amg2006.run(amg2006.Config(variant="original", profile=True))
+
+    sizes = [p.finalize().size_bytes() for p in profiled.profilers]
+    print(f"per-rank profile sizes: {[human_bytes(s) for s in sizes]}")
+    print("(compact CCT profiles — a trace of every allocation/access at")
+    print(" this scale would grow with execution time; these don't)")
+
+    exp = profiled.experiment
+    stats = exp.merge_stats
+    print(f"\nreduction-tree merge: {stats.profiles_in} thread profiles, "
+          f"{stats.rounds} rounds")
+    print(f"  total merge work   : {stats.node_visits} node visits")
+    print(f"  critical path      : {stats.critical_path_visits} node visits "
+          f"({stats.critical_path_visits / max(1, stats.node_visits):.0%} of sequential)")
+    print(f"  merged database    : {human_bytes(exp.size_bytes())}")
+
+    print("\n== bottom-up view: the hypre allocation sites (Figure 5) ==")
+    print(render_bottom_up(exp.bottom_up(MetricKind.REMOTE), top_n=7))
+
+    print("\n== Table 2: phase times under the two fixes ==")
+    print(f"{'variant':10s} {'init':>9s} {'setup':>9s} {'solve':>9s} {'total':>9s}")
+    for variant in amg2006.VARIANTS:
+        r = amg2006.run(amg2006.Config(variant=variant))
+        ph = r.phase_seconds
+        print(
+            f"{variant:10s} {ph['init'] * 1e3:8.3f}ms {ph['setup'] * 1e3:8.3f}ms "
+            f"{ph['solve'] * 1e3:8.3f}ms {r.elapsed_seconds * 1e3:8.3f}ms"
+        )
+    print("paper (s) : 26/52/28 | 420/426/421 | 105/87/80 | 551/565/529")
+    print("shape     : numactl doubles init but speeds the solver;")
+    print("            surgical libnuma keeps init cheap and wins overall.")
+
+
+if __name__ == "__main__":
+    main()

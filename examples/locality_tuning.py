@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Spatial-locality tuning with latency profiles (paper §5.2 workflow).
+
+Sweep3D's Fortran arrays are traversed against their column-major layout:
+every inner-loop access strides ``it*jt`` elements.  The latency view
+pinpoints the arrays and the exact accesses; the fix permutes the array
+dimensions.  This example runs the original, reads the profile, applies
+the fix, and verifies the ~15% whole-program win — all on the pure-MPI
+configuration where NUMA provably plays no role.
+
+Run:  python examples/locality_tuning.py
+"""
+
+from repro import MetricKind, render_variable_table
+from repro.apps import sweep3d
+
+
+def main() -> None:
+    n_ranks = 8  # of the paper's 48 identical ranks
+
+    print("== step 1: profile with IBS (data-fetch latency) ==")
+    profiled = sweep3d.run(
+        sweep3d.Config(variant="original", n_ranks=n_ranks, profile=True,
+                       pmu_period=256)
+    )
+    exp = profiled.experiment
+    view = exp.top_down(MetricKind.LATENCY, accesses_per_var=2)
+    print(render_variable_table(view, top_n=4))
+
+    flux = view.find_variable("Flux")
+    hot = flux.accesses[0]
+    print(f"\nhot access: {hot.label}")
+    print(f"  source   : {hot.line_text!r}")
+    print(f"  share    : {hot.share:.1%} of total latency (paper: 28.6%)")
+    print(f"  remote   : {flux.remote_fraction:.0%} — pure MPI, no NUMA issue")
+
+    print("\n== step 2: the fix — permute Flux/Src/Face dimensions ==")
+    original = sweep3d.run(sweep3d.Config(variant="original", n_ranks=n_ranks))
+    transposed = sweep3d.run(sweep3d.Config(variant="transposed", n_ranks=n_ranks))
+    print(f"original   : {original.elapsed_seconds * 1e3:8.3f} ms (simulated)")
+    print(f"transposed : {transposed.elapsed_seconds * 1e3:8.3f} ms (simulated)")
+    print(f"speedup    : {transposed.speedup_over(original):.2f}x (paper: 1.15x)")
+
+    h_orig = original.machines[0].hierarchy
+    h_opt = transposed.machines[0].hierarchy
+    print(f"\nprefetch-covered misses: {h_orig.prefetch_hits} -> {h_opt.prefetch_hits}")
+    print("(unit stride re-enables the stream prefetcher; TLB pressure drops too)")
+
+
+if __name__ == "__main__":
+    main()

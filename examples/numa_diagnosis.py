@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Diagnose and fix a NUMA pathology, end to end (paper §5.4 workflow).
+
+Runs the Streamcluster case study the way an analyst would use the tool:
+
+1. profile the original program with a NUMA-related marked event,
+2. read the top-down view: one heap variable (``block``) absorbs almost
+   all remote accesses from two OpenMP contexts,
+3. follow the allocation call path to the serial master-thread init,
+4. apply the fix (parallel first-touch initialization) and measure.
+
+Run:  python examples/numa_diagnosis.py
+"""
+
+from repro import MetricKind, StorageClass, advise, render_top_down
+from repro.apps import streamcluster
+
+
+def main() -> None:
+    print("== step 1: profile the original run (PM_MRK_DATA_FROM_RMEM) ==")
+    profiled = streamcluster.run(
+        streamcluster.Config(variant="original", profile=True, pmu_period=24)
+    )
+    exp = profiled.experiment
+    view = exp.top_down(MetricKind.REMOTE, accesses_per_var=2)
+    print(render_top_down(view, top_n=2))
+
+    heap_share = view.storage_share(StorageClass.HEAP)
+    block = view.find_variable("block")
+    print(f"\nheap data: {heap_share:.1%} of remote accesses "
+          f"(paper: 98.2%); block alone: {block.share:.1%} (paper: 92.6%)")
+
+    print("\n== step 2: automated guidance ==")
+    for rec in advise(exp, MetricKind.REMOTE, top_n=3, min_share=0.02):
+        print(" -", rec)
+
+    print("\n== step 3: apply the fix and measure ==")
+    original = streamcluster.run(streamcluster.Config(variant="original"))
+    fixed = streamcluster.run(streamcluster.Config(variant="parallel-init"))
+    print(f"original      : {original.elapsed_seconds * 1e3:8.3f} ms (simulated)")
+    print(f"parallel-init : {fixed.elapsed_seconds * 1e3:8.3f} ms (simulated)")
+    print(f"speedup       : {fixed.speedup_over(original):.2f}x  (paper: 1.28x)")
+
+    mm_orig = original.machines[0].hierarchy.memmgr
+    mm_fixed = fixed.machines[0].hierarchy.memmgr
+    print(f"\nDRAM traffic by NUMA node, original: {mm_orig.dram_accesses}")
+    print(f"DRAM traffic by NUMA node, fixed   : {mm_fixed.dram_accesses}")
+    print("(the fix spreads one controller's load across all four)")
+
+
+if __name__ == "__main__":
+    main()

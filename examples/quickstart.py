@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a tiny kernel and read the data-centric views.
+
+Reproduces the paper's Figure 1 scenario: the single source line
+``A[i] = B[i] * C[f(i)]`` looks uniform to a code-centric profiler, but
+data-centric attribution decomposes its latency per variable and shows
+the indirectly indexed ``C`` is the problem.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Analyzer,
+    Ctx,
+    DataCentricProfiler,
+    IBSEngine,
+    LoadModule,
+    MetricKind,
+    SimProcess,
+    SourceFile,
+    advise,
+    amd_magnycours,
+    render_top_down,
+    render_variable_table,
+)
+
+
+def main() -> None:
+    # 1. A simulated 48-core AMD machine (8 NUMA domains) and one process.
+    machine = amd_magnycours()
+    process = SimProcess(machine, name="quickstart")
+
+    # 2. A "program image": one executable with a main function whose
+    #    line 4 holds the three memory accesses of the motivating example.
+    src = SourceFile("kernel.c", {4: "A[i] = B[i] * C[f(i)];"})
+    exe = LoadModule("kernel.exe", is_executable=True)
+    main_fn = exe.add_function("main", src, 1, 20)
+    process.load_module(exe)
+
+    # 3. Attach the data-centric profiler and an IBS-style PMU.
+    profiler = DataCentricProfiler(process).attach()
+    process.pmu = IBSEngine(period=16, seed=7)
+
+    # 4. The kernel: B streams, C gathers, A streams stores.
+    ctx = Ctx(process, process.master)
+    ctx.enter(main_fn)
+    n = 16384
+    a = ctx.alloc_array("A", (n,), line=1)
+    b = ctx.alloc_array("B", (n,), line=2)
+    c = ctx.alloc_array("C", (n,), line=3)
+    ip_a, ip_b, ip_c = ctx.ip(4, 0), ctx.ip(4, 1), ctx.ip(4, 2)
+
+    def kernel():
+        for i in range(n):
+            ctx.load_ip(b.flat_addr(i), ip_b)
+            ctx.load_ip(c.flat_addr((i * 769 + 13) % n), ip_c)
+            ctx.store_ip(a.flat_addr(i), ip_a)
+            ctx.compute(4)
+            if i % 16 == 0:
+                yield  # let the scheduler interleave (single thread here)
+
+    process.run_serial(kernel())
+    ctx.leave()
+
+    # 5. Post-mortem: merge profiles, build the views.
+    exp = Analyzer("quickstart").add(profiler.finalize()).analyze()
+    view = exp.top_down(MetricKind.LATENCY, accesses_per_var=2)
+
+    print(render_top_down(view, top_n=3,
+                          title="top-down data-centric view (latency)"))
+    print()
+    print(render_variable_table(view, top_n=3))
+    print()
+    print("optimization guidance:")
+    for rec in advise(exp, MetricKind.LATENCY):
+        print(" -", rec)
+
+    c_var = view.find_variable("C")
+    print(
+        f"\nAll three variables share source line kernel.c:4, but C alone "
+        f"carries {c_var.share:.0%} of the line's latency — exactly what "
+        f"code-centric profiling cannot see (paper, Figure 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without
+the `wheel` package (editable installs fall back to setup.py develop)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""The paper's five case-study benchmarks, as simulated kernels.
+
+Each app reproduces the *data-structure and access-pattern pathology* its
+case study diagnoses (paper §5), in an ``original`` variant and one or
+more optimized variants implementing the paper's fix:
+
+- :mod:`repro.apps.amg2006` — MPI+OpenMP algebraic multigrid; master-
+  thread callocs of CSR arrays (``S_diag_j`` et al.); fixes: numactl
+  interleave-all vs. surgical libnuma (Table 2, Figures 4-5).
+- :mod:`repro.apps.sweep3d` — pure-MPI Fortran wavefront sweep; long
+  column-major strides through ``Flux``/``Src``/``Face``; fix: dimension
+  permutation (Figures 6-7).
+- :mod:`repro.apps.lulesh` — OpenMP shock hydrodynamics; master-initia-
+  lized heap arrays + irregular static ``f_elem``; fixes: libnuma inter-
+  leave and ``f_elem`` transpose (Figures 8-9).
+- :mod:`repro.apps.streamcluster` — OpenMP clustering; master-initialized
+  ``block``; fix: parallel first-touch init (Figure 10).
+- :mod:`repro.apps.nw` — OpenMP Needleman-Wunsch; master-initialized
+  ``referrence``/``input_itemsets``; fix: libnuma interleave (Figure 11).
+"""
+
+from repro.apps.common import AppResult, profile_attachment
+from repro.apps import amg2006, lulesh, nw, streamcluster, sweep3d
+
+__all__ = [
+    "AppResult",
+    "profile_attachment",
+    "amg2006",
+    "sweep3d",
+    "lulesh",
+    "streamcluster",
+    "nw",
+]

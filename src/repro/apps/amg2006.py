@@ -1,0 +1,325 @@
+"""AMG2006 — the paper's §5.1 case study (MPI+OpenMP on POWER7 nodes).
+
+The benchmark runs in three phases — *initialization*, *setup*,
+*solver* — with 4 MPI ranks (one per POWER7 node) x 128 OpenMP threads.
+
+Pathologies and fixes (Table 2, Figures 4-5):
+
+- The CSR arrays of the multigrid hierarchy (``S_diag_j`` and six
+  siblings) are allocated with ``hypre_CAlloc`` (calloc) and zero-touched
+  by the master thread, so every page lands on the master's NUMA domain;
+  the OpenMP solver loops then fight over one memory controller.
+  Figure 4: heap data carries 94.9% of remote accesses; ``S_diag_j``
+  22.2%, split 19.3%/2.9% over two access loops.  Figure 5 (bottom-up):
+  seven allocation sites each account for >7% of remote accesses.
+- ``numactl --interleave=all`` fixes the solver (105s -> 87s) but doubles
+  initialization (26s -> 52s) because *every* allocation — including
+  serial workspace the master itself consumes — becomes mostly remote.
+- The surgical libnuma fix interleaves only the seven flagged arrays
+  (and leaves thread-local data under first touch): init stays ~26-28s,
+  and the solver beats numactl (80s vs 87s) because per-thread workspace
+  remains local.
+
+AMG2006 is also the paper's allocation-tracking stress test (§4.1.3):
+its setup phase allocates small blocks at high frequency in deep call
+chains — tracking all of them costs +150% runtime, cut to <10% by the
+threshold + fast-context + trampoline strategies (the A1 ablation bench).
+
+Variants: ``original``, ``numactl``, ``libnuma``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.apps.common import AppResult, analyze_profilers
+from repro.core.profiler import DataCentricProfiler, ProfilerConfig
+from repro.machine.presets import Machine, power7_node
+from repro.numa.libnuma import numa_alloc_interleaved
+from repro.numa.numactl import numactl_interleave_all
+from repro.pmu.events import PM_MRK_DATA_FROM_RMEM
+from repro.pmu.marked import MarkedEventEngine
+from repro.sim.arrays import SimArray
+from repro.sim.loader import LoadModule
+from repro.sim.mpi import JobResult, MPIJob
+from repro.sim.openmp import declare_outlined, omp_chunk
+from repro.sim.process import SimProcess
+from repro.sim.runtime import Ctx
+from repro.sim.source import SourceFile
+
+__all__ = ["Config", "run", "VARIANTS", "PROBLEM_ARRAYS"]
+
+VARIANTS = ("original", "numactl", "libnuma")
+
+# The seven problem arrays of Figure 5: (name, size in bytes).
+PROBLEM_ARRAYS = (
+    ("S_diag_j", 65536),
+    ("S_diag_i", 49152),
+    ("A_diag_j", 49152),
+    ("A_diag_i", 49152),
+    ("A_diag_data", 49152),
+    ("P_diag_j", 49152),
+    ("P_diag_data", 49152),
+)
+
+
+@dataclass
+class Config:
+    n_ranks: int = 4
+    n_threads: int = 128
+    solve_iterations: int = 4
+    rows: int = 8192
+    churn_allocs: int = 15000     # small-allocation frequency in setup (§4.1.3)
+    churn_depth: int = 8         # call-chain depth of the churn allocations
+    setup_compute: int = 5_200_000  # serial setup arithmetic per rank (cycles)
+    init_compute: int = 80_000
+    variant: str = "original"
+    profile: bool = False
+    pmu_period: int = 64
+    profiler_config: ProfilerConfig | None = None
+    machine_factory: Callable[[], Machine] = power7_node
+    compute_per_row: int = 55
+    seed: int = 0xA39
+
+
+def _build_image(process: SimProcess):
+    src = SourceFile(
+        "par_amg.c",
+        {
+            175: "ptr = calloc(count, elt_size);",
+            330: "S_diag_j = hypre_CTAlloc(HYPRE_Int, num_nonzeros_diag);",
+            470: "for (jj = A_i[i]; jj < A_i[i+1]; jj++) temp += S_diag_j[jj];",
+            471: "jcol = A_diag_j[jj];",
+            472: "tmp  = A_diag_data[jj];",
+            474: "vtmp = Vtemp_data[i];",
+            495: "if (S_diag_j[jj] == col) weight += 1.0;",
+        },
+    )
+    exe = LoadModule("amg2006.exe", is_executable=True)
+    main_fn = exe.add_function("main", src, 1, 100)
+    calloc_fn = exe.add_function("hypre_CAlloc", src, 170, 16)
+    build_fn = exe.add_function("hypre_BuildIJLaplacian", src, 200, 60)
+    setup_fn = exe.add_function("hypre_BoomerAMGSetup", src, 300, 100)
+    churn_fns = [
+        exe.add_function(f"hypre_SetupLevel{d}", src, 600 + 20 * d, 18)
+        for d in range(8)
+    ]
+    solve_fn = exe.add_function("hypre_BoomerAMGSolve", src, 450, 70)
+    relax_region = declare_outlined(exe, solve_fn, 460, 25, region_index=0)
+    interp_region = declare_outlined(exe, solve_fn, 490, 25, region_index=1)
+    process.load_module(exe)
+    return (
+        src, main_fn, calloc_fn, build_fn, setup_fn, churn_fns,
+        solve_fn, relax_region, interp_region,
+    )
+
+
+def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> None:
+    (src, main_fn, calloc_fn, build_fn, setup_fn, churn_fns,
+     solve_fn, relax_region, interp_region) = _build_image(process)
+
+    if cfg.variant == "numactl":
+        # Process-wide: every page interleaves, no code changes.
+        numactl_interleave_all(process)
+
+    ctx = Ctx(process, process.master)
+    ctx.enter(main_fn)
+    n_threads = cfg.n_threads
+    rows = cfg.rows
+
+    # ---- initialization phase ------------------------------------------------
+    with process.phase("init"):
+        def build_body(c: Ctx) -> None:
+            # Serial workspace the master allocates, zero-fills and later
+            # consumes itself.  Interleaving it (numactl) makes both the
+            # zero-fill and the consumer remote — the 26s -> 52s pathology.
+            workspaces = []
+            for w in range(3):
+                addr = c.calloc(192 * 1024, line=210 + w, var=f"grid_workspace_{w}")
+                workspaces.append(addr)
+            ip220 = c.ip(220)
+            for addr in workspaces:
+                c.load_stride(addr, 192 * 1024 // 256, 256, ip220)
+            c.compute(cfg.init_compute)
+
+        ctx.call_sync(build_fn, 20, build_body)
+
+    # ---- setup phase -----------------------------------------------------------
+    arrays: dict[str, SimArray] = {}
+    small_tables: list[int] = []
+    with process.phase("setup"):
+        def setup_body(c: Ctx) -> None:
+            # The seven problem arrays, each from its own call site into
+            # the hypre allocator (Figure 5's bottom-up sites).
+            for idx, (name, nbytes) in enumerate(PROBLEM_ARRAYS):
+                if cfg.variant == "libnuma":
+                    arrays[name] = numa_alloc_interleaved(
+                        c, name, (nbytes // 4,), line=330 + idx, elem=4, kind="calloc"
+                    )
+                else:
+                    def do_alloc(cc: Ctx, nb=nbytes, nm=name) -> SimArray:
+                        base = cc.calloc(nb, line=175, var=nm)
+                        return SimArray(nm, base, (nb // 4,), elem=4)
+
+                    arrays[name] = c.call_sync(calloc_fn, 330 + idx, do_alloc)
+
+            # High-frequency small allocations in deep call chains: the
+            # §4.1.3 overhead stress (+150% when tracked exhaustively).
+            def churn(cc: Ctx, depth: int, count: int):
+                if depth == 0:
+                    live = []
+                    for k in range(count):
+                        live.append(cc.malloc(192 + (k % 4) * 16, line=604))
+                        if len(live) > 16:
+                            cc.free(live.pop(0), line=605)
+                    for addr in live:
+                        cc.free(addr, line=605)
+                    return None
+                callee = churn_fns[depth - 1]
+                call_line = cc.thread.current_function.start_line + 5
+                return cc.call_sync(callee, call_line, churn, depth - 1, count)
+
+            batch = max(1, cfg.churn_allocs // 8)
+            for _ in range(8):
+                churn(c, cfg.churn_depth, batch)
+
+            # Sub-threshold lookup tables shared by the solver threads:
+            # untracked (below the 4KB threshold), so their samples land
+            # in *unknown data* — Figure 4's ~5% non-heap remainder.
+            for t in range(8):
+                small_tables.append(c.malloc(3968, line=350))
+                c.touch_range(small_tables[-1], 3968, line=350)
+
+            # Master fills the matrix entries (sequential writes).
+            ip340 = c.ip(340)
+            for name, _ in PROBLEM_ARRAYS[:3]:
+                arr = arrays[name]
+                c.store_stride(arr.base, arr.nbytes // 512, 512, ip340)
+            c.compute(cfg.setup_compute)
+
+        ctx.call_sync(setup_fn, 40, setup_body)
+
+    # ---- solver phase --------------------------------------------------------------
+    with process.phase("solve"):
+        s_diag_j = arrays["S_diag_j"]
+        s_diag_i = arrays["S_diag_i"]
+        a_diag_i = arrays["A_diag_i"]
+        a_diag_j = arrays["A_diag_j"]
+        a_diag_data = arrays["A_diag_data"]
+        p_diag_j = arrays["P_diag_j"]
+        p_diag_data = arrays["P_diag_data"]
+        # Per-thread workspace: allocated and first-touched by each worker
+        # inside the first parallel region — local under first touch and
+        # libnuma, scattered under numactl (its solver handicap).
+        worker_ws: dict[int, int] = {}
+
+        def relax_factory(iteration: int):
+            ip_s = relax_region.ip(470)
+            ip_ai = relax_region.ip(470, 1)
+            ip_aj = relax_region.ip(471)
+            ip_ad = relax_region.ip(472)
+            ip_ws = relax_region.ip(474)
+
+            def worker(wctx: Ctx, tid: int):
+                ws = worker_ws.get(tid)
+                if ws is None:
+                    ws = wctx.malloc(16 * 1024, line=465, var="Vtemp_data")
+                    wctx.touch_range(ws, 16 * 1024, line=466)
+                    worker_ws[tid] = ws
+                chunk = omp_chunk(rows, n_threads, (tid + iteration * 31) % n_threads)
+                for j, row in enumerate(chunk):
+                    nnz0 = row * 12
+                    wctx.load_ip(a_diag_i.flat_addr(row % a_diag_i.size), ip_ai)
+                    for jj in range(4):
+                        k = (nnz0 + jj * 3) % s_diag_j.size
+                        if jj < 2:
+                            wctx.load_ip(s_diag_j.flat_addr(k), ip_s)
+                        wctx.load_ip(a_diag_j.flat_addr(k % a_diag_j.size), ip_aj)
+                        wctx.load_ip(a_diag_data.flat_addr(k % a_diag_data.size), ip_ad)
+                    wctx.load_ip(ws + (row % 256) * 64, ip_ws)
+                    wctx.load_ip(ws + ((row * 7) % 256) * 64, ip_ws)
+                    if row % 12 == 5:
+                        tbl = small_tables[row % len(small_tables)]
+                        wctx.load_ip(tbl + ((row * 11) % 60) * 64, ip_ws)
+                    wctx.compute(cfg.compute_per_row)
+                    if j % 4 == 3:
+                        yield
+                yield
+
+            return worker
+
+        def interp_factory(iteration: int):
+            ip_s2 = interp_region.ip(495)
+            ip_si = interp_region.ip(495, 1)
+            ip_pj = interp_region.ip(496)
+            ip_pd = interp_region.ip(497)
+
+            def worker(wctx: Ctx, tid: int):
+                chunk = omp_chunk(
+                    rows // 2, n_threads, (tid + iteration * 13) % n_threads
+                )
+                for j, row in enumerate(chunk):
+                    wctx.load_ip(s_diag_i.flat_addr((row * 19) % s_diag_i.size), ip_si)
+                    wctx.load_ip(a_diag_i.flat_addr((row * 3) % a_diag_i.size), ip_si)
+                    if row % 8 == 1:
+                        wctx.load_ip(
+                            s_diag_j.flat_addr((row * 23) % s_diag_j.size), ip_s2
+                        )
+                    wctx.load_ip(p_diag_j.flat_addr((row * 11) % p_diag_j.size), ip_pj)
+                    wctx.load_ip(
+                        p_diag_data.flat_addr((row * 5) % p_diag_data.size), ip_pd
+                    )
+                    wctx.compute(cfg.compute_per_row // 2)
+                    if j % 4 == 3:
+                        yield
+                yield
+
+            return worker
+
+        def solve_body(c: Ctx) -> None:
+            for it in range(cfg.solve_iterations):
+                c.parallel(relax_region, relax_factory(it), n_threads, line=460)
+                c.parallel(interp_region, interp_factory(it), n_threads, line=490)
+                c.comm(rows * 8)  # halo exchange with neighbor ranks
+
+        ctx.call_sync(solve_fn, 60, solve_body)
+
+    ctx.leave()
+
+
+def run(cfg: Config) -> AppResult:
+    if cfg.variant not in VARIANTS:
+        raise ValueError(f"unknown amg2006 variant {cfg.variant!r}")
+    job = MPIJob(
+        cfg.machine_factory,
+        n_ranks=cfg.n_ranks,
+        ranks_per_node=1,   # one MPI process per POWER7 node, as in the paper
+        threads_per_rank=cfg.n_threads,
+    )
+
+    def attach(process: SimProcess):
+        if not cfg.profile:
+            return None
+        profiler = DataCentricProfiler(process, cfg.profiler_config).attach()
+        process.pmu = MarkedEventEngine(
+            PM_MRK_DATA_FROM_RMEM, period=cfg.pmu_period, seed=cfg.seed + process.pid
+        )
+        return profiler
+
+    result: JobResult = job.run(
+        lambda process, rank, n: _rank_main(cfg, process, rank, n),
+        attach=attach,
+    )
+    profilers = [r.attachment for r in result.ranks if r.attachment is not None]
+    return AppResult(
+        app="amg2006",
+        variant=cfg.variant,
+        elapsed_cycles=result.elapsed_cycles,
+        elapsed_seconds=result.elapsed_seconds(),
+        phase_seconds=result.phase_seconds(),
+        profilers=profilers,
+        experiment=analyze_profilers("amg2006", profilers),
+        machines=list(result.machines.values()),
+        pmu_engines=[],
+    )

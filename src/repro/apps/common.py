@@ -1,0 +1,76 @@
+"""Shared plumbing for the case-study apps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.analyzer import Analyzer, ExperimentDB
+from repro.core.profiler import DataCentricProfiler, ProfilerConfig
+from repro.machine.presets import Machine
+from repro.sim.process import SimProcess
+
+__all__ = ["AppResult", "profile_attachment", "analyze_profilers"]
+
+
+@dataclass
+class AppResult:
+    """Outcome of one app run (one variant, profiled or not)."""
+
+    app: str
+    variant: str
+    elapsed_cycles: int
+    elapsed_seconds: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    profilers: list[DataCentricProfiler] = field(default_factory=list)
+    experiment: ExperimentDB | None = None
+    machines: list[Machine] = field(default_factory=list)
+    pmu_engines: list = field(default_factory=list)
+
+    @property
+    def profiled(self) -> bool:
+        return bool(self.profilers)
+
+    def profile_size_bytes(self) -> int:
+        return sum(p.finalize().size_bytes() for p in self.profilers)
+
+    def overhead_vs(self, baseline: "AppResult") -> float:
+        """Runtime overhead of this (profiled) run over a baseline run."""
+        if baseline.elapsed_cycles == 0:
+            return 0.0
+        return (
+            self.elapsed_cycles - baseline.elapsed_cycles
+        ) / baseline.elapsed_cycles
+
+    def speedup_over(self, other: "AppResult") -> float:
+        """Wall-clock speedup of *this* run relative to ``other`` (>1 = faster)."""
+        if self.elapsed_cycles == 0:
+            return 0.0
+        return other.elapsed_cycles / self.elapsed_cycles
+
+
+def profile_attachment(
+    pmu_factory: Callable[[], object] | None,
+    profiler_config: ProfilerConfig | None = None,
+) -> Callable[[SimProcess], DataCentricProfiler]:
+    """Build an ``attach`` callback installing a profiler (+PMU) on a process."""
+
+    def attach(process: SimProcess) -> DataCentricProfiler:
+        profiler = DataCentricProfiler(process, profiler_config).attach()
+        if pmu_factory is not None:
+            process.pmu = pmu_factory()
+        return profiler
+
+    return attach
+
+
+def analyze_profilers(
+    name: str, profilers: list[DataCentricProfiler]
+) -> ExperimentDB | None:
+    """Merge all profilers' databases into one experiment DB."""
+    if not profilers:
+        return None
+    analyzer = Analyzer(name)
+    for profiler in profilers:
+        analyzer.add(profiler.finalize())
+    return analyzer.analyze()

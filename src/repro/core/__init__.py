@@ -1,0 +1,68 @@
+"""The paper's contribution: scalable data-centric profiling.
+
+Pipeline (paper Figure 3): the online profiler
+(:class:`~repro.core.profiler.DataCentricProfiler`) observes PMU samples
+and allocator calls, attributing costs on-the-fly to per-thread calling
+context trees partitioned by storage class; the post-mortem analyzer
+(:mod:`repro.core.merge`, :mod:`repro.core.analyzer`) coalesces profiles
+across threads and processes with a reduction tree and resolves symbols;
+the presentation layer (:mod:`repro.core.views`,
+:mod:`repro.core.render`) produces the top-down and bottom-up
+data-centric views shown in the paper's figures.
+"""
+
+from repro.core.storage import StorageClass
+from repro.core.metrics import MetricVector, MetricKind
+from repro.core.cct import CCT, CCTNode
+from repro.core.unwind import unwind_keys, UNWIND_PER_FRAME
+from repro.core.varmap import HeapDataMap, StaticDataMap, HeapVariable
+from repro.core.profiler import DataCentricProfiler, ProfilerConfig
+from repro.core.profiledb import ProfileDB, ThreadProfile
+from repro.core.merge import merge_profiles, reduction_tree_merge, MergeStats
+from repro.core.analyzer import Analyzer, ExperimentDB
+from repro.core.views import TopDownView, BottomUpView, VariableReport
+from repro.core.render import render_top_down, render_bottom_up, render_variable_table
+from repro.core.guidance import advise, Recommendation
+from repro.core.derived import BoundnessReport, derive_from_profile, derive_from_machine
+from repro.core.stackmap import StackDataMap, StackVariable
+from repro.core.treeview import render_cct, hot_path
+from repro.core.baselines import CodeCentricProfiler, TracingProfiler
+
+__all__ = [
+    "StorageClass",
+    "MetricVector",
+    "MetricKind",
+    "CCT",
+    "CCTNode",
+    "unwind_keys",
+    "UNWIND_PER_FRAME",
+    "HeapDataMap",
+    "StaticDataMap",
+    "HeapVariable",
+    "DataCentricProfiler",
+    "ProfilerConfig",
+    "ProfileDB",
+    "ThreadProfile",
+    "merge_profiles",
+    "reduction_tree_merge",
+    "MergeStats",
+    "Analyzer",
+    "ExperimentDB",
+    "TopDownView",
+    "BottomUpView",
+    "VariableReport",
+    "render_top_down",
+    "render_bottom_up",
+    "render_variable_table",
+    "advise",
+    "Recommendation",
+    "BoundnessReport",
+    "derive_from_profile",
+    "derive_from_machine",
+    "StackDataMap",
+    "StackVariable",
+    "render_cct",
+    "hot_path",
+    "CodeCentricProfiler",
+    "TracingProfiler",
+]

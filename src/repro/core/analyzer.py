@@ -1,0 +1,114 @@
+"""Post-mortem analyzer: profiles in, experiment database out (paper §4.2).
+
+``Analyzer`` gathers per-process profile databases, merges them (via the
+reduction tree), and produces an :class:`ExperimentDB` — the object the
+GUI would load — exposing the queries the case studies rely on: storage
+class shares, top variables by metric, a variable's hottest accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.merge import MergeStats, reduction_tree_merge
+from repro.core.metrics import MetricKind
+from repro.core.profiledb import ProfileDB, ThreadProfile
+from repro.core.storage import StorageClass
+from repro.core.views import (
+    BottomUpView,
+    TopDownView,
+    VariableReport,
+    build_bottom_up,
+    build_top_down,
+)
+from repro.errors import ProfileError
+
+__all__ = ["Analyzer", "ExperimentDB"]
+
+
+class ExperimentDB:
+    """The merged, queryable result of one profiled execution."""
+
+    def __init__(self, merged: ProfileDB, merge_stats: MergeStats | None = None) -> None:
+        profiles = list(merged.all_profiles())
+        if len(profiles) != 1:
+            raise ProfileError("ExperimentDB expects a fully merged ProfileDB")
+        self.db = merged
+        self.profile: ThreadProfile = profiles[0]
+        self.merge_stats = merge_stats
+        self._top_down_cache: dict[tuple, TopDownView] = {}
+
+    # -- views -------------------------------------------------------------
+
+    def top_down(self, kind: MetricKind, accesses_per_var: int = 5) -> TopDownView:
+        key = (kind, accesses_per_var)
+        view = self._top_down_cache.get(key)
+        if view is None:
+            view = build_top_down(self.profile, kind, accesses_per_var)
+            self._top_down_cache[key] = view
+        return view
+
+    def bottom_up(self, kind: MetricKind) -> BottomUpView:
+        return build_bottom_up(self.profile, kind)
+
+    # -- scalar queries ----------------------------------------------------
+
+    def total(self, kind: MetricKind) -> int:
+        return self.top_down(kind).grand_total
+
+    def storage_share(self, storage: StorageClass, kind: MetricKind) -> float:
+        return self.top_down(kind).storage_share(storage)
+
+    def top_variables(
+        self, kind: MetricKind, n: int = 10, storage: StorageClass | None = None
+    ) -> list[VariableReport]:
+        variables = self.top_down(kind).variables
+        if storage is not None:
+            variables = [v for v in variables if v.storage is storage]
+        return variables[:n]
+
+    def variable_share(self, name: str, kind: MetricKind) -> float:
+        """Combined share of all variables with this name (alloc contexts
+        with the same source-level name sum together)."""
+        return sum(
+            v.share for v in self.top_down(kind).variables if v.name == name
+        )
+
+    def variable(self, name: str, kind: MetricKind) -> VariableReport | None:
+        """The largest single context for this variable name."""
+        candidates = [v for v in self.top_down(kind).variables if v.name == name]
+        return candidates[0] if candidates else None
+
+    def size_bytes(self) -> int:
+        return self.db.size_bytes()
+
+
+class Analyzer:
+    """Collects per-process profiles and builds the experiment database."""
+
+    def __init__(self, name: str = "job") -> None:
+        self.name = name
+        self._dbs: list[ProfileDB] = []
+
+    def add(self, db: ProfileDB) -> "Analyzer":
+        self._dbs.append(db)
+        return self
+
+    def add_all(self, dbs: Iterable[ProfileDB]) -> "Analyzer":
+        for db in dbs:
+            self.add(db)
+        return self
+
+    @property
+    def n_profiles(self) -> int:
+        return sum(len(db.threads) for db in self._dbs)
+
+    def raw_size_bytes(self) -> int:
+        """Total size of the unmerged per-process profiles."""
+        return sum(db.size_bytes() for db in self._dbs)
+
+    def analyze(self, arity: int = 2) -> ExperimentDB:
+        if not self._dbs:
+            raise ProfileError("no profiles to analyze")
+        merged, stats = reduction_tree_merge(self._dbs, name=self.name, arity=arity)
+        return ExperimentDB(merged, stats)

@@ -1,0 +1,259 @@
+"""Compact profile databases (paper §2.2 "space overhead").
+
+A :class:`ThreadProfile` holds one thread's per-storage-class CCTs; a
+:class:`ProfileDB` holds all thread profiles of one process (or, after
+merging, of a whole job).  The binary codec uses varints plus a string
+table so profile size stays proportional to *distinct contexts*, not to
+execution length — the property that distinguishes compact CCT profiles
+from the allocation/access traces of tools like MemProf.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.core.cct import CCT, CCTNode
+from repro.core.metrics import MetricVector
+from repro.core.storage import StorageClass
+from repro.errors import ProfileError
+
+__all__ = ["ThreadProfile", "ProfileDB"]
+
+_MAGIC = b"RPDB"
+_VERSION = 1
+
+
+# -- varint codec --------------------------------------------------------------
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ProfileError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(buf: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise ProfileError("truncated uvarint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+class _StringTable:
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self.strings: list[str] = []
+
+    def intern(self, s: str) -> int:
+        idx = self._index.get(s)
+        if idx is None:
+            idx = len(self.strings)
+            self._index[s] = idx
+            self.strings.append(s)
+        return idx
+
+
+# -- node codec ----------------------------------------------------------------
+
+_TAG_INT = 0
+_TAG_STR = 1
+_TAG_NEG = 2
+
+
+def _encode_node(node: CCTNode, out: bytearray, strings: _StringTable) -> None:
+    key = node.key
+    _write_uvarint(out, len(key))
+    for element in key:
+        if isinstance(element, str):
+            out.append(_TAG_STR)
+            _write_uvarint(out, strings.intern(element))
+        elif isinstance(element, int):
+            if element >= 0:
+                out.append(_TAG_INT)
+                _write_uvarint(out, element)
+            else:
+                out.append(_TAG_NEG)
+                _write_uvarint(out, -element)
+        else:
+            raise ProfileError(f"unencodable key element {element!r}")
+    info = node.info or {}
+    _write_uvarint(out, len(info))
+    for k in sorted(info):
+        v = info[k]
+        if not isinstance(v, str):
+            raise ProfileError(f"info values must be str, got {k}={v!r}")
+        _write_uvarint(out, strings.intern(k))
+        _write_uvarint(out, strings.intern(v))
+    m = node.metrics
+    for value in (m.samples, m.latency, m.events, m.tlb_misses, m.stores):
+        _write_uvarint(out, value)
+    for value in m.levels:
+        _write_uvarint(out, value)
+    _write_uvarint(out, len(node.children))
+    for child in node.children.values():
+        _encode_node(child, out, strings)
+
+
+def _decode_node(buf: bytes, pos: int, strings: list[str]) -> tuple[CCTNode, int]:
+    key_len, pos = _read_uvarint(buf, pos)
+    key_elements = []
+    for _ in range(key_len):
+        tag = buf[pos]
+        pos += 1
+        raw, pos = _read_uvarint(buf, pos)
+        if tag == _TAG_STR:
+            key_elements.append(strings[raw])
+        elif tag == _TAG_INT:
+            key_elements.append(raw)
+        elif tag == _TAG_NEG:
+            key_elements.append(-raw)
+        else:
+            raise ProfileError(f"bad key tag {tag}")
+    node = CCTNode(tuple(key_elements))
+    info_len, pos = _read_uvarint(buf, pos)
+    if info_len:
+        info = {}
+        for _ in range(info_len):
+            k, pos = _read_uvarint(buf, pos)
+            v, pos = _read_uvarint(buf, pos)
+            info[strings[k]] = strings[v]
+        node.info = info
+    m = MetricVector()
+    m.samples, pos = _read_uvarint(buf, pos)
+    m.latency, pos = _read_uvarint(buf, pos)
+    m.events, pos = _read_uvarint(buf, pos)
+    m.tlb_misses, pos = _read_uvarint(buf, pos)
+    m.stores, pos = _read_uvarint(buf, pos)
+    for i in range(len(m.levels)):
+        m.levels[i], pos = _read_uvarint(buf, pos)
+    node.metrics = m
+    n_children, pos = _read_uvarint(buf, pos)
+    for _ in range(n_children):
+        child, pos = _decode_node(buf, pos, strings)
+        node.children[child.key] = child
+    return node, pos
+
+
+# -- profiles -------------------------------------------------------------------
+
+
+class ThreadProfile:
+    """One thread's CCTs, one per storage class (created on demand)."""
+
+    def __init__(self, thread_name: str) -> None:
+        self.thread_name = thread_name
+        self._ccts: dict[StorageClass, CCT] = {}
+
+    def cct(self, storage: StorageClass) -> CCT:
+        tree = self._ccts.get(storage)
+        if tree is None:
+            tree = CCT(storage.value)
+            self._ccts[storage] = tree
+        return tree
+
+    def has_cct(self, storage: StorageClass) -> bool:
+        return storage in self._ccts
+
+    def storage_classes(self) -> list[StorageClass]:
+        return sorted(self._ccts, key=lambda s: s.value)
+
+    def node_count(self) -> int:
+        return sum(cct.node_count() for cct in self._ccts.values())
+
+    def clone(self) -> "ThreadProfile":
+        out = ThreadProfile(self.thread_name)
+        for storage, cct in self._ccts.items():
+            out._ccts[storage] = cct.clone()
+        return out
+
+
+class ProfileDB:
+    """All thread profiles of a process (or a merged job)."""
+
+    def __init__(self, process_name: str) -> None:
+        self.process_name = process_name
+        self.threads: dict[str, ThreadProfile] = {}
+
+    def add_thread(self, profile: ThreadProfile) -> None:
+        if profile.thread_name in self.threads:
+            raise ProfileError(f"duplicate thread profile {profile.thread_name}")
+        self.threads[profile.thread_name] = profile
+
+    def all_profiles(self) -> Iterator[ThreadProfile]:
+        for name in sorted(self.threads):
+            yield self.threads[name]
+
+    def node_count(self) -> int:
+        return sum(p.node_count() for p in self.threads.values())
+
+    # -- binary codec -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        strings = _StringTable()
+        body = bytearray()
+        _write_uvarint(body, strings.intern(self.process_name))
+        _write_uvarint(body, len(self.threads))
+        for profile in self.all_profiles():
+            _write_uvarint(body, strings.intern(profile.thread_name))
+            classes = profile.storage_classes()
+            _write_uvarint(body, len(classes))
+            for storage in classes:
+                _write_uvarint(body, strings.intern(storage.value))
+                _encode_node(profile.cct(storage).root, body, strings)
+        table = bytearray()
+        _write_uvarint(table, len(strings.strings))
+        for s in strings.strings:
+            raw = s.encode("utf-8")
+            _write_uvarint(table, len(raw))
+            table.extend(raw)
+        return _MAGIC + struct.pack("<H", _VERSION) + bytes(table) + bytes(body)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProfileDB":
+        if data[:4] != _MAGIC:
+            raise ProfileError("bad profile magic")
+        (version,) = struct.unpack_from("<H", data, 4)
+        if version != _VERSION:
+            raise ProfileError(f"unsupported profile version {version}")
+        pos = 6
+        n_strings, pos = _read_uvarint(data, pos)
+        strings: list[str] = []
+        for _ in range(n_strings):
+            length, pos = _read_uvarint(data, pos)
+            strings.append(data[pos : pos + length].decode("utf-8"))
+            pos += length
+        name_idx, pos = _read_uvarint(data, pos)
+        db = cls(strings[name_idx])
+        n_threads, pos = _read_uvarint(data, pos)
+        for _ in range(n_threads):
+            tname_idx, pos = _read_uvarint(data, pos)
+            profile = ThreadProfile(strings[tname_idx])
+            n_classes, pos = _read_uvarint(data, pos)
+            for _ in range(n_classes):
+                cls_idx, pos = _read_uvarint(data, pos)
+                storage = StorageClass(strings[cls_idx])
+                root, pos = _decode_node(data, pos, strings)
+                tree = CCT(storage.value)
+                tree.root = root
+                profile._ccts[storage] = tree
+            db.add_thread(profile)
+        return db
+
+    def size_bytes(self) -> int:
+        """Serialized size — the paper's "space overhead" figure."""
+        return len(self.to_bytes())

@@ -1,0 +1,97 @@
+"""Text rendering of the data-centric views (the GUI stand-in).
+
+Each renderer returns a string shaped like the paper's hpcviewer panes:
+a navigation column (variables, allocation paths, accesses) and a metric
+column with inclusive values and percentages.
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import StorageClass
+from repro.core.views import BottomUpView, TopDownView, VariableReport
+from repro.util.fmt import format_table, pct
+
+__all__ = ["render_top_down", "render_bottom_up", "render_variable_table"]
+
+
+def _variable_block(var: VariableReport, grand_total: int, lines: list[str]) -> None:
+    kind = f" ({var.alloc_kind})" if var.alloc_kind else ""
+    lines.append(
+        f"  {var.name}{kind}  [{var.storage}]  "
+        f"{var.value} ({pct(var.value, grand_total)})"
+    )
+    if var.alloc_location:
+        lines.append(f"    allocated at {var.alloc_location}")
+    for frame in var.alloc_path:
+        lines.append(f"      <- {frame}")
+    if var.accesses:
+        lines.append("    heap data accesses" if var.storage is StorageClass.HEAP
+                     else "    accesses")
+        for acc in var.accesses:
+            text = f"  | {acc.line_text}" if acc.line_text else ""
+            lines.append(
+                f"      {acc.label}  {acc.value} ({pct(acc.value, grand_total)})"
+                f"{text}"
+            )
+
+
+def render_top_down(view: TopDownView, top_n: int = 10, title: str = "") -> str:
+    """Render the top-down data-centric pane."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"metric: {view.metric}   total: {view.grand_total}")
+    for storage in (StorageClass.HEAP, StorageClass.STATIC,
+                    StorageClass.STACK, StorageClass.UNKNOWN):
+        value = view.storage_totals.get(storage, 0)
+        lines.append(
+            f"  {storage.value:<8} {value} ({pct(value, view.grand_total)})"
+        )
+    lines.append("")
+    lines.append(f"top {min(top_n, len(view.variables))} variables:")
+    for var in view.top(top_n):
+        _variable_block(var, view.grand_total, lines)
+    return "\n".join(lines)
+
+
+def render_bottom_up(view: BottomUpView, top_n: int = 10, title: str = "") -> str:
+    """Render the bottom-up (allocation call site) pane."""
+    rows = []
+    for site in view.top(top_n):
+        names = ", ".join(site.names[:4])
+        rows.append(
+            (
+                site.label,
+                site.location,
+                site.value,
+                pct(site.value, view.grand_total),
+                site.n_contexts,
+                names,
+            )
+        )
+    return format_table(
+        ("alloc site", "location", view.metric.value, "share", "contexts", "variables"),
+        rows,
+        title=title or "bottom-up view: allocation call sites",
+    )
+
+
+def render_variable_table(view: TopDownView, top_n: int = 10, title: str = "") -> str:
+    """Compact variable ranking (one row per variable)."""
+    rows = []
+    for var in view.top(top_n):
+        rows.append(
+            (
+                var.name,
+                var.storage.value,
+                var.value,
+                pct(var.value, view.grand_total),
+                f"{100 * var.remote_fraction:.0f}%",
+                f"{100 * var.tlb_miss_fraction:.0f}%",
+            )
+        )
+    return format_table(
+        ("variable", "class", view.metric.value, "share", "remote", "tlbmiss"),
+        rows,
+        title=title or "variables ranked by metric",
+    )

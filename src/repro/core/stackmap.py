@@ -1,0 +1,120 @@
+"""Stack-variable attribution (the paper's §7 future-work extension).
+
+The SC'13 tool treats stack data as *unknown* ("stack variables seldom
+become data locality bottlenecks").  Its stated future work is to
+associate measurements with stack-allocated variables; this module
+implements that: threads register named stack ranges (the moral
+equivalent of reading DWARF frame-variable info), and the profiler —
+when configured with ``track_stack=True`` — resolves effective addresses
+against them into a dedicated ``StorageClass.STACK`` CCT, with the same
+dummy-variable-node structure as statics.
+
+Ranges are registered per thread and scoped: leaving the owning frame
+(or explicit release) retires the range, so recycled stack addresses are
+never misattributed — the same discipline the heap map applies to frees.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.cct import PathEntry
+from repro.errors import ProfileError
+from repro.util.intervals import IntervalMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.thread import SimThread
+
+__all__ = ["StackVariable", "StackDataMap", "stack_var_entry", "KIND_STACK_VAR"]
+
+KIND_STACK_VAR = "stack-var"
+
+
+class StackVariable:
+    """A named, live stack range in one thread's frame."""
+
+    __slots__ = ("name", "thread_name", "function_name", "addr", "size", "decl_location")
+
+    def __init__(
+        self,
+        name: str,
+        thread_name: str,
+        function_name: str,
+        addr: int,
+        size: int,
+        decl_location: str = "",
+    ) -> None:
+        self.name = name
+        self.thread_name = thread_name
+        self.function_name = function_name
+        self.addr = addr
+        self.size = size
+        self.decl_location = decl_location
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StackVariable({self.function_name}::{self.name}, {self.size}B @ {self.addr:#x})"
+
+
+def stack_var_entry(var: StackVariable) -> PathEntry:
+    """The dummy CCT node for a stack variable.
+
+    Identity is (function, name): the same local in the same function
+    coalesces across threads and processes, like statics do by symbol.
+    """
+    key = (KIND_STACK_VAR, var.function_name, var.name)
+    info = {
+        "label": f"stack {var.function_name}::{var.name}",
+        "location": var.decl_location,
+    }
+    return (key, info)
+
+
+class StackDataMap:
+    """Per-process map of live named stack ranges (all threads)."""
+
+    def __init__(self) -> None:
+        self._per_thread: dict[str, IntervalMap] = {}
+        self.registered = 0
+        self.released = 0
+
+    def register(self, var: StackVariable) -> StackVariable:
+        ranges = self._per_thread.get(var.thread_name)
+        if ranges is None:
+            ranges = IntervalMap()
+            self._per_thread[var.thread_name] = ranges
+        ranges.add(var.addr, var.end, var)
+        self.registered += 1
+        return var
+
+    def release(self, thread_name: str, addr: int) -> None:
+        ranges = self._per_thread.get(thread_name)
+        if ranges is None:
+            raise ProfileError(f"no stack ranges registered for thread {thread_name}")
+        ranges.remove(addr)
+        self.released += 1
+
+    def release_all(self, thread_name: str) -> None:
+        """Retire every range of a thread (e.g. at region/frame exit)."""
+        ranges = self._per_thread.get(thread_name)
+        if ranges is not None:
+            self.released += len(ranges)
+            ranges.clear()
+
+    def lookup(self, thread: "SimThread", ea: int) -> StackVariable | None:
+        """Resolve ``ea`` against the *accessing thread's* stack ranges.
+
+        Stacks are thread-private; an address that happens to fall inside
+        another thread's stack slab is not this thread's variable.
+        """
+        ranges = self._per_thread.get(thread.name)
+        if ranges is None:
+            return None
+        return ranges.lookup(ea)
+
+    @property
+    def live(self) -> int:
+        return sum(len(r) for r in self._per_thread.values())

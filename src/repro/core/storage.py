@@ -1,0 +1,32 @@
+"""Storage classes for data-centric attribution (paper §4.1.3).
+
+Every sampled memory access is attributed to exactly one class:
+
+- ``STATIC`` — named variables in a load module's .bss, tracked from the
+  symbol table while the module is loaded;
+- ``HEAP`` — live malloc-family blocks, identified by their full
+  allocation call path;
+- ``STACK`` — named thread-stack ranges, when the §7 extension is
+  enabled (``ProfilerConfig.track_stack``);
+- ``UNKNOWN`` — everything else (anonymous stack data, untracked small
+  allocations, brk-style container memory);
+- ``NONMEM`` — IBS samples of instructions that do not access memory
+  (kept in their own CCT, §4.1.2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["StorageClass"]
+
+
+class StorageClass(str, Enum):
+    STATIC = "static"
+    HEAP = "heap"
+    STACK = "stack"
+    UNKNOWN = "unknown"
+    NONMEM = "nonmem"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,87 @@
+"""Full calling-context-tree rendering — the GUI's navigation pane.
+
+The variable-centric views (:mod:`repro.core.views`) answer "which data
+is expensive"; this module renders the raw CCT so one can *navigate*
+contexts the way the paper's hpcviewer screenshots do: every node with
+its inclusive metric and share, children sorted hottest-first, cold
+subtrees pruned below a share threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.cct import CCT, CCTNode
+from repro.core.metrics import MetricKind
+from repro.util.fmt import pct
+
+__all__ = ["render_cct", "hot_path"]
+
+
+def _render_node(
+    node: CCTNode,
+    total: int,
+    kind: MetricKind,
+    depth: int,
+    max_depth: int,
+    min_share: float,
+    lines: list[str],
+    prefix: str,
+) -> None:
+    children = [
+        (child, child.inclusive_value(kind)) for child in node.children.values()
+    ]
+    children = [
+        (child, value)
+        for child, value in children
+        if total == 0 or value / total >= min_share
+    ]
+    children.sort(key=lambda cv: cv[1], reverse=True)
+    for index, (child, value) in enumerate(children):
+        last = index == len(children) - 1
+        branch = "`- " if last else "|- "
+        lines.append(
+            f"{prefix}{branch}{child.label()}  "
+            f"{value} ({pct(value, total)})"
+        )
+        if depth + 1 < max_depth:
+            extension = "   " if last else "|  "
+            _render_node(
+                child, total, kind, depth + 1, max_depth, min_share,
+                lines, prefix + extension,
+            )
+
+
+def render_cct(
+    cct: CCT,
+    kind: MetricKind = MetricKind.SAMPLES,
+    max_depth: int = 8,
+    min_share: float = 0.02,
+    title: str = "",
+) -> str:
+    """Render a CCT as an indented tree with inclusive metrics.
+
+    ``min_share`` prunes subtrees below that fraction of the tree total
+    (the GUI's collapse-cold-paths affordance); ``max_depth`` bounds the
+    indentation.
+    """
+    total = cct.total(kind)
+    lines = [title] if title else []
+    lines.append(f"{cct.name}  [{kind}]  total: {total}")
+    _render_node(cct.root, total, kind, 0, max_depth, min_share, lines, "")
+    return "\n".join(lines)
+
+
+def hot_path(cct: CCT, kind: MetricKind = MetricKind.SAMPLES) -> list[CCTNode]:
+    """The hottest root-to-leaf chain by inclusive metric.
+
+    What an analyst reads first in the top-down pane: follow the largest
+    child until the metric stops concentrating.
+    """
+    path: list[CCTNode] = []
+    node = cct.root
+    while node.children:
+        best = max(node.children.values(), key=lambda c: c.inclusive_value(kind))
+        if best.inclusive_value(kind) == 0:
+            break
+        path.append(best)
+        node = best
+    return path

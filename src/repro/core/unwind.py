@@ -1,0 +1,94 @@
+"""Call-stack unwinding and the precise-IP leaf correction (§4.1.2).
+
+The simulator's threads expose their frame stacks directly, so the
+*mechanics* of unwinding are trivial here; what this module preserves
+from the paper is (a) the structural path construction — frame keys that
+are process-independent so CCTs merge across threads/processes/nodes —
+and (b) the *cost model*: real unwinding pays per frame, which is what
+the trampoline optimization (:mod:`repro.core.trampoline`) amortizes for
+allocation-heavy codes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.cct import KIND_FRAME, KIND_IP, PathEntry
+from repro.errors import ProfileError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+    from repro.sim.thread import Frame, SimThread
+
+__all__ = [
+    "frame_entry",
+    "ip_entry",
+    "unwind_keys",
+    "UNWIND_PER_FRAME",
+    "GETCONTEXT_SLOW",
+    "GETCONTEXT_FAST",
+]
+
+# Cycle costs of the measurement machinery (charged to the monitored
+# thread when overhead accounting is on).
+UNWIND_PER_FRAME = 40     # binary analysis + return-address lookup per frame
+GETCONTEXT_SLOW = 150     # libc getcontext
+GETCONTEXT_FAST = 15      # inlined assembly register read (paper strategy 2)
+
+
+def frame_entry(frame: "Frame") -> PathEntry:
+    """Structural path entry for one stack frame.
+
+    Identity is (callee function name, module-relative call-site IP) —
+    stable across processes that load the same program image.
+    """
+    fn = frame.function
+    callsite = frame.callsite_ip
+    rel_callsite = callsite
+    if callsite and fn.module.loaded:
+        # Normalize to the module base when the call site lies in the
+        # callee's own module (the overwhelmingly common case); calls that
+        # cross modules keep a raw IP, which still merges consistently
+        # because our processes load identical images in identical order.
+        base = fn.module.text_base
+        if callsite >= base:
+            rel_callsite = callsite - base
+    key = (KIND_FRAME, fn.name, rel_callsite)
+    info = {"label": fn.name, "location": fn.location()}
+    return (key, info)
+
+
+def ip_entry(process: "SimProcess", ip: int) -> PathEntry:
+    """Structural path entry for a leaf instruction pointer."""
+    module = process.module_of_ip(ip)
+    if module is None:
+        raise ProfileError(f"ip {ip:#x} not in any loaded module of {process.name}")
+    fn, line, slot = module.resolve_ip(ip)
+    key = (KIND_IP, fn.name, line, slot)
+    info = {
+        "label": f"{fn.name}:{line}",
+        "location": fn.source.location(line),
+        "line_text": fn.source.line_text(line),
+    }
+    return (key, info)
+
+
+def unwind_keys(
+    process: "SimProcess", thread: "SimThread", leaf_ip: int | None
+) -> list[PathEntry]:
+    """Full calling-context path for a sample taken in ``thread``.
+
+    The leaf of the unwound context is *replaced* by the PMU's precise IP
+    (when given) — the §4.1.2 correction that avoids skid between the
+    monitored instruction and the interrupt.
+    """
+    path = [frame_entry(f) for f in thread.frames]
+    if leaf_ip is not None:
+        path.append(ip_entry(process, leaf_ip))
+    return path
+
+
+def unwind_cost(depth: int, fast_context: bool) -> int:
+    """Measurement cost in cycles of one full unwind of ``depth`` frames."""
+    context = GETCONTEXT_FAST if fast_context else GETCONTEXT_SLOW
+    return context + depth * UNWIND_PER_FRAME

@@ -1,0 +1,123 @@
+"""Variable tracking: static, heap, and unknown data (paper §4.1.3).
+
+``StaticDataMap`` mirrors the symbol-table side: when a load module is
+loaded its static variables' address ranges become resolvable; unloading
+removes them.  ``HeapDataMap`` mirrors the malloc-wrapping side: live
+blocks map to their allocation call paths.  Blocks below the tracking
+threshold are *registered but anonymous* — their frees must still be
+processed (else a recycled address would be attributed to the dead
+variable), but no calling context is captured for them and samples
+hitting them fall into unknown data, exactly the accuracy/overhead trade
+the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.core.cct import KIND_STATIC_VAR, PathEntry
+from repro.errors import ProfileError
+from repro.util.intervals import IntervalMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.loader import LoadModule, StaticVar
+
+__all__ = ["HeapVariable", "HeapDataMap", "StaticDataMap", "static_var_entry"]
+
+_heap_var_ids = itertools.count(1)
+
+
+class HeapVariable:
+    """A live heap block and the allocation context identifying it."""
+
+    __slots__ = ("uid", "addr", "size", "alloc_path", "site_label")
+
+    def __init__(
+        self, addr: int, size: int, alloc_path: tuple[PathEntry, ...], site_label: str
+    ) -> None:
+        self.uid = next(_heap_var_ids)
+        self.addr = addr
+        self.size = size
+        self.alloc_path = alloc_path
+        self.site_label = site_label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeapVariable({self.site_label}, {self.size}B @ {self.addr:#x})"
+
+
+class HeapDataMap:
+    """Address-range map of live heap blocks to allocation contexts."""
+
+    def __init__(self) -> None:
+        self._ranges = IntervalMap()
+        self._anonymous: set[int] = set()  # small blocks: freed but never attributed
+        self.tracked = 0
+        self.skipped_small = 0
+
+    def track(self, var: HeapVariable) -> None:
+        self._ranges.add(var.addr, var.addr + var.size, var)
+        self.tracked += 1
+
+    def register_anonymous(self, addr: int) -> None:
+        self._anonymous.add(addr)
+        self.skipped_small += 1
+
+    def untrack(self, addr: int) -> None:
+        """Process a free: remove whichever record covers ``addr``."""
+        if addr in self._anonymous:
+            self._anonymous.discard(addr)
+            return
+        hit = self._ranges.lookup_interval(addr)
+        if hit is None:
+            raise ProfileError(f"free of unrecorded block at {addr:#x}")
+        start, _end, _var = hit
+        if start != addr:
+            raise ProfileError(f"free of interior pointer {addr:#x} (block at {start:#x})")
+        self._ranges.remove(start)
+
+    def lookup(self, ea: int) -> HeapVariable | None:
+        return self._ranges.lookup(ea)
+
+    @property
+    def live_tracked(self) -> int:
+        return len(self._ranges)
+
+
+def static_var_entry(var: "StaticVar") -> PathEntry:
+    """The dummy CCT node standing for a static variable (paper §4.1.4)."""
+    key = (KIND_STATIC_VAR, var.module.name, var.name)
+    location = var.source.location(var.decl_line) if var.source else var.module.name
+    info = {"label": f"static {var.name}", "location": location}
+    return (key, info)
+
+
+class StaticDataMap:
+    """Resolves effective addresses against loaded modules' symbol tables."""
+
+    def __init__(self) -> None:
+        self._modules: list["LoadModule"] = []
+
+    def on_load(self, module: "LoadModule") -> None:
+        if module in self._modules:
+            raise ProfileError(f"module {module.name} registered twice")
+        self._modules.append(module)
+
+    def on_unload(self, module: "LoadModule") -> None:
+        if module not in self._modules:
+            raise ProfileError(f"module {module.name} not registered")
+        self._modules.remove(module)
+
+    def lookup(self, ea: int) -> "StaticVar | None":
+        for module in self._modules:
+            var = module.static_at(ea)
+            if var is not None:
+                return var
+        return None
+
+    @property
+    def n_modules(self) -> int:
+        return len(self._modules)
+
+    def n_statics(self) -> int:
+        return sum(len(m.statics) for m in self._modules)

@@ -1,0 +1,321 @@
+"""Data-centric view models (the paper's GUI panes, as data).
+
+The top-down view ranks variables by an inclusive metric and exposes, for
+each variable, the allocation call path and the access call paths with
+the highest costs — what Figures 4 and 6-11 display.  The bottom-up view
+aggregates heap variables by their allocation *call site* regardless of
+the full path that reached it — Figure 5's pane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cct import (
+    CCTNode,
+    KIND_FRAME,
+    KIND_HEAP_MARKER,
+    KIND_IP,
+    KIND_STATIC_VAR,
+)
+from repro.core.stackmap import KIND_STACK_VAR
+from repro.core.metrics import MetricKind
+from repro.core.profiledb import ThreadProfile
+from repro.core.storage import StorageClass
+from repro.machine.hierarchy import LVL_RMEM
+
+__all__ = [
+    "AccessSite",
+    "VariableReport",
+    "TopDownView",
+    "BottomUpSite",
+    "BottomUpView",
+    "build_top_down",
+    "build_bottom_up",
+]
+
+
+@dataclass
+class AccessSite:
+    """One access call-path leaf and its cost."""
+
+    label: str
+    location: str
+    line_text: str
+    value: int
+    share: float          # of the view's grand total
+    remote_fraction: float
+    tlb_miss_fraction: float
+
+
+@dataclass
+class VariableReport:
+    """One variable (heap allocation context or static symbol)."""
+
+    name: str
+    storage: StorageClass
+    value: int
+    share: float          # of the view's grand total
+    alloc_kind: str | None
+    alloc_path: list[str] = field(default_factory=list)  # frame labels, root first
+    alloc_location: str = ""
+    # Structural identity of the allocation call site: the innermost frame
+    # (e.g. `hypre_CAlloc` at a specific call-site IP) plus the allocating
+    # instruction — what the bottom-up view groups by (Figure 5).
+    alloc_site_key: tuple = ()
+    accesses: list[AccessSite] = field(default_factory=list)
+    remote_fraction: float = 0.0        # remote samples / all samples
+    dram_remote_fraction: float = 0.0   # remote samples / DRAM-serviced samples
+    tlb_miss_fraction: float = 0.0
+    samples: int = 0
+
+
+@dataclass
+class TopDownView:
+    """Variables ranked by an inclusive metric, with storage-class totals."""
+
+    metric: MetricKind
+    grand_total: int
+    storage_totals: dict[StorageClass, int]
+    variables: list[VariableReport]
+
+    def storage_share(self, storage: StorageClass) -> float:
+        if self.grand_total == 0:
+            return 0.0
+        return self.storage_totals.get(storage, 0) / self.grand_total
+
+    def top(self, n: int) -> list[VariableReport]:
+        return self.variables[:n]
+
+    def find_variable(self, name: str) -> VariableReport | None:
+        for var in self.variables:
+            if var.name == name:
+                return var
+        return None
+
+
+@dataclass
+class BottomUpSite:
+    """One allocation call site, aggregated over all paths reaching it."""
+
+    label: str
+    location: str
+    value: int
+    share: float
+    n_contexts: int       # distinct full allocation paths merged here
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class BottomUpView:
+    metric: MetricKind
+    grand_total: int
+    sites: list[BottomUpSite]
+
+    def top(self, n: int) -> list[BottomUpSite]:
+        return self.sites[:n]
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _dram_remote(metrics) -> float:
+    """Remote share among DRAM-serviced samples (cache hits excluded)."""
+    from repro.machine.hierarchy import LVL_LMEM
+
+    dram = metrics.levels[LVL_LMEM] + metrics.levels[LVL_RMEM]
+    return metrics.levels[LVL_RMEM] / dram if dram else 0.0
+
+
+def _access_sites(
+    root: CCTNode, kind: MetricKind, grand_total: int, limit: int
+) -> list[AccessSite]:
+    sites: list[AccessSite] = []
+    for node in root.walk():
+        if node.key[0] != KIND_IP or node.metrics.is_zero():
+            continue
+        m = node.metrics
+        value = m.get(kind)
+        if value == 0:
+            continue
+        info = node.info or {}
+        samples = max(m.samples, 1)
+        sites.append(
+            AccessSite(
+                label=node.label(),
+                location=info.get("location", ""),
+                line_text=info.get("line_text", ""),
+                value=value,
+                share=value / grand_total if grand_total else 0.0,
+                remote_fraction=m.levels[LVL_RMEM] / samples,
+                tlb_miss_fraction=m.tlb_misses / samples,
+            )
+        )
+    sites.sort(key=lambda s: s.value, reverse=True)
+    return sites[:limit]
+
+
+def _heap_variables(
+    profile: ThreadProfile, kind: MetricKind, grand_total: int, accesses_per_var: int
+) -> list[VariableReport]:
+    reports = []
+    if not profile.has_cct(StorageClass.HEAP):
+        return reports
+    root = profile.cct(StorageClass.HEAP).root
+
+    # Invariant: ``path`` is the chain of nodes from (but excluding) the
+    # root down to and including ``node``.
+    def visit(node: CCTNode, path: list[CCTNode]) -> None:
+        for child in node.children.values():
+            if child.key[0] == KIND_HEAP_MARKER:
+                incl = child.inclusive()
+                value = incl.get(kind)
+                if value == 0:
+                    continue
+                alloc_leaf = node  # the allocation call-site node
+                leaf_info = alloc_leaf.info or {}
+                name = leaf_info.get("var") or alloc_leaf.label()
+                samples = max(incl.samples, 1)
+                # Site identity: innermost frame (the allocator shim and
+                # where it was called from) + the allocating instruction.
+                parent_frame_key = None
+                for ancestor in reversed(path[:-1]):
+                    if ancestor.key[0] == KIND_FRAME:
+                        parent_frame_key = ancestor.key
+                        break
+                reports.append(
+                    VariableReport(
+                        name=name,
+                        storage=StorageClass.HEAP,
+                        value=value,
+                        share=value / grand_total if grand_total else 0.0,
+                        alloc_kind=leaf_info.get("alloc_kind"),
+                        alloc_path=[n.label() for n in path],
+                        alloc_location=leaf_info.get("location", ""),
+                        alloc_site_key=(parent_frame_key, alloc_leaf.key),
+                        accesses=_access_sites(child, kind, grand_total, accesses_per_var),
+                        remote_fraction=incl.levels[LVL_RMEM] / samples,
+                        dram_remote_fraction=_dram_remote(incl),
+                        tlb_miss_fraction=incl.tlb_misses / samples,
+                        samples=incl.samples,
+                    )
+                )
+            else:
+                visit(child, path + [child])
+
+    visit(root, [])
+    return reports
+
+
+def _named_variables(
+    profile: ThreadProfile,
+    storage: StorageClass,
+    node_kind: str,
+    kind: MetricKind,
+    grand_total: int,
+    accesses_per_var: int,
+) -> list[VariableReport]:
+    """Variables represented by a dummy name node under the CCT root
+    (statics by symbol, stack locals by function::name)."""
+    reports = []
+    if not profile.has_cct(storage):
+        return reports
+    root = profile.cct(storage).root
+    for child in root.children.values():
+        if child.key[0] != node_kind:
+            continue
+        incl = child.inclusive()
+        value = incl.get(kind)
+        if value == 0:
+            continue
+        info = child.info or {}
+        samples = max(incl.samples, 1)
+        reports.append(
+            VariableReport(
+                name=child.key[2],
+                storage=storage,
+                value=value,
+                share=value / grand_total if grand_total else 0.0,
+                alloc_kind=None,
+                alloc_path=[],
+                alloc_location=info.get("location", ""),
+                accesses=_access_sites(child, kind, grand_total, accesses_per_var),
+                remote_fraction=incl.levels[LVL_RMEM] / samples,
+                dram_remote_fraction=_dram_remote(incl),
+                tlb_miss_fraction=incl.tlb_misses / samples,
+                samples=incl.samples,
+            )
+        )
+    return reports
+
+
+# -- public builders ------------------------------------------------------------
+
+
+def build_top_down(
+    profile: ThreadProfile,
+    kind: MetricKind = MetricKind.SAMPLES,
+    accesses_per_var: int = 5,
+) -> TopDownView:
+    """Build the top-down data-centric view from a merged profile."""
+    storage_totals: dict[StorageClass, int] = {}
+    for storage in (
+        StorageClass.HEAP,
+        StorageClass.STATIC,
+        StorageClass.STACK,
+        StorageClass.UNKNOWN,
+    ):
+        if profile.has_cct(storage):
+            storage_totals[storage] = profile.cct(storage).total(kind)
+        else:
+            storage_totals[storage] = 0
+    grand_total = sum(storage_totals.values())
+
+    variables = _heap_variables(profile, kind, grand_total, accesses_per_var)
+    variables.extend(
+        _named_variables(profile, StorageClass.STATIC, KIND_STATIC_VAR,
+                         kind, grand_total, accesses_per_var)
+    )
+    variables.extend(
+        _named_variables(profile, StorageClass.STACK, KIND_STACK_VAR,
+                         kind, grand_total, accesses_per_var)
+    )
+    variables.sort(key=lambda v: v.value, reverse=True)
+    return TopDownView(
+        metric=kind,
+        grand_total=grand_total,
+        storage_totals=storage_totals,
+        variables=variables,
+    )
+
+
+def build_bottom_up(
+    profile: ThreadProfile, kind: MetricKind = MetricKind.SAMPLES
+) -> BottomUpView:
+    """Aggregate heap variables by allocation call site (Figure 5)."""
+    top_down = build_top_down(profile, kind, accesses_per_var=0)
+    by_site: dict[tuple, BottomUpSite] = {}
+    for var in top_down.variables:
+        if var.storage is not StorageClass.HEAP:
+            continue
+        site_key = var.alloc_site_key or (var.alloc_location,)
+        site = by_site.get(site_key)
+        if site is None:
+            site = BottomUpSite(
+                label=var.alloc_path[-1] if var.alloc_path else var.name,
+                location=var.alloc_location,
+                value=0,
+                share=0.0,
+                n_contexts=0,
+            )
+            by_site[site_key] = site
+        site.value += var.value
+        site.n_contexts += 1
+        if var.name not in site.names:
+            site.names.append(var.name)
+    grand_total = top_down.grand_total
+    sites = list(by_site.values())
+    for site in sites:
+        site.share = site.value / grand_total if grand_total else 0.0
+    sites.sort(key=lambda s: s.value, reverse=True)
+    return BottomUpView(metric=kind, grand_total=grand_total, sites=sites)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A machine/profiler/workload configuration is invalid."""
+
+
+class AddressError(ReproError):
+    """A virtual or physical address is outside any mapped range."""
+
+
+class AllocationError(ReproError):
+    """The simulated heap could not satisfy a request, or a free is invalid."""
+
+
+class SimulationError(ReproError):
+    """The program simulation entered an inconsistent state."""
+
+
+class ProfileError(ReproError):
+    """Profile data is malformed or cannot be merged/analyzed."""

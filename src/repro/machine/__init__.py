@@ -1,0 +1,70 @@
+"""Simulated multi-socket NUMA machine.
+
+This package stands in for the paper's two testbeds (a POWER7 node with
+four NUMA domains and 128 hardware threads, and a 48-core AMD
+Magny-Cours box with eight NUMA domains).  It provides the memory-system
+response — cache/TLB hits and misses, local vs. remote DRAM, bandwidth
+contention — that the simulated PMU samples and the data-centric
+profiler attributes to variables.
+"""
+
+from repro.machine.topology import Topology, HWThread
+from repro.machine.latency import LatencyModel
+from repro.machine.cache import SetAssocCache
+from repro.machine.tlb import TLB
+from repro.machine.memory import MemoryManager
+from repro.machine.policies import (
+    AllocPolicy,
+    FirstTouch,
+    Interleave,
+    Bind,
+    PreferredNode,
+)
+from repro.machine.contention import ControllerContention
+from repro.machine.hierarchy import (
+    MemoryHierarchy,
+    AccessResult,
+    LVL_L1,
+    LVL_L2,
+    LVL_L3,
+    LVL_LMEM,
+    LVL_RMEM,
+    LEVEL_NAMES,
+)
+from repro.machine.presets import (
+    power7_node,
+    amd_magnycours,
+    intel_ivybridge,
+    tiny_machine,
+    MachineSpec,
+    Machine,
+)
+
+__all__ = [
+    "Topology",
+    "HWThread",
+    "LatencyModel",
+    "SetAssocCache",
+    "TLB",
+    "MemoryManager",
+    "AllocPolicy",
+    "FirstTouch",
+    "Interleave",
+    "Bind",
+    "PreferredNode",
+    "ControllerContention",
+    "MemoryHierarchy",
+    "AccessResult",
+    "LVL_L1",
+    "LVL_L2",
+    "LVL_L3",
+    "LVL_LMEM",
+    "LVL_RMEM",
+    "LEVEL_NAMES",
+    "power7_node",
+    "amd_magnycours",
+    "intel_ivybridge",
+    "tiny_machine",
+    "MachineSpec",
+    "Machine",
+]

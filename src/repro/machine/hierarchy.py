@@ -1,0 +1,235 @@
+"""The memory hierarchy: the simulator's hot path.
+
+``MemoryHierarchy.access`` is called for every simulated load/store.  It
+models, in order: address translation (per-core TLB), the per-core L1 and
+L2, the per-socket shared L3, and finally DRAM on the page's home NUMA
+node — local or remote across the interconnect, with bandwidth queueing
+at the home controller.
+
+A per-core stream prefetcher hides DRAM *latency* (not controller
+traffic) for unit-stride misses: sequential streams are served at near-L3
+latency while strided/indirect patterns pay full memory latency.  This is
+the mechanism behind the Sweep3D/LULESH layout-transposition wins.
+
+Performance notes (per the hpc-parallel guide): no per-access object
+allocation — results are plain tuples, topology lookups are preflattened
+lists, and the caches use list-based LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.cache import SetAssocCache
+from repro.machine.contention import ControllerContention
+from repro.machine.latency import LatencyModel
+from repro.machine.memory import MemoryManager
+from repro.machine.tlb import TLB
+from repro.machine.topology import Topology
+
+__all__ = [
+    "MemoryHierarchy",
+    "AccessResult",
+    "LVL_L1",
+    "LVL_L2",
+    "LVL_L3",
+    "LVL_LMEM",
+    "LVL_RMEM",
+    "LEVEL_NAMES",
+]
+
+# Data-source levels, matching the paper's event vocabulary:
+# L1/L2/L3 cache hits, local memory, remote memory.
+LVL_L1 = 0
+LVL_L2 = 1
+LVL_L3 = 2
+LVL_LMEM = 3
+LVL_RMEM = 4
+LEVEL_NAMES = ("L1", "L2", "L3", "LMEM", "RMEM")
+
+_STREAMS_PER_CORE = 4
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Rich result for one access (built on demand, e.g. for PMU samples)."""
+
+    latency: int
+    level: int
+    tlb_miss: bool
+    home_node: int
+    remote: bool
+
+    @property
+    def level_name(self) -> str:
+        return LEVEL_NAMES[self.level]
+
+
+class MemoryHierarchy:
+    """Caches + TLBs + NUMA DRAM for one machine."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        latency: LatencyModel,
+        *,
+        line_bits: int = 6,
+        page_bits: int = 12,
+        l1_sets: int = 16,
+        l1_assoc: int = 4,
+        l2_sets: int = 64,
+        l2_assoc: int = 8,
+        l3_sets: int = 256,
+        l3_assoc: int = 8,
+        tlb_sets: int = 8,
+        tlb_assoc: int = 4,
+        contention: ControllerContention | None = None,
+        prefetch: bool = True,
+    ) -> None:
+        if page_bits <= line_bits:
+            raise ConfigError("pages must be larger than cache lines")
+        self.topology = topology
+        self.latency = latency
+        self.line_bits = line_bits
+        self.page_bits = page_bits
+        self.prefetch_enabled = prefetch
+        self.memmgr = MemoryManager(topology.n_numa_nodes)
+        self.contention = contention or ControllerContention(topology.n_numa_nodes)
+
+        n_cores = topology.n_cores
+        n_sockets = topology.sockets
+        self.l1 = [SetAssocCache(f"L1.c{c}", l1_sets, l1_assoc) for c in range(n_cores)]
+        self.l2 = [SetAssocCache(f"L2.c{c}", l2_sets, l2_assoc) for c in range(n_cores)]
+        self.l3 = [SetAssocCache(f"L3.s{s}", l3_sets, l3_assoc) for s in range(n_sockets)]
+        self.tlb = [TLB(tlb_sets, tlb_assoc) for _ in range(n_cores)]
+        # Per-core stream-prefetcher state: expected next miss line per stream.
+        self._streams: list[list[int]] = [
+            [-1] * _STREAMS_PER_CORE for _ in range(n_cores)
+        ]
+        self._stream_rr = [0] * n_cores
+
+        # Flattened topology lookups for the hot path.
+        self._core_of = [topology.core_of(t) for t in range(topology.n_threads)]
+        self._socket_of = [topology.socket_of(t) for t in range(topology.n_threads)]
+        self._numa_of = [topology.numa_of(t) for t in range(topology.n_threads)]
+
+        self.level_counts = [0, 0, 0, 0, 0]
+        self.load_count = 0
+        self.store_count = 0
+        self.prefetch_hits = 0
+
+    # -- hot path ---------------------------------------------------------
+
+    def access(
+        self, hw_tid: int, vaddr: int, home_node: int, is_store: bool = False
+    ) -> tuple[int, int, bool]:
+        """Perform one memory access.
+
+        Returns ``(latency_cycles, level, tlb_miss)`` as a plain tuple.
+        ``home_node`` is the NUMA placement of the page containing
+        ``vaddr`` (resolved by the process's address space at touch time).
+        """
+        lat = self.latency
+        core = self._core_of[hw_tid]
+        line = vaddr >> self.line_bits
+
+        if is_store:
+            self.store_count += 1
+        else:
+            self.load_count += 1
+
+        cycles = 0
+        if not self.tlb[core].access(vaddr >> self.page_bits):
+            cycles += lat.tlb_walk
+            tlb_miss = True
+        else:
+            tlb_miss = False
+
+        if self.l1[core].access(line):
+            self.level_counts[LVL_L1] += 1
+            return (cycles + lat.l1, LVL_L1, tlb_miss)
+
+        # L1 miss: consult the stream prefetcher before probing deeper.
+        prefetched = False
+        if self.prefetch_enabled:
+            streams = self._streams[core]
+            for i in range(_STREAMS_PER_CORE):
+                if streams[i] == line:
+                    prefetched = True
+                    streams[i] = line + 1
+                    break
+            else:
+                # Start/replace a stream at this miss.
+                rr = self._stream_rr[core]
+                streams[rr] = line + 1
+                self._stream_rr[core] = (rr + 1) % _STREAMS_PER_CORE
+
+        if self.l2[core].access(line):
+            self.l1[core].install(line)
+            self.level_counts[LVL_L2] += 1
+            return (cycles + lat.l2, LVL_L2, tlb_miss)
+
+        socket = self._socket_of[hw_tid]
+        if self.l3[socket].access(line):
+            self.l1[core].install(line)
+            self.l2[core].install(line)
+            self.level_counts[LVL_L3] += 1
+            return (cycles + lat.l3, LVL_L3, tlb_miss)
+
+        # DRAM access on the page's home node.
+        my_node = self._numa_of[hw_tid]
+        hops = self.topology.hops(my_node, home_node)
+        remote = home_node != my_node
+        queue = self.contention.dram_access(home_node, hw_tid)
+        self.memmgr.note_dram_access(home_node, remote)
+        if prefetched:
+            # The prefetcher already brought the line most of the way in:
+            # charge near-L3 latency but keep the queueing cost — prefetch
+            # hides latency, not bandwidth.
+            self.prefetch_hits += 1
+            cycles += lat.l3 + queue
+        else:
+            cycles += lat.dram(hops) + queue
+        if is_store:
+            cycles += lat.store_extra
+        self.l1[core].install(line)
+        self.l2[core].install(line)
+        self.l3[socket].install(line)
+        level = LVL_RMEM if remote else LVL_LMEM
+        self.level_counts[level] += 1
+        return (cycles, level, tlb_miss)
+
+    # -- conveniences -----------------------------------------------------
+
+    def describe(self, hw_tid: int, result: tuple[int, int, bool], home_node: int) -> AccessResult:
+        """Expand a hot-path tuple into a rich :class:`AccessResult`."""
+        latency, level, tlb_miss = result
+        return AccessResult(
+            latency=latency,
+            level=level,
+            tlb_miss=tlb_miss,
+            home_node=home_node,
+            remote=level == LVL_RMEM,
+        )
+
+    def new_window(self) -> None:
+        """Rotate the contention window (scheduler calls this per quantum)."""
+        self.contention.new_window()
+
+    def total_accesses(self) -> int:
+        return self.load_count + self.store_count
+
+    def flush_all(self) -> None:
+        """Invalidate all caches and TLBs (used between benchmark phases)."""
+        for c in self.l1:
+            c.invalidate_all()
+        for c in self.l2:
+            c.invalidate_all()
+        for c in self.l3:
+            c.invalidate_all()
+        for t in self.tlb:
+            t.flush()
+        for streams in self._streams:
+            for i in range(_STREAMS_PER_CORE):
+                streams[i] = -1

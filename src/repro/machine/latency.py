@@ -1,0 +1,41 @@
+"""Latency model: cycle costs for each memory-hierarchy response.
+
+Numbers are in (simulated) processor cycles and follow the rough shape of
+published POWER7 / AMD family-10h access latencies.  Absolute values do
+not matter for the reproduction — only ordering and rough ratios do
+(L1 << L2 << L3 << local DRAM < remote DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Cycle cost for each data source, plus TLB and interconnect terms."""
+
+    l1: int = 3
+    l2: int = 12
+    l3: int = 40
+    local_dram: int = 160
+    hop: int = 80            # extra cycles per interconnect hop for remote DRAM
+    tlb_walk: int = 50       # page-table walk on TLB miss
+    store_extra: int = 0     # extra cost charged to stores (write-allocate)
+    compute_cycle: int = 1   # cost of one abstract ALU op
+
+    def __post_init__(self) -> None:
+        if not (0 < self.l1 <= self.l2 <= self.l3 <= self.local_dram):
+            raise ConfigError("latencies must satisfy l1<=l2<=l3<=local_dram")
+        if self.hop < 0 or self.tlb_walk < 0 or self.store_extra < 0:
+            raise ConfigError("latency terms must be non-negative")
+        if self.compute_cycle < 0:
+            raise ConfigError("compute_cycle must be non-negative")
+
+    def dram(self, hops: int) -> int:
+        """DRAM latency given interconnect distance in hops."""
+        return self.local_dram + hops * self.hop

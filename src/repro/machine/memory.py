@@ -1,0 +1,58 @@
+"""Per-NUMA-node memory accounting and page placement bookkeeping.
+
+The virtual→node mapping itself lives in each process's address space
+(:mod:`repro.sim.address_space`); this module owns the machine-wide view:
+how many pages each controller serves and how many DRAM accesses each
+node's controller has absorbed.  That asymmetry (all pages and traffic on
+the master's node) is what the case studies visualize and fix.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["MemoryManager"]
+
+
+class MemoryManager:
+    """Machine-wide page and DRAM-traffic accounting per NUMA node."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ConfigError("need at least one NUMA node")
+        self.n_nodes = n_nodes
+        self.pages_on_node = [0] * n_nodes
+        self.dram_accesses = [0] * n_nodes
+        self.remote_dram_accesses = [0] * n_nodes  # indexed by *home* node
+
+    def note_page_placed(self, node: int) -> None:
+        self.pages_on_node[node] += 1
+
+    def note_page_released(self, node: int) -> None:
+        # Releases can't go below zero; a mismatch signals a sim bug.
+        if self.pages_on_node[node] <= 0:
+            raise ConfigError(f"page release underflow on node {node}")
+        self.pages_on_node[node] -= 1
+
+    def note_dram_access(self, home_node: int, remote: bool) -> None:
+        self.dram_accesses[home_node] += 1
+        if remote:
+            self.remote_dram_accesses[home_node] += 1
+
+    def total_dram_accesses(self) -> int:
+        return sum(self.dram_accesses)
+
+    def total_remote_accesses(self) -> int:
+        return sum(self.remote_dram_accesses)
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of per-node DRAM traffic (1.0 = perfectly even)."""
+        total = self.total_dram_accesses()
+        if total == 0:
+            return 1.0
+        mean = total / self.n_nodes
+        return max(self.dram_accesses) / mean
+
+    def reset_traffic(self) -> None:
+        self.dram_accesses = [0] * self.n_nodes
+        self.remote_dram_accesses = [0] * self.n_nodes

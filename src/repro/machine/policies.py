@@ -1,0 +1,100 @@
+"""Page placement policies.
+
+Linux-style NUMA policies at page granularity.  The default is
+*first-touch* (a page is placed on the NUMA domain of the first thread to
+touch it) — the root cause of every NUMA pathology in the paper's case
+studies: `calloc` zeroes pages from the master thread, so first-touch
+pins them all to the master's domain.
+
+`numactl --interleave=all` corresponds to installing :class:`Interleave`
+as the process default; libnuma's `numa_alloc_interleaved` applies
+:class:`Interleave` to a single allocation (see :mod:`repro.numa`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["AllocPolicy", "FirstTouch", "Interleave", "Bind", "PreferredNode"]
+
+
+class AllocPolicy:
+    """Decides the home NUMA node for a page at first touch.
+
+    ``place`` receives the NUMA domain of the *touching* thread and the
+    virtual page number (so interleaving can be position-based and thus
+    deterministic regardless of touch order).
+    """
+
+    name = "abstract"
+
+    def place(self, toucher_node: int, vpage: int) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FirstTouch(AllocPolicy):
+    """Place the page on the toucher's NUMA domain (Linux default)."""
+
+    name = "first-touch"
+
+    def place(self, toucher_node: int, vpage: int) -> int:
+        return toucher_node
+
+
+class Interleave(AllocPolicy):
+    """Round-robin pages across a node set, keyed by virtual page number."""
+
+    name = "interleave"
+
+    def __init__(self, nodes: list[int]) -> None:
+        if not nodes:
+            raise ConfigError("interleave requires a non-empty node set")
+        self.nodes = list(nodes)
+
+    def place(self, toucher_node: int, vpage: int) -> int:
+        return self.nodes[vpage % len(self.nodes)]
+
+    def __repr__(self) -> str:
+        return f"Interleave(nodes={self.nodes})"
+
+
+class Bind(AllocPolicy):
+    """Pin every page to one node (``numactl --membind``)."""
+
+    name = "bind"
+
+    def __init__(self, node: int) -> None:
+        if node < 0:
+            raise ConfigError("bind node must be >= 0")
+        self.node = node
+
+    def place(self, toucher_node: int, vpage: int) -> int:
+        return self.node
+
+    def __repr__(self) -> str:
+        return f"Bind(node={self.node})"
+
+
+class PreferredNode(AllocPolicy):
+    """Prefer one node (``numactl --preferred``).
+
+    The capacity-pressure fallback of the real policy is out of scope —
+    simulated nodes never fill — so this behaves like :class:`Bind` but is
+    kept distinct for API fidelity and reporting.
+    """
+
+    name = "preferred"
+
+    def __init__(self, node: int) -> None:
+        if node < 0:
+            raise ConfigError("preferred node must be >= 0")
+        self.node = node
+
+    def place(self, toucher_node: int, vpage: int) -> int:
+        return self.node
+
+    def __repr__(self) -> str:
+        return f"PreferredNode(node={self.node})"

@@ -1,0 +1,103 @@
+"""Machine topology: sockets, cores, hardware threads, NUMA domains.
+
+A hardware thread is the unit of execution (what a simulated software
+thread pins to).  SMT threads on one core share that core's L1/L2 and
+TLB; all cores on a socket share the L3; each NUMA domain owns one
+memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["HWThread", "Topology"]
+
+
+@dataclass(frozen=True)
+class HWThread:
+    """One hardware thread and its position in the machine."""
+
+    hw_tid: int
+    core: int
+    socket: int
+    numa_node: int
+
+
+class Topology:
+    """Regular topology: sockets x cores/socket x SMT threads/core.
+
+    ``numa_per_socket`` covers designs like AMD Magny-Cours where one
+    package holds two dies, each with its own memory controller
+    (8 NUMA domains on a 4-socket box).
+    """
+
+    def __init__(
+        self,
+        sockets: int,
+        cores_per_socket: int,
+        smt: int = 1,
+        numa_per_socket: int = 1,
+    ) -> None:
+        if sockets < 1 or cores_per_socket < 1 or smt < 1 or numa_per_socket < 1:
+            raise ConfigError("topology dimensions must be >= 1")
+        if cores_per_socket % numa_per_socket != 0:
+            raise ConfigError(
+                "cores_per_socket must be divisible by numa_per_socket"
+            )
+        self.sockets = sockets
+        self.cores_per_socket = cores_per_socket
+        self.smt = smt
+        self.numa_per_socket = numa_per_socket
+        self.n_cores = sockets * cores_per_socket
+        self.n_threads = self.n_cores * smt
+        self.n_numa_nodes = sockets * numa_per_socket
+        self._threads = [self._build_thread(t) for t in range(self.n_threads)]
+
+    def _build_thread(self, hw_tid: int) -> HWThread:
+        core = hw_tid // self.smt
+        socket = core // self.cores_per_socket
+        core_in_socket = core % self.cores_per_socket
+        cores_per_numa = self.cores_per_socket // self.numa_per_socket
+        numa = socket * self.numa_per_socket + core_in_socket // cores_per_numa
+        return HWThread(hw_tid=hw_tid, core=core, socket=socket, numa_node=numa)
+
+    def thread(self, hw_tid: int) -> HWThread:
+        return self._threads[hw_tid]
+
+    def core_of(self, hw_tid: int) -> int:
+        return self._threads[hw_tid].core
+
+    def socket_of(self, hw_tid: int) -> int:
+        return self._threads[hw_tid].socket
+
+    def numa_of(self, hw_tid: int) -> int:
+        return self._threads[hw_tid].numa_node
+
+    def socket_of_numa(self, node: int) -> int:
+        return node // self.numa_per_socket
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Interconnect hops between two NUMA domains.
+
+        Same domain: 0.  Same socket, different die: 1 (on-package link).
+        Different sockets: 1 hop on a fully connected HT/QPI-style fabric
+        (plus the on-package hop if the target die is the socket's second
+        die — approximated as still 1; latency difference handled by the
+        latency model's per-hop cost being the dominant term).
+        """
+        if node_a == node_b:
+            return 0
+        if self.socket_of_numa(node_a) == self.socket_of_numa(node_b):
+            return 1
+        return 2
+
+    def threads_on_numa(self, node: int) -> list[int]:
+        return [t.hw_tid for t in self._threads if t.numa_node == node]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(sockets={self.sockets}, cores/socket={self.cores_per_socket}, "
+            f"smt={self.smt}, numa={self.n_numa_nodes}, threads={self.n_threads})"
+        )

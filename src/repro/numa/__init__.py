@@ -1,0 +1,19 @@
+"""NUMA policy tools: the numactl / libnuma stand-ins used by the fixes."""
+
+from repro.numa.numactl import numactl_interleave_all, numactl_membind, numactl_default
+from repro.numa.libnuma import (
+    numa_alloc_interleaved,
+    numa_alloc_onnode,
+    numa_interleave_range,
+    numa_bind_range,
+)
+
+__all__ = [
+    "numactl_interleave_all",
+    "numactl_membind",
+    "numactl_default",
+    "numa_alloc_interleaved",
+    "numa_alloc_onnode",
+    "numa_interleave_range",
+    "numa_bind_range",
+]

@@ -1,0 +1,31 @@
+"""numactl-style process-wide placement policies (paper Table 2).
+
+``numactl --interleave=all`` is the coarse-grained fix the paper tries
+first on AMG2006: *every* page the process touches — including
+thread-private and serial-phase data — is spread round-robin across all
+NUMA domains.  The solver speeds up but initialization slows down, which
+motivates the surgical per-allocation libnuma approach.
+"""
+
+from __future__ import annotations
+
+from repro.machine.policies import Bind, FirstTouch, Interleave
+from repro.sim.process import SimProcess
+
+__all__ = ["numactl_interleave_all", "numactl_membind", "numactl_default"]
+
+
+def numactl_interleave_all(process: SimProcess) -> None:
+    """``numactl --interleave=all <cmd>``: interleave everything."""
+    nodes = list(range(process.machine.n_numa_nodes))
+    process.aspace.set_default_policy(Interleave(nodes))
+
+
+def numactl_membind(process: SimProcess, node: int) -> None:
+    """``numactl --membind=<node> <cmd>``: pin all pages to one node."""
+    process.aspace.set_default_policy(Bind(node))
+
+
+def numactl_default(process: SimProcess) -> None:
+    """Restore the Linux default first-touch policy."""
+    process.aspace.set_default_policy(FirstTouch())

@@ -1,0 +1,39 @@
+"""Event vocabulary: marked-event names and their data-source predicates.
+
+The POWER marked events used in the paper's Table 1 select accesses by
+where the data came from; a predicate maps our simulated access result
+``(level, latency, tlb_miss)`` to "does this access count for event E".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.machine.hierarchy import LVL_L2, LVL_L3, LVL_LMEM, LVL_RMEM
+
+__all__ = [
+    "IBS_EVENT",
+    "PM_MRK_DATA_FROM_RMEM",
+    "PM_MRK_DATA_FROM_LMEM",
+    "PM_MRK_DATA_FROM_L3",
+    "PM_MRK_DATA_FROM_L2",
+    "PM_MRK_DTLB_MISS",
+    "EVENT_PREDICATES",
+]
+
+IBS_EVENT = "AMD_IBS"
+
+PM_MRK_DATA_FROM_RMEM = "PM_MRK_DATA_FROM_RMEM"
+PM_MRK_DATA_FROM_LMEM = "PM_MRK_DATA_FROM_LMEM"
+PM_MRK_DATA_FROM_L3 = "PM_MRK_DATA_FROM_L3"
+PM_MRK_DATA_FROM_L2 = "PM_MRK_DATA_FROM_L2"
+PM_MRK_DTLB_MISS = "PM_MRK_DTLB_MISS"
+
+# event name -> predicate(level, latency, tlb_miss)
+EVENT_PREDICATES: dict[str, Callable[[int, int, bool], bool]] = {
+    PM_MRK_DATA_FROM_RMEM: lambda lvl, lat, tlb: lvl == LVL_RMEM,
+    PM_MRK_DATA_FROM_LMEM: lambda lvl, lat, tlb: lvl == LVL_LMEM,
+    PM_MRK_DATA_FROM_L3: lambda lvl, lat, tlb: lvl == LVL_L3,
+    PM_MRK_DATA_FROM_L2: lambda lvl, lat, tlb: lvl == LVL_L2,
+    PM_MRK_DTLB_MISS: lambda lvl, lat, tlb: tlb,
+}

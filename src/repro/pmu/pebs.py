@@ -1,0 +1,91 @@
+"""Intel-style precise event-based sampling (PEBS).
+
+The paper's §7 notes that after the reported experiments HPCToolkit was
+extended to Intel Ivy Bridge (PEBS) and Itanium (EAR).  Both mechanisms
+deliver a *precise* record like IBS does; PEBS additionally filters by
+a latency threshold ("load latency" events: only loads slower than N
+cycles are eligible).  This engine models that: it samples memory loads
+whose measured latency meets the threshold, with precise IP and EA.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.pmu.sample import Sample
+from repro.util.rng import DeterministicRNG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+    from repro.sim.thread import SimThread
+
+__all__ = ["PEBSEngine"]
+
+
+class PEBSEngine:
+    """Precise load-latency sampling with a minimum-latency filter."""
+
+    def __init__(
+        self,
+        period: int = 256,
+        latency_threshold: int = 32,
+        seed: int = 0x9EB5,
+        jitter: float = 0.45,
+        sample_stores: bool = False,
+    ) -> None:
+        if period < 1:
+            raise ConfigError("PEBS period must be >= 1")
+        if latency_threshold < 0:
+            raise ConfigError("latency threshold must be >= 0")
+        self.period = period
+        self.latency_threshold = latency_threshold
+        self.jitter = jitter
+        self.sample_stores = sample_stores
+        self.rng = DeterministicRNG(seed)
+        self.samples_taken = 0
+        self.events_counted = 0
+
+    def _reset_countdown(self, thread: "SimThread") -> None:
+        thread.pmu_countdown = self.rng.geometric_jitter(self.period, self.jitter)
+
+    def note_mem(
+        self,
+        process: "SimProcess",
+        thread: "SimThread",
+        ip: int,
+        ea: int,
+        latency: int,
+        level: int,
+        tlb_miss: bool,
+        is_store: bool,
+    ) -> None:
+        if is_store and not self.sample_stores:
+            return
+        if latency < self.latency_threshold:
+            return
+        self.events_counted += 1
+        if thread.pmu_countdown <= 0:
+            self._reset_countdown(thread)
+        thread.pmu_countdown -= 1
+        if thread.pmu_countdown > 0:
+            return
+        self._reset_countdown(thread)
+        self.samples_taken += 1
+        sample = Sample(
+            event=f"MEM_TRANS_RETIRED.LOAD_LATENCY_GT_{self.latency_threshold}",
+            precise_ip=ip,
+            interrupt_ip=ip,   # PEBS records are precise
+            ea=ea,
+            latency=latency,
+            level=level,
+            tlb_miss=tlb_miss,
+            is_store=is_store,
+            period=self.period,
+        )
+        for hook in process.hooks:
+            hook.on_sample(process, thread, sample)
+
+    def note_compute(self, process: "SimProcess", thread: "SimThread", n: int) -> None:
+        # Load-latency events never fire on non-memory instructions.
+        return

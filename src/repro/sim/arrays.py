@@ -1,0 +1,121 @@
+"""Multi-dimensional array views over simulated memory.
+
+A :class:`SimArray` is a shape + strides + base address — no element
+storage.  It supports C (row-major) and Fortran (column-major) layouts so
+the Sweep3D/LULESH case studies can express their layout pathologies and
+the transposed fixes literally ("interchange the dimensions of Flux").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["SimArray"]
+
+
+def _strides_for(shape: tuple[int, ...], elem: int, order: str) -> tuple[int, ...]:
+    if order == "C":
+        strides = [0] * len(shape)
+        acc = elem
+        for i in range(len(shape) - 1, -1, -1):
+            strides[i] = acc
+            acc *= shape[i]
+        return tuple(strides)
+    if order == "F":
+        strides = [0] * len(shape)
+        acc = elem
+        for i in range(len(shape)):
+            strides[i] = acc
+            acc *= shape[i]
+        return tuple(strides)
+    raise ConfigError(f"order must be 'C' or 'F', got {order!r}")
+
+
+class SimArray:
+    """An N-d array view: ``addr(i, j, ...)`` yields element addresses."""
+
+    __slots__ = ("name", "base", "shape", "elem", "order", "strides", "nbytes")
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        shape: tuple[int, ...] | list[int],
+        elem: int = 8,
+        order: str = "C",
+    ) -> None:
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s < 1 for s in shape):
+            raise ConfigError(f"array {name}: bad shape {shape}")
+        if elem < 1:
+            raise ConfigError(f"array {name}: bad element size {elem}")
+        self.name = name
+        self.base = base
+        self.shape = shape
+        self.elem = elem
+        self.order = order
+        self.strides = _strides_for(shape, elem, order)
+        n = 1
+        for s in shape:
+            n *= s
+        self.nbytes = n * elem
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    @property
+    def size(self) -> int:
+        return self.nbytes // self.elem
+
+    def addr(self, *index: int) -> int:
+        """Element address; bounds-checked (catch kernel bugs early)."""
+        if len(index) != len(self.shape):
+            raise ConfigError(
+                f"array {self.name}: {len(index)} indices for {len(self.shape)}-d array"
+            )
+        a = self.base
+        for i, s, bound in zip(index, self.strides, self.shape):
+            if not (0 <= i < bound):
+                raise ConfigError(
+                    f"array {self.name}: index {index} out of bounds {self.shape}"
+                )
+            a += i * s
+        return a
+
+    def addr_unchecked(self, *index: int) -> int:
+        """Hot-path variant of :meth:`addr` without bounds checks."""
+        a = self.base
+        strides = self.strides
+        for k in range(len(index)):
+            a += index[k] * strides[k]
+        return a
+
+    def flat_addr(self, i: int) -> int:
+        """Address of the i-th element in *memory* order (0 <= i < size)."""
+        return self.base + i * self.elem
+
+    def transposed_view(self, perm: tuple[int, ...], name: str | None = None) -> "SimArray":
+        """A view with permuted *logical* dimensions over the same memory.
+
+        This models a data-layout transformation: the new view's
+        ``addr(i0, i1, ...)`` applies the permuted strides, i.e. the array
+        was "re-declared" with the permuted shape at the same base.
+        """
+        if sorted(perm) != list(range(len(self.shape))):
+            raise ConfigError(f"bad permutation {perm} for {len(self.shape)}-d array")
+        new = SimArray.__new__(SimArray)
+        new.name = name or f"{self.name}^T"
+        new.base = self.base
+        new.elem = self.elem
+        new.order = self.order
+        new.shape = tuple(self.shape[p] for p in perm)
+        new.strides = _strides_for(new.shape, new.elem, new.order)
+        new.nbytes = self.nbytes
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimArray({self.name}, shape={self.shape}, elem={self.elem}, "
+            f"order={self.order}, base={self.base:#x})"
+        )

@@ -1,0 +1,157 @@
+"""Load modules: text segments, symbol tables, and static (.bss) data.
+
+Mirrors §4.1.3 "Static data": each static variable has a named symbol
+table entry giving its address range within the module; the profiler
+reads these ranges when the module is loaded and drops them when it is
+unloaded.  Both the executable and dynamically loaded libraries are load
+modules, and — like HPCToolkit and unlike Memphis/MemProf — static
+variables are tracked per-variable, not per-module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError, ConfigError
+from repro.sim.program import Function
+from repro.sim.source import SourceFile
+from repro.util.intervals import IntervalMap
+
+__all__ = ["LoadModule", "StaticVar"]
+
+
+class StaticVar:
+    """A static variable: symbol name + address range inside a module."""
+
+    __slots__ = ("name", "module", "size", "address", "decl_line", "source")
+
+    def __init__(
+        self,
+        name: str,
+        module: "LoadModule",
+        size: int,
+        address: int,
+        source: SourceFile | None = None,
+        decl_line: int = 0,
+    ) -> None:
+        self.name = name
+        self.module = module
+        self.size = size
+        self.address = address
+        self.source = source
+        self.decl_line = decl_line
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StaticVar({self.name}, {self.size}B @ {self.address:#x})"
+
+
+class LoadModule:
+    """An executable or shared library mapped into a process.
+
+    Layout within the module's slab: text segment first, then the static
+    data (.bss) segment.  Addresses are assigned by the owning process
+    when the module is loaded (``place``).
+    """
+
+    def __init__(self, name: str, is_executable: bool = False) -> None:
+        self.name = name
+        self.is_executable = is_executable
+        self.loaded = False
+        self.text_base = 0
+        self.static_base = 0
+        self._text_cursor = 0
+        self._static_cursor = 0
+        self.functions: list[Function] = []
+        self.statics: list[StaticVar] = []
+        self._fn_ranges = IntervalMap()
+        self._static_ranges = IntervalMap()
+
+    # -- build phase (before load) ----------------------------------------
+
+    def add_function(
+        self, name: str, source: SourceFile, start_line: int, n_lines: int
+    ) -> Function:
+        if self.loaded:
+            raise ConfigError(f"{self.name}: cannot add functions after load")
+        fn = Function(name, self, source, start_line, n_lines)
+        fn.text_base = self._text_cursor  # relative until placed
+        self._text_cursor += fn.text_size
+        self.functions.append(fn)
+        return fn
+
+    def add_static(
+        self,
+        name: str,
+        size: int,
+        source: SourceFile | None = None,
+        decl_line: int = 0,
+        align: int = 64,
+    ) -> StaticVar:
+        if self.loaded:
+            raise ConfigError(f"{self.name}: cannot add statics after load")
+        if size < 1:
+            raise ConfigError(f"static {name}: size must be >= 1")
+        cursor = (self._static_cursor + align - 1) // align * align
+        var = StaticVar(name, self, size, cursor, source, decl_line)
+        self._static_cursor = cursor + size
+        self.statics.append(var)
+        return var
+
+    # -- load / unload ------------------------------------------------------
+
+    @property
+    def text_size(self) -> int:
+        return self._text_cursor
+
+    @property
+    def static_size(self) -> int:
+        return self._static_cursor
+
+    def place(self, text_base: int, static_base: int) -> None:
+        """Assign absolute addresses (called by the process loader)."""
+        if self.loaded:
+            raise ConfigError(f"{self.name}: already loaded")
+        self.text_base = text_base
+        self.static_base = static_base
+        for fn in self.functions:
+            fn.text_base += text_base
+            self._fn_ranges.add(fn.text_base, fn.text_base + fn.text_size, fn)
+        for var in self.statics:
+            var.address += static_base
+            self._static_ranges.add(var.address, var.end, var)
+        self.loaded = True
+
+    def unplace(self) -> None:
+        """Undo :meth:`place` (module unload)."""
+        if not self.loaded:
+            raise ConfigError(f"{self.name}: not loaded")
+        for fn in self.functions:
+            fn.text_base -= self.text_base
+        for var in self.statics:
+            var.address -= self.static_base
+        self._fn_ranges.clear()
+        self._static_ranges.clear()
+        self.loaded = False
+
+    # -- lookups -------------------------------------------------------------
+
+    def resolve_ip(self, ip: int) -> tuple[Function, int, int]:
+        """Map an instruction address to (function, line, slot)."""
+        fn = self._fn_ranges.lookup(ip)
+        if fn is None:
+            raise AddressError(f"{self.name}: ip {ip:#x} not in any function")
+        line, slot = fn.line_slot_of(ip)
+        return fn, line, slot
+
+    def static_at(self, addr: int) -> StaticVar | None:
+        """Find the static variable containing ``addr``, if any."""
+        return self._static_ranges.lookup(addr)
+
+    def contains_ip(self, ip: int) -> bool:
+        return self._fn_ranges.lookup(ip) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "exe" if self.is_executable else "lib"
+        return f"LoadModule({self.name} [{kind}], fns={len(self.functions)}, statics={len(self.statics)})"

@@ -1,0 +1,131 @@
+"""Simulated libc heap: a first-fit free-list allocator.
+
+The profiler wraps this allocator's malloc/calloc/realloc/free exactly as
+HPCToolkit wraps libc's (§4.1.3 "Heap-allocated data").  A real free list
+(with coalescing and address reuse) matters for fidelity: address reuse
+after free is what forces the profiler to track *all* frees even when it
+skips tracking small allocations — otherwise stale map entries would
+attribute costs to the wrong variable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from repro.errors import AllocationError
+
+__all__ = ["HeapAllocator"]
+
+_ALIGN = 16
+
+
+class HeapAllocator:
+    """First-fit allocator over ``[base, base+capacity)`` with coalescing."""
+
+    def __init__(self, base: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise AllocationError("heap capacity must be positive")
+        self.base = base
+        self.capacity = capacity
+        # Free list: sorted list of [start, size] entries, non-adjacent
+        # (adjacent entries are always coalesced).
+        self._free: list[list[int]] = [[base, capacity]]
+        self._live: dict[int, int] = {}  # addr -> size
+        self.alloc_count = 0
+        self.free_count = 0
+        self.peak_bytes = 0
+        self.live_bytes = 0
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` (rounded to 16B); returns the block address."""
+        if nbytes <= 0:
+            raise AllocationError(f"malloc of non-positive size {nbytes}")
+        size = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        for i, entry in enumerate(self._free):
+            if entry[1] >= size:
+                addr = entry[0]
+                if entry[1] == size:
+                    self._free.pop(i)
+                else:
+                    entry[0] += size
+                    entry[1] -= size
+                self._live[addr] = size
+                self.alloc_count += 1
+                self.live_bytes += size
+                if self.live_bytes > self.peak_bytes:
+                    self.peak_bytes = self.live_bytes
+                return addr
+        raise AllocationError(
+            f"out of simulated heap: requested {size}B, "
+            f"live {self.live_bytes}B of {self.capacity}B"
+        )
+
+    def free(self, addr: int) -> int:
+        """Release the block at ``addr``; returns its size."""
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise AllocationError(f"free of non-live address {addr:#x}")
+        self.free_count += 1
+        self.live_bytes -= size
+        self._insert_free(addr, size)
+        return size
+
+    def realloc(self, addr: int, nbytes: int) -> int:
+        """Naive realloc: allocate new, free old (returns new address).
+
+        Contents are not modelled (the simulator tracks addresses, not
+        bytes), so no copy loop is needed here; callers that care about
+        the copy's memory traffic issue it explicitly.
+        """
+        new_addr = self.malloc(nbytes)
+        if addr:
+            self.free(addr)
+        return new_addr
+
+    def size_of(self, addr: int) -> int | None:
+        """Size of the live block starting at ``addr`` (None if not live)."""
+        return self._live.get(addr)
+
+    def live_blocks(self) -> dict[int, int]:
+        return dict(self._live)
+
+    def _insert_free(self, addr: int, size: int) -> None:
+        starts = [e[0] for e in self._free]
+        i = bisect_left(starts, addr)
+        # Guard against overlap corruption.
+        if i > 0 and self._free[i - 1][0] + self._free[i - 1][1] > addr:
+            raise AllocationError(f"free-list overlap at {addr:#x}")
+        if i < len(self._free) and addr + size > self._free[i][0]:
+            raise AllocationError(f"free-list overlap at {addr:#x}")
+        # Coalesce with successor, then predecessor.
+        merged_next = i < len(self._free) and addr + size == self._free[i][0]
+        merged_prev = i > 0 and self._free[i - 1][0] + self._free[i - 1][1] == addr
+        if merged_prev and merged_next:
+            self._free[i - 1][1] += size + self._free[i][1]
+            self._free.pop(i)
+        elif merged_prev:
+            self._free[i - 1][1] += size
+        elif merged_next:
+            self._free[i][0] = addr
+            self._free[i][1] += size
+        else:
+            self._free.insert(i, [addr, size])
+
+    def check_invariants(self) -> None:
+        """Validate free-list ordering/coalescing and accounting (for tests)."""
+        prev_end = None
+        free_bytes = 0
+        for start, size in self._free:
+            if size <= 0:
+                raise AllocationError("zero-size free entry")
+            if prev_end is not None and start < prev_end:
+                raise AllocationError("free list out of order / overlapping")
+            if prev_end is not None and start == prev_end:
+                raise AllocationError("uncoalesced adjacent free entries")
+            prev_end = start + size
+            free_bytes += size
+        if free_bytes + self.live_bytes != self.capacity:
+            raise AllocationError(
+                f"accounting mismatch: free={free_bytes} live={self.live_bytes} "
+                f"cap={self.capacity}"
+            )

@@ -1,0 +1,54 @@
+"""OpenMP-flavoured helpers: worksharing and outlined-function naming.
+
+Parallel regions themselves are executed by
+:meth:`repro.sim.runtime.Ctx.parallel`; this module provides the loop
+scheduling helpers and the compiler-style naming convention for outlined
+functions (the ``...$$OL$$...`` suffix the paper's figures show).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.loader import LoadModule
+from repro.sim.program import Function
+from repro.sim.source import SourceFile
+
+__all__ = ["omp_chunk", "omp_chunks", "outlined_name", "declare_outlined"]
+
+
+def omp_chunk(n_iters: int, n_threads: int, tid: int) -> range:
+    """Static (block) scheduling: the iteration range of thread ``tid``."""
+    if n_threads < 1 or not (0 <= tid < n_threads):
+        raise ConfigError(f"bad omp thread id {tid}/{n_threads}")
+    base = n_iters // n_threads
+    extra = n_iters % n_threads
+    start = tid * base + min(tid, extra)
+    length = base + (1 if tid < extra else 0)
+    return range(start, start + length)
+
+
+def omp_chunks(n_iters: int, n_threads: int) -> list[range]:
+    """All threads' static chunks; they tile [0, n_iters) exactly."""
+    return [omp_chunk(n_iters, n_threads, t) for t in range(n_threads)]
+
+
+def outlined_name(host_function: str, region_index: int = 0) -> str:
+    """GNU-style outlined-function name for a parallel region."""
+    return f"{host_function}$$OL$${region_index}"
+
+
+def declare_outlined(
+    module: LoadModule,
+    host: Function,
+    region_line: int,
+    n_lines: int,
+    region_index: int = 0,
+    source: SourceFile | None = None,
+) -> Function:
+    """Register the outlined function for a region in ``host`` at ``region_line``."""
+    return module.add_function(
+        outlined_name(host.name, region_index),
+        source or host.source,
+        region_line,
+        n_lines,
+    )

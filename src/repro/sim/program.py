@@ -1,0 +1,88 @@
+"""Program text model: functions with synthetic instruction addresses.
+
+Each :class:`Function` occupies a contiguous range in its load module's
+text segment.  A source line maps to up to ``SLOTS_PER_LINE`` instruction
+addresses ("slots") so that, as in the paper's Figure 1, multiple memory
+accesses on one source line are distinguishable — that per-access
+resolution is what lets data-centric profiling decompose a line's latency
+by variable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.loader import LoadModule
+    from repro.sim.source import SourceFile
+
+__all__ = ["Function", "SLOTS_PER_LINE", "BYTES_PER_SLOT"]
+
+SLOTS_PER_LINE = 16
+BYTES_PER_SLOT = 4
+
+
+class Function:
+    """A simulated function: name, source span, and a text address range."""
+
+    __slots__ = (
+        "name",
+        "module",
+        "source",
+        "start_line",
+        "n_lines",
+        "text_base",
+        "text_size",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        module: "LoadModule",
+        source: "SourceFile",
+        start_line: int,
+        n_lines: int,
+    ) -> None:
+        if n_lines < 1 or start_line < 1:
+            raise ConfigError(f"function {name}: bad source span")
+        self.name = name
+        self.module = module
+        self.source = source
+        self.start_line = start_line
+        self.n_lines = n_lines
+        self.text_base = 0  # assigned by LoadModule.add_function
+        self.text_size = n_lines * SLOTS_PER_LINE * BYTES_PER_SLOT
+
+    @property
+    def end_line(self) -> int:
+        return self.start_line + self.n_lines - 1
+
+    def ip(self, line: int, slot: int = 0) -> int:
+        """Synthetic instruction address for (line, slot) within this function."""
+        if not (self.start_line <= line <= self.end_line):
+            raise ConfigError(
+                f"{self.name}: line {line} outside [{self.start_line}, {self.end_line}]"
+            )
+        if not (0 <= slot < SLOTS_PER_LINE):
+            raise ConfigError(f"{self.name}: slot {slot} out of range")
+        offset = ((line - self.start_line) * SLOTS_PER_LINE + slot) * BYTES_PER_SLOT
+        return self.text_base + offset
+
+    def line_slot_of(self, ip: int) -> tuple[int, int]:
+        """Inverse of :meth:`ip` — used by the post-mortem line mapper."""
+        offset = ip - self.text_base
+        if not (0 <= offset < self.text_size):
+            raise ConfigError(f"ip {ip:#x} not inside function {self.name}")
+        slot_index = offset // BYTES_PER_SLOT
+        return (
+            self.start_line + slot_index // SLOTS_PER_LINE,
+            slot_index % SLOTS_PER_LINE,
+        )
+
+    def location(self, line: int | None = None) -> str:
+        return self.source.location(line if line is not None else self.start_line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Function({self.name}@{self.source.path}:{self.start_line})"

@@ -1,0 +1,281 @@
+"""The kernel-facing runtime API.
+
+Application kernels (the :mod:`repro.apps` benchmarks) are written
+against :class:`Ctx`: they declare call frames, allocate memory, and
+issue loads/stores.  Every memory operation flows through the machine's
+memory hierarchy and — when a PMU engine is attached — may trigger a
+sample delivered to the profiler hooks, exactly mirroring the paper's
+measurement path (PMU interrupt -> profiler signal handler).
+
+Hot-path discipline: ``load_ip``/``store_ip`` take a *precomputed*
+instruction pointer so inner loops pay one dict lookup (page table), a
+few list operations (caches) and an integer add (clock) per access.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.arrays import SimArray
+from repro.sim.process import SimProcess
+from repro.sim.thread import SimThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.loader import StaticVar
+    from repro.sim.program import Function
+
+__all__ = ["Ctx", "CALL_COST", "RET_COST", "MALLOC_COST", "FREE_COST"]
+
+CALL_COST = 2        # cycles charged per simulated call
+RET_COST = 1
+MALLOC_COST = 80     # libc allocator bookkeeping cost
+FREE_COST = 40
+CALLOC_LINE_COST = 1  # streaming-zero cost per cache line beyond the page touch
+COMM_LATENCY = 2000   # MPI message latency in cycles
+COMM_CYCLES_PER_BYTE = 0.05
+
+
+class Ctx:
+    """Execution context of one simulated thread."""
+
+    __slots__ = ("process", "thread", "_aspace", "_hier", "_compute_cycle", "_page_bits")
+
+    def __init__(self, process: SimProcess, thread: SimThread) -> None:
+        self.process = process
+        self.thread = thread
+        self._aspace = process.aspace
+        self._hier = process.machine.hierarchy
+        self._compute_cycle = process.machine.spec.latency.compute_cycle
+        self._page_bits = process.machine.spec.page_bits
+
+    # -- call-stack management ------------------------------------------------
+
+    def enter(self, fn: "Function") -> None:
+        """Push a root frame (thread start function / main)."""
+        self.thread.push_frame(fn, 0)
+
+    def leave(self) -> None:
+        self.thread.pop_frame()
+
+    def call(self, fn: "Function", line: int, gen: Generator) -> Generator:
+        """Call a child kernel: ``yield from ctx.call(FN, line, kernel(ctx))``."""
+        thread = self.thread
+        callsite_ip = thread.current_function.ip(line)
+        frame = thread.push_frame(fn, callsite_ip)
+        thread.clock += CALL_COST
+        result = yield from gen
+        thread.pop_frame(frame)
+        thread.clock += RET_COST
+        return result
+
+    def call_sync(self, fn: "Function", line: int, body: Callable, *args):
+        """Call a non-yielding child function (e.g. an allocator shim)."""
+        thread = self.thread
+        callsite_ip = thread.current_function.ip(line)
+        frame = thread.push_frame(fn, callsite_ip)
+        thread.clock += CALL_COST
+        try:
+            return body(self, *args)
+        finally:
+            thread.pop_frame(frame)
+            thread.clock += RET_COST
+
+    def ip(self, line: int, slot: int = 0) -> int:
+        """Precompute an instruction pointer in the current function."""
+        return self.thread.current_function.ip(line, slot)
+
+    # -- memory accesses (hot path) ---------------------------------------------
+
+    def load_ip(self, vaddr: int, ip: int) -> int:
+        """One load at a precomputed IP; returns its latency in cycles."""
+        thread = self.thread
+        home = self._aspace.home_of(vaddr, thread.numa_node)
+        lat, lvl, tlbm = self._hier.access(thread.hw_tid, vaddr, home, False)
+        thread.clock += lat
+        thread.inst_count += 1
+        thread.mem_count += 1
+        pmu = self.process.pmu
+        if pmu is not None:
+            pmu.note_mem(self.process, thread, ip, vaddr, lat, lvl, tlbm, False)
+        return lat
+
+    def store_ip(self, vaddr: int, ip: int) -> int:
+        """One store at a precomputed IP; returns its latency in cycles."""
+        thread = self.thread
+        home = self._aspace.home_of(vaddr, thread.numa_node)
+        lat, lvl, tlbm = self._hier.access(thread.hw_tid, vaddr, home, True)
+        thread.clock += lat
+        thread.inst_count += 1
+        thread.mem_count += 1
+        pmu = self.process.pmu
+        if pmu is not None:
+            pmu.note_mem(self.process, thread, ip, vaddr, lat, lvl, tlbm, True)
+        return lat
+
+    def load(self, vaddr: int, line: int, slot: int = 0) -> int:
+        return self.load_ip(vaddr, self.thread.current_function.ip(line, slot))
+
+    def store(self, vaddr: int, line: int, slot: int = 0) -> int:
+        return self.store_ip(vaddr, self.thread.current_function.ip(line, slot))
+
+    def load_stride(self, base: int, count: int, stride: int, ip: int) -> None:
+        """``count`` loads at ``base + k*stride`` (no scheduler yields inside)."""
+        for k in range(count):
+            self.load_ip(base + k * stride, ip)
+
+    def store_stride(self, base: int, count: int, stride: int, ip: int) -> None:
+        for k in range(count):
+            self.store_ip(base + k * stride, ip)
+
+    def compute(self, n: int = 1) -> None:
+        """Advance the clock by ``n`` abstract ALU operations."""
+        thread = self.thread
+        thread.clock += n * self._compute_cycle
+        thread.inst_count += n
+        pmu = self.process.pmu
+        if pmu is not None:
+            pmu.note_compute(self.process, thread, n)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def malloc(
+        self, nbytes: int, line: int, kind: str = "malloc", var: str | None = None
+    ) -> int:
+        """Allocate heap memory at the current call site (profiler-wrapped).
+
+        ``var`` is a source-level name hint: it models what the paper's
+        GUI recovers by displaying the allocation call site's source line
+        (e.g. ``S_diag_j = hypre_CTAlloc(...)``).
+        """
+        thread = self.thread
+        addr = self._aspace.heap.malloc(nbytes)
+        thread.clock += MALLOC_COST
+        callsite_ip = thread.current_function.ip(line)
+        for hook in self.process.hooks:
+            hook.on_alloc(self.process, thread, addr, nbytes, callsite_ip, kind, var)
+        return addr
+
+    def calloc(self, nbytes: int, line: int, var: str | None = None) -> int:
+        """malloc + zero-fill.
+
+        Zeroing is performed *by the calling thread*: one store per page
+        (this is what commits first-touch placement) plus a streaming cost
+        for the remaining lines of each page.  That single behaviour is the
+        root of the master-thread NUMA pathologies in the case studies.
+        """
+        addr = self.malloc(nbytes, line, kind="calloc", var=var)
+        page_size = 1 << self._page_bits
+        lines_per_page = page_size >> self._hier.line_bits
+        ip = self.thread.current_function.ip(line)
+        first_page = addr & ~(page_size - 1)
+        end = addr + nbytes
+        p = first_page
+        while p < end:
+            self.store_ip(max(p, addr), ip)
+            self.thread.clock += (lines_per_page - 1) * CALLOC_LINE_COST
+            p += page_size
+        return addr
+
+    def free(self, addr: int, line: int) -> None:
+        thread = self.thread
+        for hook in self.process.hooks:
+            hook.on_free(self.process, thread, addr)
+        self._aspace.heap.free(addr)
+        thread.clock += FREE_COST
+
+    def alloc_array(
+        self,
+        name: str,
+        shape: Iterable[int],
+        line: int,
+        elem: int = 8,
+        order: str = "C",
+        kind: str = "malloc",
+    ) -> SimArray:
+        """Allocate a heap array (malloc or calloc) and wrap it as a view."""
+        shape = tuple(shape)
+        nbytes = elem * self._numel(shape)
+        if kind == "calloc":
+            base = self.calloc(nbytes, line, var=name)
+        elif kind == "malloc":
+            base = self.malloc(nbytes, line, var=name)
+        else:
+            raise SimulationError(f"unknown allocation kind {kind!r}")
+        return SimArray(name, base, shape, elem=elem, order=order)
+
+    @staticmethod
+    def _numel(shape: tuple[int, ...]) -> int:
+        n = 1
+        for s in shape:
+            n *= s
+        return n
+
+    def static_array(
+        self,
+        var: "StaticVar",
+        shape: Iterable[int],
+        elem: int = 8,
+        order: str = "C",
+    ) -> SimArray:
+        """View a static (.bss) variable as an array."""
+        shape = tuple(shape)
+        nbytes = elem * self._numel(shape)
+        if nbytes > var.size:
+            raise SimulationError(
+                f"static {var.name}: view of {nbytes}B exceeds symbol size {var.size}B"
+            )
+        return SimArray(var.name, var.address, shape, elem=elem, order=order)
+
+    def touch_range(self, start: int, nbytes: int, line: int) -> None:
+        """Store to one address per page in [start, start+nbytes).
+
+        The parallel-initialization idiom: each thread touching its own
+        chunk places those pages locally under first-touch.
+        """
+        page_size = 1 << self._page_bits
+        ip = self.thread.current_function.ip(line)
+        p = start & ~(page_size - 1)
+        end = start + nbytes
+        while p < end:
+            self.store_ip(max(p, start), ip)
+            p += page_size
+
+    def declare_stack_var(self, name: str, nbytes: int, line: int) -> int:
+        """Reserve a named stack range in the current frame.
+
+        Models a compiler-described local (what DWARF variable records
+        would give a real tool); profilers with stack tracking enabled
+        attribute accesses to it (the paper's §7 extension).
+        """
+        thread = self.thread
+        addr = thread.stack_alloc(nbytes)
+        fn = thread.current_function
+        for hook in self.process.hooks:
+            handler = getattr(hook, "on_stack_alloc", None)
+            if handler is not None:
+                handler(self.process, thread, name, addr, nbytes, fn, line)
+        return addr
+
+    def release_stack_var(self, addr: int) -> None:
+        """Retire a named stack range (frame exit)."""
+        for hook in self.process.hooks:
+            handler = getattr(hook, "on_stack_free", None)
+            if handler is not None:
+                handler(self.process, self.thread, addr)
+
+    # -- OpenMP / MPI -----------------------------------------------------------
+
+    def parallel(
+        self,
+        outlined_fn: "Function",
+        worker_factory: Callable[["Ctx", int], Generator],
+        n_threads: int,
+        line: int,
+    ) -> None:
+        """Run an OpenMP-style parallel region (blocks until the barrier)."""
+        self.process.run_parallel(self, outlined_fn, worker_factory, n_threads, line)
+
+    def comm(self, nbytes: int) -> None:
+        """Charge the cost of sending/receiving an MPI message."""
+        self.thread.clock += COMM_LATENCY + int(nbytes * COMM_CYCLES_PER_BYTE)

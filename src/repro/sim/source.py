@@ -1,0 +1,30 @@
+"""Source-code model: files and line references.
+
+The post-mortem analyzer maps profile nodes back to source lines
+(paper §4.2).  Simulated programs register their "source files" here so
+views can display `file.c:175`-style locations and code snippets.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SourceFile"]
+
+
+class SourceFile:
+    """A named source file with optional line text for view rendering."""
+
+    def __init__(self, path: str, lines: dict[int, str] | None = None) -> None:
+        self.path = path
+        self._lines: dict[int, str] = dict(lines or {})
+
+    def set_line(self, line: int, text: str) -> None:
+        self._lines[line] = text
+
+    def line_text(self, line: int) -> str:
+        return self._lines.get(line, "")
+
+    def location(self, line: int) -> str:
+        return f"{self.path}:{line}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceFile({self.path!r}, {len(self._lines)} annotated lines)"

@@ -1,0 +1,108 @@
+"""Simulated threads: call stacks and cycle clocks.
+
+A :class:`SimThread` is pinned to one hardware thread.  Its call stack is
+the ground truth the unwinder (:mod:`repro.core.unwind`) walks at each
+sample, and its ``clock`` accumulates both application cycles and — when
+a profiler is attached with overhead accounting on — measurement cycles,
+which is how Table 1's runtime overheads are reproduced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.program import Function
+
+__all__ = ["Frame", "SimThread"]
+
+_frame_serial = itertools.count(1)
+
+
+class Frame:
+    """One procedure frame: the callee and the call-site IP in the caller.
+
+    ``serial`` gives each pushed frame a distinct identity so the
+    trampoline optimization can recognize "the same physical frame" when
+    computing the least-common-ancestor of two unwinds (§4.1.3).
+    """
+
+    __slots__ = ("function", "callsite_ip", "serial")
+
+    def __init__(self, function: "Function", callsite_ip: int) -> None:
+        self.function = function
+        self.callsite_ip = callsite_ip
+        self.serial = next(_frame_serial)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame({self.function.name}, callsite={self.callsite_ip:#x})"
+
+
+class SimThread:
+    """One software thread pinned to a hardware thread."""
+
+    def __init__(
+        self,
+        name: str,
+        hw_tid: int,
+        numa_node: int,
+        thread_index: int,
+        stack_base: int = 0,
+    ) -> None:
+        self.name = name
+        self.hw_tid = hw_tid
+        self.numa_node = numa_node
+        self.thread_index = thread_index
+        self.frames: list[Frame] = []
+        self.clock = 0
+        self.inst_count = 0
+        self.mem_count = 0
+        self._stack_cursor = stack_base
+        # PMU per-thread sampling state (owned by the attached PMU engine).
+        self.pmu_countdown = 0
+        self.pmu_pending = None
+
+    # -- call stack ------------------------------------------------------
+
+    def push_frame(self, function: "Function", callsite_ip: int) -> Frame:
+        frame = Frame(function, callsite_ip)
+        self.frames.append(frame)
+        return frame
+
+    def pop_frame(self, expected: Frame | None = None) -> Frame:
+        if not self.frames:
+            raise SimulationError(f"thread {self.name}: pop from empty call stack")
+        frame = self.frames.pop()
+        if expected is not None and frame is not expected:
+            raise SimulationError(
+                f"thread {self.name}: unbalanced call stack "
+                f"(popped {frame}, expected {expected})"
+            )
+        return frame
+
+    @property
+    def current_function(self) -> "Function":
+        if not self.frames:
+            raise SimulationError(f"thread {self.name}: no active function")
+        return self.frames[-1].function
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    # -- thread-private stack data ----------------------------------------
+
+    def stack_alloc(self, nbytes: int, align: int = 16) -> int:
+        """Reserve thread-stack space (attributed as *unknown data*)."""
+        addr = (self._stack_cursor + align - 1) // align * align
+        self._stack_cursor = addr + nbytes
+        return addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimThread({self.name}, hw={self.hw_tid}, node={self.numa_node}, "
+            f"depth={self.depth}, clock={self.clock})"
+        )

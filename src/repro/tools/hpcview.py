@@ -1,0 +1,145 @@
+"""``python -m repro.tools.hpcview`` — inspect serialized profile databases.
+
+The text-mode stand-in for the paper's hpcviewer GUI.  Works on ``.rpdb``
+files written with :meth:`repro.core.profiledb.ProfileDB.to_bytes`:
+
+    python -m repro.tools.hpcview merge  rank0.rpdb rank1.rpdb -o job.rpdb
+    python -m repro.tools.hpcview top    job.rpdb --metric remote -n 10
+    python -m repro.tools.hpcview bottom job.rpdb --metric latency
+    python -m repro.tools.hpcview advise job.rpdb
+    python -m repro.tools.hpcview info   job.rpdb
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.analyzer import Analyzer, ExperimentDB
+from repro.core.derived import derive_from_profile
+from repro.core.guidance import advise
+from repro.core.metrics import MetricKind
+from repro.core.profiledb import ProfileDB
+from repro.core.render import render_bottom_up, render_top_down, render_variable_table
+from repro.util.fmt import format_table, human_bytes
+
+__all__ = ["main", "load_profiles", "save_profile"]
+
+
+def save_profile(db: ProfileDB, path: str | Path) -> int:
+    """Write a profile database to disk; returns its size in bytes."""
+    data = db.to_bytes()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_profiles(paths: list[str]) -> list[ProfileDB]:
+    return [ProfileDB.from_bytes(Path(p).read_bytes()) for p in paths]
+
+
+def _experiment(paths: list[str]) -> ExperimentDB:
+    return Analyzer("hpcview").add_all(load_profiles(paths)).analyze()
+
+
+def _metric(name: str) -> MetricKind:
+    try:
+        return MetricKind(name)
+    except ValueError:
+        choices = ", ".join(m.value for m in MetricKind)
+        raise SystemExit(f"unknown metric {name!r}; choose one of: {choices}")
+
+
+def cmd_info(args: argparse.Namespace) -> None:
+    for path in args.profiles:
+        db = ProfileDB.from_bytes(Path(path).read_bytes())
+        rows = []
+        for profile in db.all_profiles():
+            classes = ", ".join(s.value for s in profile.storage_classes())
+            rows.append((profile.thread_name, profile.node_count(), classes))
+        print(format_table(
+            ("thread", "cct nodes", "storage classes"),
+            rows,
+            title=f"{path}: process {db.process_name!r}, "
+                  f"{human_bytes(Path(path).stat().st_size)}",
+        ))
+        print()
+
+
+def cmd_top(args: argparse.Namespace) -> None:
+    exp = _experiment(args.profiles)
+    view = exp.top_down(_metric(args.metric), accesses_per_var=args.accesses)
+    print(render_top_down(view, top_n=args.n, title="top-down data-centric view"))
+
+
+def cmd_table(args: argparse.Namespace) -> None:
+    exp = _experiment(args.profiles)
+    view = exp.top_down(_metric(args.metric))
+    print(render_variable_table(view, top_n=args.n))
+
+
+def cmd_bottom(args: argparse.Namespace) -> None:
+    exp = _experiment(args.profiles)
+    print(render_bottom_up(exp.bottom_up(_metric(args.metric)), top_n=args.n))
+
+
+def cmd_advise(args: argparse.Namespace) -> None:
+    exp = _experiment(args.profiles)
+    triage = derive_from_profile(exp)
+    print(f"triage: {triage.verdict()}")
+    print(f"  memory cycle fraction: {triage.memory_cycle_fraction:.0%}   "
+          f"remote intensity: {triage.remote_intensity:.0%}   "
+          f"tlb intensity: {triage.tlb_intensity:.0%}")
+    print()
+    recommendations = advise(exp, _metric(args.metric), top_n=args.n)
+    if not recommendations:
+        print("no variable clears the significance threshold")
+    for rec in recommendations:
+        print(" -", rec)
+
+
+def cmd_merge(args: argparse.Namespace) -> None:
+    dbs = load_profiles(args.profiles)
+    exp = Analyzer(Path(args.output).stem).add_all(dbs).analyze()
+    size = save_profile(exp.db, args.output)
+    stats = exp.merge_stats
+    print(f"merged {stats.profiles_in} thread profiles in {stats.rounds} rounds "
+          f"-> {args.output} ({human_bytes(size)})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hpcview",
+        description="inspect data-centric profile databases (.rpdb)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("profiles", nargs="+", help="profile database files")
+        p.add_argument("--metric", default="samples",
+                       help="samples|latency|events|remote|tlb_miss")
+        p.add_argument("-n", type=int, default=10, help="rows to show")
+        p.set_defaults(func=fn)
+        return p
+
+    add("info", cmd_info, "list threads/CCTs in each database")
+    top = add("top", cmd_top, "top-down view: variables with allocation paths")
+    top.add_argument("--accesses", type=int, default=3,
+                     help="hot accesses to show per variable")
+    add("table", cmd_table, "compact one-row-per-variable ranking")
+    add("bottom", cmd_bottom, "bottom-up view: allocation call sites")
+    add("advise", cmd_advise, "triage + optimization guidance")
+    merge = add("merge", cmd_merge, "merge databases into one (reduction tree)")
+    merge.add_argument("-o", "--output", required=True, help="output .rpdb file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Small support utilities shared across the repro package."""
+
+from repro.util.intervals import IntervalMap
+from repro.util.rng import DeterministicRNG
+from repro.util.fmt import format_table, pct
+from repro.util.stats import RunningStats
+
+__all__ = [
+    "IntervalMap",
+    "DeterministicRNG",
+    "format_table",
+    "pct",
+    "RunningStats",
+]

@@ -1,0 +1,70 @@
+"""Plain-text table/percentage formatting used by views, benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["pct", "format_table", "human_bytes"]
+
+
+def pct(part: float, whole: float, digits: int = 1) -> str:
+    """Render ``part/whole`` as a percentage string like ``'22.2%'``.
+
+    A zero denominator renders as ``'0.0%'`` rather than raising — empty
+    profiles are legitimate (e.g. a phase with no samples).
+    """
+    if whole == 0:
+        value = 0.0
+    else:
+        value = 100.0 * part / whole
+    return f"{value:.{digits}f}%"
+
+
+def human_bytes(n: int) -> str:
+    """Render a byte count with a binary-unit suffix (``'12.5 MB'``)."""
+    size = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if size < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Format rows into an aligned monospace table.
+
+    The first column is left-aligned; remaining columns right-aligned,
+    which suits "name | metric | metric" layouts used everywhere here.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

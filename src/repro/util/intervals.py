@@ -1,0 +1,91 @@
+"""Address-range interval map.
+
+The profiler resolves effective addresses against variable address ranges:
+static variables from symbol tables and live heap blocks from the
+allocation map (paper §4.1.3/§4.1.4).  Both resolutions use this map.
+
+The implementation keeps a sorted list of non-overlapping half-open
+intervals ``[start, end)`` and uses binary search, giving ``O(log n)``
+lookup on the simulator's hot path and ``O(n)`` worst-case insertion
+(amortized fine here: allocations are far rarer than accesses).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.errors import AddressError
+
+__all__ = ["IntervalMap"]
+
+
+class IntervalMap:
+    """Map non-overlapping half-open address intervals to payloads."""
+
+    __slots__ = ("_starts", "_ends", "_values")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._values: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, Any]]:
+        yield from zip(self._starts, self._ends, self._values)
+
+    def add(self, start: int, end: int, value: Any) -> None:
+        """Insert ``[start, end) -> value``; reject overlap with existing ranges."""
+        if end <= start:
+            raise AddressError(f"empty or inverted interval [{start:#x}, {end:#x})")
+        i = bisect_right(self._starts, start)
+        # The predecessor must end at or before `start`; the successor must
+        # begin at or after `end`.
+        if i > 0 and self._ends[i - 1] > start:
+            raise AddressError(
+                f"interval [{start:#x}, {end:#x}) overlaps "
+                f"[{self._starts[i - 1]:#x}, {self._ends[i - 1]:#x})"
+            )
+        if i < len(self._starts) and self._starts[i] < end:
+            raise AddressError(
+                f"interval [{start:#x}, {end:#x}) overlaps "
+                f"[{self._starts[i]:#x}, {self._ends[i]:#x})"
+            )
+        self._starts.insert(i, start)
+        self._ends.insert(i, end)
+        self._values.insert(i, value)
+
+    def remove(self, start: int) -> Any:
+        """Remove the interval that begins exactly at ``start``; return its value."""
+        i = bisect_right(self._starts, start) - 1
+        if i < 0 or self._starts[i] != start:
+            raise AddressError(f"no interval starts at {start:#x}")
+        self._starts.pop(i)
+        self._ends.pop(i)
+        return_value = self._values.pop(i)
+        return return_value
+
+    def lookup(self, addr: int) -> Optional[Any]:
+        """Return the payload of the interval containing ``addr``, or None."""
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return self._values[i]
+        return None
+
+    def lookup_interval(self, addr: int) -> Optional[Tuple[int, int, Any]]:
+        """Like :meth:`lookup` but also returns the interval bounds."""
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return (self._starts[i], self._ends[i], self._values[i])
+        return None
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+        self._values.clear()
+
+    def covered_bytes(self) -> int:
+        """Total number of bytes covered by all intervals."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))

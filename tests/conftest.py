@@ -1,0 +1,59 @@
+"""Shared fixtures: a tiny machine and a minimal simulated program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Ctx, DataCentricProfiler, LoadModule, SimProcess, SourceFile, tiny_machine
+from repro.sim.program import Function
+
+
+class MiniProgram:
+    """A process with one executable module and a handful of functions.
+
+    Functions: ``main`` (lines 1-60), ``work`` (lines 100-159) and
+    ``alloc_shim`` (lines 200-219) — enough structure for call paths,
+    allocation contexts, and line-level attribution in tests.
+    """
+
+    def __init__(self, machine=None, pid: int = 0):
+        self.machine = machine or tiny_machine()
+        self.process = SimProcess(self.machine, pid=pid)
+        self.source = SourceFile(
+            "mini.c",
+            {
+                10: "x = a[i];",
+                20: "buf = malloc(n);",
+                110: "y = b[j];",
+                210: "return malloc(size);",
+            },
+        )
+        self.exe = LoadModule("mini.exe", is_executable=True)
+        self.main = self.exe.add_function("main", self.source, 1, 60)
+        self.work = self.exe.add_function("work", self.source, 100, 60)
+        self.alloc_shim = self.exe.add_function("alloc_shim", self.source, 200, 20)
+        self.bss = self.exe.add_static("g_table", 1 << 16, self.source, 5)
+        self.process.load_module(self.exe)
+
+    def master_ctx(self) -> Ctx:
+        ctx = Ctx(self.process, self.process.master)
+        if not self.process.master.frames:
+            ctx.enter(self.main)
+        return ctx
+
+
+@pytest.fixture
+def machine():
+    return tiny_machine()
+
+
+@pytest.fixture
+def mini():
+    return MiniProgram()
+
+
+@pytest.fixture
+def profiled_mini():
+    prog = MiniProgram()
+    profiler = DataCentricProfiler(prog.process).attach()
+    return prog, profiler

@@ -1,0 +1,117 @@
+"""Unit tests for the §2/§6 baseline comparators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import CodeCentricProfiler, TracingProfiler
+from repro.core.metrics import MetricKind
+from repro.pmu.ibs import IBSEngine
+from tests.conftest import MiniProgram
+
+
+@pytest.fixture
+def instrumented():
+    mini = MiniProgram()
+    code = CodeCentricProfiler(mini.process).attach()
+    tracer = TracingProfiler(mini.process).attach()
+    mini.process.pmu = IBSEngine(period=8, seed=42)
+    return mini, code, tracer
+
+
+def _drive(mini, n=2000):
+    ctx = mini.master_ctx()
+    arr = ctx.alloc_array("x", (8192,), line=20)
+    ip1 = ctx.ip(10, 0)
+    ip2 = ctx.ip(10, 1)
+
+    def kern():
+        for i in range(n):
+            ctx.load_ip(arr.flat_addr((i * 64) % arr.size), ip1)
+            if i % 2 == 0:
+                ctx.load_ip(arr.flat_addr(i % arr.size), ip2)
+            if i % 32 == 0:
+                yield
+
+    mini.process.run_serial(kern())
+    return ctx
+
+
+class TestCodeCentric:
+    def test_aggregates_by_source_location(self, instrumented):
+        mini, code, _ = instrumented
+        _drive(mini)
+        lines = code.line_costs(MetricKind.LATENCY)
+        assert lines
+        # Both access slots share mini.c:10 — conflated into one row.
+        assert lines[0].location == "mini.c:10"
+        assert code.samples > 0
+
+    def test_share_sums_to_at_most_one(self, instrumented):
+        mini, code, _ = instrumented
+        _drive(mini)
+        assert sum(c.share for c in code.line_costs()) <= 1.0 + 1e-9
+
+    def test_render_contains_locations(self, instrumented):
+        mini, code, _ = instrumented
+        _drive(mini)
+        out = code.render(MetricKind.LATENCY, top_n=3)
+        assert "mini.c:10" in out
+        assert "%" in out
+
+    def test_attach_idempotent(self, mini):
+        code = CodeCentricProfiler(mini.process)
+        code.attach()
+        code.attach()
+        assert mini.process.hooks.count(code) == 1
+
+    def test_allocator_events_invisible(self, instrumented):
+        mini, code, _ = instrumented
+        ctx = mini.master_ctx()
+        ctx.malloc(8192, line=20)
+        assert code.samples == 0
+        assert code.cct.node_count() == 1  # just the root
+
+    def test_samples_by_kind(self, instrumented):
+        mini, code, _ = instrumented
+        _drive(mini)
+        by_latency = code.line_costs(MetricKind.LATENCY)
+        by_samples = code.line_costs(MetricKind.SAMPLES)
+        assert {c.location for c in by_latency} == {c.location for c in by_samples}
+
+
+class TestTracing:
+    def test_records_every_event(self, instrumented):
+        mini, _, tracer = instrumented
+        ctx = _drive(mini)
+        addr = ctx.malloc(256, line=20)
+        ctx.free(addr, line=21)
+        assert tracer.alloc_records >= 2  # array + small block
+        assert tracer.free_records == 1
+        assert tracer.sample_records > 0
+        assert tracer.total_records == (
+            tracer.alloc_records + tracer.free_records + tracer.sample_records
+        )
+
+    def test_trace_size_positive_and_grows(self, instrumented):
+        mini, _, tracer = instrumented
+        _drive(mini, n=1000)
+        first = tracer.trace_bytes()
+        _drive(mini, n=1000)
+        assert tracer.trace_bytes() > first > 0
+
+    def test_call_paths_optional(self):
+        mini = MiniProgram()
+        tracer = TracingProfiler(mini.process, record_call_paths=False).attach()
+        mini.process.pmu = IBSEngine(period=8, seed=1)
+        _drive(mini, n=500)
+        assert tracer.frame_records == 0
+        assert tracer.sample_records > 0
+
+    def test_trace_dwarfs_compact_profile(self, instrumented):
+        from repro.core.profiler import DataCentricProfiler
+
+        mini, _, tracer = instrumented
+        profiler = DataCentricProfiler(mini.process).attach()
+        _drive(mini, n=4000)
+        assert tracer.trace_bytes() > 3 * profiler.finalize().size_bytes()

@@ -1,0 +1,252 @@
+"""CCT: path insertion, coalescing, merging, serialization round trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cct import (
+    CCT,
+    CCTNode,
+    HEAP_MARKER_INFO,
+    HEAP_MARKER_KEY,
+    KIND_FRAME,
+    KIND_IP,
+)
+from repro.core.metrics import MetricKind, MetricVector
+from repro.errors import ProfileError
+from repro.pmu.sample import Sample
+
+
+def _sample(latency=10, level=3, period=64, tlb=False, store=False) -> Sample:
+    return Sample(
+        event="T",
+        precise_ip=1,
+        interrupt_ip=1,
+        ea=0x100,
+        latency=latency,
+        level=level,
+        tlb_miss=tlb,
+        is_store=store,
+        period=period,
+    )
+
+
+def _frame(name, site=0):
+    return ((KIND_FRAME, name, site), {"label": name})
+
+
+def _ip(name, line, slot=0):
+    return ((KIND_IP, name, line, slot), {"label": f"{name}:{line}"})
+
+
+class TestInsertion:
+    def test_insert_creates_chain(self):
+        cct = CCT("heap")
+        leaf = cct.insert_path([_frame("main"), _frame("work"), _ip("work", 10)])
+        assert cct.node_count() == 4  # root + 3
+        assert leaf.key[0] == KIND_IP
+
+    def test_common_prefix_coalesced(self):
+        cct = CCT("heap")
+        cct.insert_path([_frame("main"), _frame("work"), _ip("work", 10)])
+        cct.insert_path([_frame("main"), _frame("work"), _ip("work", 11)])
+        assert cct.node_count() == 5  # shared main/work prefix
+
+    def test_distinct_callsites_distinct_nodes(self):
+        cct = CCT("heap")
+        cct.insert_path([_frame("main"), ((KIND_FRAME, "work", 4), None)])
+        cct.insert_path([_frame("main"), ((KIND_FRAME, "work", 8), None)])
+        assert cct.node_count() == 4
+
+    def test_add_sample_accumulates_exclusive(self):
+        cct = CCT("heap")
+        path = [_frame("main"), _ip("main", 5)]
+        cct.add_sample_at(path, _sample(latency=10))
+        leaf = cct.add_sample_at(path, _sample(latency=7))
+        assert leaf.metrics.samples == 2
+        assert leaf.metrics.latency == 17
+
+    def test_info_filled_in_later(self):
+        cct = CCT("x")
+        key = (KIND_FRAME, "f", 0)
+        cct.insert_path([(key, None)])
+        cct.insert_path([(key, {"label": "f!"})])
+        assert cct.root.children[key].info == {"label": "f!"}
+
+
+class TestMetrics:
+    def test_metric_vector_add_sample(self):
+        m = MetricVector()
+        m.add_sample(_sample(latency=5, level=4, period=32, tlb=True, store=True))
+        assert m.samples == 1
+        assert m.latency == 5
+        assert m.events == 32
+        assert m.remote == 1
+        assert m.tlb_misses == 1
+        assert m.stores == 1
+
+    def test_get_by_kind(self):
+        m = MetricVector()
+        m.add_sample(_sample(latency=5, level=4))
+        assert m.get(MetricKind.SAMPLES) == 1
+        assert m.get(MetricKind.LATENCY) == 5
+        assert m.get(MetricKind.REMOTE) == 1
+        assert m.get(MetricKind.EVENTS) == 64
+        assert m.get(MetricKind.TLB_MISS) == 0
+
+    def test_is_zero(self):
+        assert MetricVector().is_zero()
+        m = MetricVector()
+        m.add_sample(_sample())
+        assert not m.is_zero()
+
+    def test_dict_roundtrip(self):
+        m = MetricVector()
+        m.add_sample(_sample(latency=3, level=2))
+        m2 = MetricVector.from_dict(m.as_dict())
+        assert m2.as_dict() == m.as_dict()
+
+
+class TestInclusive:
+    def test_inclusive_sums_subtree(self):
+        cct = CCT("heap")
+        cct.add_sample_at([_frame("main"), _ip("main", 5)], _sample(latency=10))
+        cct.add_sample_at([_frame("main"), _frame("work"), _ip("work", 9)], _sample(latency=20))
+        main = cct.root.children[(KIND_FRAME, "main", 0)]
+        assert main.inclusive().latency == 30
+        assert main.inclusive_value(MetricKind.LATENCY) == 30
+        assert cct.total(MetricKind.SAMPLES) == 2
+
+    def test_exclusive_at_interior_nodes(self):
+        cct = CCT("heap")
+        # Sample attributed at an interior frame (possible for leaf-less paths)
+        cct.add_sample_at([_frame("main")], _sample(latency=1))
+        cct.add_sample_at([_frame("main"), _ip("main", 5)], _sample(latency=2))
+        main = cct.root.children[(KIND_FRAME, "main", 0)]
+        assert main.metrics.latency == 1       # exclusive
+        assert main.inclusive().latency == 3   # inclusive
+
+
+class TestMerge:
+    def _tree(self, spec):
+        """spec: list of (path_names, latency)."""
+        cct = CCT("heap")
+        for names, latency in spec:
+            path = [_frame(n) for n in names[:-1]] + [_ip(names[-1], 1)]
+            cct.add_sample_at(path, _sample(latency=latency))
+        return cct
+
+    def test_merge_disjoint_paths(self):
+        a = self._tree([(("main", "f", "f"), 5)])
+        b = self._tree([(("main", "g", "g"), 7)])
+        a.merge(b)
+        assert a.total(MetricKind.LATENCY) == 12
+        assert a.node_count() == 6  # root, main, f, f-ip, g, g-ip
+
+    def test_merge_overlapping_paths_adds_metrics(self):
+        a = self._tree([(("main", "f"), 5)])
+        b = self._tree([(("main", "f"), 7)])
+        a.merge(b)
+        assert a.node_count() == 3
+        assert a.total(MetricKind.LATENCY) == 12
+
+    def test_merge_name_mismatch_raises(self):
+        with pytest.raises(ProfileError):
+            CCT("heap").merge(CCT("static"))
+
+    def test_merge_key_mismatch_raises(self):
+        a = CCTNode(("root", "x"))
+        b = CCTNode(("root", "y"))
+        with pytest.raises(ProfileError):
+            a.merge(b)
+
+    def test_merge_does_not_alias_source(self):
+        a = self._tree([])
+        b = self._tree([(("main", "f"), 5)])
+        a.merge(b)
+        b.add_sample_at([_frame("main"), _ip("f", 1)], _sample(latency=100))
+        assert a.total(MetricKind.LATENCY) == 5  # deep-copied on merge
+
+    def test_clone_independent(self):
+        a = self._tree([(("main", "f"), 5)])
+        c = a.clone()
+        c.add_sample_at([_frame("main"), _ip("f", 1)], _sample(latency=1))
+        assert a.total(MetricKind.LATENCY) == 5
+        assert c.total(MetricKind.LATENCY) == 6
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from("abcd"), min_size=1, max_size=4),
+                st.integers(1, 100),
+            ),
+            max_size=20,
+        ),
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from("abcd"), min_size=1, max_size=4),
+                st.integers(1, 100),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_merge_conserves_totals(self, spec_a, spec_b):
+        a = self._tree(spec_a)
+        b = self._tree(spec_b)
+        total = a.total(MetricKind.LATENCY) + b.total(MetricKind.LATENCY)
+        samples = a.total(MetricKind.SAMPLES) + b.total(MetricKind.SAMPLES)
+        a.merge(b)
+        assert a.total(MetricKind.LATENCY) == total
+        assert a.total(MetricKind.SAMPLES) == samples
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from("abc"), min_size=1, max_size=3),
+                st.integers(1, 10),
+            ),
+            max_size=10,
+        ),
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from("abc"), min_size=1, max_size=3),
+                st.integers(1, 10),
+            ),
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=30)
+    def test_merge_commutative_in_totals_and_shape(self, spec_a, spec_b):
+        ab = self._tree(spec_a)
+        ab.merge(self._tree(spec_b))
+        ba = self._tree(spec_b)
+        ba.merge(self._tree(spec_a))
+        assert ab.node_count() == ba.node_count()
+        assert ab.total(MetricKind.LATENCY) == ba.total(MetricKind.LATENCY)
+
+
+class TestWalkAndLabels:
+    def test_walk_visits_all(self):
+        cct = CCT("x")
+        cct.insert_path([_frame("a"), _frame("b"), _ip("b", 2)])
+        labels = {n.key for n in cct.root.walk()}
+        assert len(labels) == 4
+
+    def test_labels(self):
+        cct = CCT("heap")
+        leaf = cct.insert_path(
+            [_frame("main"), (HEAP_MARKER_KEY, HEAP_MARKER_INFO), _ip("work", 9)]
+        )
+        assert leaf.label().startswith("work: line 9")
+        marker = cct.root.children[(KIND_FRAME, "main", 0)].children[HEAP_MARKER_KEY]
+        assert marker.label() == "heap data accesses"
+        assert cct.root.label() == "heap"
+
+    def test_find(self):
+        cct = CCT("x")
+        cct.insert_path([_frame("a"), _ip("a", 1)])
+        found = cct.root.find(lambda n: n.key[0] == KIND_IP)
+        assert len(found) == 1

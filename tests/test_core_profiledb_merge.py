@@ -1,0 +1,199 @@
+"""ProfileDB serialization and reduction-tree merging."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cct import KIND_FRAME, KIND_IP
+from repro.core.merge import merge_profiles, merge_thread_profiles, reduction_tree_merge
+from repro.core.metrics import MetricKind
+from repro.core.profiledb import ProfileDB, ThreadProfile
+from repro.core.storage import StorageClass
+from repro.errors import ProfileError
+from repro.pmu.sample import Sample
+
+
+def _sample(latency=10, level=3):
+    return Sample("T", 1, 1, 0x10, latency, level, False, False, 64)
+
+
+def _profile(thread_name: str, spec) -> ThreadProfile:
+    """spec: list of (storage, path_names, latency)."""
+    profile = ThreadProfile(thread_name)
+    for storage, names, latency in spec:
+        path = [((KIND_FRAME, n, 0), {"label": n}) for n in names[:-1]]
+        path.append(((KIND_IP, names[-1], 1, 0), {"label": names[-1]}))
+        profile.cct(storage).add_sample_at(path, _sample(latency=latency))
+    return profile
+
+
+def _db(name, threads):
+    db = ProfileDB(name)
+    for t in threads:
+        db.add_thread(t)
+    return db
+
+
+SPEC_A = [
+    (StorageClass.HEAP, ("main", "f", "x"), 5),
+    (StorageClass.STATIC, ("main", "y"), 3),
+]
+SPEC_B = [
+    (StorageClass.HEAP, ("main", "f", "x"), 7),
+    (StorageClass.UNKNOWN, ("main", "z"), 2),
+]
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self):
+        db = _db("p0", [_profile("t0", SPEC_A), _profile("t1", SPEC_B)])
+        rt = ProfileDB.from_bytes(db.to_bytes())
+        assert rt.process_name == "p0"
+        assert set(rt.threads) == {"t0", "t1"}
+        assert rt.node_count() == db.node_count()
+        for name in db.threads:
+            for storage in db.threads[name].storage_classes():
+                orig = db.threads[name].cct(storage)
+                back = rt.threads[name].cct(storage)
+                assert back.total(MetricKind.LATENCY) == orig.total(MetricKind.LATENCY)
+                assert back.root.to_dict() == orig.root.to_dict()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ProfileError):
+            ProfileDB.from_bytes(b"XXXX\x01\x00")
+
+    def test_negative_key_elements_roundtrip(self):
+        profile = ThreadProfile("t")
+        profile.cct(StorageClass.UNKNOWN).insert_path(
+            [((KIND_FRAME, "f", -8), None)]
+        )
+        db = _db("p", [profile])
+        rt = ProfileDB.from_bytes(db.to_bytes())
+        root = rt.threads["t"].cct(StorageClass.UNKNOWN).root
+        assert (KIND_FRAME, "f", -8) in root.children
+
+    def test_size_compact_vs_repr(self):
+        """String-table encoding beats a naive text dump."""
+        spec = [
+            (StorageClass.HEAP, ("main", f"fn_{i % 7}", "access"), i)
+            for i in range(1, 60)
+        ]
+        db = _db("p0", [_profile("t0", spec)])
+        naive = len(repr(db.threads["t0"].cct(StorageClass.HEAP).root.to_dict()))
+        assert db.size_bytes() < naive
+
+    def test_size_grows_with_contexts_not_samples(self):
+        few = _profile("t", [(StorageClass.HEAP, ("main", "x"), 1)])
+        many = _profile("t", [(StorageClass.HEAP, ("main", "x"), 1)] * 500)
+        # 500x the samples on one context costs only a few varint bytes;
+        # the node structure (and thus size) is unchanged.
+        delta = _db("p", [many]).size_bytes() - _db("p", [few]).size_bytes()
+        assert 0 <= delta <= 8
+
+    def test_duplicate_thread_rejected(self):
+        db = ProfileDB("p")
+        db.add_thread(_profile("t", []))
+        with pytest.raises(ProfileError):
+            db.add_thread(_profile("t", []))
+
+
+class TestMergeSemantics:
+    def test_merge_thread_profiles_conserves(self):
+        a = _profile("a", SPEC_A)
+        b = _profile("b", SPEC_B)
+        before = (
+            a.cct(StorageClass.HEAP).total(MetricKind.LATENCY)
+            + b.cct(StorageClass.HEAP).total(MetricKind.LATENCY)
+        )
+        merge_thread_profiles(a, b)
+        assert a.cct(StorageClass.HEAP).total(MetricKind.LATENCY) == before
+        assert a.cct(StorageClass.UNKNOWN).total(MetricKind.LATENCY) == 2
+
+    def test_merge_profiles_single_output(self):
+        dbs = [
+            _db("p0", [_profile("t0", SPEC_A)]),
+            _db("p1", [_profile("t0", SPEC_B)]),
+        ]
+        merged = merge_profiles(dbs, name="job")
+        assert len(merged.threads) == 1
+        profile = next(iter(merged.threads.values()))
+        assert profile.cct(StorageClass.HEAP).total(MetricKind.LATENCY) == 12
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ProfileError):
+            merge_profiles([])
+
+    @given(st.integers(1, 24), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_reduction_tree_equals_sequential(self, n, arity):
+        def make(i):
+            return _db(
+                f"p{i}",
+                [
+                    _profile(
+                        f"p{i}.t0",
+                        [(StorageClass.HEAP, ("main", f"f{i % 3}", "x"), i + 1)],
+                    )
+                ],
+            )
+
+        dbs_seq = [make(i) for i in range(n)]
+        dbs_tree = [make(i) for i in range(n)]
+        seq = merge_profiles(dbs_seq)
+        tree, stats = reduction_tree_merge(dbs_tree, arity=arity)
+        p_seq = next(iter(seq.threads.values()))
+        p_tree = next(iter(tree.threads.values()))
+        for storage in p_seq.storage_classes():
+            assert (
+                p_tree.cct(storage).root.to_dict()["metrics"]
+                == p_seq.cct(storage).root.to_dict()["metrics"]
+            )
+            assert p_tree.cct(storage).total(MetricKind.LATENCY) == p_seq.cct(
+                storage
+            ).total(MetricKind.LATENCY)
+            assert p_tree.cct(storage).node_count() == p_seq.cct(storage).node_count()
+
+    def test_reduction_rounds_logarithmic(self):
+        dbs = [_db(f"p{i}", [_profile(f"t{i}", SPEC_A)]) for i in range(16)]
+        _, stats = reduction_tree_merge(dbs, arity=2)
+        assert stats.rounds == 4  # log2(16)
+
+    def test_critical_path_below_total(self):
+        dbs = [_db(f"p{i}", [_profile(f"t{i}", SPEC_A)]) for i in range(8)]
+        _, stats = reduction_tree_merge(dbs)
+        assert 0 < stats.critical_path_visits < stats.node_visits
+
+    def test_identical_heap_paths_coalesce_across_processes(self):
+        """Allocation call paths from different ranks merge into one variable."""
+        dbs = [
+            _db(f"p{i}", [_profile(f"t{i}", [(StorageClass.HEAP, ("main", "alloc", "x"), 4)])])
+            for i in range(4)
+        ]
+        merged = merge_profiles(dbs)
+        profile = next(iter(merged.threads.values()))
+        heap = profile.cct(StorageClass.HEAP)
+        # One shared path: root -> main -> alloc -> x(ip); node count constant.
+        assert heap.node_count() == 4
+        assert heap.total(MetricKind.SAMPLES) == 4
+
+    def test_static_vars_coalesce_by_name(self):
+        from repro.core.cct import KIND_STATIC_VAR
+
+        def static_profile(t):
+            p = ThreadProfile(t)
+            p.cct(StorageClass.STATIC).add_sample_at(
+                [((KIND_STATIC_VAR, "exe", "f_elem"), None),
+                 ((KIND_IP, "kernel", 801, 0), None)],
+                _sample(latency=9),
+            )
+            return p
+
+        merged = merge_profiles([_db("p0", [static_profile("a")]),
+                                 _db("p1", [static_profile("b")])])
+        profile = next(iter(merged.threads.values()))
+        static = profile.cct(StorageClass.STATIC)
+        var_nodes = static.root.find(lambda n: n.key[0] == KIND_STATIC_VAR)
+        assert len(var_nodes) == 1
+        assert var_nodes[0].inclusive().samples == 2

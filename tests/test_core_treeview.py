@@ -1,0 +1,115 @@
+"""CCT tree rendering, hot-path navigation, and guidance branch coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cct import CCT, KIND_FRAME, KIND_IP
+from repro.core.metrics import MetricKind
+from repro.core.treeview import hot_path, render_cct
+from repro.pmu.sample import Sample
+
+
+def _sample(latency=10, level=3, tlb=False):
+    return Sample("T", 1, 1, 0x10, latency, level, tlb, False, 64)
+
+
+def _frame(name, site=0):
+    return ((KIND_FRAME, name, site), {"label": name})
+
+
+def _ip(name, line):
+    return ((KIND_IP, name, line, 0), {"label": f"{name}:{line}"})
+
+
+@pytest.fixture
+def tree():
+    cct = CCT("heap")
+    for latency, path in (
+        (100, [_frame("main"), _frame("solve"), _ip("solve", 5)]),
+        (60, [_frame("main"), _frame("solve"), _ip("solve", 6)]),
+        (10, [_frame("main"), _frame("setup"), _ip("setup", 9)]),
+        (1, [_frame("main"), _frame("io"), _ip("io", 2)]),
+    ):
+        cct.add_sample_at(path, _sample(latency=latency))
+    return cct
+
+
+class TestRenderCCT:
+    def test_contains_nodes_and_shares(self, tree):
+        text = render_cct(tree, MetricKind.LATENCY)
+        assert "main" in text
+        assert "solve" in text
+        assert "total: 171" in text
+        assert "93.6%" in text  # solve's 160/171
+
+    def test_children_sorted_hottest_first(self, tree):
+        text = render_cct(tree, MetricKind.LATENCY)
+        assert text.index("solve") < text.index("setup")
+
+    def test_min_share_prunes_cold_subtrees(self, tree):
+        text = render_cct(tree, MetricKind.LATENCY, min_share=0.05)
+        assert "io" not in text
+        full = render_cct(tree, MetricKind.LATENCY, min_share=0.0)
+        assert "io" in full
+
+    def test_max_depth_limits_tree(self, tree):
+        shallow = render_cct(tree, MetricKind.LATENCY, max_depth=1)
+        assert "main" in shallow
+        assert "line 5" not in shallow
+
+    def test_title(self, tree):
+        assert render_cct(tree, title="PANE").splitlines()[0] == "PANE"
+
+    def test_empty_tree(self):
+        text = render_cct(CCT("static"))
+        assert "total: 0" in text
+
+
+class TestHotPath:
+    def test_follows_largest_child(self, tree):
+        labels = [n.label() for n in hot_path(tree, MetricKind.LATENCY)]
+        assert labels[0] == "main"
+        assert labels[1] == "solve"
+        assert labels[-1].startswith("solve: line 5")
+
+    def test_empty_tree(self):
+        assert hot_path(CCT("x")) == []
+
+    def test_stops_at_zero_metric(self):
+        cct = CCT("x")
+        cct.insert_path([_frame("main"), _ip("main", 1)])  # no samples
+        assert hot_path(cct, MetricKind.LATENCY) == []
+
+
+class TestGuidanceTLBBranch:
+    def test_tlb_hot_variable_gets_layout_advice(self):
+        """A variable dominated by TLB-missing local accesses should get
+        the transpose/interchange recommendation (the Sweep3D pattern)."""
+        from repro.core.analyzer import ExperimentDB
+        from repro.core.guidance import advise
+        from repro.core.merge import merge_profiles
+        from repro.core.profiledb import ProfileDB, ThreadProfile
+        from repro.core.storage import StorageClass
+        from repro.core.cct import HEAP_MARKER_INFO, HEAP_MARKER_KEY
+
+        profile = ThreadProfile("t")
+        path = [
+            _frame("main"),
+            ((KIND_IP, "main", 2, 0), {"var": "Flux", "alloc_kind": "malloc"}),
+            (HEAP_MARKER_KEY, HEAP_MARKER_INFO),
+            _ip("sweep", 480),
+        ]
+        for _ in range(20):
+            # local DRAM (level 3), TLB-missing
+            profile.cct(StorageClass.HEAP).add_sample_at(
+                path, _sample(latency=200, level=3, tlb=True)
+            )
+        db = ProfileDB("p")
+        db.add_thread(profile)
+        exp = ExperimentDB(merge_profiles([db]))
+        recs = advise(exp, MetricKind.LATENCY, min_share=0.0)
+        assert recs
+        flux = next(r for r in recs if r.variable == "Flux")
+        assert "stride" in flux.problem or "spatial" in flux.problem
+        assert "transpose" in flux.action or "interchange" in flux.action

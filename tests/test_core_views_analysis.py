@@ -1,0 +1,204 @@
+"""Views, analyzer, render, and guidance on a synthetic profiled run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import Analyzer, ExperimentDB
+from repro.core.guidance import advise
+from repro.core.metrics import MetricKind
+from repro.core.profiler import DataCentricProfiler
+from repro.core.render import render_bottom_up, render_top_down, render_variable_table
+from repro.core.storage import StorageClass
+from repro.core.views import build_bottom_up, build_top_down
+from repro.errors import ProfileError
+from repro.pmu.ibs import IBSEngine
+from tests.conftest import MiniProgram
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    """One profiled run touching a hot heap array, a cold heap array,
+    a static variable, and stack data."""
+    mini = MiniProgram()
+    profiler = DataCentricProfiler(mini.process).attach()
+    mini.process.pmu = IBSEngine(period=8, seed=11)
+    ctx = mini.master_ctx()
+    hot = ctx.alloc_array("hot", (16384,), line=20, kind="calloc")
+    cold = ctx.alloc_array("cold", (16384,), line=21)
+    static = ctx.static_array(mini.bss, (4096,), elem=8)
+    stack = ctx.thread.stack_alloc(4096)
+    ip = ctx.ip(10)
+
+    def kern():
+        for i in range(6000):
+            ctx.load_ip(hot.flat_addr((i * 64) % hot.size), ip)
+            if i % 3 == 0:
+                ctx.load_ip(static.flat_addr((i * 8) % static.size), ctx.ip(10, 1))
+            if i % 10 == 0:
+                ctx.load_ip(cold.flat_addr((i * 8) % cold.size), ctx.ip(10, 2))
+            if i % 20 == 0:
+                ctx.load_ip(stack + (i % 4096), ctx.ip(10, 3))
+            if i % 32 == 0:
+                yield
+
+    mini.process.run_serial(kern())
+    exp = Analyzer("mini-run").add(profiler.finalize()).analyze()
+    return mini, profiler, exp
+
+
+class TestTopDownView:
+    def test_storage_totals_sum_to_grand_total(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.top_down(MetricKind.SAMPLES)
+        assert sum(view.storage_totals.values()) == view.grand_total
+        assert view.grand_total > 0
+
+    def test_variables_sorted_descending(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.top_down(MetricKind.LATENCY)
+        values = [v.value for v in view.variables]
+        assert values == sorted(values, reverse=True)
+
+    def test_hot_variable_ranks_first(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.top_down(MetricKind.LATENCY)
+        assert view.variables[0].name == "hot"
+        assert view.variables[0].share > 0.3
+
+    def test_variable_shares_within_bounds(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.top_down(MetricKind.SAMPLES)
+        assert all(0 < v.share <= 1 for v in view.variables)
+        assert sum(v.share for v in view.variables) <= 1.0 + 1e-9
+
+    def test_static_variable_present(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.top_down(MetricKind.SAMPLES)
+        static_vars = [v for v in view.variables if v.storage is StorageClass.STATIC]
+        assert [v.name for v in static_vars] == ["g_table"]
+
+    def test_alloc_kind_recorded(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.top_down(MetricKind.SAMPLES)
+        hot = view.find_variable("hot")
+        assert hot.alloc_kind == "calloc"
+        cold = view.find_variable("cold")
+        assert cold.alloc_kind == "malloc"
+
+    def test_accesses_listed_with_locations(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.top_down(MetricKind.SAMPLES, accesses_per_var=3)
+        hot = view.find_variable("hot")
+        assert hot.accesses
+        assert all(a.location.startswith("mini.c:") for a in hot.accesses)
+        assert all(a.value > 0 for a in hot.accesses)
+
+    def test_find_variable_missing(self, analyzed):
+        _, _, exp = analyzed
+        assert exp.top_down(MetricKind.SAMPLES).find_variable("nope") is None
+
+    def test_storage_share_helper(self, analyzed):
+        _, _, exp = analyzed
+        heap = exp.storage_share(StorageClass.HEAP, MetricKind.SAMPLES)
+        static = exp.storage_share(StorageClass.STATIC, MetricKind.SAMPLES)
+        unknown = exp.storage_share(StorageClass.UNKNOWN, MetricKind.SAMPLES)
+        assert heap > static > 0
+        assert unknown > 0
+        assert heap + static + unknown == pytest.approx(1.0)
+
+
+class TestBottomUpView:
+    def test_sites_aggregate_and_sort(self, analyzed):
+        _, _, exp = analyzed
+        view = exp.bottom_up(MetricKind.SAMPLES)
+        assert view.sites
+        values = [s.value for s in view.sites]
+        assert values == sorted(values, reverse=True)
+        assert all(s.n_contexts >= 1 for s in view.sites)
+
+    def test_site_shares_consistent_with_topdown(self, analyzed):
+        _, _, exp = analyzed
+        td = exp.top_down(MetricKind.SAMPLES)
+        bu = exp.bottom_up(MetricKind.SAMPLES)
+        heap_total_td = sum(
+            v.value for v in td.variables if v.storage is StorageClass.HEAP
+        )
+        assert sum(s.value for s in bu.sites) == heap_total_td
+
+
+class TestAnalyzerQueries:
+    def test_top_variables_filter_by_storage(self, analyzed):
+        _, _, exp = analyzed
+        heap_only = exp.top_variables(MetricKind.SAMPLES, storage=StorageClass.HEAP)
+        assert all(v.storage is StorageClass.HEAP for v in heap_only)
+
+    def test_variable_share_sums_same_name(self, analyzed):
+        _, _, exp = analyzed
+        assert exp.variable_share("hot", MetricKind.SAMPLES) > 0
+        assert exp.variable_share("missing", MetricKind.SAMPLES) == 0
+
+    def test_analyze_requires_profiles(self):
+        with pytest.raises(ProfileError):
+            Analyzer("empty").analyze()
+
+    def test_experimentdb_requires_merged(self, analyzed):
+        mini, profiler, _ = analyzed
+        db = profiler.finalize()
+        if len(db.threads) == 1:
+            pytest.skip("single-thread run is trivially merged")
+        with pytest.raises(ProfileError):
+            ExperimentDB(db)
+
+    def test_merge_stats_attached(self, analyzed):
+        _, _, exp = analyzed
+        assert exp.merge_stats is not None
+        assert exp.merge_stats.node_visits > 0
+
+    def test_size_bytes(self, analyzed):
+        _, _, exp = analyzed
+        assert exp.size_bytes() > 100
+
+
+class TestRender:
+    def test_top_down_render_contains_variables(self, analyzed):
+        _, _, exp = analyzed
+        text = render_top_down(exp.top_down(MetricKind.SAMPLES), top_n=5, title="T")
+        assert "T" in text
+        assert "hot" in text
+        assert "heap" in text
+        assert "%" in text
+
+    def test_bottom_up_render(self, analyzed):
+        _, _, exp = analyzed
+        text = render_bottom_up(exp.bottom_up(MetricKind.SAMPLES))
+        assert "alloc site" in text
+        assert "share" in text
+
+    def test_variable_table_render(self, analyzed):
+        _, _, exp = analyzed
+        text = render_variable_table(exp.top_down(MetricKind.SAMPLES))
+        assert "variable" in text
+        assert "hot" in text
+
+
+class TestGuidance:
+    def test_advice_for_top_variables(self, analyzed):
+        _, _, exp = analyzed
+        recs = advise(exp, MetricKind.LATENCY, top_n=5, min_share=0.01)
+        assert recs
+        names = {r.variable for r in recs}
+        assert "hot" in names
+        for r in recs:
+            assert r.action
+            assert r.problem
+            assert 0 < r.share <= 1
+
+    def test_min_share_filters(self, analyzed):
+        _, _, exp = analyzed
+        assert advise(exp, MetricKind.LATENCY, min_share=1.1) == []
+
+    def test_str_is_informative(self, analyzed):
+        _, _, exp = analyzed
+        recs = advise(exp, MetricKind.LATENCY, min_share=0.01)
+        assert all(r.variable in str(r) for r in recs)

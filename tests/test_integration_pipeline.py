@@ -1,0 +1,214 @@
+"""End-to-end pipeline properties: sim -> PMU -> profiler -> merge -> views.
+
+These tests drive realistic multi-threaded / multi-process runs and check
+invariants that span module boundaries: sample conservation, serialization
+round trips through the merge, cross-process coalescing, determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Analyzer,
+    Ctx,
+    DataCentricProfiler,
+    IBSEngine,
+    LoadModule,
+    MetricKind,
+    SimProcess,
+    SourceFile,
+    StorageClass,
+    merge_profiles,
+    power7_node,
+    tiny_machine,
+)
+from repro.core.profiledb import ProfileDB
+from repro.sim.mpi import MPIJob
+from repro.sim.openmp import declare_outlined, omp_chunk
+
+
+def _build_program(process: SimProcess):
+    src = SourceFile("app.c", {8: "sum += data[idx];", 20: "data = malloc(...);"})
+    exe = LoadModule("app.exe", is_executable=True)
+    main_fn = exe.add_function("main", src, 1, 40)
+    region = declare_outlined(exe, main_fn, 5, 10)
+    static = exe.add_static("table", 32768, src, 2)
+    process.load_module(exe)
+    return main_fn, region, static
+
+
+def _run_parallel_app(process: SimProcess, n_threads: int, iters: int = 2000):
+    main_fn, region, static = _build_program(process)
+    ctx = Ctx(process, process.master)
+    ctx.enter(main_fn)
+    data = ctx.alloc_array("data", (8192,), line=20, kind="calloc")
+    table = ctx.static_array(static, (4096,), elem=8)
+
+    def worker(wctx: Ctx, tid: int):
+        ip = region.ip(8)
+        ip2 = region.ip(8, 1)
+        for i in omp_chunk(iters, n_threads, tid):
+            wctx.load_ip(data.flat_addr((i * 16) % data.size), ip)
+            if i % 3 == 0:
+                wctx.load_ip(table.flat_addr((i * 8) % table.size), ip2)
+            if i % 16 == 15:
+                yield
+        yield
+
+    ctx.parallel(region, worker, n_threads, line=5)
+    ctx.leave()
+
+
+@pytest.fixture(scope="module")
+def profiled_parallel_run():
+    machine = power7_node(smt=1)
+    process = SimProcess(machine, name="pipeline")
+    profiler = DataCentricProfiler(process).attach()
+    process.pmu = IBSEngine(period=16, seed=99)
+    _run_parallel_app(process, n_threads=16)
+    return process, profiler
+
+
+class TestSampleConservation:
+    def test_every_sample_lands_in_exactly_one_cct(self, profiled_parallel_run):
+        _, profiler = profiled_parallel_run
+        s = profiler.stats
+        assert s.samples > 0
+        filed = (
+            s.heap_samples + s.static_samples + s.stack_samples + s.unknown_samples
+        )
+        assert filed == s.mem_samples
+        db = profiler.finalize()
+        total_in_cct = 0
+        for profile in db.all_profiles():
+            for storage in profile.storage_classes():
+                total_in_cct += profile.cct(storage).total(MetricKind.SAMPLES)
+        assert total_in_cct == s.samples  # mem + nonmem
+
+    def test_merge_conserves_samples(self, profiled_parallel_run):
+        _, profiler = profiled_parallel_run
+        db = profiler.finalize()
+        before = sum(
+            p.cct(s).total(MetricKind.SAMPLES)
+            for p in db.all_profiles()
+            for s in p.storage_classes()
+        )
+        merged = merge_profiles([db])
+        profile = next(iter(merged.threads.values()))
+        after = sum(
+            profile.cct(s).total(MetricKind.SAMPLES)
+            for s in profile.storage_classes()
+        )
+        assert after == before
+
+    def test_latency_conserved_through_serialization_and_merge(
+        self, profiled_parallel_run
+    ):
+        _, profiler = profiled_parallel_run
+        db = profiler.finalize()
+        raw = db.to_bytes()
+        restored = ProfileDB.from_bytes(raw)
+        merged = merge_profiles([restored])
+        exp = Analyzer("x").add(profiler.finalize()).analyze()
+        profile = next(iter(merged.threads.values()))
+        assert (
+            profile.cct(StorageClass.HEAP).total(MetricKind.LATENCY)
+            == exp.profile.cct(StorageClass.HEAP).total(MetricKind.LATENCY)
+        )
+
+
+class TestCrossThreadCoalescing:
+    def test_one_heap_variable_across_all_threads(self, profiled_parallel_run):
+        _, profiler = profiled_parallel_run
+        exp = Analyzer("x").add(profiler.finalize()).analyze()
+        heap_vars = exp.top_variables(MetricKind.SAMPLES, 10, storage=StorageClass.HEAP)
+        assert len(heap_vars) == 1
+        assert heap_vars[0].name == "data"
+
+    def test_one_static_variable_across_all_threads(self, profiled_parallel_run):
+        _, profiler = profiled_parallel_run
+        exp = Analyzer("x").add(profiler.finalize()).analyze()
+        statics = exp.top_variables(MetricKind.SAMPLES, 10, storage=StorageClass.STATIC)
+        assert [v.name for v in statics] == ["table"]
+
+    def test_worker_threads_all_contributed(self, profiled_parallel_run):
+        _, profiler = profiled_parallel_run
+        db = profiler.finalize()
+        contributing = [
+            p.thread_name
+            for p in db.all_profiles()
+            if p.node_count() > 1
+        ]
+        assert len(contributing) >= 12  # most of the 16 workers sampled
+
+
+class TestCrossProcessPipeline:
+    def test_mpi_ranks_coalesce_into_shared_variables(self):
+        def rank_main(process, rank, n_ranks):
+            _run_parallel_app(process, n_threads=4, iters=600)
+
+        profilers = []
+
+        def attach(process):
+            profiler = DataCentricProfiler(process).attach()
+            process.pmu = IBSEngine(period=12, seed=100 + process.pid)
+            profilers.append(profiler)
+            return profiler
+
+        job = MPIJob(lambda: tiny_machine(sockets=2, cores_per_socket=2),
+                     n_ranks=3, ranks_per_node=1)
+        job.run(rank_main, attach=attach)
+
+        analyzer = Analyzer("job")
+        for profiler in profilers:
+            analyzer.add(profiler.finalize())
+        exp = analyzer.analyze()
+        # Identical programs in every rank: allocation paths coalesce to
+        # ONE logical heap variable and one static across the whole job.
+        heap_vars = exp.top_variables(MetricKind.SAMPLES, 10, storage=StorageClass.HEAP)
+        assert [v.name for v in heap_vars] == ["data"]
+        statics = exp.top_variables(MetricKind.SAMPLES, 10, storage=StorageClass.STATIC)
+        assert [v.name for v in statics] == ["table"]
+        assert exp.merge_stats.profiles_in >= 9  # 3 ranks x (master pool)
+
+
+class TestDeterminism:
+    def _run_once(self):
+        machine = tiny_machine()
+        process = SimProcess(machine, name="det")
+        profiler = DataCentricProfiler(process).attach()
+        process.pmu = IBSEngine(period=16, seed=3)
+        _run_parallel_app(process, n_threads=4, iters=800)
+        return process.elapsed_cycles, profiler.finalize().to_bytes()
+
+    def test_identical_runs_bit_identical(self):
+        cycles_a, bytes_a = self._run_once()
+        cycles_b, bytes_b = self._run_once()
+        assert cycles_a == cycles_b
+        assert bytes_a == bytes_b
+
+
+class TestProfilerPerturbation:
+    """The observer effect: profiling must not change *what* the program does."""
+
+    def test_memory_behavior_identical_with_and_without_profiler(self):
+        def run(profiled: bool):
+            machine = tiny_machine()
+            process = SimProcess(machine, name="obs")
+            if profiled:
+                DataCentricProfiler(process).attach()
+                process.pmu = IBSEngine(period=16, seed=3)
+            _run_parallel_app(process, n_threads=4, iters=800)
+            h = machine.hierarchy
+            return (h.total_accesses(), tuple(h.level_counts),
+                    tuple(h.memmgr.dram_accesses), process.elapsed_cycles)
+
+        acc_n, lvl_n, dram_n, cycles_n = run(False)
+        acc_p, lvl_p, dram_p, cycles_p = run(True)
+        # Same accesses, same hierarchy response, same placement...
+        assert acc_p == acc_n
+        assert lvl_p == lvl_n
+        assert dram_p == dram_n
+        # ...but time dilated by the measurement overhead.
+        assert cycles_p > cycles_n

@@ -1,0 +1,165 @@
+"""Set-associative cache and TLB models: LRU behaviour and invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.machine.cache import SetAssocCache
+from repro.machine.tlb import TLB
+
+
+class TestConstruction:
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache("c", 3, 2)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache("c", 4, 0)
+
+    def test_capacity(self):
+        c = SetAssocCache("c", 8, 4)
+        assert c.capacity_lines == 32
+
+
+class TestHitMiss:
+    def test_miss_then_hit_after_install(self):
+        c = SetAssocCache("c", 4, 2)
+        assert not c.access(100)
+        c.install(100)
+        assert c.access(100)
+        assert c.hits == 1
+        assert c.misses == 1
+
+    def test_access_does_not_install(self):
+        c = SetAssocCache("c", 4, 2)
+        c.access(7)
+        assert not c.contains(7)
+
+    def test_lru_eviction_order(self):
+        c = SetAssocCache("c", 1, 2)  # one set, 2 ways
+        c.install(1)
+        c.install(2)
+        evicted = c.install(3)  # 1 is LRU
+        assert evicted == 1
+        assert c.contains(2)
+        assert c.contains(3)
+        assert not c.contains(1)
+
+    def test_access_promotes_to_mru(self):
+        c = SetAssocCache("c", 1, 2)
+        c.install(1)
+        c.install(2)
+        c.access(1)          # 1 becomes MRU; 2 is now LRU
+        evicted = c.install(3)
+        assert evicted == 2
+
+    def test_install_existing_line_no_eviction(self):
+        c = SetAssocCache("c", 1, 2)
+        c.install(1)
+        c.install(2)
+        assert c.install(1) is None
+        assert c.resident_lines() == 2
+
+    def test_set_isolation(self):
+        c = SetAssocCache("c", 4, 1)
+        # lines 0..3 map to distinct sets; none evicts another
+        for line in range(4):
+            assert c.install(line) is None
+        assert c.resident_lines() == 4
+
+    def test_conflict_misses_same_set(self):
+        c = SetAssocCache("c", 4, 1)
+        c.install(0)
+        evicted = c.install(4)  # same set index (4 & 3 == 0)
+        assert evicted == 0
+
+    def test_invalidate_all(self):
+        c = SetAssocCache("c", 4, 2)
+        for line in range(8):
+            c.install(line)
+        c.invalidate_all()
+        assert c.resident_lines() == 0
+        assert not c.access(0)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=400))
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        c = SetAssocCache("c", 4, 2)
+        for line in lines:
+            if not c.access(line):
+                c.install(line)
+        assert c.resident_lines() <= c.capacity_lines
+        for ways in c._sets:
+            assert len(ways) <= c.assoc
+            assert len(set(ways)) == len(ways)  # no duplicate tags
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        c = SetAssocCache("c", 8, 2)
+        for line in lines:
+            if not c.access(line):
+                c.install(line)
+        assert c.hits + c.misses == len(lines)
+
+    @given(st.lists(st.integers(0, 31), min_size=2, max_size=200))
+    @settings(max_examples=50)
+    def test_immediate_reaccess_hits(self, lines):
+        """Accessing a just-installed line always hits (MRU property)."""
+        c = SetAssocCache("c", 4, 4)
+        for line in lines:
+            if not c.access(line):
+                c.install(line)
+            assert c.access(line)
+
+
+class TestSequentialWorkingSet:
+    def test_fits_in_cache_all_hits_second_pass(self):
+        c = SetAssocCache("c", 8, 2)  # 16 lines
+        for line in range(16):
+            if not c.access(line):
+                c.install(line)
+        c.hits = c.misses = 0
+        for line in range(16):
+            assert c.access(line)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        c = SetAssocCache("c", 4, 2)  # 8 lines
+        for _ in range(3):
+            for line in range(32):
+                if not c.access(line):
+                    c.install(line)
+        # Cyclic streaming over 4x capacity with LRU: ~no hits.
+        assert c.hits == 0
+
+
+class TestTLB:
+    def test_miss_autofills(self):
+        t = TLB(2, 2)
+        assert not t.access(5)
+        assert t.access(5)
+
+    def test_capacity_pages(self):
+        assert TLB(8, 4).capacity_pages == 32
+
+    def test_flush(self):
+        t = TLB(2, 2)
+        t.access(1)
+        t.flush()
+        assert not t.access(1)
+
+    def test_large_stride_misses_every_page(self):
+        t = TLB(4, 2)  # 8 pages
+        misses_before = t.misses
+        for page in range(0, 160, 10):  # 16 distinct pages, round robin
+            t.access(page)
+        for page in range(0, 160, 10):
+            t.access(page)
+        # 16-page working set over 8-entry TLB: second pass still misses.
+        assert t.misses >= misses_before + 24

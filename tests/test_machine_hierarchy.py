@@ -1,0 +1,157 @@
+"""MemoryHierarchy: level resolution, latency ordering, NUMA, prefetch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.hierarchy import (
+    LVL_L1,
+    LVL_L2,
+    LVL_L3,
+    LVL_LMEM,
+    LVL_RMEM,
+    MemoryHierarchy,
+)
+from repro.machine.latency import LatencyModel
+from repro.machine.presets import tiny_machine
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def hier():
+    return tiny_machine(prefetch=False).hierarchy
+
+
+class TestLevels:
+    def test_cold_access_hits_dram(self, hier):
+        lat, lvl, tlb = hier.access(0, 0x10000, home_node=0)
+        assert lvl == LVL_LMEM
+        assert tlb  # cold TLB
+        assert lat >= hier.latency.local_dram
+
+    def test_repeat_access_hits_l1(self, hier):
+        hier.access(0, 0x10000, 0)
+        lat, lvl, tlb = hier.access(0, 0x10000, 0)
+        assert lvl == LVL_L1
+        assert not tlb
+        assert lat == hier.latency.l1
+
+    def test_remote_node_classified_rmem(self, hier):
+        remote = hier.topology.n_numa_nodes - 1
+        _, lvl, _ = hier.access(0, 0x20000, home_node=remote)
+        assert lvl == LVL_RMEM
+
+    def test_remote_latency_exceeds_local(self, hier):
+        lat_local, _, _ = hier.access(0, 0x30000, home_node=0)
+        remote = hier.topology.n_numa_nodes - 1
+        lat_remote, _, _ = hier.access(0, 0x40000, home_node=remote)
+        assert lat_remote > lat_local
+
+    def test_latency_ordering_l1_l2_l3_dram(self):
+        m = tiny_machine(prefetch=False)
+        h = m.hierarchy
+        lat = h.latency
+        assert lat.l1 < lat.l2 < lat.l3 < lat.local_dram
+
+    def test_l2_hit_after_l1_eviction(self, hier):
+        # Fill L1 set beyond associativity with same-set lines; earlier
+        # lines remain in the larger L2.
+        l1 = hier.l1[0]
+        line_bytes = 1 << hier.line_bits
+        same_set_stride = l1.n_sets * line_bytes
+        addrs = [0x100000 + i * same_set_stride for i in range(l1.assoc + 1)]
+        for a in addrs:
+            hier.access(0, a, 0)
+        lat, lvl, _ = hier.access(0, addrs[0], 0)
+        assert lvl == LVL_L2
+
+    def test_l3_shared_across_cores_of_socket(self, hier):
+        topo = hier.topology
+        # cores 0 and 1 are on socket 0 in the tiny machine
+        assert topo.socket_of(0) == topo.socket_of(1)
+        hier.access(0, 0x50000, 0)  # core 0 fills L3 of socket 0
+        lat, lvl, _ = hier.access(1, 0x50000, 0)
+        assert lvl == LVL_L3
+
+    def test_different_socket_no_l3_sharing(self, hier):
+        topo = hier.topology
+        other = next(
+            t for t in range(topo.n_threads) if topo.socket_of(t) != topo.socket_of(0)
+        )
+        hier.access(0, 0x60000, 0)
+        _, lvl, _ = hier.access(other, 0x60000, 0)
+        assert lvl in (LVL_LMEM, LVL_RMEM)
+
+
+class TestCounters:
+    def test_level_counts_sum_to_accesses(self, hier):
+        for i in range(100):
+            hier.access(0, 0x1000 * i, 0)
+        for i in range(100):
+            hier.access(0, 0x1000 * i, 0, is_store=True)
+        assert sum(hier.level_counts) == 200
+        assert hier.load_count == 100
+        assert hier.store_count == 100
+
+    def test_memmgr_sees_dram_traffic(self, hier):
+        hier.access(0, 0x99000, home_node=1)
+        assert hier.memmgr.dram_accesses[1] == 1
+        my_node = hier.topology.numa_of(0)
+        assert hier.memmgr.remote_dram_accesses[1] == (1 if my_node != 1 else 0)
+
+    def test_flush_all(self, hier):
+        hier.access(0, 0x1000, 0)
+        hier.flush_all()
+        _, lvl, tlb = hier.access(0, 0x1000, 0)
+        assert lvl in (LVL_LMEM, LVL_RMEM)
+        assert tlb
+
+
+class TestPrefetch:
+    def test_sequential_stream_gets_prefetched(self):
+        h = tiny_machine(prefetch=True).hierarchy
+        line = 1 << h.line_bits
+        # Stream far beyond cache capacity; after the stream locks on,
+        # misses are served at near-L3 latency.
+        for i in range(64):
+            h.access(0, 0x200000 + i * line, 0)
+        assert h.prefetch_hits > 40
+
+    def test_strided_stream_defeats_prefetcher(self):
+        h = tiny_machine(prefetch=True).hierarchy
+        line = 1 << h.line_bits
+        for i in range(64):
+            h.access(0, 0x200000 + i * 7 * line, 0)
+        assert h.prefetch_hits == 0
+
+    def test_prefetched_latency_below_dram(self):
+        on = tiny_machine(prefetch=True).hierarchy
+        off = tiny_machine(prefetch=False).hierarchy
+        line = 1 << on.line_bits
+        lat_on = sum(on.access(0, 0x200000 + i * line, 0)[0] for i in range(256))
+        lat_off = sum(off.access(0, 0x200000 + i * line, 0)[0] for i in range(256))
+        assert lat_on < lat_off
+
+    def test_prefetch_still_counts_dram_traffic(self):
+        h = tiny_machine(prefetch=True).hierarchy
+        line = 1 << h.line_bits
+        for i in range(64):
+            h.access(0, 0x200000 + i * line, 0)
+        # Prefetch hides latency, not bandwidth: traffic reaches the node.
+        assert h.memmgr.dram_accesses[0] >= 60
+
+
+class TestDescribe:
+    def test_describe_expands_tuple(self, hier):
+        res = hier.access(0, 0xA0000, home_node=1)
+        rich = hier.describe(0, res, home_node=1)
+        assert rich.latency == res[0]
+        assert rich.level == res[1]
+        assert rich.home_node == 1
+        assert rich.remote == (res[1] == LVL_RMEM)
+        assert rich.level_name in ("L1", "L2", "L3", "LMEM", "RMEM")
+
+    def test_rejects_page_smaller_than_line(self):
+        m = tiny_machine()
+        with pytest.raises(ConfigError):
+            MemoryHierarchy(m.topology, LatencyModel(), line_bits=12, page_bits=12)

@@ -1,0 +1,207 @@
+"""Placement policies, memory accounting, and controller contention."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.machine.contention import ControllerContention
+from repro.machine.memory import MemoryManager
+from repro.machine.policies import Bind, FirstTouch, Interleave, PreferredNode
+
+
+class TestPolicies:
+    def test_first_touch_follows_toucher(self):
+        p = FirstTouch()
+        assert p.place(toucher_node=2, vpage=77) == 2
+        assert p.place(toucher_node=0, vpage=77) == 0
+
+    def test_interleave_round_robin_by_page(self):
+        p = Interleave([0, 1, 2, 3])
+        placements = [p.place(0, vpage) for vpage in range(8)]
+        assert placements == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_interleave_ignores_toucher(self):
+        p = Interleave([1, 3])
+        assert p.place(0, 0) == p.place(2, 0) == 1
+
+    def test_interleave_subset_of_nodes(self):
+        p = Interleave([1, 3])
+        assert {p.place(0, v) for v in range(10)} == {1, 3}
+
+    def test_interleave_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            Interleave([])
+
+    def test_bind_always_same_node(self):
+        p = Bind(2)
+        assert all(p.place(t, v) == 2 for t in range(4) for v in range(4))
+
+    def test_bind_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            Bind(-1)
+
+    def test_preferred_behaves_like_bind_without_pressure(self):
+        p = PreferredNode(1)
+        assert p.place(0, 5) == 1
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=4, unique=True),
+           st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_interleave_deterministic_in_vpage(self, nodes, vpage):
+        p = Interleave(nodes)
+        assert p.place(0, vpage) == p.place(3, vpage) == nodes[vpage % len(nodes)]
+
+
+class TestMemoryManager:
+    def test_page_accounting(self):
+        m = MemoryManager(2)
+        m.note_page_placed(0)
+        m.note_page_placed(0)
+        m.note_page_placed(1)
+        assert m.pages_on_node == [2, 1]
+        m.note_page_released(0)
+        assert m.pages_on_node == [1, 1]
+
+    def test_release_underflow_raises(self):
+        m = MemoryManager(1)
+        with pytest.raises(ConfigError):
+            m.note_page_released(0)
+
+    def test_dram_traffic_and_remote(self):
+        m = MemoryManager(2)
+        m.note_dram_access(0, remote=False)
+        m.note_dram_access(0, remote=True)
+        m.note_dram_access(1, remote=True)
+        assert m.total_dram_accesses() == 3
+        assert m.total_remote_accesses() == 2
+        assert m.dram_accesses == [2, 1]
+
+    def test_imbalance_even_is_one(self):
+        m = MemoryManager(2)
+        m.note_dram_access(0, False)
+        m.note_dram_access(1, False)
+        assert m.imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_all_on_one_node(self):
+        m = MemoryManager(4)
+        for _ in range(8):
+            m.note_dram_access(0, False)
+        assert m.imbalance() == pytest.approx(4.0)
+
+    def test_imbalance_empty_is_one(self):
+        assert MemoryManager(4).imbalance() == 1.0
+
+    def test_reset_traffic_keeps_pages(self):
+        m = MemoryManager(2)
+        m.note_page_placed(1)
+        m.note_dram_access(1, True)
+        m.reset_traffic()
+        assert m.total_dram_accesses() == 0
+        assert m.pages_on_node == [0, 1]
+
+
+class TestContention:
+    @staticmethod
+    def _window(c, loads, n_tids=32):
+        """Issue `loads[node]` accesses per node from n_tids threads; rotate."""
+        tid = 0
+        for node, n in enumerate(loads):
+            for _ in range(n):
+                c.dram_access(node, tid % n_tids)
+                tid += 1
+        c.new_window()
+
+    def test_first_window_free(self):
+        c = ControllerContention(2, capacity_per_window=4, max_penalty=100)
+        assert [c.dram_access(0, t) for t in range(10)] == [0] * 10
+
+    def test_full_imbalance_full_penalty(self):
+        c = ControllerContention(4, capacity_per_window=4, max_penalty=100)
+        self._window(c, [64, 0, 0, 0])  # all traffic on node 0
+        assert c.dram_access(0, 0) == 100
+        assert c.dram_access(1, 1) == 0
+
+    def test_balanced_traffic_no_penalty(self):
+        c = ControllerContention(4, capacity_per_window=4, max_penalty=100)
+        self._window(c, [16, 16, 16, 16])
+        assert all(c.congestion_delay(n) == 0 for n in range(4))
+
+    def test_partial_imbalance_partial_penalty(self):
+        c = ControllerContention(2, capacity_per_window=4, max_penalty=100)
+        self._window(c, [48, 16])  # shares 0.75 / 0.25; fair = 0.5
+        assert c.congestion_delay(0) == 50
+        assert c.congestion_delay(1) == 0
+
+    def test_light_traffic_ignored(self):
+        c = ControllerContention(4, capacity_per_window=64, max_penalty=100)
+        self._window(c, [10, 0, 0, 0])  # below min_traffic
+        assert c.congestion_delay(0) == 0
+
+    def test_single_thread_cannot_congest(self):
+        c = ControllerContention(4, capacity_per_window=4, max_penalty=100)
+        self._window(c, [256, 0, 0, 0], n_tids=1)
+        assert c.congestion_delay(0) == 0
+
+    def test_concurrency_scales_penalty(self):
+        few = ControllerContention(4, capacity_per_window=4, max_penalty=100)
+        many = ControllerContention(4, capacity_per_window=4, max_penalty=100)
+        self._window(few, [64, 0, 0, 0], n_tids=4)
+        self._window(many, [64, 0, 0, 0], n_tids=32)
+        assert 0 < few.congestion_delay(0) < many.congestion_delay(0)
+
+    def test_penalty_flat_within_window(self):
+        """Fairness: every access in a window pays the same delay."""
+        c = ControllerContention(2, capacity_per_window=2, max_penalty=60)
+        self._window(c, [30, 0])
+        delays = [c.dram_access(0, t) for t in range(20)]
+        assert len(set(delays)) == 1
+
+    def test_recovery_after_balanced_window(self):
+        c = ControllerContention(2, capacity_per_window=2, max_penalty=100)
+        self._window(c, [40, 0])   # hot
+        self._window(c, [20, 20])  # balanced
+        assert c.congestion_delay(0) == 0
+
+    def test_total_queue_cycles_accumulates(self):
+        c = ControllerContention(2, capacity_per_window=2, max_penalty=10)
+        self._window(c, [40, 0])
+        for t in range(3):
+            c.dram_access(0, t)
+        assert c.total_queue_cycles == 30
+
+    def test_window_counter(self):
+        c = ControllerContention(2)
+        c.new_window()
+        c.new_window()
+        assert c.windows == 2
+
+    def test_single_node_machine_never_penalizes(self):
+        c = ControllerContention(1, capacity_per_window=2, max_penalty=100)
+        self._window(c, [500])
+        assert c.congestion_delay(0) == 0
+
+    def test_spread_traffic_cheaper_than_concentrated(self):
+        """The core NUMA-fix mechanism: interleaving beats hammering one node."""
+        hot = ControllerContention(4, capacity_per_window=20, max_penalty=50)
+        spread = ControllerContention(4, capacity_per_window=20, max_penalty=50)
+        hot_cycles = 0
+        spread_cycles = 0
+        for _ in range(5):
+            for i in range(64):
+                hot_cycles += hot.dram_access(0, i % 32)
+                spread_cycles += spread.dram_access(i % 4, i % 32)
+            hot.new_window()
+            spread.new_window()
+        assert spread_cycles < hot_cycles
+        assert spread_cycles == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            ControllerContention(0)
+        with pytest.raises(ConfigError):
+            ControllerContention(1, capacity_per_window=0)
+        with pytest.raises(ConfigError):
+            ControllerContention(1, max_penalty=-1)

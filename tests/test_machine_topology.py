@@ -1,0 +1,101 @@
+"""Topology: thread/core/socket/NUMA mapping and hop distances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.topology import Topology
+
+
+class TestShape:
+    def test_counts(self):
+        t = Topology(sockets=4, cores_per_socket=8, smt=4)
+        assert t.n_cores == 32
+        assert t.n_threads == 128
+        assert t.n_numa_nodes == 4
+
+    def test_numa_per_socket(self):
+        t = Topology(sockets=4, cores_per_socket=12, smt=1, numa_per_socket=2)
+        assert t.n_numa_nodes == 8
+        assert t.n_threads == 48
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            Topology(0, 1)
+        with pytest.raises(ConfigError):
+            Topology(1, 0)
+        with pytest.raises(ConfigError):
+            Topology(1, 1, smt=0)
+
+    def test_rejects_indivisible_numa_split(self):
+        with pytest.raises(ConfigError):
+            Topology(1, 5, numa_per_socket=2)
+
+
+class TestMapping:
+    def test_smt_threads_share_core(self):
+        t = Topology(sockets=2, cores_per_socket=2, smt=4)
+        assert t.core_of(0) == t.core_of(3) == 0
+        assert t.core_of(4) == 1
+
+    def test_socket_and_numa_of_thread(self):
+        t = Topology(sockets=2, cores_per_socket=2, smt=2)
+        # threads 0-3 -> cores 0,1 -> socket 0; threads 4-7 -> socket 1
+        assert t.socket_of(0) == 0
+        assert t.socket_of(3) == 0
+        assert t.socket_of(4) == 1
+        assert t.numa_of(0) == 0
+        assert t.numa_of(7) == 1
+
+    def test_magny_cours_two_dies_per_socket(self):
+        t = Topology(sockets=4, cores_per_socket=12, numa_per_socket=2)
+        # First 6 cores of socket 0 on die/numa 0, next 6 on numa 1.
+        assert t.numa_of(0) == 0
+        assert t.numa_of(5) == 0
+        assert t.numa_of(6) == 1
+        assert t.numa_of(11) == 1
+        assert t.numa_of(12) == 2  # socket 1, die 0
+
+    def test_threads_on_numa_partition(self):
+        t = Topology(sockets=2, cores_per_socket=4, smt=2)
+        all_threads = sorted(
+            tid for node in range(t.n_numa_nodes) for tid in t.threads_on_numa(node)
+        )
+        assert all_threads == list(range(t.n_threads))
+
+    def test_thread_record_consistency(self):
+        t = Topology(sockets=2, cores_per_socket=2, smt=2, numa_per_socket=1)
+        for tid in range(t.n_threads):
+            rec = t.thread(tid)
+            assert rec.hw_tid == tid
+            assert rec.core == t.core_of(tid)
+            assert rec.socket == t.socket_of(tid)
+            assert rec.numa_node == t.numa_of(tid)
+
+
+class TestHops:
+    def test_same_node_zero(self):
+        t = Topology(2, 2)
+        assert t.hops(0, 0) == 0
+
+    def test_cross_socket_two(self):
+        t = Topology(2, 2)
+        assert t.hops(0, 1) == 2
+
+    def test_same_socket_different_die_one(self):
+        t = Topology(2, 4, numa_per_socket=2)
+        assert t.hops(0, 1) == 1   # dies of socket 0
+        assert t.hops(0, 2) == 2   # socket 0 die 0 -> socket 1 die 0
+
+    def test_symmetry(self):
+        t = Topology(4, 4, numa_per_socket=2)
+        for a in range(t.n_numa_nodes):
+            for b in range(t.n_numa_nodes):
+                assert t.hops(a, b) == t.hops(b, a)
+
+    def test_socket_of_numa(self):
+        t = Topology(3, 4, numa_per_socket=2)
+        assert t.socket_of_numa(0) == 0
+        assert t.socket_of_numa(1) == 0
+        assert t.socket_of_numa(4) == 2

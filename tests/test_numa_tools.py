@@ -1,0 +1,125 @@
+"""numactl / libnuma stand-ins: policy installation and placement effects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.policies import Bind, FirstTouch, Interleave
+from repro.numa.libnuma import (
+    numa_alloc_interleaved,
+    numa_alloc_onnode,
+    numa_bind_range,
+    numa_interleave_range,
+)
+from repro.numa.numactl import numactl_default, numactl_interleave_all, numactl_membind
+from tests.conftest import MiniProgram
+
+
+@pytest.fixture
+def mini4():
+    from repro import tiny_machine
+
+    return MiniProgram(machine=tiny_machine(sockets=4, cores_per_socket=1))
+
+
+class TestNumactl:
+    def test_interleave_all_spreads_every_allocation(self, mini4):
+        numactl_interleave_all(mini4.process)
+        ctx = mini4.master_ctx()
+        addr = ctx.calloc(4096 * 8, line=20)
+        homes = {
+            mini4.process.aspace.page_home_if_touched(addr + off)
+            for off in range(0, 4096 * 8, 4096)
+        }
+        assert homes == {0, 1, 2, 3}
+
+    def test_membind_pins_everything(self, mini4):
+        numactl_membind(mini4.process, node=2)
+        ctx = mini4.master_ctx()
+        addr = ctx.calloc(4096 * 4, line=20)
+        homes = {
+            mini4.process.aspace.page_home_if_touched(addr + off)
+            for off in range(0, 4096 * 4, 4096)
+        }
+        assert homes == {2}
+
+    def test_default_restores_first_touch(self, mini4):
+        numactl_interleave_all(mini4.process)
+        numactl_default(mini4.process)
+        assert isinstance(mini4.process.aspace.default_policy, FirstTouch)
+
+    def test_policy_objects_installed(self, mini4):
+        numactl_interleave_all(mini4.process)
+        assert isinstance(mini4.process.aspace.default_policy, Interleave)
+        numactl_membind(mini4.process, 1)
+        assert isinstance(mini4.process.aspace.default_policy, Bind)
+
+
+class TestLibnuma:
+    def test_alloc_interleaved_spreads_pages(self, mini4):
+        ctx = mini4.master_ctx()
+        arr = numa_alloc_interleaved(ctx, "v", (4096,), line=20, elem=8, kind="calloc")
+        homes = {
+            mini4.process.aspace.page_home_if_touched(arr.base + off)
+            for off in range(0, arr.nbytes, 4096)
+        }
+        assert homes == {0, 1, 2, 3}
+
+    def test_alloc_interleaved_leaves_other_allocations_alone(self, mini4):
+        ctx = mini4.master_ctx()
+        numa_alloc_interleaved(ctx, "v", (4096,), line=20, elem=8, kind="calloc")
+        other = ctx.calloc(4096 * 4, line=21)
+        homes = {
+            mini4.process.aspace.page_home_if_touched(other + off)
+            for off in range(0, 4096 * 4, 4096)
+        }
+        assert homes == {mini4.process.master.numa_node}  # still first-touch
+
+    def test_alloc_interleaved_node_subset(self, mini4):
+        ctx = mini4.master_ctx()
+        arr = numa_alloc_interleaved(
+            ctx, "v", (4096,), line=20, elem=8, kind="calloc", nodes=[1, 3]
+        )
+        homes = {
+            mini4.process.aspace.page_home_if_touched(arr.base + off)
+            for off in range(0, arr.nbytes, 4096)
+        }
+        assert homes == {1, 3}
+
+    def test_alloc_interleaved_visible_to_profiler(self, mini4):
+        from repro import DataCentricProfiler
+
+        profiler = DataCentricProfiler(mini4.process).attach()
+        ctx = mini4.master_ctx()
+        arr = numa_alloc_interleaved(ctx, "named", (4096,), line=20, elem=8)
+        var = profiler.heap_map.lookup(arr.base)
+        assert var is not None
+        assert var.site_label == "named"
+
+    def test_alloc_onnode(self, mini4):
+        ctx = mini4.master_ctx()
+        arr = numa_alloc_onnode(ctx, "v", (4096,), line=20, node=3, elem=8)
+        ctx.touch_range(arr.base, arr.nbytes, line=10)
+        homes = {
+            mini4.process.aspace.page_home_if_touched(arr.base + off)
+            for off in range(0, arr.nbytes, 4096)
+        }
+        assert homes == {3}
+
+    def test_interleave_range_before_touch(self, mini4):
+        ctx = mini4.master_ctx()
+        addr = ctx.malloc(4096 * 4, line=20)  # malloc does not touch
+        numa_interleave_range(ctx, addr, 4096 * 4)
+        ctx.touch_range(addr, 4096 * 4, line=10)
+        homes = {
+            mini4.process.aspace.page_home_if_touched(addr + off)
+            for off in range(0, 4096 * 4, 4096)
+        }
+        assert len(homes) == 4
+
+    def test_bind_range(self, mini4):
+        ctx = mini4.master_ctx()
+        addr = ctx.malloc(4096 * 2, line=20)
+        numa_bind_range(ctx, addr, 4096 * 2, node=1)
+        ctx.touch_range(addr, 4096 * 2, line=10)
+        assert mini4.process.aspace.page_home_if_touched(addr) == 1

@@ -1,0 +1,214 @@
+"""Cross-cutting property-based tests with hypothesis.
+
+Fuzzes randomly generated CCT forests through the serialize -> merge ->
+view pipeline, and random access streams through the memory hierarchy,
+checking the structural invariants the whole system rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cct import (
+    HEAP_MARKER_INFO,
+    HEAP_MARKER_KEY,
+    KIND_FRAME,
+    KIND_IP,
+)
+from repro.core.merge import merge_profiles, reduction_tree_merge
+from repro.core.metrics import MetricKind
+from repro.core.profiledb import ProfileDB, ThreadProfile
+from repro.core.storage import StorageClass
+from repro.core.views import build_bottom_up, build_top_down
+from repro.machine.hierarchy import LVL_LMEM, LVL_RMEM
+from repro.machine.presets import tiny_machine
+from repro.pmu.sample import Sample
+
+
+# -- strategies -----------------------------------------------------------------
+
+fn_names = st.sampled_from(["main", "solve", "alloc", "relax", "interp"])
+lines = st.integers(1, 9)
+latencies = st.integers(1, 400)
+levels = st.integers(0, 4)
+
+
+@st.composite
+def samples(draw):
+    return Sample(
+        event="F",
+        precise_ip=1,
+        interrupt_ip=1,
+        ea=draw(st.integers(0, 1 << 20)),
+        latency=draw(latencies),
+        level=draw(levels),
+        tlb_miss=draw(st.booleans()),
+        is_store=draw(st.booleans()),
+        period=draw(st.sampled_from([16, 64, 256])),
+    )
+
+
+@st.composite
+def heap_paths(draw):
+    """An allocation path + marker + access path, as the profiler builds."""
+    alloc_frames = draw(st.lists(fn_names, min_size=1, max_size=3))
+    alloc_line = draw(lines)
+    access_frames = draw(st.lists(fn_names, min_size=0, max_size=2))
+    access_line = draw(lines)
+    path = [((KIND_FRAME, f, 0), None) for f in alloc_frames]
+    path.append(((KIND_IP, alloc_frames[-1], alloc_line, 0),
+                 {"var": f"v{alloc_line}", "alloc_kind": "malloc",
+                  "location": f"x.c:{alloc_line}"}))
+    path.append((HEAP_MARKER_KEY, HEAP_MARKER_INFO))
+    path.extend(((KIND_FRAME, f, 4), None) for f in access_frames)
+    path.append(((KIND_IP, access_frames[-1] if access_frames else "main",
+                  access_line, 0), None))
+    return path
+
+
+@st.composite
+def thread_profiles(draw, name: str):
+    profile = ThreadProfile(name)
+    n = draw(st.integers(0, 12))
+    for _ in range(n):
+        path = draw(heap_paths())
+        profile.cct(StorageClass.HEAP).add_sample_at(path, draw(samples()))
+    return profile
+
+
+@st.composite
+def profile_dbs(draw, n_procs=st.integers(1, 5)):
+    count = draw(n_procs)
+    dbs = []
+    for p in range(count):
+        db = ProfileDB(f"p{p}")
+        for t in range(draw(st.integers(1, 3))):
+            db.add_thread(draw(thread_profiles(f"p{p}.t{t}")))
+        dbs.append(db)
+    return dbs
+
+
+# -- pipeline properties -----------------------------------------------------------
+
+
+class TestFuzzPipeline:
+    @given(profile_dbs())
+    @settings(max_examples=40, deadline=None)
+    def test_serialize_roundtrip_any_forest(self, dbs):
+        for db in dbs:
+            back = ProfileDB.from_bytes(db.to_bytes())
+            assert back.node_count() == db.node_count()
+            for name, profile in db.threads.items():
+                for storage in profile.storage_classes():
+                    assert (
+                        back.threads[name].cct(storage).root.to_dict()
+                        == profile.cct(storage).root.to_dict()
+                    )
+
+    @given(profile_dbs())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_conserves_every_metric(self, dbs):
+        def totals(kind):
+            return sum(
+                p.cct(s).total(kind)
+                for db in dbs
+                for p in db.all_profiles()
+                for s in p.storage_classes()
+            )
+
+        before = {k: totals(k) for k in MetricKind}
+        merged = merge_profiles(dbs)
+        profile = next(iter(merged.threads.values()))
+        for kind in MetricKind:
+            after = sum(
+                profile.cct(s).total(kind) for s in profile.storage_classes()
+            )
+            assert after == before[kind]
+
+    @given(profile_dbs())
+    @settings(max_examples=30, deadline=None)
+    def test_tree_merge_equals_sequential_merge(self, dbs):
+        import copy
+
+        seq = merge_profiles(copy.deepcopy(dbs))
+        tree, _ = reduction_tree_merge(copy.deepcopy(dbs))
+        p_seq = next(iter(seq.threads.values()))
+        p_tree = next(iter(tree.threads.values()))
+        for storage in set(p_seq.storage_classes()) | set(p_tree.storage_classes()):
+            assert (
+                p_tree.cct(storage).root.to_dict()
+                == p_seq.cct(storage).root.to_dict()
+            )
+
+    @given(profile_dbs())
+    @settings(max_examples=30, deadline=None)
+    def test_views_partition_the_totals(self, dbs):
+        merged = merge_profiles(dbs)
+        profile = next(iter(merged.threads.values()))
+        for kind in (MetricKind.SAMPLES, MetricKind.LATENCY, MetricKind.REMOTE):
+            view = build_top_down(profile, kind)
+            # Variables are disjoint subtrees: their values sum to at most
+            # the grand total, and heap variables sum exactly to the heap
+            # total (every heap sample sits under some marker).
+            assert sum(v.value for v in view.variables) <= view.grand_total
+            heap_sum = sum(
+                v.value for v in view.variables if v.storage is StorageClass.HEAP
+            )
+            assert heap_sum == view.storage_totals[StorageClass.HEAP]
+            bu = build_bottom_up(profile, kind)
+            assert sum(s.value for s in bu.sites) == heap_sum
+
+    @given(profile_dbs())
+    @settings(max_examples=30, deadline=None)
+    def test_view_shares_well_formed(self, dbs):
+        merged = merge_profiles(dbs)
+        profile = next(iter(merged.threads.values()))
+        view = build_top_down(profile, MetricKind.SAMPLES)
+        for var in view.variables:
+            assert 0 < var.share <= 1.0 or view.grand_total == 0
+            assert 0.0 <= var.remote_fraction <= 1.0
+            assert 0.0 <= var.dram_remote_fraction <= 1.0
+            assert var.samples >= 1
+
+
+class TestHierarchyProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),                 # hw thread
+                st.integers(0, 1 << 18),           # address
+                st.integers(0, 1),                 # home node
+                st.booleans(),                     # store?
+            ),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_access_accounting_invariants(self, accesses):
+        machine = tiny_machine()
+        h = machine.hierarchy
+        for hw, addr, home, store in accesses:
+            lat, lvl, _tlb = h.access(hw, addr, home, store)
+            assert lat > 0
+            assert 0 <= lvl <= 4
+        assert h.total_accesses() == len(accesses)
+        assert sum(h.level_counts) == len(accesses)
+        # DRAM accounting agrees between hierarchy and memory manager.
+        dram = h.level_counts[LVL_LMEM] + h.level_counts[LVL_RMEM]
+        assert h.memmgr.total_dram_accesses() == dram
+        assert h.memmgr.total_remote_accesses() == h.level_counts[LVL_RMEM]
+
+    @given(
+        st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200),
+        st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_of_any_trace_hits_no_worse(self, addrs, prefetch):
+        """Replaying a trace immediately can only improve locality."""
+        machine = tiny_machine(prefetch=prefetch)
+        h = machine.hierarchy
+        first = sum(h.access(0, a, 0)[0] for a in addrs)
+        second = sum(h.access(0, a, 0)[0] for a in addrs)
+        assert second <= first

@@ -1,0 +1,167 @@
+"""Scheduler round-robin semantics, machine presets, AppResult helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import amd_magnycours, intel_ivybridge, power7_node, tiny_machine
+from repro.apps.common import AppResult, analyze_profilers, profile_attachment
+from repro.errors import ConfigError
+from repro.machine.presets import Machine, MachineSpec
+from repro.sim.scheduler import drive
+
+
+class TestDrive:
+    def _machine(self):
+        return tiny_machine()
+
+    def test_runs_all_generators_to_completion(self):
+        machine = self._machine()
+        done = []
+
+        def gen(i):
+            for _ in range(i):
+                yield
+            done.append(i)
+
+        drive([gen(3), gen(7), gen(1)], machine.hierarchy, quantum=2)
+        assert sorted(done) == [1, 3, 7]
+
+    def test_interleaves_round_robin(self):
+        machine = self._machine()
+        trace = []
+
+        def gen(tag, steps):
+            for i in range(steps):
+                trace.append(tag)
+                yield
+
+        drive([gen("a", 4), gen("b", 4)], machine.hierarchy, quantum=1)
+        # Strict alternation at quantum=1.
+        assert trace[:8] == ["a", "b", "a", "b", "a", "b", "a", "b"]
+
+    def test_quantum_batches_resumes(self):
+        machine = self._machine()
+        trace = []
+
+        def gen(tag):
+            for _ in range(4):
+                trace.append(tag)
+                yield
+
+        drive([gen("a"), gen("b")], machine.hierarchy, quantum=2)
+        assert trace[:4] == ["a", "a", "b", "b"]
+
+    def test_rotates_contention_window_per_round(self):
+        machine = self._machine()
+        before = machine.hierarchy.contention.windows
+
+        def gen():
+            for _ in range(6):
+                yield
+
+        drive([gen()], machine.hierarchy, quantum=2)
+        # 6 yields / quantum 2 = 3 full rounds (plus the final exhausting one).
+        assert machine.hierarchy.contention.windows - before >= 3
+
+    def test_empty_generator_list(self):
+        machine = self._machine()
+        drive([], machine.hierarchy)  # no-op, no error
+
+    def test_generator_exhausted_mid_quantum(self):
+        machine = self._machine()
+        done = []
+
+        def gen():
+            yield
+            done.append(True)
+
+        drive([gen()], machine.hierarchy, quantum=10)
+        assert done == [True]
+
+
+class TestPresets:
+    def test_power7_shape(self):
+        m = power7_node()
+        assert m.n_threads == 128
+        assert m.n_numa_nodes == 4
+        assert m.topology.smt == 4
+
+    def test_power7_smt1(self):
+        m = power7_node(smt=1)
+        assert m.n_threads == 32
+        assert m.n_numa_nodes == 4
+
+    def test_amd_shape(self):
+        m = amd_magnycours()
+        assert m.n_threads == 48
+        assert m.n_numa_nodes == 8
+        assert m.topology.smt == 1
+
+    def test_ivybridge_shape(self):
+        m = intel_ivybridge()
+        assert m.n_threads == 48
+        assert m.n_numa_nodes == 2
+
+    def test_page_size(self):
+        assert tiny_machine().page_size == 4096
+
+    def test_cycles_to_seconds(self):
+        m = tiny_machine()
+        assert m.cycles_to_seconds(m.spec.clock_hz) == pytest.approx(1.0)
+
+    def test_machines_are_independent(self):
+        a = power7_node()
+        b = power7_node()
+        a.hierarchy.access(0, 0x1000, 0)
+        assert b.hierarchy.total_accesses() == 0
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(name="x", sockets=1, cores_per_socket=1, clock_hz=0)
+
+    def test_latency_orderings_all_presets(self):
+        for factory in (power7_node, amd_magnycours, intel_ivybridge, tiny_machine):
+            lat = factory().spec.latency
+            assert lat.l1 < lat.l2 < lat.l3 < lat.local_dram
+            assert lat.dram(2) > lat.dram(0) == lat.local_dram
+
+
+class TestAppResultHelpers:
+    def _result(self, cycles, profilers=()):
+        return AppResult(
+            app="x",
+            variant="original",
+            elapsed_cycles=cycles,
+            elapsed_seconds=cycles / 2e9,
+            profilers=list(profilers),
+        )
+
+    def test_speedup_over(self):
+        fast = self._result(100)
+        slow = self._result(150)
+        assert fast.speedup_over(slow) == pytest.approx(1.5)
+        assert slow.speedup_over(fast) == pytest.approx(100 / 150)
+
+    def test_overhead_vs(self):
+        base = self._result(100)
+        profiled = self._result(112)
+        assert profiled.overhead_vs(base) == pytest.approx(0.12)
+
+    def test_degenerate_inputs(self):
+        zero = self._result(0)
+        assert zero.speedup_over(self._result(100)) == 0.0
+        assert self._result(10).overhead_vs(zero) == 0.0
+
+    def test_profiled_flag(self):
+        assert not self._result(1).profiled
+        assert self._result(1, profilers=[object()]).profiled
+
+    def test_analyze_profilers_empty(self):
+        assert analyze_profilers("x", []) is None
+
+    def test_profile_attachment_installs(self, mini):
+        attach = profile_attachment(lambda: None)
+        profiler = attach(mini.process)
+        assert profiler in mini.process.hooks
+        assert mini.process.pmu is None  # factory returned None engine is set

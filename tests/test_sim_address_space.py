@@ -1,0 +1,122 @@
+"""Address spaces: segments, page placement, policy overrides, migration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.machine.memory import MemoryManager
+from repro.machine.policies import Bind, FirstTouch, Interleave
+from repro.sim.address_space import AddressSpace
+
+
+@pytest.fixture
+def aspace():
+    return AddressSpace(asid=0, memmgr=MemoryManager(4), page_bits=12)
+
+
+class TestSegments:
+    def test_disjoint_slabs_per_asid(self):
+        mm = MemoryManager(2)
+        a = AddressSpace(0, mm)
+        b = AddressSpace(1, mm)
+        assert a.base != b.base
+        assert abs(a.base - b.base) >= 1 << 40
+
+    def test_text_static_heap_stack_disjoint(self, aspace):
+        text = aspace.reserve_text(0x2000)
+        static = aspace.reserve_static(0x2000)
+        heap = aspace.heap.base
+        stack = aspace.stack_base(0)
+        regions = sorted([text, static, heap, stack])
+        assert len(set(regions)) == 4
+        assert text < static < heap < stack
+
+    def test_text_reservations_do_not_overlap(self, aspace):
+        a = aspace.reserve_text(0x1800)
+        b = aspace.reserve_text(0x10)
+        assert b >= a + 0x1800
+
+    def test_thread_stacks_disjoint(self, aspace):
+        assert aspace.stack_base(1) - aspace.stack_base(0) >= 1 << 20
+
+
+class TestFirstTouch:
+    def test_page_placed_on_toucher_node(self, aspace):
+        addr = aspace.heap.base
+        assert aspace.home_of(addr, toucher_node=2) == 2
+        # Sticky: later touch from another node does not move it.
+        assert aspace.home_of(addr, toucher_node=0) == 2
+
+    def test_same_page_one_placement(self, aspace):
+        base = aspace.heap.base
+        aspace.home_of(base, 1)
+        aspace.home_of(base + 100, 3)  # same 4K page
+        assert aspace.touched_pages() == 1
+        assert aspace.pages_by_node(4) == [0, 1, 0, 0]
+
+    def test_distinct_pages_placed_separately(self, aspace):
+        base = aspace.heap.base
+        assert aspace.home_of(base, 0) == 0
+        assert aspace.home_of(base + 4096, 3) == 3
+
+    def test_memmgr_accounting(self, aspace):
+        aspace.home_of(aspace.heap.base, 1)
+        assert aspace.memmgr.pages_on_node[1] == 1
+
+    def test_page_home_if_touched(self, aspace):
+        base = aspace.heap.base
+        assert aspace.page_home_if_touched(base) is None
+        aspace.home_of(base, 2)
+        assert aspace.page_home_if_touched(base) == 2
+
+
+class TestPolicies:
+    def test_default_policy_interleave(self, aspace):
+        aspace.set_default_policy(Interleave([0, 1, 2, 3]))
+        base = aspace.heap.base
+        homes = [aspace.home_of(base + i * 4096, 0) for i in range(8)]
+        assert sorted(set(homes)) == [0, 1, 2, 3]
+        # position-keyed: consecutive pages rotate
+        assert homes[:4] != [homes[0]] * 4
+
+    def test_range_override_beats_default(self, aspace):
+        base = aspace.heap.base
+        aspace.set_range_policy(base, base + 4096 * 4, Bind(3))
+        inside = aspace.home_of(base, toucher_node=0)
+        outside = aspace.home_of(base + 4096 * 8, toucher_node=0)
+        assert inside == 3
+        assert outside == 0  # first-touch default
+
+    def test_policy_for(self, aspace):
+        base = aspace.heap.base
+        aspace.set_range_policy(base, base + 4096, Bind(2))
+        assert isinstance(aspace.policy_for(base), Bind)
+        assert isinstance(aspace.policy_for(base + 4096), FirstTouch)
+
+    def test_clear_range_policy(self, aspace):
+        base = aspace.heap.base
+        aspace.set_range_policy(base, base + 4096, Bind(2))
+        aspace.clear_range_policy(base)
+        assert isinstance(aspace.policy_for(base), FirstTouch)
+
+
+class TestMigration:
+    def test_migrate_moves_touched_pages(self, aspace):
+        base = aspace.heap.base
+        for i in range(4):
+            aspace.home_of(base + i * 4096, 0)
+        moved = aspace.migrate_range(base, base + 4 * 4096, node=2)
+        assert moved == 4
+        assert aspace.pages_by_node(4) == [0, 0, 4, 0]
+        assert aspace.home_of(base, 0) == 2
+
+    def test_migrate_skips_untouched_and_already_there(self, aspace):
+        base = aspace.heap.base
+        aspace.home_of(base, 2)
+        moved = aspace.migrate_range(base, base + 8 * 4096, node=2)
+        assert moved == 0
+
+    def test_migrate_empty_range_raises(self, aspace):
+        with pytest.raises(AddressError):
+            aspace.migrate_range(100, 100, node=0)

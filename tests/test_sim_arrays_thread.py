@@ -1,0 +1,158 @@
+"""SimArray layouts and SimThread call stacks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.arrays import SimArray
+from repro.sim.thread import SimThread
+
+
+class TestArrayLayouts:
+    def test_c_order_row_major(self):
+        a = SimArray("a", 0, (4, 8), elem=8, order="C")
+        assert a.addr(0, 0) == 0
+        assert a.addr(0, 1) == 8       # last dim contiguous
+        assert a.addr(1, 0) == 64      # row stride = 8 elems
+
+    def test_f_order_column_major(self):
+        a = SimArray("a", 0, (4, 8), elem=8, order="F")
+        assert a.addr(1, 0) == 8       # first dim contiguous
+        assert a.addr(0, 1) == 32      # column stride = 4 elems
+
+    def test_3d_strides(self):
+        a = SimArray("a", 1000, (2, 3, 4), elem=4, order="C")
+        assert a.addr(1, 2, 3) == 1000 + 4 * (1 * 12 + 2 * 4 + 3)
+        f = SimArray("f", 1000, (2, 3, 4), elem=4, order="F")
+        assert f.addr(1, 2, 3) == 1000 + 4 * (1 + 2 * 2 + 3 * 6)
+
+    def test_nbytes_and_size(self):
+        a = SimArray("a", 0, (10, 10), elem=8)
+        assert a.nbytes == 800
+        assert a.size == 100
+        assert a.end == 800
+
+    def test_flat_addr(self):
+        a = SimArray("a", 64, (2, 2), elem=8)
+        assert a.flat_addr(0) == 64
+        assert a.flat_addr(3) == 64 + 24
+
+    def test_bounds_check(self):
+        a = SimArray("a", 0, (3,), elem=8)
+        with pytest.raises(ConfigError):
+            a.addr(3)
+        with pytest.raises(ConfigError):
+            a.addr(-1)
+        with pytest.raises(ConfigError):
+            a.addr(0, 0)  # wrong arity
+
+    def test_unchecked_matches_checked(self):
+        a = SimArray("a", 512, (3, 5, 7), elem=4, order="F")
+        for i in range(3):
+            for j in range(5):
+                for k in range(7):
+                    assert a.addr(i, j, k) == a.addr_unchecked(i, j, k)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            SimArray("a", 0, ())
+        with pytest.raises(ConfigError):
+            SimArray("a", 0, (0,))
+        with pytest.raises(ConfigError):
+            SimArray("a", 0, (1,), elem=0)
+        with pytest.raises(ConfigError):
+            SimArray("a", 0, (1,), order="X")
+
+
+class TestTransposedView:
+    def test_transpose_permutes_shape(self):
+        a = SimArray("flux", 0, (6, 8, 4), elem=8, order="F")
+        t = a.transposed_view((0, 2, 1))
+        assert t.shape == (6, 4, 8)
+        assert t.base == a.base
+        assert t.nbytes == a.nbytes
+
+    def test_transpose_changes_stride_pattern(self):
+        # Fortran array accessed along dim 1 has long stride; after moving
+        # dim 1 to position 0 the same loop becomes unit stride.
+        a = SimArray("a", 0, (4, 100), elem=8, order="F")
+        long_strides = [a.addr(0, j) for j in range(3)]
+        assert long_strides[1] - long_strides[0] == 32
+        t = a.transposed_view((1, 0))
+        short = [t.addr(j, 0) for j in range(3)]
+        assert short[1] - short[0] == 8
+
+    def test_bad_permutation(self):
+        a = SimArray("a", 0, (2, 3))
+        with pytest.raises(ConfigError):
+            a.transposed_view((0, 0))
+        with pytest.raises(ConfigError):
+            a.transposed_view((0,))
+
+    @given(st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)))
+    @settings(max_examples=30)
+    def test_transposed_covers_same_addresses(self, shape):
+        a = SimArray("a", 4096, shape, elem=8, order="C")
+        t = a.transposed_view((2, 0, 1))
+        addrs_a = {
+            a.addr(i, j, k)
+            for i in range(shape[0])
+            for j in range(shape[1])
+            for k in range(shape[2])
+        }
+        addrs_t = {
+            t.addr(k, i, j)
+            for i in range(shape[0])
+            for j in range(shape[1])
+            for k in range(shape[2])
+        }
+        # Same memory footprint, bijectively re-indexed.
+        assert addrs_t == addrs_a
+
+
+class TestThread:
+    def make(self):
+        return SimThread("t", hw_tid=0, numa_node=0, thread_index=0, stack_base=1 << 20)
+
+    def test_push_pop(self, mini):
+        th = self.make()
+        f1 = th.push_frame(mini.main, 0)
+        th.push_frame(mini.work, mini.main.ip(10))
+        assert th.depth == 2
+        assert th.current_function is mini.work
+        th.pop_frame()
+        assert th.current_function is mini.main
+        th.pop_frame(f1)
+        assert th.depth == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            self.make().pop_frame()
+
+    def test_pop_wrong_frame_raises(self, mini):
+        th = self.make()
+        f1 = th.push_frame(mini.main, 0)
+        th.push_frame(mini.work, mini.main.ip(10))
+        with pytest.raises(SimulationError):
+            th.pop_frame(f1)
+
+    def test_current_function_empty_raises(self):
+        with pytest.raises(SimulationError):
+            _ = self.make().current_function
+
+    def test_frame_serials_unique(self, mini):
+        th = self.make()
+        a = th.push_frame(mini.main, 0)
+        th.pop_frame()
+        b = th.push_frame(mini.main, 0)
+        assert a.serial != b.serial
+
+    def test_stack_alloc_disjoint_aligned(self):
+        th = self.make()
+        a = th.stack_alloc(100)
+        b = th.stack_alloc(10)
+        assert a % 16 == 0 and b % 16 == 0
+        assert b >= a + 100

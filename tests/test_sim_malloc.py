@@ -1,0 +1,171 @@
+"""Heap allocator: first-fit, coalescing, reuse, invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.sim.malloc import HeapAllocator
+
+BASE = 0x1000
+
+
+@pytest.fixture
+def heap():
+    return HeapAllocator(BASE, 1 << 20)
+
+
+class TestBasics:
+    def test_first_allocation_at_base(self, heap):
+        assert heap.malloc(64) == BASE
+
+    def test_alignment_16(self, heap):
+        a = heap.malloc(3)
+        b = heap.malloc(3)
+        assert a % 16 == 0 and b % 16 == 0
+        assert b - a == 16
+
+    def test_sequential_allocations_disjoint(self, heap):
+        blocks = [(heap.malloc(100), 100) for _ in range(10)]
+        for i, (a, _) in enumerate(blocks):
+            for b, _ in blocks[i + 1 :]:
+                assert abs(a - b) >= 100
+
+    def test_free_and_reuse_first_fit(self, heap):
+        a = heap.malloc(64)
+        heap.malloc(64)
+        heap.free(a)
+        assert heap.malloc(64) == a  # first fit reuses the hole
+
+    def test_smaller_request_splits_hole(self, heap):
+        a = heap.malloc(256)
+        heap.malloc(16)
+        heap.free(a)
+        x = heap.malloc(64)
+        y = heap.malloc(64)
+        assert x == a
+        assert y == a + 64
+
+    def test_size_of(self, heap):
+        a = heap.malloc(100)  # rounds to 112
+        assert heap.size_of(a) == 112
+        assert heap.size_of(a + 1) is None
+
+    def test_live_blocks(self, heap):
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        heap.free(a)
+        assert set(heap.live_blocks()) == {b}
+
+
+class TestErrors:
+    def test_nonpositive_malloc(self, heap):
+        with pytest.raises(AllocationError):
+            heap.malloc(0)
+        with pytest.raises(AllocationError):
+            heap.malloc(-5)
+
+    def test_double_free(self, heap):
+        a = heap.malloc(32)
+        heap.free(a)
+        with pytest.raises(AllocationError):
+            heap.free(a)
+
+    def test_free_wild_pointer(self, heap):
+        with pytest.raises(AllocationError):
+            heap.free(0xDEAD)
+
+    def test_out_of_memory(self):
+        h = HeapAllocator(0, 256)
+        h.malloc(200)
+        with pytest.raises(AllocationError):
+            h.malloc(100)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            HeapAllocator(0, 0)
+
+
+class TestCoalescing:
+    def test_free_all_restores_single_hole(self, heap):
+        blocks = [heap.malloc(64) for _ in range(8)]
+        for b in blocks:
+            heap.free(b)
+        heap.check_invariants()
+        # After full coalescing a capacity-sized block fits again.
+        assert heap.malloc(heap.capacity) == BASE
+
+    def test_coalesce_with_predecessor_and_successor(self, heap):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        c = heap.malloc(64)
+        heap.malloc(64)  # guard
+        heap.free(a)
+        heap.free(c)
+        heap.free(b)  # merges the three into one hole
+        heap.check_invariants()
+        assert heap.malloc(192) == a
+
+    def test_accounting(self, heap):
+        a = heap.malloc(100)
+        heap.malloc(50)
+        assert heap.alloc_count == 2
+        assert heap.live_bytes == 112 + 64
+        assert heap.peak_bytes == heap.live_bytes
+        heap.free(a)
+        assert heap.free_count == 1
+        assert heap.live_bytes == 64
+        assert heap.peak_bytes == 112 + 64
+
+
+class TestRealloc:
+    def test_realloc_moves_block(self, heap):
+        a = heap.malloc(64)
+        heap.malloc(16)  # prevent in-place growth
+        b = heap.realloc(a, 256)
+        assert heap.size_of(a) is None
+        assert heap.size_of(b) == 256
+
+    def test_realloc_null_behaves_like_malloc(self, heap):
+        a = heap.realloc(0, 64)
+        assert heap.size_of(a) == 64
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 2048)),
+                st.tuples(st.just("free"), st.integers(0, 40)),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60)
+    def test_random_alloc_free_keeps_invariants(self, ops):
+        heap = HeapAllocator(0x4000, 1 << 22)
+        live: list[int] = []
+        for op, arg in ops:
+            if op == "alloc":
+                live.append(heap.malloc(arg))
+            elif live:
+                heap.free(live.pop(arg % len(live)))
+        heap.check_invariants()
+        # Live blocks never overlap.
+        blocks = sorted(heap.live_blocks().items())
+        for (a, sa), (b, _sb) in zip(blocks, blocks[1:]):
+            assert a + sa <= b
+
+    @given(st.lists(st.integers(1, 512), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_free_everything_returns_all_memory(self, sizes):
+        heap = HeapAllocator(0, 1 << 20)
+        addrs = [heap.malloc(s) for s in sizes]
+        for a in addrs:
+            heap.free(a)
+        heap.check_invariants()
+        assert heap.live_bytes == 0
+        assert heap.malloc(1 << 20) == 0

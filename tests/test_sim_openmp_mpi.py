@@ -1,0 +1,203 @@
+"""OpenMP parallel regions and MPI jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.presets import tiny_machine
+from repro.sim.mpi import MPIJob
+from repro.sim.openmp import declare_outlined, omp_chunk, omp_chunks, outlined_name
+from repro.sim.process import SimProcess
+from repro.sim.runtime import Ctx
+from tests.conftest import MiniProgram
+
+
+class TestWorksharing:
+    def test_chunks_tile_iteration_space(self):
+        for n, t in [(100, 7), (5, 8), (64, 4), (1, 1)]:
+            chunks = omp_chunks(n, t)
+            flat = [i for c in chunks for i in c]
+            assert flat == list(range(n))
+
+    def test_balanced_within_one(self):
+        chunks = omp_chunks(100, 7)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_threads_than_iterations(self):
+        chunks = omp_chunks(3, 8)
+        assert sum(len(c) for c in chunks) == 3
+        assert all(len(c) <= 1 for c in chunks)
+
+    def test_bad_tid_rejected(self):
+        with pytest.raises(ConfigError):
+            omp_chunk(10, 4, 4)
+        with pytest.raises(ConfigError):
+            omp_chunk(10, 0, 0)
+
+    def test_outlined_name_convention(self):
+        assert outlined_name("runTest", 0) == "runTest$$OL$$0"
+
+
+class TestParallelRegion:
+    def _declare_region(self, mini):
+        return declare_outlined(mini.exe, mini.main, 30, 10)
+
+    def test_workers_execute_and_pin(self, mini):
+        # declare_outlined requires an unloaded module; rebuild program
+        prog = MiniProgram()
+        outl = prog.exe  # module loaded in conftest; declare on a fresh lib
+        from repro.sim.loader import LoadModule
+
+        lib = LoadModule("libregion.so")
+        region_fn = lib.add_function(outlined_name("main"), prog.source, 30, 10)
+        prog.process.load_module(lib)
+        ctx = prog.master_ctx()
+        executed = []
+
+        def worker(wctx: Ctx, tid: int):
+            executed.append((tid, wctx.thread.hw_tid))
+            wctx.compute(10)
+            yield
+
+        ctx.parallel(region_fn, worker, n_threads=4, line=30)
+        assert sorted(t for t, _ in executed) == [0, 1, 2, 3]
+        hw = [h for _, h in sorted(executed)]
+        assert hw == [0, 1, 2, 3]  # pinned to consecutive HW threads
+
+    def test_region_advances_master_clock_by_max_worker(self, mini):
+        from repro.sim.loader import LoadModule
+
+        lib = LoadModule("libregion.so")
+        region_fn = lib.add_function(outlined_name("main"), mini.source, 30, 10)
+        mini.process.load_module(lib)
+        ctx = mini.master_ctx()
+        before = ctx.thread.clock
+
+        def worker(wctx, tid):
+            wctx.compute(1000 if tid == 0 else 10)
+            yield
+
+        ctx.parallel(region_fn, worker, n_threads=2, line=30)
+        delta = ctx.thread.clock - before
+        assert delta >= 1000
+        assert delta < 1500  # max, not sum
+
+    def test_worker_stack_rooted_at_outlined_fn(self, mini):
+        from repro.sim.loader import LoadModule
+
+        lib = LoadModule("libregion.so")
+        region_fn = lib.add_function(outlined_name("main"), mini.source, 30, 10)
+        mini.process.load_module(lib)
+        ctx = mini.master_ctx()
+        roots = []
+
+        def worker(wctx, tid):
+            roots.append(wctx.thread.frames[0].function.name)
+            yield
+
+        ctx.parallel(region_fn, worker, n_threads=2, line=30)
+        assert roots == [outlined_name("main")] * 2
+
+    def test_workers_persist_across_regions(self, mini):
+        from repro.sim.loader import LoadModule
+
+        lib = LoadModule("libregion.so")
+        region_fn = lib.add_function(outlined_name("main"), mini.source, 30, 10)
+        mini.process.load_module(lib)
+        ctx = mini.master_ctx()
+        names = []
+
+        def worker(wctx, tid):
+            names.append(wctx.thread.name)
+            yield
+
+        ctx.parallel(region_fn, worker, n_threads=2, line=30)
+        ctx.parallel(region_fn, worker, n_threads=2, line=30)
+        assert names[0] == names[2]  # same pool thread reused
+
+    def test_region_needs_at_least_one_thread(self, mini):
+        from repro.sim.loader import LoadModule
+
+        lib = LoadModule("libregion.so")
+        region_fn = lib.add_function(outlined_name("main"), mini.source, 30, 10)
+        mini.process.load_module(lib)
+        ctx = mini.master_ctx()
+        with pytest.raises(ConfigError):
+            ctx.parallel(region_fn, lambda c, t: iter(()), n_threads=0, line=30)
+
+    def test_too_many_threads_for_machine(self, mini):
+        with pytest.raises(ConfigError):
+            mini.process.omp_thread(mini.machine.n_threads)
+
+
+class TestMPIJob:
+    @staticmethod
+    def _rank_main(process: SimProcess, rank: int, n_ranks: int) -> None:
+        prog_machine = process.machine
+        from repro.sim.loader import LoadModule
+        from repro.sim.source import SourceFile
+
+        src = SourceFile("rank.c")
+        exe = LoadModule("rank.exe", is_executable=True)
+        main_fn = exe.add_function("main", src, 1, 10)
+        process.load_module(exe)
+        ctx = Ctx(process, process.master)
+        ctx.enter(main_fn)
+
+        def body():
+            with process.phase("work"):
+                ctx.compute(100 * (rank + 1))
+            yield
+
+        process.run_serial(body())
+
+    def test_each_rank_gets_own_address_space(self):
+        job = MPIJob(tiny_machine, n_ranks=3, ranks_per_node=1)
+        result = job.run(self._rank_main)
+        bases = {r.process.aspace.base for r in result.ranks}
+        assert len(bases) == 3
+
+    def test_ranks_per_node_share_machine(self):
+        job = MPIJob(tiny_machine, n_ranks=4, ranks_per_node=2)
+        result = job.run(self._rank_main)
+        assert len(result.machines) == 2
+        assert result.ranks[0].process.machine is result.ranks[1].process.machine
+        assert result.ranks[0].process.machine is not result.ranks[2].process.machine
+
+    def test_pinning_within_node(self):
+        job = MPIJob(tiny_machine, n_ranks=2, ranks_per_node=2, threads_per_rank=1)
+        result = job.run(self._rank_main)
+        assert result.ranks[0].process.pin_base == 0
+        assert result.ranks[1].process.pin_base == 1
+
+    def test_job_elapsed_is_max_rank(self):
+        job = MPIJob(tiny_machine, n_ranks=3)
+        result = job.run(self._rank_main)
+        assert result.elapsed_cycles == max(r.elapsed_cycles for r in result.ranks)
+        assert result.elapsed_cycles >= 300
+
+    def test_phase_cycles_max_across_ranks(self):
+        job = MPIJob(tiny_machine, n_ranks=2)
+        result = job.run(self._rank_main)
+        assert result.phase_cycles()["work"] >= 200
+
+    def test_attach_collects_attachments(self):
+        job = MPIJob(tiny_machine, n_ranks=2)
+        result = job.run(self._rank_main, attach=lambda p: f"profiler-{p.pid}")
+        assert result.attachments() == ["profiler-0", "profiler-1"]
+
+    def test_overcommitted_pinning_rejected(self):
+        job = MPIJob(lambda: tiny_machine(), n_ranks=64, ranks_per_node=64)
+        with pytest.raises(ConfigError):
+            job.run(self._rank_main)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            MPIJob(tiny_machine, n_ranks=0)
+
+    def test_elapsed_seconds(self):
+        job = MPIJob(tiny_machine, n_ranks=1)
+        result = job.run(self._rank_main)
+        assert result.elapsed_seconds() > 0

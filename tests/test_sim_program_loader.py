@@ -1,0 +1,174 @@
+"""Program text model and load modules: IPs, symbols, load/unload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.sim.loader import LoadModule
+from repro.sim.program import BYTES_PER_SLOT, SLOTS_PER_LINE, Function
+from repro.sim.source import SourceFile
+
+
+@pytest.fixture
+def module():
+    return LoadModule("libtest.so")
+
+
+@pytest.fixture
+def src():
+    return SourceFile("test.c", {5: "int x = a[i];"})
+
+
+class TestSourceFile:
+    def test_line_text_and_location(self, src):
+        assert src.line_text(5) == "int x = a[i];"
+        assert src.line_text(6) == ""
+        assert src.location(5) == "test.c:5"
+
+    def test_set_line(self, src):
+        src.set_line(7, "y++;")
+        assert src.line_text(7) == "y++;"
+
+
+class TestFunctionIPs:
+    def test_ip_line_slot_roundtrip(self, module, src):
+        fn = module.add_function("f", src, 10, 20)
+        module.place(0x400000, 0x500000)
+        for line in (10, 15, 29):
+            for slot in (0, 1, 15):
+                ip = fn.ip(line, slot)
+                assert fn.line_slot_of(ip) == (line, slot)
+
+    def test_distinct_slots_distinct_ips(self, module, src):
+        fn = module.add_function("f", src, 1, 5)
+        module.place(0, 0)
+        assert fn.ip(1, 0) != fn.ip(1, 1)
+
+    def test_line_out_of_range(self, module, src):
+        fn = module.add_function("f", src, 10, 5)
+        module.place(0, 0)
+        with pytest.raises(ConfigError):
+            fn.ip(15)
+        with pytest.raises(ConfigError):
+            fn.ip(9)
+
+    def test_slot_out_of_range(self, module, src):
+        fn = module.add_function("f", src, 1, 5)
+        module.place(0, 0)
+        with pytest.raises(ConfigError):
+            fn.ip(1, SLOTS_PER_LINE)
+
+    def test_text_size(self, module, src):
+        fn = module.add_function("f", src, 1, 3)
+        assert fn.text_size == 3 * SLOTS_PER_LINE * BYTES_PER_SLOT
+
+    def test_functions_do_not_overlap(self, module, src):
+        f = module.add_function("f", src, 1, 10)
+        g = module.add_function("g", src, 20, 10)
+        module.place(0x1000, 0)
+        assert f.text_base + f.text_size <= g.text_base
+
+
+class TestModuleResolution:
+    def test_resolve_ip(self, module, src):
+        f = module.add_function("f", src, 1, 10)
+        g = module.add_function("g", src, 20, 10)
+        module.place(0x1000, 0x9000)
+        fn, line, slot = module.resolve_ip(g.ip(25, 3))
+        assert fn is g
+        assert (line, slot) == (25, 3)
+
+    def test_resolve_unknown_ip_raises(self, module, src):
+        module.add_function("f", src, 1, 10)
+        module.place(0x1000, 0)
+        with pytest.raises(AddressError):
+            module.resolve_ip(0x10)
+
+    def test_contains_ip(self, module, src):
+        f = module.add_function("f", src, 1, 1)
+        module.place(0x1000, 0)
+        assert module.contains_ip(f.ip(1))
+        assert not module.contains_ip(0)
+
+
+class TestStatics:
+    def test_static_addresses_after_place(self, module, src):
+        a = module.add_static("a", 100, src, 1)
+        b = module.add_static("b", 50, src, 2)
+        module.place(0x1000, 0x8000)
+        assert a.address >= 0x8000
+        assert b.address >= a.end  # alignment may pad
+        assert module.static_at(a.address) is a
+        assert module.static_at(a.end - 1) is a
+        assert module.static_at(b.address) is b
+
+    def test_static_alignment(self, module, src):
+        module.add_static("a", 3, align=64)
+        b = module.add_static("b", 8, align=64)
+        module.place(0, 0x8000)
+        assert b.address % 64 == 0
+
+    def test_static_at_miss_returns_none(self, module, src):
+        module.add_static("a", 10)
+        module.place(0, 0x8000)
+        assert module.static_at(0x7FFF) is None
+
+    def test_rejects_zero_size_static(self, module):
+        with pytest.raises(ConfigError):
+            module.add_static("z", 0)
+
+
+class TestLoadUnload:
+    def test_cannot_add_after_place(self, module, src):
+        module.place(0, 0)
+        with pytest.raises(ConfigError):
+            module.add_function("f", src, 1, 1)
+        with pytest.raises(ConfigError):
+            module.add_static("v", 8)
+
+    def test_double_place_rejected(self, module):
+        module.place(0, 0)
+        with pytest.raises(ConfigError):
+            module.place(0, 0)
+
+    def test_unplace_clears_resolution(self, module, src):
+        f = module.add_function("f", src, 1, 4)
+        v = module.add_static("v", 64)
+        module.place(0x1000, 0x8000)
+        ip = f.ip(2)
+        addr = v.address
+        module.unplace()
+        assert not module.loaded
+        assert not module.contains_ip(ip)
+        # Re-place at a different base: everything resolves at new addresses.
+        module.place(0x2000, 0x9000)
+        assert f.ip(2) == ip - 0x1000 + 0x2000
+        assert v.address == addr - 0x8000 + 0x9000
+
+    def test_unplace_when_not_loaded(self, module):
+        with pytest.raises(ConfigError):
+            module.unplace()
+
+
+class TestProcessIntegration:
+    def test_load_module_into_process(self, mini):
+        # conftest's MiniProgram loads mini.exe already
+        proc = mini.process
+        assert mini.exe in proc.modules
+        assert proc.module_of_ip(mini.main.ip(1)) is mini.exe
+        assert proc.module_of_ip(0xDEAD) is None
+
+    def test_unload_module(self, mini):
+        proc = mini.process
+        proc.unload_module(mini.exe)
+        assert mini.exe not in proc.modules
+        assert not mini.exe.loaded
+
+    def test_load_two_modules_disjoint_text(self, mini):
+        lib = LoadModule("libextra.so")
+        src = SourceFile("extra.c")
+        f = lib.add_function("extra_fn", src, 1, 10)
+        mini.process.load_module(lib)
+        assert mini.process.module_of_ip(f.ip(5)) is lib
+        assert mini.process.module_of_ip(mini.main.ip(1)) is mini.exe

@@ -1,0 +1,218 @@
+"""Ctx: calls, accesses, allocation, calloc first-touch, phases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationError, SimulationError
+from repro.machine.policies import Interleave
+from repro.sim.runtime import Ctx
+
+
+class TestCalls:
+    def test_call_builds_and_unwinds_stack(self, mini):
+        ctx = mini.master_ctx()
+        seen_depths = []
+
+        def inner():
+            seen_depths.append(ctx.thread.depth)
+            yield
+
+        def outer():
+            yield from ctx.call(mini.work, 10, inner())
+
+        mini.process.run_serial(outer())
+        assert seen_depths == [2]
+        assert ctx.thread.depth == 1  # back to main
+
+    def test_call_sync(self, mini):
+        ctx = mini.master_ctx()
+
+        def body(c, x):
+            assert c.thread.current_function is mini.alloc_shim
+            return x * 2
+
+        assert ctx.call_sync(mini.alloc_shim, 20, body, 21) == 42
+        assert ctx.thread.current_function is mini.main
+
+    def test_call_returns_value(self, mini):
+        ctx = mini.master_ctx()
+        result = []
+
+        def inner():
+            yield
+            return 7
+
+        def outer():
+            r = yield from ctx.call(mini.work, 10, inner())
+            result.append(r)
+
+        mini.process.run_serial(outer())
+        assert result == [7]
+
+    def test_call_charges_cycles(self, mini):
+        ctx = mini.master_ctx()
+        before = ctx.thread.clock
+
+        def inner():
+            yield
+
+        def outer():
+            yield from ctx.call(mini.work, 10, inner())
+
+        mini.process.run_serial(outer())
+        assert ctx.thread.clock > before
+
+    def test_ip_helper(self, mini):
+        ctx = mini.master_ctx()
+        assert ctx.ip(10) == mini.main.ip(10)
+        assert ctx.ip(10, 2) == mini.main.ip(10, 2)
+
+
+class TestAccesses:
+    def test_load_advances_clock_and_counts(self, mini):
+        ctx = mini.master_ctx()
+        before = ctx.thread.clock
+        lat = ctx.load(mini.process.aspace.heap.base + 0x100000, line=10)
+        assert lat > 0
+        assert ctx.thread.clock == before + lat
+        assert ctx.thread.mem_count == 1
+
+    def test_store_counts_store(self, mini):
+        ctx = mini.master_ctx()
+        ctx.store(mini.process.aspace.heap.base, line=10)
+        assert mini.machine.hierarchy.store_count == 1
+
+    def test_load_stride_count(self, mini):
+        ctx = mini.master_ctx()
+        ip = ctx.ip(10)
+        ctx.load_stride(mini.process.aspace.heap.base, 50, 8, ip)
+        assert ctx.thread.mem_count == 50
+
+    def test_compute_advances_clock(self, mini):
+        ctx = mini.master_ctx()
+        before = ctx.thread.clock
+        ctx.compute(100)
+        assert ctx.thread.clock >= before + 100
+        assert ctx.thread.inst_count == 100
+
+    def test_first_touch_places_on_master_node(self, mini):
+        ctx = mini.master_ctx()
+        addr = mini.process.aspace.heap.base + 0x5000
+        ctx.load(addr, line=10)
+        assert (
+            mini.process.aspace.page_home_if_touched(addr)
+            == mini.process.master.numa_node
+        )
+
+
+class TestAllocation:
+    def test_malloc_returns_heap_address(self, mini):
+        ctx = mini.master_ctx()
+        addr = ctx.malloc(1024, line=20)
+        assert mini.process.aspace.heap.size_of(addr) == 1024
+
+    def test_malloc_does_not_touch_pages(self, mini):
+        ctx = mini.master_ctx()
+        addr = ctx.malloc(4096 * 4, line=20)
+        assert mini.process.aspace.page_home_if_touched(addr) is None
+
+    def test_calloc_touches_every_page(self, mini):
+        ctx = mini.master_ctx()
+        nbytes = 4096 * 4
+        addr = ctx.calloc(nbytes, line=20)
+        for off in range(0, nbytes, 4096):
+            assert mini.process.aspace.page_home_if_touched(addr + off) is not None
+
+    def test_calloc_places_pages_on_caller_node(self, mini):
+        ctx = mini.master_ctx()
+        addr = ctx.calloc(4096 * 2, line=20)
+        node = mini.process.master.numa_node
+        assert mini.process.aspace.page_home_if_touched(addr) == node
+
+    def test_calloc_respects_interleave_override(self, mini):
+        aspace = mini.process.aspace
+        aspace.set_default_policy(Interleave(list(range(mini.machine.n_numa_nodes))))
+        ctx = mini.master_ctx()
+        addr = ctx.calloc(4096 * 8, line=20)
+        homes = {
+            aspace.page_home_if_touched(addr + off) for off in range(0, 4096 * 8, 4096)
+        }
+        assert len(homes) == mini.machine.n_numa_nodes
+
+    def test_free_releases(self, mini):
+        ctx = mini.master_ctx()
+        addr = ctx.malloc(64, line=20)
+        ctx.free(addr, line=21)
+        assert mini.process.aspace.heap.size_of(addr) is None
+
+    def test_free_unallocated_raises(self, mini):
+        ctx = mini.master_ctx()
+        with pytest.raises(AllocationError):
+            ctx.free(0x1234, line=21)
+
+    def test_alloc_array_shapes(self, mini):
+        ctx = mini.master_ctx()
+        arr = ctx.alloc_array("m", (10, 20), line=20, elem=4, order="F")
+        assert arr.nbytes == 800
+        assert arr.order == "F"
+        assert mini.process.aspace.heap.size_of(arr.base) == 800
+
+    def test_alloc_array_bad_kind(self, mini):
+        ctx = mini.master_ctx()
+        with pytest.raises(SimulationError):
+            ctx.alloc_array("m", (4,), line=20, kind="brk")
+
+    def test_static_array_view(self, mini):
+        ctx = mini.master_ctx()
+        arr = ctx.static_array(mini.bss, (64, 64), elem=8)
+        assert arr.base == mini.bss.address
+        assert arr.name == "g_table"
+
+    def test_static_array_oversize_rejected(self, mini):
+        ctx = mini.master_ctx()
+        with pytest.raises(SimulationError):
+            ctx.static_array(mini.bss, (1 << 20,), elem=8)
+
+    def test_touch_range_parallel_init_idiom(self, mini):
+        ctx = mini.master_ctx()
+        addr = ctx.malloc(4096 * 4, line=20)
+        ctx.touch_range(addr, 4096 * 4, line=10)
+        pages = {
+            mini.process.aspace.page_home_if_touched(addr + off)
+            for off in range(0, 4096 * 4, 4096)
+        }
+        assert pages == {mini.process.master.numa_node}
+
+
+class TestPhasesAndComm:
+    def test_phase_buckets_master_clock(self, mini):
+        ctx = mini.master_ctx()
+        with mini.process.phase("setup"):
+            ctx.compute(1000)
+        with mini.process.phase("solve"):
+            ctx.compute(500)
+        cycles = mini.process.phase_cycles
+        assert cycles["setup"] >= 1000
+        assert cycles["solve"] >= 500
+        assert mini.process.elapsed_cycles >= 1500
+
+    def test_nested_phases(self, mini):
+        ctx = mini.master_ctx()
+        with mini.process.phase("outer"):
+            ctx.compute(100)
+            with mini.process.phase("inner"):
+                ctx.compute(50)
+        assert mini.process.phase_cycles["inner"] >= 50
+        assert mini.process.phase_cycles["outer"] >= 150
+
+    def test_comm_charges_latency_and_bandwidth(self, mini):
+        ctx = mini.master_ctx()
+        before = ctx.thread.clock
+        ctx.comm(10_000)
+        assert ctx.thread.clock - before >= 2000 + 500
+
+    def test_elapsed_seconds_uses_clock_hz(self, mini):
+        ctx = mini.master_ctx()
+        ctx.compute(int(mini.machine.spec.clock_hz))
+        assert mini.process.elapsed_seconds() >= 1.0

@@ -1,0 +1,162 @@
+"""IntervalMap: lookup semantics, overlap rejection, property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.util.intervals import IntervalMap
+
+
+class TestBasics:
+    def test_empty_lookup_returns_none(self):
+        m = IntervalMap()
+        assert m.lookup(0) is None
+        assert m.lookup_interval(123) is None
+        assert len(m) == 0
+
+    def test_single_interval_half_open(self):
+        m = IntervalMap()
+        m.add(10, 20, "a")
+        assert m.lookup(10) == "a"
+        assert m.lookup(19) == "a"
+        assert m.lookup(20) is None
+        assert m.lookup(9) is None
+
+    def test_lookup_interval_returns_bounds(self):
+        m = IntervalMap()
+        m.add(100, 200, "x")
+        assert m.lookup_interval(150) == (100, 200, "x")
+
+    def test_multiple_disjoint_intervals(self):
+        m = IntervalMap()
+        m.add(0, 10, "a")
+        m.add(20, 30, "b")
+        m.add(10, 20, "c")  # exactly adjacent is legal
+        assert m.lookup(5) == "a"
+        assert m.lookup(15) == "c"
+        assert m.lookup(25) == "b"
+        assert len(m) == 3
+
+    def test_iteration_is_sorted(self):
+        m = IntervalMap()
+        m.add(50, 60, 2)
+        m.add(0, 10, 1)
+        m.add(70, 80, 3)
+        assert [s for s, _, _ in m] == [0, 50, 70]
+
+    def test_covered_bytes(self):
+        m = IntervalMap()
+        m.add(0, 10, None)
+        m.add(100, 130, None)
+        assert m.covered_bytes() == 40
+
+
+class TestErrors:
+    def test_empty_interval_rejected(self):
+        m = IntervalMap()
+        with pytest.raises(AddressError):
+            m.add(10, 10, "x")
+        with pytest.raises(AddressError):
+            m.add(10, 5, "x")
+
+    @pytest.mark.parametrize(
+        "start,end",
+        [(5, 15), (15, 25), (12, 18), (0, 40), (10, 20)],
+    )
+    def test_overlap_rejected(self, start, end):
+        m = IntervalMap()
+        m.add(10, 20, "a")
+        with pytest.raises(AddressError):
+            m.add(start, end, "b")
+
+    def test_remove_requires_exact_start(self):
+        m = IntervalMap()
+        m.add(10, 20, "a")
+        with pytest.raises(AddressError):
+            m.remove(11)
+        assert m.remove(10) == "a"
+        assert m.lookup(15) is None
+
+    def test_remove_from_empty(self):
+        with pytest.raises(AddressError):
+            IntervalMap().remove(0)
+
+
+class TestRemoveReinsert:
+    def test_reinsert_after_remove(self):
+        m = IntervalMap()
+        m.add(10, 20, "a")
+        m.remove(10)
+        m.add(10, 20, "b")
+        assert m.lookup(15) == "b"
+
+    def test_clear(self):
+        m = IntervalMap()
+        m.add(0, 5, 1)
+        m.clear()
+        assert len(m) == 0
+        m.add(0, 5, 2)  # reusable after clear
+        assert m.lookup(0) == 2
+
+
+@st.composite
+def disjoint_intervals(draw):
+    """Generate a set of disjoint [start, end) intervals."""
+    n = draw(st.integers(0, 30))
+    points = draw(
+        st.lists(st.integers(0, 10_000), min_size=2 * n, max_size=2 * n, unique=True)
+    )
+    points.sort()
+    return [(points[2 * i], points[2 * i + 1]) for i in range(n)]
+
+
+class TestProperties:
+    @given(disjoint_intervals())
+    @settings(max_examples=60)
+    def test_every_inserted_point_resolves(self, intervals):
+        m = IntervalMap()
+        for i, (s, e) in enumerate(intervals):
+            m.add(s, e, i)
+        for i, (s, e) in enumerate(intervals):
+            assert m.lookup(s) == i
+            assert m.lookup(e - 1) == i
+            mid = (s + e) // 2
+            assert m.lookup(mid) == i
+
+    @given(disjoint_intervals(), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_lookup_matches_linear_scan(self, intervals, probe):
+        m = IntervalMap()
+        for i, (s, e) in enumerate(intervals):
+            m.add(s, e, i)
+        expected = None
+        for i, (s, e) in enumerate(intervals):
+            if s <= probe < e:
+                expected = i
+                break
+        assert m.lookup(probe) == expected
+
+    @given(disjoint_intervals())
+    @settings(max_examples=40)
+    def test_remove_all_leaves_empty(self, intervals):
+        m = IntervalMap()
+        for i, (s, e) in enumerate(intervals):
+            m.add(s, e, i)
+        for s, _ in intervals:
+            m.remove(s)
+        assert len(m) == 0
+        assert m.covered_bytes() == 0
+
+    @given(disjoint_intervals())
+    @settings(max_examples=40)
+    def test_insertion_order_irrelevant(self, intervals):
+        forward = IntervalMap()
+        backward = IntervalMap()
+        for i, (s, e) in enumerate(intervals):
+            forward.add(s, e, i)
+        for i, (s, e) in reversed(list(enumerate(intervals))):
+            backward.add(s, e, i)
+        assert list(forward) == list(backward)

@@ -1,0 +1,165 @@
+"""DeterministicRNG, RunningStats, and formatting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.fmt import format_table, human_bytes, pct
+from repro.util.rng import DeterministicRNG
+from repro.util.stats import RunningStats
+
+
+class TestRNG:
+    def test_determinism_same_seed(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_randint_bounds(self):
+        rng = DeterministicRNG(7)
+        values = [rng.randint(3, 9) for _ in range(500)]
+        assert min(values) >= 3
+        assert max(values) <= 9
+        assert set(values) == set(range(3, 10))  # all values reachable
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).randint(5, 4)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRNG(11)
+        for _ in range(200):
+            x = rng.random()
+            assert 0.0 <= x < 1.0
+
+    def test_geometric_jitter_near_period(self):
+        rng = DeterministicRNG(3)
+        for _ in range(300):
+            p = rng.geometric_jitter(1000, frac=0.1)
+            assert 900 <= p <= 1100
+
+    def test_geometric_jitter_minimum_one(self):
+        rng = DeterministicRNG(3)
+        assert all(rng.geometric_jitter(1) >= 1 for _ in range(50))
+
+    def test_geometric_jitter_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).geometric_jitter(0)
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(9)
+        seq = list(range(30))
+        shuffled = list(seq)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == seq
+
+    def test_fork_streams_independent(self):
+        root = DeterministicRNG(5)
+        c1 = root.fork(1)
+        c2 = root.fork(2)
+        s1 = [c1.next_u64() for _ in range(5)]
+        s2 = [c2.next_u64() for _ in range(5)]
+        assert s1 != s2
+        # Forking does not consume parent state.
+        assert DeterministicRNG(5).fork(1).next_u64() == s1[0]
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_known_values(self):
+        s = RunningStats()
+        for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            s.push(x)
+        assert s.count == 8
+        assert s.mean == pytest.approx(5.0)
+        assert s.minimum == 2.0
+        assert s.maximum == 9.0
+        assert s.total == pytest.approx(40.0)
+        assert s.stddev == pytest.approx(math.sqrt(32 / 7))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_matches_batch_computation(self, xs):
+        s = RunningStats()
+        for x in xs:
+            s.push(x)
+        mean = sum(xs) / len(xs)
+        assert s.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert s.minimum == min(xs)
+        assert s.maximum == max(xs)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=80),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=80),
+    )
+    @settings(max_examples=50)
+    def test_merge_equals_concatenation(self, xs, ys):
+        a = RunningStats()
+        b = RunningStats()
+        c = RunningStats()
+        for x in xs:
+            a.push(x)
+            c.push(x)
+        for y in ys:
+            b.push(y)
+            c.push(y)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-3)
+        assert merged.minimum == c.minimum
+        assert merged.maximum == c.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.push(3.0)
+        merged = a.merge(RunningStats())
+        assert merged.count == 1
+        assert merged.mean == 3.0
+
+
+class TestFmt:
+    def test_pct_basic(self):
+        assert pct(1, 4) == "25.0%"
+        assert pct(222, 1000) == "22.2%"
+
+    def test_pct_zero_denominator(self):
+        assert pct(5, 0) == "0.0%"
+
+    def test_pct_digits(self):
+        assert pct(1, 3, digits=2) == "33.33%"
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.0 KB"
+        assert human_bytes(8 * 1024 * 1024) == "8.0 MB"
+
+    def test_format_table_alignment(self):
+        text = format_table(("name", "n"), [("a", 1), ("bbbb", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+        # all rows same width structure
+        assert len(lines) == 4
+
+    def test_format_table_title(self):
+        text = format_table(("x",), [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
