@@ -140,7 +140,9 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
                 workspaces.append(addr)
             ip220 = c.ip(220)
             for addr in workspaces:
-                c.load_stride(addr, 192 * 1024 // 256, 256, ip220)
+                # Fixed-stride consumer sweep over a contiguous workspace:
+                # one batched run per workspace.
+                c.load_run(addr, 192 * 1024 // 256, 256, ip220)
             c.compute(cfg.init_compute)
 
         ctx.call_sync(build_fn, 20, build_body)
@@ -191,11 +193,12 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
                 small_tables.append(c.malloc(3968, line=350))
                 c.touch_range(small_tables[-1], 3968, line=350)
 
-            # Master fills the matrix entries (sequential writes).
+            # Master fills the matrix entries (sequential writes) — one
+            # batched store run per array.
             ip340 = c.ip(340)
             for name, _ in PROBLEM_ARRAYS[:3]:
                 arr = arrays[name]
-                c.store_stride(arr.base, arr.nbytes // 512, 512, ip340)
+                c.store_run(arr.base, arr.nbytes // 512, 512, ip340)
             c.compute(cfg.setup_compute)
 
         ctx.call_sync(setup_fn, 40, setup_body)

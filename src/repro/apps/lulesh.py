@@ -167,6 +167,10 @@ def run(cfg: Config) -> AppResult:
             # exceeds the private caches, so every timestep re-streams it
             # from DRAM; the scaled-down mesh preserves that by handing
             # each thread a cold chunk per iteration (see DESIGN.md).
+            # The per-element loop interleaves six stream arrays plus
+            # store/force/scratch accesses, so it stays on the scalar API
+            # (batching one array at a time would reorder the stream);
+            # mesh initialization uses the batched touch_range path.
             chunk = omp_chunk(
                 nelem, cfg.n_threads, (tid + iteration * 17) % cfg.n_threads
             )

@@ -136,6 +136,11 @@ def run(cfg: Config) -> AppResult:
         gather = max(1, cfg.ref_gather_every)
 
         def worker(wctx: Ctx, tid: int):
+            # Not ported to the batched Ctx.load_run/store_run API: each
+            # cell interleaves reads of two arrays (including a
+            # data-dependent gather) with a store, so no fixed-stride run
+            # exists whose batching preserves the simulated access order.
+            # Initialization (touch_range) rides the fast path instead.
             chunk = [b for b in range(nblocks_on_diag) if assignment[b] == tid]
             for b in chunk:
                 bi = brow0 + b

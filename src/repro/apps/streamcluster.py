@@ -140,8 +140,9 @@ def run(cfg: Config) -> AppResult:
 
     def dist_body(c: Ctx, pt: int, ip_p2: int, ip_p1: int) -> None:
         # p2.coord streams from block; p1.coord is the candidate center
-        # (one hot row, cache-resident after the first touch).
-        c.load_stride(block.addr(pt, 0), dim, 4, ip_p2)
+        # (one hot row, cache-resident after the first touch).  The
+        # coordinate sweep is one contiguous run — batched fast path.
+        c.load_run(*block.axis_run(1, pt, 0), ip_p2)
         c.load_ip(block.addr(0, 0), ip_p1)
         c.compute(cfg.compute_per_coord * dim)
 

@@ -134,6 +134,10 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
                 for k in range(kt):
                     # The two innermost loops fix the leftmost dimensions:
                     # stride it*jt elements (original) vs. unit (fixed).
+                    # Kept scalar: src loads (data-dependent duplication),
+                    # flux load and flux store interleave per k, so no
+                    # single-array run reproduces this access order; the
+                    # batched path covers initialization (touch_range).
                     ctx.load_ip(cell(src_a, i, j, k), ip_src1)
                     if k % 2 == octant % 2:
                         ctx.load_ip(cell(src_a, i, j, k), ip_src2)

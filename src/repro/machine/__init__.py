@@ -21,6 +21,7 @@ from repro.machine.policies import (
     PreferredNode,
 )
 from repro.machine.contention import ControllerContention
+from repro.machine.stats import MachineStats
 from repro.machine.hierarchy import (
     MemoryHierarchy,
     AccessResult,
@@ -53,6 +54,7 @@ __all__ = [
     "Bind",
     "PreferredNode",
     "ControllerContention",
+    "MachineStats",
     "MemoryHierarchy",
     "AccessResult",
     "LVL_L1",

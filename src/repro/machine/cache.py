@@ -73,6 +73,16 @@ class SetAssocCache:
             return ways.pop()
         return None
 
+    def note_repeat_hits(self, n: int) -> None:
+        """Credit ``n`` hits to a line already resident and MRU.
+
+        Batched-path counter flush: when ``MemoryHierarchy.access_run``
+        short-circuits repeated lookups of the line it just touched, the
+        set state is provably unchanged (the line is already MRU), so only
+        the hit counter needs to catch up with the scalar path.
+        """
+        self.hits += n
+
     def contains(self, line: int) -> bool:
         """Non-promoting lookup (for tests and prefetch filtering)."""
         return line in self._sets[line & self._set_mask]

@@ -25,7 +25,7 @@ class LatencyModel:
     local_dram: int = 160
     hop: int = 80            # extra cycles per interconnect hop for remote DRAM
     tlb_walk: int = 50       # page-table walk on TLB miss
-    store_extra: int = 0     # extra cost charged to stores (write-allocate)
+    store_extra: int = 0     # write-allocate penalty: stores that miss L1
     compute_cycle: int = 1   # cost of one abstract ALU op
 
     def __post_init__(self) -> None:

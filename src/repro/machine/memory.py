@@ -39,6 +39,12 @@ class MemoryManager:
         if remote:
             self.remote_dram_accesses[home_node] += 1
 
+    def note_dram_accesses(self, home_node: int, remote: bool, n: int) -> None:
+        """Bulk form of :meth:`note_dram_access` for the batched fast path."""
+        self.dram_accesses[home_node] += n
+        if remote:
+            self.remote_dram_accesses[home_node] += n
+
     def total_dram_accesses(self) -> int:
         return sum(self.dram_accesses)
 

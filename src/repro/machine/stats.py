@@ -1,0 +1,131 @@
+"""Self-instrumentation snapshots of the simulated machine.
+
+LIKWID-style lightweight counters: the machine already counts everything
+it does (per-level hits, prefetch hits, DRAM traffic per node, contention
+queueing), and :class:`MachineStats` freezes one consistent snapshot of
+those counters.  Snapshots subtract (``b - a`` is the activity between
+two points in time) and add (accumulate deltas across repeated phases),
+which is how ``SimProcess.phase`` attributes machine activity to program
+phases and how the throughput benchmark reports simulated-accesses/sec.
+
+Kept dependency-free of :mod:`repro.machine.hierarchy` (which imports
+this module); the level names are the same five data sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["MachineStats"]
+
+_LEVEL_NAMES = ("L1", "L2", "L3", "LMEM", "RMEM")
+
+
+@dataclass(frozen=True)
+class MachineStats:
+    """One immutable snapshot of the machine's self-instrumentation."""
+
+    level_counts: tuple[int, ...] = (0, 0, 0, 0, 0)
+    loads: int = 0
+    stores: int = 0
+    prefetch_hits: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    dram_accesses: tuple[int, ...] = ()
+    remote_dram_accesses: tuple[int, ...] = ()
+    contention_queue_cycles: int = 0
+    contention_windows: int = 0
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _merge(self, other: "MachineStats", sign: int) -> "MachineStats":
+        kwargs = {}
+        for f in fields(self):
+            a = getattr(self, f.name)
+            b = getattr(other, f.name)
+            if isinstance(a, tuple):
+                if len(a) != len(b):
+                    # Snapshots of differently-sized machines don't combine.
+                    raise ValueError(f"mismatched {f.name}: {len(a)} vs {len(b)}")
+                kwargs[f.name] = tuple(x + sign * y for x, y in zip(a, b))
+            else:
+                kwargs[f.name] = a + sign * b
+        return MachineStats(**kwargs)
+
+    def __add__(self, other: "MachineStats") -> "MachineStats":
+        return self._merge(other, 1)
+
+    def __sub__(self, other: "MachineStats") -> "MachineStats":
+        """Delta: activity between snapshot ``other`` and this one."""
+        return self._merge(other, -1)
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def total_dram(self) -> int:
+        return sum(self.dram_accesses)
+
+    @property
+    def remote_dram(self) -> int:
+        return sum(self.remote_dram_accesses)
+
+    def hit_rate(self, level: int) -> float:
+        """Fraction of all accesses served at data-source ``level``."""
+        total = self.accesses
+        return self.level_counts[level] / total if total else 0.0
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            f.name: list(v) if isinstance(v := getattr(self, f.name), tuple) else v
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineStats":
+        kwargs = {}
+        for f in fields(cls):
+            if f.name in data:
+                v = data[f.name]
+                kwargs[f.name] = tuple(v) if isinstance(v, list) else v
+        return cls(**kwargs)
+
+    # -- presentation -----------------------------------------------------
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(counter, value) rows for ``hpcview info`` / report tables."""
+        total = self.accesses
+        out: list[tuple[str, str]] = [
+            ("accesses", f"{total}"),
+            ("loads / stores", f"{self.loads} / {self.stores}"),
+        ]
+        for lvl, name in enumerate(_LEVEL_NAMES):
+            n = self.level_counts[lvl]
+            pct = 100.0 * n / total if total else 0.0
+            out.append((f"served by {name}", f"{n} ({pct:.1f}%)"))
+        out.append(("prefetch hits", f"{self.prefetch_hits}"))
+        out.append(("TLB hits / misses", f"{self.tlb_hits} / {self.tlb_misses}"))
+        out.append(("L1 hits / misses", f"{self.l1_hits} / {self.l1_misses}"))
+        out.append(("L2 hits / misses", f"{self.l2_hits} / {self.l2_misses}"))
+        out.append(("L3 hits / misses", f"{self.l3_hits} / {self.l3_misses}"))
+        out.append(("DRAM accesses per node", " ".join(str(n) for n in self.dram_accesses) or "-"))
+        out.append(
+            (
+                "remote DRAM per home node",
+                " ".join(str(n) for n in self.remote_dram_accesses) or "-",
+            )
+        )
+        out.append(("contention queue cycles", f"{self.contention_queue_cycles}"))
+        out.append(("contention windows", f"{self.contention_windows}"))
+        return out

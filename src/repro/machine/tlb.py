@@ -28,6 +28,10 @@ class TLB:
         self._cache.install(page)
         return False
 
+    def note_repeat_hits(self, n: int) -> None:
+        """Credit ``n`` hits to the already-resident, MRU page (bulk path)."""
+        self._cache.note_repeat_hits(n)
+
     @property
     def hits(self) -> int:
         return self._cache.hits

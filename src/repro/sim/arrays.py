@@ -95,6 +95,34 @@ class SimArray:
         """Address of the i-th element in *memory* order (0 <= i < size)."""
         return self.base + i * self.elem
 
+    def flat_run(self, start: int = 0, count: int | None = None) -> tuple[int, int, int]:
+        """``(base, count, stride)`` covering elements ``[start, start+count)``
+        in memory order — splat into the bulk accessors::
+
+            ctx.load_run(*a.flat_run(0, n), ip)
+        """
+        if count is None:
+            count = self.size - start
+        if start < 0 or count < 0 or start + count > self.size:
+            raise ConfigError(
+                f"array {self.name}: flat run [{start}, {start + count}) "
+                f"out of bounds [0, {self.size})"
+            )
+        return (self.base + start * self.elem, count, self.elem)
+
+    def axis_run(self, axis: int, *index: int) -> tuple[int, int, int]:
+        """``(base, count, stride)`` walking ``axis`` from ``index`` to the
+        end of that dimension, all other indices held fixed — the inner
+        loop of a stencil/BLAS-1 sweep as one bulk run.
+        """
+        if not (0 <= axis < len(self.shape)):
+            raise ConfigError(f"array {self.name}: no axis {axis} in shape {self.shape}")
+        return (
+            self.addr(*index),
+            self.shape[axis] - index[axis],
+            self.strides[axis],
+        )
+
     def transposed_view(self, perm: tuple[int, ...], name: str | None = None) -> "SimArray":
         """A view with permuted *logical* dimensions over the same memory.
 

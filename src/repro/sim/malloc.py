@@ -71,16 +71,18 @@ class HeapAllocator:
         return size
 
     def realloc(self, addr: int, nbytes: int) -> int:
-        """Naive realloc: allocate new, free old (returns new address).
+        """Realloc: free old, then allocate new (returns new address).
 
         Contents are not modelled (the simulator tracks addresses, not
-        bytes), so no copy loop is needed here; callers that care about
-        the copy's memory traffic issue it explicitly.
+        bytes), so freeing before allocating is safe and lets a block
+        grow in place when its own space plus an adjacent hole is big
+        enough — matching libc, where realloc of the last block extends
+        it rather than inflating peak heap.  Callers that care about the
+        copy's memory traffic issue it explicitly.
         """
-        new_addr = self.malloc(nbytes)
         if addr:
             self.free(addr)
-        return new_addr
+        return self.malloc(nbytes)
 
     def size_of(self, addr: int) -> int | None:
         """Size of the live block starting at ``addr`` (None if not live)."""

@@ -20,6 +20,7 @@ from repro.sim.scheduler import drive
 from repro.sim.thread import SimThread
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.stats import MachineStats
     from repro.sim.program import Function
     from repro.sim.runtime import Ctx
 
@@ -63,6 +64,7 @@ class SimProcess:
         )
         self._omp_pool: dict[int, SimThread] = {}
         self.phase_cycles: dict[str, int] = {}
+        self.phase_stats: dict[str, "MachineStats"] = {}
         self._phase: str | None = None
         self.quantum = 2
 
@@ -128,15 +130,22 @@ class SimProcess:
         Elapsed time is the master thread's clock: serial work advances it
         directly and parallel regions bump it by the slowest worker's
         delta, so a phase's cost is just the master-clock delta across it.
+        Machine self-instrumentation deltas (:class:`MachineStats`) are
+        bucketed the same way into ``phase_stats``.
         """
         outer = self._phase
         self._phase = name
         self.phase_cycles.setdefault(name, 0)
+        hierarchy = self.machine.hierarchy
         start = self.master.clock
+        start_stats = hierarchy.stats()
         try:
             yield
         finally:
             self.phase_cycles[name] += self.master.clock - start
+            delta = hierarchy.stats() - start_stats
+            prev = self.phase_stats.get(name)
+            self.phase_stats[name] = delta if prev is None else prev + delta
             self._phase = outer
 
     @property
@@ -150,6 +159,19 @@ class SimProcess:
         return {
             k: self.machine.cycles_to_seconds(v) for k, v in self.phase_cycles.items()
         }
+
+    def phase_access_rates(self) -> dict[str, float]:
+        """Simulated memory accesses per elapsed cycle, per phase.
+
+        Self-instrumentation: phases whose rate collapses relative to
+        their siblings are the latency-bound ones (the machine spent its
+        cycles waiting, not issuing).
+        """
+        rates: dict[str, float] = {}
+        for name, stats in self.phase_stats.items():
+            cycles = self.phase_cycles.get(name, 0)
+            rates[name] = stats.accesses / cycles if cycles else 0.0
+        return rates
 
     # -- execution -----------------------------------------------------------
 

@@ -119,14 +119,82 @@ class Ctx:
     def store(self, vaddr: int, line: int, slot: int = 0) -> int:
         return self.store_ip(vaddr, self.thread.current_function.ip(line, slot))
 
+    def load_run(self, base: int, count: int, stride: int, ip: int) -> int:
+        """``count`` loads at ``base + k*stride`` via the batched fast path.
+
+        Equivalent to ``count`` scalar :meth:`load_ip` calls — same level
+        counts, latencies, contention charges and PMU sample stream
+        (enforced by ``tests/test_machine_bulk_access.py``) — but pays
+        the per-access Python overhead once per *page* instead of once
+        per access.  Returns the run's total latency in cycles.
+        """
+        return self._access_run(base, count, stride, ip, False)
+
+    def store_run(self, base: int, count: int, stride: int, ip: int) -> int:
+        """Batched form of ``count`` scalar :meth:`store_ip` calls."""
+        return self._access_run(base, count, stride, ip, True)
+
+    def _access_run(self, base: int, count: int, stride: int, ip: int, is_store: bool) -> int:
+        if count <= 0:
+            return 0
+        thread = self.thread
+        node = thread.numa_node
+        hw_tid = thread.hw_tid
+        home_of = self._aspace.home_of
+        access_run = self._hier.access_run
+        page_bits = self._page_bits
+        pmu = self.process.pmu
+        # With a PMU attached we must replay per-access results in order
+        # (sample pacing is stateful); without one, bulk totals suffice.
+        record: list | None = [] if pmu is not None else None
+
+        total = 0
+        if stride == 0:
+            # Degenerate run: one page, one home.
+            total = access_run(hw_tid, base, 0, count, home_of(base, node), is_store, record)
+        else:
+            # Split the run at page boundaries: each page may have a
+            # different home node (first-touch/interleave placement), and
+            # home_of itself commits first-touch, so it must be consulted
+            # in access order — once per page, not once per access.
+            page_size = 1 << page_bits
+            cur = base
+            remaining = count
+            while remaining > 0:
+                if stride > 0:
+                    boundary = ((cur >> page_bits) + 1) << page_bits
+                    n = (boundary - cur + stride - 1) // stride
+                else:
+                    page_start = cur >> page_bits << page_bits
+                    n = (cur - page_start) // -stride + 1
+                if n > remaining:
+                    n = remaining
+                total += access_run(hw_tid, cur, stride, n, home_of(cur, node), is_store, record)
+                cur += n * stride
+                remaining -= n
+
+        if record is None:
+            thread.clock += total
+            thread.inst_count += count
+            thread.mem_count += count
+        else:
+            note_mem = pmu.note_mem
+            process = self.process
+            vaddr = base
+            for lat, lvl, tlbm in record:
+                thread.clock += lat
+                thread.inst_count += 1
+                thread.mem_count += 1
+                note_mem(process, thread, ip, vaddr, lat, lvl, tlbm, is_store)
+                vaddr += stride
+        return total
+
     def load_stride(self, base: int, count: int, stride: int, ip: int) -> None:
         """``count`` loads at ``base + k*stride`` (no scheduler yields inside)."""
-        for k in range(count):
-            self.load_ip(base + k * stride, ip)
+        self._access_run(base, count, stride, ip, False)
 
     def store_stride(self, base: int, count: int, stride: int, ip: int) -> None:
-        for k in range(count):
-            self.store_ip(base + k * stride, ip)
+        self._access_run(base, count, stride, ip, True)
 
     def compute(self, n: int = 1) -> None:
         """Advance the clock by ``n`` abstract ALU operations."""
@@ -167,14 +235,15 @@ class Ctx:
         addr = self.malloc(nbytes, line, kind="calloc", var=var)
         page_size = 1 << self._page_bits
         lines_per_page = page_size >> self._hier.line_bits
-        ip = self.thread.current_function.ip(line)
         first_page = addr & ~(page_size - 1)
         end = addr + nbytes
-        p = first_page
-        while p < end:
-            self.store_ip(max(p, addr), ip)
-            self.thread.clock += (lines_per_page - 1) * CALLOC_LINE_COST
-            p += page_size
+        n_pages = (end - first_page + page_size - 1) >> self._page_bits
+        self.touch_range(addr, nbytes, line)
+        # Streaming-zero cost for the rest of each page, in one bulk add
+        # (the scalar interleaving of these pure clock advances with the
+        # page-touch stores is unobservable — nothing reads the clock
+        # between them).
+        self.thread.clock += n_pages * (lines_per_page - 1) * CALLOC_LINE_COST
         return addr
 
     def free(self, addr: int, line: int) -> None:
@@ -233,13 +302,19 @@ class Ctx:
         The parallel-initialization idiom: each thread touching its own
         chunk places those pages locally under first-touch.
         """
+        if nbytes <= 0:
+            return
         page_size = 1 << self._page_bits
         ip = self.thread.current_function.ip(line)
-        p = start & ~(page_size - 1)
         end = start + nbytes
-        while p < end:
-            self.store_ip(max(p, start), ip)
-            p += page_size
+        # Scalar order: one store at `start`, then one per page boundary
+        # inside the range — expressed as a page-stride run so large
+        # ranges take the batched path.
+        self.store_ip(start, ip)
+        boundary = (start & ~(page_size - 1)) + page_size
+        if boundary < end:
+            n = (end - boundary + page_size - 1) >> self._page_bits
+            self.store_run(boundary, n, page_size, ip)
 
     def declare_stack_var(self, name: str, nbytes: int, line: int) -> int:
         """Reserve a named stack range in the current frame.

@@ -8,11 +8,18 @@ files written with :meth:`repro.core.profiledb.ProfileDB.to_bytes`:
     python -m repro.tools.hpcview bottom job.rpdb --metric latency
     python -m repro.tools.hpcview advise job.rpdb
     python -m repro.tools.hpcview info   job.rpdb
+    python -m repro.tools.hpcview info   --machine-stats run.mstats.json
+
+``info --machine-stats`` renders a machine self-instrumentation snapshot
+(a JSON-serialized :class:`repro.machine.stats.MachineStats`, as written
+by ``benchmarks/bench_simulator_throughput.py --stats-out`` or any
+``hierarchy.stats().to_dict()`` dump) next to the profile summaries.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -22,6 +29,7 @@ from repro.core.guidance import advise
 from repro.core.metrics import MetricKind
 from repro.core.profiledb import ProfileDB
 from repro.core.render import render_bottom_up, render_top_down, render_variable_table
+from repro.machine.stats import MachineStats
 from repro.util.fmt import format_table, human_bytes
 
 __all__ = ["main", "load_profiles", "save_profile"]
@@ -51,6 +59,8 @@ def _metric(name: str) -> MetricKind:
 
 
 def cmd_info(args: argparse.Namespace) -> None:
+    if not args.profiles and not args.machine_stats:
+        raise SystemExit("info: give profile files and/or --machine-stats")
     for path in args.profiles:
         db = ProfileDB.from_bytes(Path(path).read_bytes())
         rows = []
@@ -62,6 +72,14 @@ def cmd_info(args: argparse.Namespace) -> None:
             rows,
             title=f"{path}: process {db.process_name!r}, "
                   f"{human_bytes(Path(path).stat().st_size)}",
+        ))
+        print()
+    for path in args.machine_stats:
+        stats = MachineStats.from_dict(json.loads(Path(path).read_text()))
+        print(format_table(
+            ("counter", "value"),
+            stats.rows(),
+            title=f"{path}: machine self-instrumentation",
         ))
         print()
 
@@ -114,16 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(name, fn, help_text):
+    def add(name, fn, help_text, profiles_nargs="+"):
         p = sub.add_parser(name, help=help_text)
-        p.add_argument("profiles", nargs="+", help="profile database files")
+        p.add_argument("profiles", nargs=profiles_nargs, help="profile database files")
         p.add_argument("--metric", default="samples",
                        help="samples|latency|events|remote|tlb_miss")
         p.add_argument("-n", type=int, default=10, help="rows to show")
         p.set_defaults(func=fn)
         return p
 
-    add("info", cmd_info, "list threads/CCTs in each database")
+    info = add("info", cmd_info, "list threads/CCTs in each database",
+               profiles_nargs="*")
+    info.add_argument("--machine-stats", action="append", default=[],
+                      metavar="FILE.json",
+                      help="also render a MachineStats snapshot (JSON dict)")
     top = add("top", cmd_top, "top-down view: variables with allocation paths")
     top.add_argument("--accesses", type=int, default=3,
                      help="hot accesses to show per variable")

@@ -1,0 +1,405 @@
+"""Differential harness: the batched access path vs. the scalar path.
+
+``MemoryHierarchy.access_run`` / ``Ctx.load_run`` / ``Ctx.store_run``
+claim *bit-identical* results to the equivalent sequence of scalar
+``access`` / ``load_ip`` / ``store_ip`` calls: same per-access
+``(latency, level, tlb_miss)`` stream, same final level counts and
+hit/miss counters, same contention charges, same PMU sample streams.
+These tests run both paths on twin machines/processes built identically
+and compare everything observable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Ctx, DataCentricProfiler, SimProcess, tiny_machine
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.machine.policies import Interleave
+from repro.pmu.ebs import EBSEngine
+from repro.pmu.ibs import IBSEngine
+from tests.conftest import MiniProgram
+
+# ---------------------------------------------------------------------------
+# state comparison
+
+
+def hierarchy_state(h: MemoryHierarchy) -> dict:
+    """Everything observable about a hierarchy's accumulated state."""
+    return {
+        "level_counts": list(h.level_counts),
+        "loads": h.load_count,
+        "stores": h.store_count,
+        "prefetch_hits": h.prefetch_hits,
+        "tlb": [(t.hits, t.misses) for t in h.tlb],
+        "l1": [(c.hits, c.misses, c.resident_lines()) for c in h.l1],
+        "l2": [(c.hits, c.misses, c.resident_lines()) for c in h.l2],
+        "l3": [(c.hits, c.misses, c.resident_lines()) for c in h.l3],
+        "streams": [list(s) for s in h._streams],
+        "stream_rr": list(h._stream_rr),
+        "dram": list(h.memmgr.dram_accesses),
+        "remote_dram": list(h.memmgr.remote_dram_accesses),
+        "queue_cycles": h.contention.total_queue_cycles,
+        "window_counts": [h.contention.window_load(n) for n in range(h.contention.n_nodes)],
+        "stats": h.stats(),
+    }
+
+
+def scalar_replay(h: MemoryHierarchy, runs) -> list:
+    """Drive each run through the scalar path; return the result stream."""
+    out = []
+    for hw_tid, base, stride, count, home, is_store in runs:
+        vaddr = base
+        for _ in range(count):
+            out.append(h.access(hw_tid, vaddr, home, is_store))
+            vaddr += stride
+    return out
+
+
+def batched_replay(h: MemoryHierarchy, runs) -> list:
+    out: list = []
+    for hw_tid, base, stride, count, home, is_store in runs:
+        h.access_run(hw_tid, base, stride, count, home, is_store, record=out)
+    return out
+
+
+def assert_equivalent(runs, prefetch: bool) -> None:
+    a = tiny_machine(prefetch=prefetch).hierarchy
+    b = tiny_machine(prefetch=prefetch).hierarchy
+    stream_a = scalar_replay(a, runs)
+    stream_b = batched_replay(b, runs)
+    assert stream_a == stream_b
+    assert hierarchy_state(a) == hierarchy_state(b)
+    total = sum(lat for lat, _, _ in stream_a)
+    # access_run's return value is the run-total latency.
+    c = tiny_machine(prefetch=prefetch).hierarchy
+    assert sum(c.access_run(*run[:5], run[5]) for run in runs) == total
+
+
+# ---------------------------------------------------------------------------
+# hierarchy-level equivalence
+
+run_strategy = st.tuples(
+    st.integers(min_value=0, max_value=3),                    # hw_tid (tiny: 4)
+    st.integers(min_value=0, max_value=1 << 20),              # base
+    st.sampled_from([0, 1, 4, 8, 16, 64, 100, 256, 4096, 4104, -8, -64, -4096]),
+    st.integers(min_value=0, max_value=200),                  # count
+    st.integers(min_value=0, max_value=1),                    # home node
+    st.booleans(),                                            # is_store
+)
+
+
+class TestHierarchyDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(runs=st.lists(run_strategy, min_size=1, max_size=8), prefetch=st.booleans())
+    def test_random_runs_bit_identical(self, runs, prefetch):
+        assert_equivalent(runs, prefetch)
+
+    @pytest.mark.parametrize("prefetch", [True, False])
+    @pytest.mark.parametrize("stride", [1, 8, 64, 72, 1024, 4096, 4100, -8, -4096])
+    def test_strides_crossing_pages(self, stride, prefetch):
+        # 600 accesses at |stride| up to a page: crosses many pages and
+        # wraps cache sets several times.
+        base = 1 << 21 if stride > 0 else (1 << 21) + 600 * -stride
+        assert_equivalent([(0, base, stride, 600, 0, False)], prefetch)
+
+    @pytest.mark.parametrize("prefetch", [True, False])
+    def test_load_store_mix_remote_home(self, prefetch):
+        runs = [
+            (0, 0x40000, 8, 300, 1, False),   # remote home for hw_tid 0
+            (1, 0x40000, 8, 300, 0, True),
+            (2, 0x80000, 64, 150, 1, True),
+            (0, 0x40000, 16, 150, 1, False),  # partial reuse of warm lines
+        ]
+        assert_equivalent(runs, prefetch)
+
+    def test_same_line_short_circuit_heavy(self):
+        # stride 0 and sub-line strides maximize the repeat fast path.
+        runs = [
+            (0, 0x12345, 0, 400, 0, False),
+            (0, 0x12345, 4, 400, 0, True),
+            (1, 0x54321, 1, 300, 1, False),
+        ]
+        assert_equivalent(runs, True)
+
+    def test_interleaved_with_scalar_calls(self):
+        # Mixing scalar and batched calls on the same hierarchy keeps the
+        # combined state identical to all-scalar.
+        a = tiny_machine().hierarchy
+        b = tiny_machine().hierarchy
+        rng = random.Random(7)
+        ops = []
+        for _ in range(50):
+            ops.append(
+                (
+                    rng.randrange(4),
+                    rng.randrange(1 << 20),
+                    rng.choice([8, 64, 4096]),
+                    rng.randrange(1, 40),
+                    rng.randrange(2),
+                    rng.random() < 0.3,
+                )
+            )
+        stream_a = scalar_replay(a, ops)
+        stream_b: list = []
+        for i, (hw_tid, base, stride, count, home, is_store) in enumerate(ops):
+            if i % 2:
+                b.access_run(hw_tid, base, stride, count, home, is_store, record=stream_b)
+            else:
+                vaddr = base
+                for _ in range(count):
+                    stream_b.append(b.access(hw_tid, vaddr, home, is_store))
+                    vaddr += stride
+        assert stream_a == stream_b
+        assert hierarchy_state(a) == hierarchy_state(b)
+
+    def test_contention_windows_rotate_identically(self):
+        # With window rotation interleaved between runs, queue charges in
+        # later windows depend on earlier traffic — still identical.
+        a = tiny_machine().hierarchy
+        b = tiny_machine().hierarchy
+        runs = [(t, 0x100000 + t * 0x40000, 64, 200, 0, False) for t in range(4)]
+        stream_a: list = []
+        stream_b: list = []
+        for run in runs:
+            hw_tid, base, stride, count, home, is_store = run
+            vaddr = base
+            for _ in range(count):
+                stream_a.append(a.access(hw_tid, vaddr, home, is_store))
+                vaddr += stride
+            a.new_window()
+        for run in runs:
+            b.access_run(*run[:5], run[5], record=stream_b)
+            b.new_window()
+        assert stream_a == stream_b
+        assert hierarchy_state(a) == hierarchy_state(b)
+
+    def test_zero_count_is_noop(self):
+        h = tiny_machine().hierarchy
+        before = hierarchy_state(h)
+        assert h.access_run(0, 0x1000, 8, 0, 0) == 0
+        assert hierarchy_state(h) == before
+
+
+# ---------------------------------------------------------------------------
+# Ctx-level equivalence (page chunking, first touch, PMU delivery)
+
+
+class _SampleRecorder:
+    """Hook capturing the full delivered sample stream."""
+
+    def __init__(self):
+        self.samples = []
+
+    def on_module_load(self, process, module):
+        pass
+
+    def on_module_unload(self, process, module):
+        pass
+
+    def on_thread_create(self, process, thread):
+        pass
+
+    def on_alloc(self, process, thread, addr, nbytes, callsite_ip, kind, var=None):
+        pass
+
+    def on_free(self, process, thread, addr):
+        pass
+
+    def on_sample(self, process, thread, sample):
+        self.samples.append(
+            (
+                thread.name,
+                sample.interrupt_ip,
+                sample.precise_ip,
+                sample.ea,
+                sample.latency,
+                sample.level,
+                sample.tlb_miss,
+                sample.is_store,
+                sample.is_memory,
+            )
+        )
+
+
+def _twin(pmu_factory=None, interleave=False):
+    prog = MiniProgram()
+    if interleave:
+        nodes = list(range(prog.machine.n_numa_nodes))
+        prog.process.aspace.set_default_policy(Interleave(nodes))
+    rec = _SampleRecorder()
+    prog.process.hooks.append(rec)
+    if pmu_factory is not None:
+        prog.process.pmu = pmu_factory()
+    ctx = prog.master_ctx()
+    return prog, ctx, rec
+
+
+def _thread_state(prog: MiniProgram) -> tuple:
+    t = prog.process.master
+    return (t.clock, t.inst_count, t.mem_count, t.pmu_countdown)
+
+
+def _compare_ctx(scalar_ops, bulk_ops, pmu_factory=None, interleave=False):
+    """Run two op scripts on twin processes and compare everything."""
+    pa, ca, ra = _twin(pmu_factory, interleave)
+    pb, cb, rb = _twin(pmu_factory, interleave)
+    scalar_ops(ca)
+    bulk_ops(cb)
+    assert ra.samples == rb.samples
+    assert _thread_state(pa) == _thread_state(pb)
+    assert hierarchy_state(pa.machine.hierarchy) == hierarchy_state(pb.machine.hierarchy)
+    assert pa.process.aspace.pages_by_node(
+        pa.machine.n_numa_nodes
+    ) == pb.process.aspace.pages_by_node(pb.machine.n_numa_nodes)
+
+
+PMU_FACTORIES = {
+    "none": None,
+    "ibs": lambda: IBSEngine(period=16, seed=11),
+    "ebs": lambda: EBSEngine(period=16, skid=4, seed=12),
+}
+
+
+class TestCtxDifferential:
+    @pytest.mark.parametrize("pmu", sorted(PMU_FACTORIES))
+    @pytest.mark.parametrize("interleave", [False, True])
+    def test_load_run_page_crossing(self, pmu, interleave):
+        # 3000 unit-stride loads cross ~6 pages; under Interleave each
+        # page has a different home node, exercising per-page chunking.
+        def scalar(ctx: Ctx):
+            a = ctx.alloc_array("A", (3000,), line=20)
+            ip = ctx.ip(10)
+            for i in range(3000):
+                ctx.load_ip(a.flat_addr(i), ip)
+
+        def bulk(ctx: Ctx):
+            a = ctx.alloc_array("A", (3000,), line=20)
+            ctx.load_run(*a.flat_run(), ctx.ip(10))
+
+        _compare_ctx(scalar, bulk, PMU_FACTORIES[pmu], interleave)
+
+    @pytest.mark.parametrize("pmu", sorted(PMU_FACTORIES))
+    def test_store_run_strided(self, pmu):
+        def scalar(ctx: Ctx):
+            a = ctx.alloc_array("A", (256, 64), line=20)
+            ip = ctx.ip(10)
+            base, count, stride = a.axis_run(0, 0, 3)
+            for k in range(count):
+                ctx.store_ip(base + k * stride, ip)
+
+        def bulk(ctx: Ctx):
+            a = ctx.alloc_array("A", (256, 64), line=20)
+            ctx.store_run(*a.axis_run(0, 0, 3), ctx.ip(10))
+
+        _compare_ctx(scalar, bulk, PMU_FACTORIES[pmu])
+
+    def test_mixed_loads_stores_with_profiler(self):
+        # Full stack: profiler attached, EBS skid, heap + static accesses.
+        def body(ctx: Ctx, bulk: bool):
+            a = ctx.alloc_array("A", (1200,), line=20, kind="calloc")
+            g = ctx.static_array(ctx.process.modules[0].statics[0], (512,))
+            ip = ctx.ip(10)
+            if bulk:
+                ctx.load_run(*a.flat_run(), ip)
+                ctx.store_run(*g.flat_run(0, 512), ip)
+                ctx.load_run(*a.flat_run(100, 800), ip)
+            else:
+                for i in range(1200):
+                    ctx.load_ip(a.flat_addr(i), ip)
+                for i in range(512):
+                    ctx.store_ip(g.flat_addr(i), ip)
+                for i in range(100, 900):
+                    ctx.load_ip(a.flat_addr(i), ip)
+
+        def run(bulk: bool):
+            prog = MiniProgram()
+            profiler = DataCentricProfiler(prog.process).attach()
+            rec = _SampleRecorder()
+            prog.process.hooks.append(rec)
+            prog.process.pmu = EBSEngine(period=8, skid=3, seed=5)
+            body(prog.master_ctx(), bulk)
+            return rec.samples, _thread_state(prog), hierarchy_state(
+                prog.machine.hierarchy
+            ), profiler.stats.heap_samples, profiler.stats.static_samples
+
+        assert run(False) == run(True)
+
+    def test_stride_runs_delegate_to_bulk_path(self):
+        # load_stride/store_stride keep their old scalar semantics.
+        def scalar(ctx: Ctx):
+            a = ctx.alloc_array("A", (2000,), line=20)
+            ip = ctx.ip(10)
+            for k in range(500):
+                ctx.load_ip(a.base + k * 16, ip)
+            for k in range(500):
+                ctx.store_ip(a.base + k * 32, ip)
+
+        def bulk(ctx: Ctx):
+            a = ctx.alloc_array("A", (2000,), line=20)
+            ip = ctx.ip(10)
+            ctx.load_stride(a.base, 500, 16, ip)
+            ctx.store_stride(a.base, 500, 32, ip)
+
+        _compare_ctx(scalar, bulk, PMU_FACTORIES["ebs"])
+
+    @pytest.mark.parametrize("nbytes", [1, 100, 4096, 4097, 50_000])
+    def test_touch_range_matches_scalar_reference(self, nbytes):
+        # touch_range now rides store_run; its store sequence must equal
+        # the historical scalar loop (start, then each page boundary).
+        def scalar(ctx: Ctx):
+            addr = ctx.malloc(nbytes, 20)
+            page = 1 << ctx.process.machine.spec.page_bits
+            ip = ctx.ip(10)
+            p = addr & ~(page - 1)
+            end = addr + nbytes
+            while p < end:
+                ctx.store_ip(max(p, addr), ip)
+                p += page
+
+        def bulk(ctx: Ctx):
+            addr = ctx.malloc(nbytes, 20)
+            # touch_range computes the ip from a line; use line 10 to
+            # match the reference loop's ip.
+            ctx.touch_range(addr, nbytes, 10)
+
+        _compare_ctx(scalar, bulk, PMU_FACTORIES["ebs"])
+
+    def test_calloc_matches_scalar_reference(self):
+        from repro.sim.runtime import CALLOC_LINE_COST
+
+        def scalar(ctx: Ctx):
+            addr = ctx.malloc(30_000, 20, kind="calloc")
+            page = 1 << ctx.process.machine.spec.page_bits
+            lines_per_page = page >> ctx.process.machine.hierarchy.line_bits
+            ip = ctx.ip(20)
+            p = addr & ~(page - 1)
+            end = addr + 30_000
+            while p < end:
+                ctx.store_ip(max(p, addr), ip)
+                ctx.thread.clock += (lines_per_page - 1) * CALLOC_LINE_COST
+                p += page
+
+        def bulk(ctx: Ctx):
+            ctx.calloc(30_000, 20)
+
+        _compare_ctx(scalar, bulk, PMU_FACTORIES["ebs"])
+
+    def test_run_return_value_is_total_latency(self, mini):
+        ctx = mini.master_ctx()
+        a = ctx.alloc_array("A", (800,), line=20)
+        before = ctx.thread.clock
+        total = ctx.load_run(*a.flat_run(), ctx.ip(10))
+        assert ctx.thread.clock - before == total
+        assert total > 0
+
+    def test_negative_count_is_noop(self, mini):
+        ctx = mini.master_ctx()
+        state = _thread_state(mini)
+        assert ctx.load_run(0x5000, -3, 8, ctx.ip(10)) == 0
+        assert ctx.store_run(0x5000, 0, 8, ctx.ip(10)) == 0
+        assert _thread_state(mini) == state

@@ -107,6 +107,47 @@ class TestCounters:
         assert tlb
 
 
+class TestFlushIndependence:
+    """flush_all must erase *all* phase-coupling state (incl. _stream_rr)."""
+
+    @staticmethod
+    def _run_phase(h):
+        line = 1 << h.line_bits
+        # Six interleaved miss streams churn the 4 stream slots and leave
+        # the replacement cursor mid-rotation.
+        for i in range(40):
+            for s in range(6):
+                h.access(0, (0x100000 * (s + 1)) + i * line, 0)
+        return h.prefetch_hits
+
+    def test_two_identical_phases_identical_prefetch_hits(self):
+        h = tiny_machine(prefetch=True).hierarchy
+        h.flush_all()
+        first = self._run_phase(h)
+        h.flush_all()
+        second = self._run_phase(h) - first
+        assert second == first
+
+    def test_post_flush_state_matches_fresh_machine(self):
+        # Regression: _stream_rr survived flush_all, so a flushed machine
+        # was distinguishable from a fresh one and phase results depended
+        # on pre-flush history.
+        dirty = tiny_machine(prefetch=True).hierarchy
+        line = 1 << dirty.line_bits
+        for i in range(7):  # 7 misses: cursor ends mid-rotation
+            dirty.access(0, 0x900000 + i * 3 * line, 0)
+        dirty.flush_all()
+        fresh = tiny_machine(prefetch=True).hierarchy
+        assert dirty._streams == fresh._streams
+        assert dirty._stream_rr == fresh._stream_rr
+        base_dirty = dirty.prefetch_hits
+        self._run_phase(dirty)
+        self._run_phase(fresh)
+        assert dirty.prefetch_hits - base_dirty == fresh.prefetch_hits
+        assert dirty._streams == fresh._streams
+        assert dirty._stream_rr == fresh._stream_rr
+
+
 class TestPrefetch:
     def test_sequential_stream_gets_prefetched(self):
         h = tiny_machine(prefetch=True).hierarchy
@@ -139,6 +180,60 @@ class TestPrefetch:
             h.access(0, 0x200000 + i * line, 0)
         # Prefetch hides latency, not bandwidth: traffic reaches the node.
         assert h.memmgr.dram_accesses[0] >= 60
+
+
+class TestStoreExtra:
+    """Pin the write-allocate policy: every store that misses L1 pays
+    ``store_extra``, whichever level services it; L1 store hits and all
+    loads never do (see the hierarchy module docstring)."""
+
+    EXTRA = 25
+
+    def _hier(self):
+        from repro.machine.topology import Topology
+
+        topo = Topology(sockets=1, cores_per_socket=2, smt=1, numa_per_socket=1)
+        lat = LatencyModel(store_extra=self.EXTRA)
+        return MemoryHierarchy(topo, lat, l1_sets=4, l1_assoc=2, prefetch=False)
+
+    def test_dram_store_pays_extra(self):
+        h = self._hier()
+        lat, lvl, _ = h.access(0, 0x10000, 0, is_store=True)
+        assert lvl == LVL_LMEM
+        assert lat == h.latency.tlb_walk + h.latency.local_dram + self.EXTRA
+
+    def test_l1_store_hit_pays_nothing_extra(self):
+        h = self._hier()
+        h.access(0, 0x10000, 0)
+        lat, lvl, _ = h.access(0, 0x10000, 0, is_store=True)
+        assert lvl == LVL_L1
+        assert lat == h.latency.l1
+
+    def test_l2_store_hit_pays_extra(self):
+        h = self._hier()
+        l1 = h.l1[0]
+        line_bytes = 1 << h.line_bits
+        conflict_stride = l1.n_sets * line_bytes
+        h.access(0, 0x10000, 0)  # target line into L1+L2+L3
+        for i in range(1, l1.assoc + 1):  # evict it from L1 only
+            h.access(0, 0x10000 + i * conflict_stride, 0)
+        lat, lvl, tlbm = h.access(0, 0x10000, 0, is_store=True)
+        assert lvl == LVL_L2
+        assert lat == (h.latency.tlb_walk if tlbm else 0) + h.latency.l2 + self.EXTRA
+
+    def test_l3_store_hit_pays_extra(self):
+        h = self._hier()
+        h.access(0, 0x10000, 0)  # core 0 fills socket-shared L3
+        h.access(1, 0x20040, 0)  # warm core 1's TLB on another page
+        lat, lvl, tlbm = h.access(1, 0x10000, 0, is_store=True)
+        assert lvl == LVL_L3
+        assert lat == (h.latency.tlb_walk if tlbm else 0) + h.latency.l3 + self.EXTRA
+
+    def test_loads_never_pay_extra(self):
+        h = self._hier()
+        lat, lvl, _ = h.access(0, 0x30000, 0, is_store=False)
+        assert lvl == LVL_LMEM
+        assert lat == h.latency.tlb_walk + h.latency.local_dram
 
 
 class TestDescribe:

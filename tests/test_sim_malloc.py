@@ -132,6 +132,36 @@ class TestRealloc:
         a = heap.realloc(0, 64)
         assert heap.size_of(a) == 64
 
+    def test_realloc_of_last_block_reuses_address(self, heap):
+        # Growing the last block coalesces its freed space with the
+        # wilderness, so first-fit hands the same address back (libc's
+        # grow-in-place).  Regression: realloc used to malloc before
+        # freeing, which made in-place growth impossible.
+        heap.malloc(64)  # earlier unrelated block
+        a = heap.malloc(64)
+        b = heap.realloc(a, 4096)
+        assert b == a
+        assert heap.size_of(a) == 4096
+        heap.check_invariants()
+
+    def test_realloc_shrink_in_place(self, heap):
+        a = heap.malloc(256)
+        heap.malloc(16)  # block after a: shrink must still fit at a
+        b = heap.realloc(a, 64)
+        assert b == a
+        assert heap.size_of(a) == 64
+        heap.check_invariants()
+
+    def test_realloc_does_not_inflate_peak(self):
+        # With free-before-malloc the old and new extents overlap, so a
+        # near-full heap can still grow its last block.
+        heap = HeapAllocator(0x4000, 1024)
+        a = heap.malloc(600)
+        b = heap.realloc(a, 1024)
+        assert b == a
+        assert heap.peak_bytes == 1024
+        heap.check_invariants()
+
 
 class TestProperties:
     @given(
