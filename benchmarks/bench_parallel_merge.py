@@ -1,0 +1,227 @@
+"""Sequential vs tree-parallel profile merge wall-clock (paper §4.2).
+
+Merges N synthetic rank profiles three ways and times each:
+
+- ``sequential``  — decode every rank blob, then
+  :func:`repro.core.merge.merge_profiles`, all in one process (the
+  ``hpcview merge`` default path: post-mortem inputs arrive as bytes,
+  so the baseline pays the decode like the parallel path does);
+- ``tree-model``  — :func:`repro.core.merge.reduction_tree_merge`, the
+  in-process schedule model (reports critical-path node visits);
+- ``tree-real``   — :func:`repro.parallel.parallel_reduction_merge`, the
+  same schedule actually dispatched onto a process pool.  Beyond the
+  shared leaf decode it also re-encodes/decodes intermediates at round
+  boundaries (profiles move between processes as codec bytes) — the
+  price of parallelism that the worker pool must amortize.
+
+Every run cross-checks that all three produce canonically byte-identical
+databases, then reports measured wall-clock plus the *modelled*
+critical-path speedup (total visits / critical-path visits — what an
+unbounded-worker machine could achieve).
+
+Runs two ways:
+
+- standalone (what CI uses)::
+
+      PYTHONPATH=src python benchmarks/bench_parallel_merge.py --smoke
+      PYTHONPATH=src python benchmarks/bench_parallel_merge.py --jobs 8
+
+  ``--smoke`` shrinks the rank counts and profile sizes and never asserts
+  on timing (the byte-identity checks always run).  The full run asserts
+  the acceptance criterion — tree-real beats sequential at >= 32 ranks —
+  but only when the machine actually has >= 2 usable CPUs; on a single
+  CPU the pool cannot win wall-clock and the assertion is reported as
+  skipped (the modelled speedup column is the scalability evidence).
+
+- under pytest-benchmark (``pytest benchmarks/bench_parallel_merge.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.core.cct import KIND_FRAME, KIND_IP
+from repro.core.merge import merge_profiles, reduction_tree_merge
+from repro.core.profiledb import ProfileDB, ThreadProfile
+from repro.core.storage import StorageClass
+from repro.parallel import parallel_reduction_merge
+from repro.pmu.sample import Sample
+from repro.util.fmt import format_table
+from repro.util.rng import derive_rank_seed
+
+FULL_RANK_COUNTS = (8, 32, 128)
+SMOKE_RANK_COUNTS = (4, 8)
+FULL_PATHS_PER_RANK = 900
+SMOKE_PATHS_PER_RANK = 120
+SPEEDUP_AT_RANKS = 32  # acceptance: tree-real wins from this size up
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def synthetic_rank_db(rank: int, n_paths: int) -> ProfileDB:
+    """A deterministic per-rank profile with SPMD-like cross-rank overlap.
+
+    Ranks of an SPMD job execute the same code, so most calling contexts
+    are shared across ranks (they coalesce on merge, and intermediate
+    merge products stay near one rank's size); a minority — here 1 in 8
+    — are rank-private (divergent control flow, rank-dependent call
+    sites) and deep-copy on merge.  The ratio matters: it sets how fast
+    reduction-tree intermediates grow, and with them the codec cost each
+    round pays to ship profiles between processes.
+    """
+    state = derive_rank_seed(0xBEEF, rank)
+    db = ProfileDB(f"bench.rank{rank:04d}")
+    profile = ThreadProfile(f"bench.rank{rank:04d}.t0")
+    cct = profile.cct(StorageClass.HEAP)
+    for i in range(n_paths):
+        state = (state * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+        private = i % 8 == 0
+        salt = rank if private else 0
+        fns = [f"fn{(state >> (8 * d)) % 23}_{salt}" for d in range(4)]
+        path = [((KIND_FRAME, fn, 0), None) for fn in fns]
+        path.append(((KIND_IP, fns[-1], (state >> 40) % 97, 0), None))
+        cct.add_sample_at(
+            path,
+            Sample("T", 1, 1, 0x10, 10 + (state % 50), 3, False, False, 64),
+        )
+    db.add_thread(profile)
+    return db
+
+
+def _time(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def _sequential_from_bytes(blobs, name):
+    dbs = [ProfileDB.from_bytes(blob) for blob in blobs]
+    return merge_profiles(dbs, name)
+
+
+def run_bench(rank_counts, n_paths: int, jobs: int):
+    """Returns (table rows, {n_ranks: measured tree-real speedup})."""
+    rows = []
+    measured = {}
+    for n_ranks in rank_counts:
+        dbs = [synthetic_rank_db(r, n_paths) for r in range(n_ranks)]
+        blobs = [db.to_bytes() for db in dbs]
+
+        dt_seq, seq = _time(_sequential_from_bytes, blobs, "job")
+        dt_model, (model_db, stats) = _time(reduction_tree_merge, dbs, "job")
+        dt_real, (real_db, real_stats, report) = _time(
+            parallel_reduction_merge, blobs, "job", jobs=jobs
+        )
+
+        expected = seq.canonical_bytes()
+        if model_db.canonical_bytes() != expected or real_db.canonical_bytes() != expected:
+            raise AssertionError(f"n={n_ranks}: merge results diverged bytewise")
+        if report.partial:
+            raise AssertionError(f"n={n_ranks}: clean inputs produced a partial merge")
+        if real_stats.critical_path_visits != stats.critical_path_visits:
+            raise AssertionError(f"n={n_ranks}: pool schedule != modelled schedule")
+
+        measured[n_ranks] = dt_seq / dt_real
+        modelled = stats.node_visits / max(1, stats.critical_path_visits)
+        rows.append(
+            (
+                f"{n_ranks}",
+                f"{dt_seq * 1e3:.1f}ms",
+                f"{dt_real * 1e3:.1f}ms",
+                f"{dt_seq / dt_real:.2f}x",
+                f"{modelled:.2f}x",
+                f"{stats.rounds}",
+            )
+        )
+    return rows, measured
+
+
+def _render(rows, jobs: int) -> str:
+    return format_table(
+        ("ranks", "sequential", "tree-real", "measured", "modelled", "rounds"),
+        rows,
+        title=(
+            "profile merge wall-clock: sequential vs process-pool reduction tree "
+            f"({jobs} worker(s); modelled = visits/critical-path, unbounded workers)"
+        ),
+    )
+
+
+def check_speedup(measured: dict[int, float], cpus: int) -> str:
+    eligible = [n for n in measured if n >= SPEEDUP_AT_RANKS]
+    if not eligible:
+        return "speedup assertion: skipped (no run at >= " f"{SPEEDUP_AT_RANKS} ranks)"
+    if cpus < 2:
+        return (
+            "speedup assertion: skipped (1 usable CPU — a process pool cannot "
+            "beat sequential wall-clock here; see the modelled column)"
+        )
+    for n in eligible:
+        assert measured[n] > 1.0, (
+            f"tree-parallel merge did not beat sequential at {n} ranks "
+            f"({measured[n]:.2f}x) despite {cpus} CPUs"
+        )
+    return f"speedup assertion: OK (tree-real > sequential at {eligible} ranks)"
+
+
+# ---- pytest entry point ----------------------------------------------------
+
+
+def test_parallel_merge_bench(benchmark):
+    from conftest import report
+
+    cpus = _available_cpus()
+    jobs = min(8, max(2, cpus))
+    rows, measured = benchmark.pedantic(
+        run_bench,
+        args=(FULL_RANK_COUNTS, FULL_PATHS_PER_RANK, jobs),
+        rounds=1,
+        iterations=1,
+    )
+    verdict = check_speedup(measured, cpus)
+    report("parallel reduction-tree merge", _render(rows, jobs) + "\n" + verdict)
+
+
+# ---- standalone entry point ------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run, byte-identity checks only (no timing assertion)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="pool workers for tree-real (default: min(8, CPUs))",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = _available_cpus()
+    jobs = args.jobs if args.jobs is not None else min(8, max(2, cpus))
+    counts = SMOKE_RANK_COUNTS if args.smoke else FULL_RANK_COUNTS
+    n_paths = SMOKE_PATHS_PER_RANK if args.smoke else FULL_PATHS_PER_RANK
+
+    rows, measured = run_bench(counts, n_paths, jobs)
+    print(_render(rows, jobs))
+    print("sequential/tree-model/tree-real byte-identity: OK")
+    if args.smoke:
+        print("speedup assertion: skipped (--smoke)")
+    else:
+        print(check_speedup(measured, cpus))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,10 +30,11 @@ Variants: ``original``, ``numactl``, ``libnuma``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
-from repro.apps.common import AppResult, analyze_profilers
+from repro.apps.common import AppResult, analyze_profilers, as_rank_db
+from repro.core.profiledb import ProfileDB
 from repro.core.profiler import DataCentricProfiler, ProfilerConfig
 from repro.machine.presets import Machine, power7_node
 from repro.numa.libnuma import numa_alloc_interleaved
@@ -47,8 +48,9 @@ from repro.sim.openmp import declare_outlined, omp_chunk
 from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
+from repro.util.rng import derive_rank_seed
 
-__all__ = ["Config", "run", "VARIANTS", "PROBLEM_ARRAYS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "PROBLEM_ARRAYS"]
 
 VARIANTS = ("original", "numactl", "libnuma")
 
@@ -289,6 +291,73 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
         ctx.call_sync(solve_fn, 60, solve_body)
 
     ctx.leave()
+
+
+def _power7_smt1() -> Machine:
+    """Smoke-preset node: SMT off so 32 threads still span all 4 sockets
+    (all-on-socket-0 pinning would never trigger a remote-memory event)."""
+    return power7_node(smt=1)
+
+
+# Scaled-down knobs for the multiprocess driver's quick runs; "paper"
+# keeps the Config defaults (the paper's 4-rank POWER7 geometry).
+RANK_PRESETS: dict[str, dict] = {
+    "smoke": dict(
+        n_threads=32,
+        rows=2048,
+        solve_iterations=2,
+        churn_allocs=2000,
+        setup_compute=400_000,
+        pmu_period=24,
+        machine_factory=_power7_smt1,
+    ),
+    "paper": {},
+}
+
+
+def rank_config(preset: str = "smoke", variant: str = "original") -> Config:
+    if preset not in RANK_PRESETS:
+        raise ValueError(f"unknown amg2006 rank preset {preset!r}")
+    return Config(variant=variant, profile=True, **RANK_PRESETS[preset])
+
+
+def run_rank(
+    rank: int, n_ranks: int, variant: str = "original", preset: str = "smoke",
+    cfg: Config | None = None,
+) -> ProfileDB:
+    """Profile a single simulated MPI rank; the parallel-driver entry point.
+
+    Each rank gets a fresh node machine (the driver runs ranks in
+    separate OS processes, so nothing can be shared anyway) and a
+    decorrelated deterministic seed, making any rank reproducible in
+    isolation — the property crash-retry relies on.
+    """
+    if cfg is None:
+        cfg = rank_config(preset, variant)
+    if cfg.variant not in VARIANTS:
+        raise ValueError(f"unknown amg2006 variant {cfg.variant!r}")
+    cfg = replace(cfg, n_ranks=n_ranks)
+    seed = derive_rank_seed(cfg.seed, rank)
+    job = MPIJob(
+        cfg.machine_factory,
+        n_ranks=n_ranks,
+        ranks_per_node=1,
+        threads_per_rank=cfg.n_threads,
+    )
+
+    def attach(process: SimProcess):
+        profiler = DataCentricProfiler(process, cfg.profiler_config).attach()
+        process.pmu = MarkedEventEngine(
+            PM_MRK_DATA_FROM_RMEM, period=cfg.pmu_period, seed=seed
+        )
+        return profiler
+
+    result = job.run_one(
+        rank, lambda process, r, n: _rank_main(cfg, process, r, n), attach=attach
+    )
+    return as_rank_db(
+        result.attachment.finalize(), "amg2006", rank, n_ranks, cfg.variant, seed
+    )
 
 
 def run(cfg: Config) -> AppResult:

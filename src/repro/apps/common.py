@@ -2,15 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from repro.util.rng import derive_rank_seed
+
 from repro.core.analyzer import Analyzer, ExperimentDB
+from repro.core.profiledb import ProfileDB
 from repro.core.profiler import DataCentricProfiler, ProfilerConfig
 from repro.machine.presets import Machine
 from repro.sim.process import SimProcess
 
-__all__ = ["AppResult", "profile_attachment", "analyze_profilers"]
+__all__ = [
+    "AppResult",
+    "profile_attachment",
+    "analyze_profilers",
+    "as_rank_db",
+    "single_process_rank",
+]
 
 
 @dataclass
@@ -62,6 +71,44 @@ def profile_attachment(
         return profiler
 
     return attach
+
+
+def as_rank_db(
+    db: ProfileDB, app: str, rank: int, n_ranks: int, variant: str, seed: int
+) -> ProfileDB:
+    """Stamp one rank's profile database with its provenance.
+
+    The parallel driver writes this DB to ``measurements/<app>/<rank>.rpdb``;
+    the metadata lets the merge (and a human with ``hpcview info``) tell
+    which rank of which run a stray file belongs to.
+    """
+    db.process_name = f"{app}.rank{rank:04d}"
+    db.meta.update(
+        app=app,
+        rank=str(rank),
+        n_ranks=str(n_ranks),
+        variant=variant,
+        seed=str(seed),
+    )
+    return db
+
+
+def single_process_rank(
+    run_fn: Callable, app: str, cfg, rank: int, n_ranks: int
+) -> ProfileDB:
+    """Run one rank-shard of a single-process app under the parallel driver.
+
+    Shared-memory apps (lulesh, nw, streamcluster) have no MPI ranks of
+    their own; the driver treats each rank as an independent replica of
+    the whole run, distinguished only by a decorrelated deterministic
+    seed — the multi-trial measurement mode the paper uses to average
+    sampling noise.
+    """
+    seed = derive_rank_seed(cfg.seed, rank)
+    cfg = replace(cfg, seed=seed, profile=True)
+    result = run_fn(cfg)
+    db = result.profilers[0].finalize()
+    return as_rank_db(db, app, rank, n_ranks, cfg.variant, seed)
 
 
 def analyze_profilers(

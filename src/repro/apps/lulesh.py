@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.apps.common import AppResult, analyze_profilers
+from repro.apps.common import AppResult, analyze_profilers, single_process_rank
+from repro.core.profiledb import ProfileDB
 from repro.core.profiler import DataCentricProfiler, ProfilerConfig
 from repro.machine.presets import Machine, amd_magnycours
 from repro.numa.libnuma import numa_alloc_interleaved
@@ -38,7 +39,7 @@ from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 
-__all__ = ["Config", "run", "VARIANTS", "DOMAIN_ARRAYS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "DOMAIN_ARRAYS"]
 
 VARIANTS = ("original", "libnuma", "transpose", "both")
 
@@ -94,6 +95,28 @@ def _build_image(process: SimProcess):
         src, main_fn, kinematics, stress,
         kin_region, stress_region, f_elem_sym, gamma_sym,
     )
+
+
+RANK_PRESETS: dict[str, dict] = {
+    "smoke": dict(nelem=1024, nnode=512, iterations=2, n_threads=24, pmu_period=64),
+    "paper": {},
+}
+
+
+def rank_config(preset: str = "smoke", variant: str = "original") -> Config:
+    if preset not in RANK_PRESETS:
+        raise ValueError(f"unknown lulesh rank preset {preset!r}")
+    return Config(variant=variant, profile=True, **RANK_PRESETS[preset])
+
+
+def run_rank(
+    rank: int, n_ranks: int, variant: str = "original", preset: str = "smoke",
+    cfg: Config | None = None,
+) -> ProfileDB:
+    """Profile one rank-replica of lulesh; the parallel-driver entry point."""
+    if cfg is None:
+        cfg = rank_config(preset, variant)
+    return single_process_rank(run, "lulesh", cfg, rank, n_ranks)
 
 
 def run(cfg: Config) -> AppResult:

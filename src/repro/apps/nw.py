@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.apps.common import AppResult, analyze_profilers
+from repro.apps.common import AppResult, analyze_profilers, single_process_rank
+from repro.core.profiledb import ProfileDB
 from repro.core.profiler import DataCentricProfiler, ProfilerConfig
 from repro.machine.presets import Machine, power7_node
 from repro.numa.libnuma import numa_alloc_interleaved
@@ -29,7 +30,7 @@ from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 
-__all__ = ["Config", "run", "VARIANTS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS"]
 
 VARIANTS = ("original", "libnuma")
 
@@ -71,6 +72,30 @@ def _build_image(process: SimProcess):
     region = declare_outlined(exe, run_test, 150, 40, region_index=0)
     process.load_module(exe)
     return src, main_fn, run_test, region
+
+
+RANK_PRESETS: dict[str, dict] = {
+    # n_threads must span >=2 sockets or first-touch data is all-local
+    # and the remote-event engine never fires.
+    "smoke": dict(n=96, n_threads=64, pmu_period=16),
+    "paper": {},
+}
+
+
+def rank_config(preset: str = "smoke", variant: str = "original") -> Config:
+    if preset not in RANK_PRESETS:
+        raise ValueError(f"unknown nw rank preset {preset!r}")
+    return Config(variant=variant, profile=True, **RANK_PRESETS[preset])
+
+
+def run_rank(
+    rank: int, n_ranks: int, variant: str = "original", preset: str = "smoke",
+    cfg: Config | None = None,
+) -> ProfileDB:
+    """Profile one rank-replica of nw; the parallel-driver entry point."""
+    if cfg is None:
+        cfg = rank_config(preset, variant)
+    return single_process_rank(run, "nw", cfg, rank, n_ranks)
 
 
 def run(cfg: Config) -> AppResult:

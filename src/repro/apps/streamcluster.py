@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.apps.common import AppResult, analyze_profilers
+from repro.apps.common import AppResult, analyze_profilers, single_process_rank
+from repro.core.profiledb import ProfileDB
 from repro.core.profiler import DataCentricProfiler, ProfilerConfig
 from repro.machine.presets import Machine, power7_node
 from repro.pmu.events import PM_MRK_DATA_FROM_RMEM
@@ -34,7 +35,7 @@ from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 
-__all__ = ["Config", "run", "VARIANTS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS"]
 
 VARIANTS = ("original", "parallel-init")
 
@@ -84,6 +85,31 @@ def _build_image(process: SimProcess):
     region2 = declare_outlined(exe, pgain_fn, 160, 45, region_index=1)
     process.load_module(exe)
     return src, main_fn, pgain_fn, dist_fn, init_region, region1, region2
+
+
+RANK_PRESETS: dict[str, dict] = {
+    # n_threads must span >=2 sockets or first-touch data is all-local
+    # and the remote-event engine never fires.
+    "smoke": dict(npoints=512, n_threads=64, passes_region1=2, passes_region2=1,
+                  pmu_period=16),
+    "paper": {},
+}
+
+
+def rank_config(preset: str = "smoke", variant: str = "original") -> Config:
+    if preset not in RANK_PRESETS:
+        raise ValueError(f"unknown streamcluster rank preset {preset!r}")
+    return Config(variant=variant, profile=True, **RANK_PRESETS[preset])
+
+
+def run_rank(
+    rank: int, n_ranks: int, variant: str = "original", preset: str = "smoke",
+    cfg: Config | None = None,
+) -> ProfileDB:
+    """Profile one rank-replica of streamcluster; parallel-driver entry point."""
+    if cfg is None:
+        cfg = rank_config(preset, variant)
+    return single_process_rank(run, "streamcluster", cfg, rank, n_ranks)
 
 
 def run(cfg: Config) -> AppResult:

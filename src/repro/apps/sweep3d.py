@@ -19,10 +19,11 @@ explicitly; the test suite asserts the remote-access fraction is ~0).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
-from repro.apps.common import AppResult, analyze_profilers
+from repro.apps.common import AppResult, analyze_profilers, as_rank_db
+from repro.core.profiledb import ProfileDB
 from repro.core.profiler import DataCentricProfiler, ProfilerConfig
 from repro.machine.presets import Machine, amd_magnycours
 from repro.pmu.ibs import IBSEngine
@@ -31,8 +32,9 @@ from repro.sim.mpi import JobResult, MPIJob
 from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
+from repro.util.rng import derive_rank_seed
 
-__all__ = ["Config", "run", "VARIANTS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS"]
 
 VARIANTS = ("original", "transposed")
 
@@ -157,6 +159,50 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
 
     process.run_serial(main_gen())
     ctx.leave()
+
+
+RANK_PRESETS: dict[str, dict] = {
+    "smoke": dict(it=12, jt=12, kt=6, octants=2, pmu_period=96),
+    "paper": {},
+}
+
+
+def rank_config(preset: str = "smoke", variant: str = "original") -> Config:
+    if preset not in RANK_PRESETS:
+        raise ValueError(f"unknown sweep3d rank preset {preset!r}")
+    return Config(variant=variant, profile=True, **RANK_PRESETS[preset])
+
+
+def run_rank(
+    rank: int, n_ranks: int, variant: str = "original", preset: str = "smoke",
+    cfg: Config | None = None,
+) -> ProfileDB:
+    """Profile a single simulated MPI rank; the parallel-driver entry point."""
+    if cfg is None:
+        cfg = rank_config(preset, variant)
+    if cfg.variant not in VARIANTS:
+        raise ValueError(f"unknown sweep3d variant {cfg.variant!r}")
+    cfg = replace(cfg, n_ranks=n_ranks)
+    seed = derive_rank_seed(cfg.seed, rank)
+    probe = cfg.machine_factory()
+    job = MPIJob(
+        cfg.machine_factory,
+        n_ranks=n_ranks,
+        ranks_per_node=min(n_ranks, probe.topology.n_cores),
+        threads_per_rank=1,
+    )
+
+    def attach(process: SimProcess):
+        profiler = DataCentricProfiler(process, cfg.profiler_config).attach()
+        process.pmu = IBSEngine(period=cfg.pmu_period, seed=seed)
+        return profiler
+
+    result = job.run_one(
+        rank, lambda process, r, n: _rank_main(cfg, process, r, n), attach=attach
+    )
+    return as_rank_db(
+        result.attachment.finalize(), "sweep3d", rank, n_ranks, cfg.variant, seed
+    )
 
 
 def run(cfg: Config) -> AppResult:

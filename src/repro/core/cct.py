@@ -22,7 +22,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.core.metrics import MetricKind, MetricVector
 from repro.errors import ProfileError
 
-__all__ = ["CCT", "CCTNode", "PathEntry"]
+__all__ = ["CCT", "CCTNode", "PathEntry", "canonical_key_order"]
 
 # A path entry is (key, info): `key` is the structural identity used for
 # merging; `info` is display metadata (function/file/line/name).
@@ -36,6 +36,20 @@ KIND_HEAP_MARKER = "heap-marker"
 
 HEAP_MARKER_KEY = (KIND_HEAP_MARKER,)
 HEAP_MARKER_INFO = {"label": "heap data accesses"}
+
+
+def canonical_key_order(key: tuple) -> tuple:
+    """A total order over structural node keys (mixed str/int tuples).
+
+    Python refuses ``int < str``, so each element is lifted into a
+    type-tagged tuple.  Used to sort sibling nodes when serializing in
+    canonical form: two semantically equal CCTs built in different merge
+    orders then encode to identical bytes.
+    """
+    return tuple(
+        (0, element, "") if isinstance(element, int) else (1, 0, str(element))
+        for element in key
+    )
 
 
 class CCTNode:
@@ -119,13 +133,18 @@ class CCTNode:
     # -- merge / serialize -------------------------------------------------------
 
     def merge(self, other: "CCTNode") -> int:
-        """Merge ``other``'s subtree into this node; returns nodes visited."""
+        """Merge ``other``'s subtree into this node; returns nodes visited.
+
+        ``other`` is never mutated, and nothing of ``other`` is aliased
+        into ``self`` (children and info dicts are copied), so merge
+        targets and sources stay independent afterwards.
+        """
         if self.key != other.key:
             raise ProfileError(f"cannot merge nodes with keys {self.key} != {other.key}")
         visited = 1
         self.metrics.merge(other.metrics)
         if self.info is None and other.info is not None:
-            self.info = other.info
+            self.info = dict(other.info)
         for key, other_child in other.children.items():
             mine = self.children.get(key)
             if mine is None:
@@ -136,7 +155,8 @@ class CCTNode:
         return visited
 
     def clone(self) -> "CCTNode":
-        out = CCTNode(self.key, self.info)
+        """Deep copy: no metrics, info, or child structure is shared."""
+        out = CCTNode(self.key, dict(self.info) if self.info is not None else None)
         out.metrics = self.metrics.copy()
         out.children = {k: c.clone() for k, c in self.children.items()}
         return out

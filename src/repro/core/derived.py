@@ -88,18 +88,19 @@ def derive_from_profile(exp: ExperimentDB) -> BoundnessReport:
     tlb = 0
     for storage in (StorageClass.HEAP, StorageClass.STATIC,
                     StorageClass.STACK, StorageClass.UNKNOWN):
-        if not profile.has_cct(storage):
+        cct = profile.get_cct(storage)
+        if cct is None:
             continue
-        m = profile.cct(storage).root.inclusive()
+        m = cct.root.inclusive()
         samples += m.samples
         latency += m.latency
         dram += m.levels[LVL_LMEM] + m.levels[LVL_RMEM]
         remote += m.levels[LVL_RMEM]
         tlb += m.tlb_misses
     compute = 0
-    if profile.has_cct(StorageClass.NONMEM):
-        nonmem = profile.cct(StorageClass.NONMEM).root.inclusive()
-        compute = nonmem.events  # period-scaled instruction estimate
+    nonmem_cct = profile.get_cct(StorageClass.NONMEM)
+    if nonmem_cct is not None:
+        compute = nonmem_cct.root.inclusive().events  # period-scaled instruction estimate
     return _report(latency, compute, samples, dram, remote, tlb)
 
 

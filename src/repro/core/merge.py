@@ -40,10 +40,16 @@ class MergeStats:
 def merge_thread_profiles(
     target: ThreadProfile, source: ThreadProfile, stats: MergeStats | None = None
 ) -> ThreadProfile:
-    """Merge ``source``'s CCTs into ``target`` (in place; returns target)."""
+    """Merge ``source``'s CCTs into ``target`` (in place; returns target).
+
+    ``source`` is read-only: it is neither mutated nor aliased into
+    ``target`` (subtrees are deep-copied on first contact), so the same
+    source can safely be merged again — or serialized — afterwards.
+    """
     visits = 0
     for storage in source.storage_classes():
-        visits += target.cct(storage).merge(source.cct(storage))
+        source_cct = source.get_cct(storage)
+        visits += target.cct(storage).merge(source_cct)
     if stats is not None:
         stats.node_visits += visits
         stats.pairwise_merges += 1
@@ -51,7 +57,13 @@ def merge_thread_profiles(
 
 
 def _collapse_db(db: ProfileDB, stats: MergeStats | None = None) -> ThreadProfile:
-    """Merge all thread profiles of one DB into a single profile."""
+    """Merge all thread profiles of one DB into a single *fresh* profile.
+
+    The leaf step of the reduction tree.  Always copies — even for a
+    single-thread DB — so that later rounds, which merge into their
+    group's first element in place, only ever mutate tree-internal
+    profiles, never the caller's input databases.
+    """
     merged = ThreadProfile(f"{db.process_name}.merged")
     for profile in db.all_profiles():
         merge_thread_profiles(merged, profile, stats)
@@ -59,7 +71,10 @@ def _collapse_db(db: ProfileDB, stats: MergeStats | None = None) -> ThreadProfil
 
 
 def merge_profiles(dbs: Sequence[ProfileDB], name: str = "job") -> ProfileDB:
-    """Sequentially merge many process DBs into one job-level DB."""
+    """Sequentially merge many process DBs into one job-level DB.
+
+    Inputs are never mutated (bit-identical before and after).
+    """
     if not dbs:
         raise ProfileError("nothing to merge")
     stats = MergeStats(profiles_in=sum(len(db.threads) for db in dbs))
@@ -82,6 +97,11 @@ def reduction_tree_merge(
     merge finishes in ``ceil(log_arity n)`` rounds, and within a round the
     pairwise merges are independent, so the critical path is the maximum
     (not the sum) of per-round chain costs.
+
+    Caller-supplied databases are never mutated: the leaf collapse deep-
+    copies each input, and subsequent rounds merge into those internal
+    copies only.  :mod:`repro.parallel.merge` executes this same schedule
+    for real on a process pool.
     """
     if not dbs:
         raise ProfileError("nothing to merge")

@@ -6,6 +6,17 @@ merging, of a whole job).  The binary codec uses varints plus a string
 table so profile size stays proportional to *distinct contexts*, not to
 execution length — the property that distinguishes compact CCT profiles
 from the allocation/access traces of tools like MemProf.
+
+The codec is the boundary profiles cross between worker processes in
+the parallel driver (:mod:`repro.parallel`), so decoding is defensive:
+every malformed input — truncated buffers, out-of-range string-table
+indices, bad tags, unbounded varints — raises :class:`ProfileError`
+instead of leaking ``IndexError``/``UnicodeDecodeError`` from the guts
+of the parser.
+
+Format version 2 adds a small string-keyed metadata section to the
+header (used by the parallel merge to report partial results); version 1
+payloads (no metadata) still decode.
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ from __future__ import annotations
 import struct
 from typing import Iterator
 
-from repro.core.cct import CCT, CCTNode
+from repro.core.cct import CCT, CCTNode, canonical_key_order
 from repro.core.metrics import MetricVector
 from repro.core.storage import StorageClass
 from repro.errors import ProfileError
@@ -21,10 +32,18 @@ from repro.errors import ProfileError
 __all__ = ["ThreadProfile", "ProfileDB"]
 
 _MAGIC = b"RPDB"
-_VERSION = 1
+_VERSION = 2
+_MIN_VERSION = 1
+_HEADER_LEN = 6  # magic + u16 version
 
 
 # -- varint codec --------------------------------------------------------------
+
+# Metric values are non-negative cycle/sample counts; 64 bits of varint
+# (10 continuation groups) is the largest value a well-formed encoder
+# emits.  The cap turns a corrupt continuation-bit run into a clean
+# ProfileError instead of an unbounded shift.
+_MAX_UVARINT_SHIFT = 63
 
 
 def _write_uvarint(out: bytearray, value: int) -> None:
@@ -52,6 +71,20 @@ def _read_uvarint(buf: bytes, pos: int) -> tuple[int, int]:
         if not byte & 0x80:
             return result, pos
         shift += 7
+        if shift > _MAX_UVARINT_SHIFT:
+            raise ProfileError("uvarint exceeds 64 bits (corrupt continuation run)")
+
+
+def _checked_count(buf: bytes, pos: int, what: str) -> tuple[int, int]:
+    """Read a count that the remaining buffer could plausibly satisfy.
+
+    Every counted element occupies at least one byte, so a count larger
+    than the bytes left is corrupt no matter what follows.
+    """
+    count, pos = _read_uvarint(buf, pos)
+    if count > len(buf) - pos:
+        raise ProfileError(f"{what} count {count} exceeds remaining {len(buf) - pos} bytes")
+    return count, pos
 
 
 class _StringTable:
@@ -68,14 +101,62 @@ class _StringTable:
         return idx
 
 
+def _string_at(strings: list[str], idx: int) -> str:
+    if idx >= len(strings):
+        raise ProfileError(
+            f"string-table index {idx} out of range (table has {len(strings)})"
+        )
+    return strings[idx]
+
+
 # -- node codec ----------------------------------------------------------------
 
 _TAG_INT = 0
 _TAG_STR = 1
 _TAG_NEG = 2
 
+_N_METRIC_LEVELS = len(MetricVector().levels)
+_N_METRIC_FIELDS = 5 + _N_METRIC_LEVELS
 
-def _encode_node(node: CCTNode, out: bytearray, strings: _StringTable) -> None:
+
+def _read_metric_block(buf: bytes, pos: int) -> tuple[list[int], int]:
+    """Decode one node's fixed run of metric varints.
+
+    This is the decoder's hot loop (most of a profile is metric varints,
+    and most of those fit one byte), so the single-byte case is inlined
+    and the whole block costs one function call per node instead of one
+    per field.  Semantics match :func:`_read_uvarint` exactly, including
+    the truncation and shift-cap errors.
+    """
+    values = []
+    append = values.append
+    blen = len(buf)
+    for _ in range(_N_METRIC_FIELDS):
+        if pos >= blen:
+            raise ProfileError("truncated uvarint")
+        byte = buf[pos]
+        pos += 1
+        if byte < 0x80:
+            append(byte)
+            continue
+        result = byte & 0x7F
+        shift = 7
+        while True:
+            if pos >= blen:
+                raise ProfileError("truncated uvarint")
+            byte = buf[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > _MAX_UVARINT_SHIFT:
+                raise ProfileError("uvarint exceeds 64 bits (corrupt continuation run)")
+        append(result)
+    return values, pos
+
+
+def _encode_node_header(node: CCTNode, out: bytearray, strings: _StringTable) -> None:
     key = node.key
     _write_uvarint(out, len(key))
     for element in key:
@@ -105,19 +186,40 @@ def _encode_node(node: CCTNode, out: bytearray, strings: _StringTable) -> None:
     for value in m.levels:
         _write_uvarint(out, value)
     _write_uvarint(out, len(node.children))
-    for child in node.children.values():
-        _encode_node(child, out, strings)
 
 
-def _decode_node(buf: bytes, pos: int, strings: list[str]) -> tuple[CCTNode, int]:
-    key_len, pos = _read_uvarint(buf, pos)
+def _encode_node(
+    node: CCTNode, out: bytearray, strings: _StringTable, canonical: bool
+) -> None:
+    # Iterative pre-order walk: like the decoder, an explicit stack keeps
+    # pathologically deep CCTs from hitting the recursion limit.
+    stack = [iter((node,))]
+    while stack:
+        child = next(stack[-1], None)
+        if child is None:
+            stack.pop()
+            continue
+        _encode_node_header(child, out, strings)
+        children = child.children.values()
+        if canonical:
+            children = sorted(children, key=lambda c: canonical_key_order(c.key))
+        stack.append(iter(children))
+
+
+def _decode_node_header(
+    buf: bytes, pos: int, strings: list[str]
+) -> tuple[CCTNode, int, int]:
+    """Decode one node's key/info/metrics; returns (node, n_children, pos)."""
+    key_len, pos = _checked_count(buf, pos, "key element")
     key_elements = []
     for _ in range(key_len):
+        if pos >= len(buf):
+            raise ProfileError("truncated key element tag")
         tag = buf[pos]
         pos += 1
         raw, pos = _read_uvarint(buf, pos)
         if tag == _TAG_STR:
-            key_elements.append(strings[raw])
+            key_elements.append(_string_at(strings, raw))
         elif tag == _TAG_INT:
             key_elements.append(raw)
         elif tag == _TAG_NEG:
@@ -125,35 +227,60 @@ def _decode_node(buf: bytes, pos: int, strings: list[str]) -> tuple[CCTNode, int
         else:
             raise ProfileError(f"bad key tag {tag}")
     node = CCTNode(tuple(key_elements))
-    info_len, pos = _read_uvarint(buf, pos)
+    info_len, pos = _checked_count(buf, pos, "info entry")
     if info_len:
         info = {}
         for _ in range(info_len):
             k, pos = _read_uvarint(buf, pos)
             v, pos = _read_uvarint(buf, pos)
-            info[strings[k]] = strings[v]
+            info[_string_at(strings, k)] = _string_at(strings, v)
         node.info = info
+    values, pos = _read_metric_block(buf, pos)
     m = MetricVector()
-    m.samples, pos = _read_uvarint(buf, pos)
-    m.latency, pos = _read_uvarint(buf, pos)
-    m.events, pos = _read_uvarint(buf, pos)
-    m.tlb_misses, pos = _read_uvarint(buf, pos)
-    m.stores, pos = _read_uvarint(buf, pos)
-    for i in range(len(m.levels)):
-        m.levels[i], pos = _read_uvarint(buf, pos)
+    m.samples, m.latency, m.events, m.tlb_misses, m.stores = values[:5]
+    m.levels = values[5:]
     node.metrics = m
-    n_children, pos = _read_uvarint(buf, pos)
-    for _ in range(n_children):
-        child, pos = _decode_node(buf, pos, strings)
-        node.children[child.key] = child
-    return node, pos
+    n_children, pos = _checked_count(buf, pos, "child")
+    return node, n_children, pos
+
+
+def _decode_node(buf: bytes, pos: int, strings: list[str]) -> tuple[CCTNode, int]:
+    """Iteratively decode a node subtree.
+
+    An explicit stack (rather than recursion) keeps adversarially deep
+    inputs from turning into ``RecursionError`` half-way through a parse.
+    """
+    root, n_children, pos = _decode_node_header(buf, pos, strings)
+    stack: list[tuple[CCTNode, int]] = [(root, n_children)]
+    while stack:
+        node, remaining = stack[-1]
+        if remaining == 0:
+            stack.pop()
+            if stack:
+                parent = stack[-1][0]
+                if node.key in parent.children:
+                    raise ProfileError(f"duplicate child key {node.key}")
+                parent.children[node.key] = node
+            continue
+        stack[-1] = (node, remaining - 1)
+        child, n_kids, pos = _decode_node_header(buf, pos, strings)
+        stack.append((child, n_kids))
+    return root, pos
 
 
 # -- profiles -------------------------------------------------------------------
 
 
 class ThreadProfile:
-    """One thread's CCTs, one per storage class (created on demand)."""
+    """One thread's CCTs, one per storage class (created on demand).
+
+    :meth:`cct` is the *write-path* accessor: it materializes an empty
+    CCT on first use so profiler hooks can insert unconditionally.  Read
+    paths (views, rendering, analysis, serialization) must use
+    :meth:`get_cct`/:meth:`has_cct` so that merely *looking at* a profile
+    never changes its ``storage_classes()``, ``node_count()`` or
+    serialized size.
+    """
 
     def __init__(self, thread_name: str) -> None:
         self.thread_name = thread_name
@@ -165,6 +292,10 @@ class ThreadProfile:
             tree = CCT(storage.value)
             self._ccts[storage] = tree
         return tree
+
+    def get_cct(self, storage: StorageClass) -> CCT | None:
+        """Non-creating accessor: the CCT, or ``None`` if never written."""
+        return self._ccts.get(storage)
 
     def has_cct(self, storage: StorageClass) -> bool:
         return storage in self._ccts
@@ -183,11 +314,17 @@ class ThreadProfile:
 
 
 class ProfileDB:
-    """All thread profiles of a process (or a merged job)."""
+    """All thread profiles of a process (or a merged job).
 
-    def __init__(self, process_name: str) -> None:
+    ``meta`` is a small string->string dictionary serialized with the
+    profile; the parallel driver and merge use it to record provenance
+    (rank, app) and degradation (a partial merge after worker failures).
+    """
+
+    def __init__(self, process_name: str, meta: dict[str, str] | None = None) -> None:
         self.process_name = process_name
         self.threads: dict[str, ThreadProfile] = {}
+        self.meta: dict[str, str] = dict(meta) if meta else {}
 
     def add_thread(self, profile: ThreadProfile) -> None:
         if profile.thread_name in self.threads:
@@ -203,10 +340,25 @@ class ProfileDB:
 
     # -- binary codec -------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, canonical: bool = False) -> bytes:
+        """Serialize; ``canonical=True`` additionally sorts CCT children.
+
+        Two semantically equal databases (same nodes, metrics, info) may
+        serialize differently because child insertion order reflects
+        merge order.  Canonical encoding makes the bytes a function of
+        content only — the form merge-equivalence tests and the parallel
+        merge's byte-identity guarantee compare.
+        """
         strings = _StringTable()
         body = bytearray()
         _write_uvarint(body, strings.intern(self.process_name))
+        _write_uvarint(body, len(self.meta))
+        for k in sorted(self.meta):
+            v = self.meta[k]
+            if not isinstance(v, str):
+                raise ProfileError(f"meta values must be str, got {k}={v!r}")
+            _write_uvarint(body, strings.intern(k))
+            _write_uvarint(body, strings.intern(v))
         _write_uvarint(body, len(self.threads))
         for profile in self.all_profiles():
             _write_uvarint(body, strings.intern(profile.thread_name))
@@ -214,7 +366,9 @@ class ProfileDB:
             _write_uvarint(body, len(classes))
             for storage in classes:
                 _write_uvarint(body, strings.intern(storage.value))
-                _encode_node(profile.cct(storage).root, body, strings)
+                tree = profile.get_cct(storage)
+                assert tree is not None  # storage_classes() only lists present CCTs
+                _encode_node(tree.root, body, strings, canonical)
         table = bytearray()
         _write_uvarint(table, len(strings.strings))
         for s in strings.strings:
@@ -223,35 +377,59 @@ class ProfileDB:
             table.extend(raw)
         return _MAGIC + struct.pack("<H", _VERSION) + bytes(table) + bytes(body)
 
+    def canonical_bytes(self) -> bytes:
+        return self.to_bytes(canonical=True)
+
     @classmethod
     def from_bytes(cls, data: bytes) -> "ProfileDB":
+        if len(data) < _HEADER_LEN:
+            raise ProfileError(f"profile shorter than the {_HEADER_LEN}-byte header")
         if data[:4] != _MAGIC:
             raise ProfileError("bad profile magic")
         (version,) = struct.unpack_from("<H", data, 4)
-        if version != _VERSION:
+        if not _MIN_VERSION <= version <= _VERSION:
             raise ProfileError(f"unsupported profile version {version}")
-        pos = 6
-        n_strings, pos = _read_uvarint(data, pos)
+        pos = _HEADER_LEN
+        n_strings, pos = _checked_count(data, pos, "string-table entry")
         strings: list[str] = []
         for _ in range(n_strings):
             length, pos = _read_uvarint(data, pos)
-            strings.append(data[pos : pos + length].decode("utf-8"))
-            pos += length
+            end = pos + length
+            if end > len(data):
+                raise ProfileError("truncated string-table entry")
+            try:
+                strings.append(data[pos:end].decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise ProfileError(f"string-table entry is not valid UTF-8: {exc}") from exc
+            pos = end
         name_idx, pos = _read_uvarint(data, pos)
-        db = cls(strings[name_idx])
-        n_threads, pos = _read_uvarint(data, pos)
+        db = cls(_string_at(strings, name_idx))
+        if version >= 2:
+            n_meta, pos = _checked_count(data, pos, "meta entry")
+            for _ in range(n_meta):
+                k, pos = _read_uvarint(data, pos)
+                v, pos = _read_uvarint(data, pos)
+                db.meta[_string_at(strings, k)] = _string_at(strings, v)
+        n_threads, pos = _checked_count(data, pos, "thread")
         for _ in range(n_threads):
             tname_idx, pos = _read_uvarint(data, pos)
-            profile = ThreadProfile(strings[tname_idx])
-            n_classes, pos = _read_uvarint(data, pos)
+            profile = ThreadProfile(_string_at(strings, tname_idx))
+            n_classes, pos = _checked_count(data, pos, "storage class")
             for _ in range(n_classes):
                 cls_idx, pos = _read_uvarint(data, pos)
-                storage = StorageClass(strings[cls_idx])
+                try:
+                    storage = StorageClass(_string_at(strings, cls_idx))
+                except ValueError as exc:
+                    raise ProfileError(f"unknown storage class: {exc}") from exc
+                if storage in profile._ccts:
+                    raise ProfileError(f"duplicate storage class {storage.value}")
                 root, pos = _decode_node(data, pos, strings)
                 tree = CCT(storage.value)
                 tree.root = root
                 profile._ccts[storage] = tree
             db.add_thread(profile)
+        if pos != len(data):
+            raise ProfileError(f"{len(data) - pos} trailing bytes after profile body")
         return db
 
     def size_bytes(self) -> int:

@@ -159,9 +159,10 @@ def _heap_variables(
     profile: ThreadProfile, kind: MetricKind, grand_total: int, accesses_per_var: int
 ) -> list[VariableReport]:
     reports = []
-    if not profile.has_cct(StorageClass.HEAP):
+    heap_cct = profile.get_cct(StorageClass.HEAP)
+    if heap_cct is None:
         return reports
-    root = profile.cct(StorageClass.HEAP).root
+    root = heap_cct.root
 
     # Invariant: ``path`` is the chain of nodes from (but excluding) the
     # root down to and including ``node``.
@@ -218,9 +219,10 @@ def _named_variables(
     """Variables represented by a dummy name node under the CCT root
     (statics by symbol, stack locals by function::name)."""
     reports = []
-    if not profile.has_cct(storage):
+    cct = profile.get_cct(storage)
+    if cct is None:
         return reports
-    root = profile.cct(storage).root
+    root = cct.root
     for child in root.children.values():
         if child.key[0] != node_kind:
             continue
@@ -265,10 +267,8 @@ def build_top_down(
         StorageClass.STACK,
         StorageClass.UNKNOWN,
     ):
-        if profile.has_cct(storage):
-            storage_totals[storage] = profile.cct(storage).total(kind)
-        else:
-            storage_totals[storage] = 0
+        cct = profile.get_cct(storage)
+        storage_totals[storage] = cct.total(kind) if cct is not None else 0
     grand_total = sum(storage_totals.values())
 
     variables = _heap_variables(profile, kind, grand_total, accesses_per_var)

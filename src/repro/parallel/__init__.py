@@ -1,0 +1,36 @@
+"""Multiprocess profiling driver and parallel reduction-tree merge.
+
+:mod:`repro.core.merge` *models* the paper's §4.2 MPI reduction tree
+(it reports critical-path node visits but runs in one process).  This
+package executes the same schedule for real:
+
+- :mod:`repro.parallel.registry` — the apps the driver can run, by name;
+- :mod:`repro.parallel.driver` — one worker OS process per simulated MPI
+  rank, deterministic per-rank seeding, atomic ``.rpdb`` output files,
+  crash/timeout detection with bounded retry;
+- :mod:`repro.parallel.merge` — the reduction-tree merge dispatched
+  round by round onto a process pool, profiles crossing process
+  boundaries as codec bytes, with graceful degradation to a partial
+  merge when inputs are corrupt or workers die.
+"""
+
+from repro.parallel.driver import DriverReport, RankOutcome, profile_ranks
+from repro.parallel.merge import (
+    ParallelMergeReport,
+    merge_rpdb_files,
+    parallel_reduction_merge,
+)
+from repro.parallel.registry import APPS, rank_runner, register_app, run_app_rank
+
+__all__ = [
+    "APPS",
+    "DriverReport",
+    "ParallelMergeReport",
+    "RankOutcome",
+    "merge_rpdb_files",
+    "parallel_reduction_merge",
+    "profile_ranks",
+    "rank_runner",
+    "register_app",
+    "run_app_rank",
+]

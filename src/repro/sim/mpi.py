@@ -84,6 +84,45 @@ class MPIJob:
         self.ranks_per_node = ranks_per_node
         self.threads_per_rank = threads_per_rank
 
+    def node_of(self, rank: int) -> int:
+        """Which simulated node hosts this rank."""
+        return rank // self.ranks_per_node
+
+    def run_one(
+        self,
+        rank: int,
+        rank_main: Callable[[SimProcess, int, int], None],
+        attach: Callable[[SimProcess], Any] | None = None,
+        machine: Machine | None = None,
+    ) -> RankResult:
+        """Execute a single rank on ``machine`` (fresh node if omitted).
+
+        The unit of work the multiprocess driver (:mod:`repro.parallel`)
+        ships to a worker OS process: one rank, one simulated process,
+        one profile.  Pass ``machine`` to co-locate several ranks on a
+        shared node, as :meth:`run` does.
+        """
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigError(f"rank {rank} outside job of {self.n_ranks} ranks")
+        if machine is None:
+            machine = self.machine_factory()
+        pin_base = (rank % self.ranks_per_node) * self.threads_per_rank
+        if pin_base + self.threads_per_rank > machine.n_threads:
+            raise ConfigError(
+                f"rank {rank}: pinning {self.threads_per_rank} threads at "
+                f"{pin_base} exceeds the node's {machine.n_threads} HW threads"
+            )
+        process = SimProcess(machine, pid=rank, pin_base=pin_base)
+        attachment = attach(process) if attach is not None else None
+        rank_main(process, rank, self.n_ranks)
+        return RankResult(
+            rank=rank,
+            process=process,
+            elapsed_cycles=process.elapsed_cycles,
+            phase_cycles=dict(process.phase_cycles),
+            attachment=attachment,
+        )
+
     def run(
         self,
         rank_main: Callable[[SimProcess, int, int], None],
@@ -97,27 +136,10 @@ class MPIJob:
         """
         result = JobResult()
         for rank in range(self.n_ranks):
-            node = rank // self.ranks_per_node
+            node = self.node_of(rank)
             machine = result.machines.get(node)
             if machine is None:
                 machine = self.machine_factory()
                 result.machines[node] = machine
-            pin_base = (rank % self.ranks_per_node) * self.threads_per_rank
-            if pin_base + self.threads_per_rank > machine.n_threads:
-                raise ConfigError(
-                    f"rank {rank}: pinning {self.threads_per_rank} threads at "
-                    f"{pin_base} exceeds the node's {machine.n_threads} HW threads"
-                )
-            process = SimProcess(machine, pid=rank, pin_base=pin_base)
-            attachment = attach(process) if attach is not None else None
-            rank_main(process, rank, self.n_ranks)
-            result.ranks.append(
-                RankResult(
-                    rank=rank,
-                    process=process,
-                    elapsed_cycles=process.elapsed_cycles,
-                    phase_cycles=dict(process.phase_cycles),
-                    attachment=attachment,
-                )
-            )
+            result.ranks.append(self.run_one(rank, rank_main, attach, machine))
         return result

@@ -3,7 +3,9 @@
 The text-mode stand-in for the paper's hpcviewer GUI.  Works on ``.rpdb``
 files written with :meth:`repro.core.profiledb.ProfileDB.to_bytes`:
 
+    python -m repro.tools.hpcview run    --app lulesh --ranks 8 --jobs 4
     python -m repro.tools.hpcview merge  rank0.rpdb rank1.rpdb -o job.rpdb
+    python -m repro.tools.hpcview merge  measurements/lulesh/*.rpdb -o job.rpdb --jobs 4
     python -m repro.tools.hpcview top    job.rpdb --metric remote -n 10
     python -m repro.tools.hpcview bottom job.rpdb --metric latency
     python -m repro.tools.hpcview advise job.rpdb
@@ -116,13 +118,48 @@ def cmd_advise(args: argparse.Namespace) -> None:
         print(" -", rec)
 
 
-def cmd_merge(args: argparse.Namespace) -> None:
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.parallel import APPS, profile_ranks
+
+    report = profile_ranks(
+        args.app,
+        args.ranks,
+        args.out,
+        variant=args.variant,
+        preset=args.preset,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    for outcome in report.outcomes:
+        status = outcome.path if outcome.ok else f"FAILED: {outcome.error}"
+        print(f"  rank {outcome.rank:4d}  {outcome.elapsed_seconds:6.2f}s  "
+              f"attempts={outcome.attempts}  {status}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    if args.jobs is not None:
+        from repro.parallel import merge_rpdb_files
+
+        db, stats, report = merge_rpdb_files(
+            args.profiles, Path(args.output).stem,
+            jobs=args.jobs, arity=args.arity,
+        )
+        size = save_profile(db, args.output)
+        print(f"{report.summary()} -> {args.output} ({human_bytes(size)})")
+        if report.partial:
+            for label, why in report.dropped:
+                print(f"  dropped {label}: {why}")
+        return 0
     dbs = load_profiles(args.profiles)
     exp = Analyzer(Path(args.output).stem).add_all(dbs).analyze()
     size = save_profile(exp.db, args.output)
     stats = exp.merge_stats
     print(f"merged {stats.profiles_in} thread profiles in {stats.rounds} rounds "
           f"-> {args.output} ({human_bytes(size)})")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,13 +191,38 @@ def build_parser() -> argparse.ArgumentParser:
     add("advise", cmd_advise, "triage + optimization guidance")
     merge = add("merge", cmd_merge, "merge databases into one (reduction tree)")
     merge.add_argument("-o", "--output", required=True, help="output .rpdb file")
+    merge.add_argument("--jobs", type=int, default=None, metavar="J",
+                       help="merge on a J-worker process pool "
+                            "(default: in-process sequential merge)")
+    merge.add_argument("--arity", type=int, default=2,
+                       help="reduction-tree fan-in (with --jobs; default 2)")
+
+    run = sub.add_parser(
+        "run", help="profile an app, one worker process per MPI rank"
+    )
+    run.add_argument("--app", required=True,
+                     help="app to profile (see repro.parallel.APPS)")
+    run.add_argument("--ranks", type=int, required=True, metavar="N",
+                     help="number of simulated MPI ranks")
+    run.add_argument("--jobs", type=int, default=None, metavar="J",
+                     help="max concurrent worker processes (default: CPU count)")
+    run.add_argument("--variant", default="original",
+                     help="app variant (default: original)")
+    run.add_argument("--preset", default="smoke",
+                     help="workload preset (default: smoke)")
+    run.add_argument("--out", default="measurements", metavar="DIR",
+                     help="measurement root; writes DIR/<app>/<rank>.rpdb")
+    run.add_argument("--timeout", type=float, default=300.0,
+                     help="per-rank wall-clock limit in seconds")
+    run.add_argument("--retries", type=int, default=1,
+                     help="retries per failed rank before giving up")
+    run.set_defaults(func=cmd_run)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover
