@@ -1,0 +1,253 @@
+"""Seeded-defect corpus for the sanitizer (``repro.sanitize``).
+
+Each seed is a tiny self-contained app containing *exactly one* known
+bug class; the test suite (and the CI smoke) checks that sanitizing a
+seed yields exactly one finding of the expected kind, attributed to the
+right variable with the full calling contexts.  Seeds that are not the
+leak seed free everything they allocate, so enabling leak checking on
+them stays quiet.
+
+Run one seed from the CLI::
+
+    PYTHONPATH=src python -m repro.tools.hpcview sanitize --defect oob_read
+    PYTHONPATH=src python -m repro.tools.hpcview sanitize --defect race_ww --fail-on race
+
+or list them::
+
+    PYTHONPATH=src python -m repro.tools.hpcview sanitize --list-defects
+"""
+
+from __future__ import annotations
+
+from repro import Ctx, LoadModule, SimProcess, SourceFile, tiny_machine
+
+PAGE = 4096
+
+
+class _Seed:
+    """One process with a small two-function program image."""
+
+    def __init__(self) -> None:
+        self.machine = tiny_machine()
+        self.process = SimProcess(self.machine, name="defect")
+        self.source = SourceFile(
+            "defect.c",
+            {
+                10: "buf = malloc(n);",
+                20: "... = buf[i];",
+                30: "buf[i] = ...;",
+                40: "free(buf);",
+                110: "shared[k] = ...;",
+                120: "... = shared[k];",
+            },
+        )
+        exe = LoadModule("defect.exe", is_executable=True)
+        self.main = exe.add_function("main", self.source, 1, 60)
+        self.region = exe.add_function("main$$OL$$1", self.source, 100, 40)
+        self.process.load_module(exe)
+        self.ctx = Ctx(self.process, self.process.master)
+        self.ctx.enter(self.main)
+
+
+def seed_oob_read() -> None:
+    """Heap out-of-bounds read: load past the end of ``buf``."""
+    s = _Seed()
+    ctx = s.ctx
+    buf = ctx.malloc(256, line=10, var="buf")
+    ctx.touch_range(buf, 256, line=30)
+    ctx.load(buf + 256 + 8, line=20)  # 8B into the right redzone
+    ctx.free(buf, line=40)
+
+
+def seed_oob_write() -> None:
+    """Heap out-of-bounds write: store before the start of ``buf``."""
+    s = _Seed()
+    ctx = s.ctx
+    buf = ctx.malloc(256, line=10, var="buf")
+    ctx.touch_range(buf, 256, line=30)
+    ctx.store(buf - 8, line=30)  # 8B into the left redzone
+    ctx.free(buf, line=40)
+
+
+def seed_use_after_free() -> None:
+    """Load from ``stale`` after it was freed (quarantine keeps it dead)."""
+    s = _Seed()
+    ctx = s.ctx
+    stale = ctx.malloc(128, line=10, var="stale")
+    ctx.touch_range(stale, 128, line=30)
+    ctx.free(stale, line=40)
+    ctx.load(stale, line=20)
+
+
+def seed_double_free() -> None:
+    """Free ``twice`` two times."""
+    s = _Seed()
+    ctx = s.ctx
+    twice = ctx.malloc(128, line=10, var="twice")
+    ctx.touch_range(twice, 128, line=30)
+    ctx.free(twice, line=40)
+    ctx.free(twice, line=41)
+
+
+def seed_invalid_free() -> None:
+    """Free an interior pointer of ``block`` (then clean up properly)."""
+    s = _Seed()
+    ctx = s.ctx
+    block = ctx.malloc(256, line=10, var="block")
+    ctx.touch_range(block, 256, line=30)
+    ctx.free(block + 16, line=40)
+    ctx.free(block, line=41)
+
+
+def seed_uninit_read() -> None:
+    """Load from ``fresh`` before anything was ever stored to it."""
+    s = _Seed()
+    ctx = s.ctx
+    # Big enough to guarantee a page of its own that no earlier store
+    # (of this or a neighbouring block) has committed.
+    fresh = ctx.malloc(4 * PAGE, line=10, var="fresh")
+    ctx.load(fresh + 2 * PAGE, line=20)
+    ctx.touch_range(fresh, 4 * PAGE, line=30)
+    ctx.free(fresh, line=40)
+
+
+def seed_leak() -> None:
+    """Allocate ``lost`` and never free it (requires check_leaks)."""
+    s = _Seed()
+    ctx = s.ctx
+    lost = ctx.malloc(512, line=10, var="lost")
+    ctx.touch_range(lost, 512, line=30)
+
+
+def seed_race_ww() -> None:
+    """Two threads store the same element of ``shared`` concurrently."""
+    s = _Seed()
+    ctx = s.ctx
+    shared = ctx.malloc(1024, line=10, var="shared")
+    ctx.touch_range(shared, 1024, line=30)
+
+    def worker(wctx: Ctx, tid: int):
+        ip = wctx.ip(110)
+        for _ in range(8):
+            wctx.store_ip(shared, ip)
+            yield
+
+    ctx.parallel(s.region, worker, 2, line=50)
+    ctx.free(shared, line=40)
+
+
+def seed_race_rw() -> None:
+    """One thread stores an element of ``shared`` that another loads."""
+    s = _Seed()
+    ctx = s.ctx
+    shared = ctx.malloc(1024, line=10, var="shared")
+    ctx.touch_range(shared, 1024, line=30)
+
+    def worker(wctx: Ctx, tid: int):
+        store_ip = wctx.ip(110)
+        load_ip = wctx.ip(120)
+        for _ in range(8):
+            if tid == 0:
+                wctx.store_ip(shared + 64, store_ip)
+            else:
+                wctx.load_ip(shared + 64, load_ip)
+            yield
+
+    ctx.parallel(s.region, worker, 2, line=50)
+    ctx.free(shared, line=40)
+
+
+def seed_false_sharing() -> None:
+    """Each thread stores its own slot of ``counters`` — same cache line."""
+    s = _Seed()
+    ctx = s.ctx
+    counters = ctx.malloc(64, line=10, var="counters")
+    ctx.touch_range(counters, 64, line=30)
+
+    def worker(wctx: Ctx, tid: int):
+        ip = wctx.ip(110)
+        for _ in range(12):
+            wctx.store_ip(counters + tid * 8, ip)
+            yield
+
+    ctx.parallel(s.region, worker, 2, line=50)
+    ctx.free(counters, line=40)
+
+
+def seed_clean() -> None:
+    """No defect: disjoint per-thread chunks on separate cache lines."""
+    s = _Seed()
+    ctx = s.ctx
+    grid = ctx.malloc(8192, line=10, var="grid")
+    ctx.touch_range(grid, 8192, line=30)
+
+    def worker(wctx: Ctx, tid: int):
+        store_ip = wctx.ip(110)
+        load_ip = wctx.ip(120)
+        base = grid + tid * 4096
+        for i in range(16):
+            wctx.load_ip(base + i * 8, load_ip)
+            wctx.store_ip(base + i * 8, store_ip)
+            yield
+
+    ctx.parallel(s.region, worker, 2, line=50)
+    ctx.free(grid, line=40)
+
+
+# seed name -> (runner, expected finding kind or None).  The leak seed is
+# the only one that needs check_leaks; every other seed frees everything.
+SEEDS: dict[str, tuple] = {
+    "oob_read": (seed_oob_read, "oob-read"),
+    "oob_write": (seed_oob_write, "oob-write"),
+    "use_after_free": (seed_use_after_free, "use-after-free"),
+    "double_free": (seed_double_free, "double-free"),
+    "invalid_free": (seed_invalid_free, "invalid-free"),
+    "uninit_read": (seed_uninit_read, "uninit-read"),
+    "leak": (seed_leak, "leak"),
+    "race_ww": (seed_race_ww, "race-ww"),
+    "race_rw": (seed_race_rw, "race-rw"),
+    "false_sharing": (seed_false_sharing, "false-sharing"),
+    "clean": (seed_clean, None),
+}
+
+# The variable name each seed's finding must be attributed to.
+EXPECTED_VARIABLE: dict[str, str] = {
+    "oob_read": "buf",
+    "oob_write": "buf",
+    "use_after_free": "stale",
+    "double_free": "twice",
+    "invalid_free": "block",
+    "uninit_read": "fresh",
+    "leak": "lost",
+    "race_ww": "shared",
+    "race_rw": "shared",
+    "false_sharing": "counters",
+}
+
+
+def run_seed(name: str):
+    """Run one seed under a sanitizing session; returns its SanitizerReport."""
+    from repro.sanitize import SanitizerConfig, sanitizing
+
+    runner, _expected = SEEDS[name]
+    config = SanitizerConfig(check_leaks=True)
+    with sanitizing(config) as session:
+        runner()
+    return session.report()
+
+
+def main() -> int:
+    failures = 0
+    for name, (_runner, expected) in SEEDS.items():
+        report = run_seed(name)
+        kinds = sorted(f.kind for f in report.findings)
+        want = [expected] if expected else []
+        ok = kinds == want
+        failures += 0 if ok else 1
+        status = "ok" if ok else "FAIL"
+        print(f"{status:4s} {name:16s} expected={want} got={kinds}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

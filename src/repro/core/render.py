@@ -7,11 +7,21 @@ column with inclusive values and percentages.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.storage import StorageClass
 from repro.core.views import BottomUpView, TopDownView, VariableReport
 from repro.util.fmt import format_table, pct
 
-__all__ = ["render_top_down", "render_bottom_up", "render_variable_table"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sanitize.report import SanitizerReport
+
+__all__ = [
+    "render_top_down",
+    "render_bottom_up",
+    "render_variable_table",
+    "render_sanitizer_report",
+]
 
 
 def _variable_block(var: VariableReport, grand_total: int, lines: list[str]) -> None:
@@ -95,3 +105,34 @@ def render_variable_table(view: TopDownView, top_n: int = 10, title: str = "") -
         rows,
         title=title or "variables ranked by metric",
     )
+
+
+def render_sanitizer_report(report: "SanitizerReport", title: str = "") -> str:
+    """Render sanitizer findings in the data-centric shape: variable first,
+    then its allocation context, then the offending access contexts."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    procs = ", ".join(report.process_names) or "<no processes>"
+    lines.append(f"sanitized processes: {procs}")
+    if report.ok:
+        lines.append("no findings")
+        return "\n".join(lines)
+    kinds = "  ".join(f"{k}={n}" for k, n in sorted(report.kinds().items()))
+    lines.append(f"{len(report.findings)} finding(s):  {kinds}")
+    for finding in report.findings:
+        lines.append("")
+        lines.append(f"  {finding.headline()}")
+        var = finding.variable
+        if var.alloc_location:
+            lines.append(f"    allocated at {var.alloc_location}")
+        for frame in reversed(var.alloc_path):
+            lines.append(f"      <- {frame}")
+        if finding.detail:
+            lines.append(f"    detail: {finding.detail}")
+        for ctx in finding.contexts:
+            who = ctx.thread or "<alloc site>"
+            lines.append(f"    access: {who}  at {ctx.location}")
+            for frame in reversed(ctx.path):
+                lines.append(f"      <- {frame}")
+    return "\n".join(lines)

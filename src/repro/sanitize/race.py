@@ -1,0 +1,206 @@
+"""Race and false-sharing detection over parallel-region access history.
+
+Happens-before model: the simulator's only synchronization is the
+implicit barrier at the end of each ``Ctx.parallel`` region (workers are
+forked at region entry and joined at its barrier; there is no intra-region
+locking primitive).  Two accesses are therefore *concurrent* exactly when
+they happen in the same region epoch on different OpenMP threads — so the
+detector records accesses per epoch and analyzes each epoch at its
+closing barrier, where everything before the region happens-before every
+worker access, and every worker access happens-before everything after.
+
+Accesses are recorded as strided runs (the simulator's native shape) and
+conflicts are decided arithmetically: two runs conflict when their
+address progressions share a byte.  For equal strides that is a phase
+check; for coprime strides it degrades to a gcd divisibility test, which
+is conservative (may flag a pair whose windows interleave without
+touching) — acceptable for a defect detector that reports, not aborts.
+
+False sharing is the complementary report: *distinct*-offset writes from
+multiple threads to one cache line, alternating often enough to imply
+line ping-pong.  Lines already implicated in a race are excluded — that
+defect is the race, not the sharing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from math import gcd
+
+__all__ = ["AccessRecord", "RaceDetector", "SharingIncident"]
+
+
+class AccessRecord:
+    """One recorded (possibly strided) access run, normalized ascending."""
+
+    __slots__ = ("lo", "hi", "stride", "count", "tid", "thread_name", "ip", "is_store", "path")
+
+    def __init__(self, lo, hi, stride, count, tid, thread_name, ip, is_store, path):
+        self.lo = lo
+        self.hi = hi  # one past the last touched byte
+        self.stride = stride  # 0 => the single address `lo`
+        self.count = count
+        self.tid = tid
+        self.thread_name = thread_name
+        self.ip = ip
+        self.is_store = is_store
+        self.path = path
+
+
+class SharingIncident:
+    """One cache line written by multiple threads at distinct offsets."""
+
+    __slots__ = ("line_addr", "alternations", "offsets", "records")
+
+    def __init__(self, line_addr, alternations, offsets, records):
+        self.line_addr = line_addr
+        self.alternations = alternations
+        self.offsets = offsets  # sorted distinct in-line byte offsets written
+        self.records = records  # one representative AccessRecord per thread
+
+
+def _contains(rec: AccessRecord, x: int) -> bool:
+    if not (rec.lo <= x < rec.hi):
+        return False
+    return rec.stride == 0 or (x - rec.lo) % rec.stride == 0
+
+
+def _runs_conflict(a: AccessRecord, b: AccessRecord) -> bool:
+    """Do the two runs touch a common byte?  Exact for equal/zero strides,
+    conservative (gcd divisibility) for mixed strides."""
+    if max(a.lo, b.lo) >= min(a.hi, b.hi):
+        return False
+    if a.stride == 0:
+        return _contains(b, a.lo)
+    if b.stride == 0:
+        return _contains(a, b.lo)
+    if a.stride == b.stride:
+        return (a.lo - b.lo) % a.stride == 0
+    return (b.lo - a.lo) % gcd(a.stride, b.stride) == 0
+
+
+class RaceDetector:
+    """Per-epoch access log; analysis runs at each region's closing barrier."""
+
+    def __init__(self, line_bits: int, min_alternations: int, max_records: int) -> None:
+        self._line_bits = line_bits
+        self._min_alternations = min_alternations
+        self._max_records = max_records
+        self._records: list[AccessRecord] = []
+        self.dropped_records = 0
+        self.epochs = 0
+
+    def record(self, tid, thread_name, base, count, stride, ip, is_store, path) -> None:
+        if len(self._records) >= self._max_records:
+            self.dropped_records += 1
+            return
+        if count == 1 or stride == 0:
+            rec = AccessRecord(base, base + 1, 0, 1, tid, thread_name, ip, is_store, path)
+        elif stride > 0:
+            hi = base + (count - 1) * stride + 1
+            rec = AccessRecord(base, hi, stride, count, tid, thread_name, ip, is_store, path)
+        else:
+            lo = base + (count - 1) * stride
+            rec = AccessRecord(lo, base + 1, -stride, count, tid, thread_name, ip, is_store, path)
+        self._records.append(rec)
+
+    def _lines_of(self, rec: AccessRecord) -> list[int]:
+        bits = self._line_bits
+        if rec.stride == 0:
+            return [rec.lo >> bits]
+        if rec.stride < (1 << bits):
+            return list(range(rec.lo >> bits, ((rec.hi - 1) >> bits) + 1))
+        seen: dict[int, None] = {}
+        addr = rec.lo
+        for _ in range(rec.count):
+            seen[addr >> bits] = None
+            addr += rec.stride
+        return list(seen)
+
+    def end_region(self) -> tuple[list[tuple[AccessRecord, AccessRecord]], list[SharingIncident]]:
+        """Close the epoch: return (conflict pairs, false-sharing incidents)."""
+        records = self._records
+        self._records = []
+        self.epochs += 1
+        if not records:
+            return [], []
+
+        writes = [r for r in records if r.is_store]
+        if not writes:
+            return [], []
+
+        # --- conflicting concurrent accesses (races) -----------------------
+        writes_sorted = sorted(writes, key=lambda r: r.lo)
+        write_starts = [w.lo for w in writes_sorted]
+        max_span = max(w.hi - w.lo for w in writes_sorted)
+        conflicts: list[tuple[AccessRecord, AccessRecord]] = []
+        seen_pairs: set[tuple[int, int]] = set()
+        raced_lines: set[int] = set()
+        for rec in records:
+            i = bisect_left(write_starts, rec.lo - max_span)
+            while i < len(writes_sorted) and write_starts[i] < rec.hi:
+                w = writes_sorted[i]
+                i += 1
+                if w is rec or w.tid == rec.tid:
+                    continue
+                pair = (min(id(w), id(rec)), max(id(w), id(rec)))
+                if pair in seen_pairs:
+                    continue
+                if not _runs_conflict(w, rec):
+                    continue
+                seen_pairs.add(pair)
+                conflicts.append((w, rec))
+                raced_lines.update(self._lines_of(w))
+                raced_lines.update(self._lines_of(rec))
+                if len(conflicts) >= 256:
+                    break
+            if len(conflicts) >= 256:
+                break
+
+        # --- false sharing -------------------------------------------------
+        # Per-line write sequences in program (record) order; raced lines are
+        # excluded so a true race isn't double-reported as sharing.
+        bits = self._line_bits
+        line_mask = (1 << bits) - 1
+        line_writes: dict[int, list[AccessRecord]] = {}
+        for w in writes:
+            for line in self._lines_of(w):
+                if line not in raced_lines:
+                    line_writes.setdefault(line, []).append(w)
+
+        sharing: list[SharingIncident] = []
+        for line, recs in line_writes.items():
+            tids = {r.tid for r in recs}
+            if len(tids) < 2:
+                continue
+            alternations = 0
+            prev_tid = recs[0].tid
+            for r in recs[1:]:
+                if r.tid != prev_tid:
+                    alternations += 1
+                    prev_tid = r.tid
+            if alternations < self._min_alternations:
+                continue
+            offsets: list[int] = []
+            line_lo = line << bits
+            line_hi = line_lo + line_mask + 1
+            for r in recs:
+                if r.stride == 0:
+                    if line_lo <= r.lo < line_hi and (r.lo & line_mask) not in offsets:
+                        insort(offsets, r.lo & line_mask)
+                else:
+                    addr = r.lo
+                    for _ in range(r.count):
+                        if line_lo <= addr < line_hi and (addr & line_mask) not in offsets:
+                            insort(offsets, addr & line_mask)
+                        addr += r.stride
+            if len(offsets) < 2:
+                # Same-offset writes from two threads would be a race and are
+                # handled above; sharing requires distinct offsets.
+                continue
+            reps: dict[int, AccessRecord] = {}
+            for r in recs:
+                reps.setdefault(r.tid, r)
+            sharing.append(SharingIncident(line_lo, alternations, offsets, list(reps.values())))
+
+        return conflicts, sharing

@@ -1,0 +1,153 @@
+"""Data-centric sanitizer findings.
+
+A finding carries the paper's attribution shape: the *variable* (with its
+full allocation calling context) first, then the offending access
+contexts — for races, both threads' full paths.  This is the same
+variable -> allocation context -> access context chain the profiler uses
+for cost attribution, applied to correctness defects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "KIND_OOB_READ",
+    "KIND_OOB_WRITE",
+    "KIND_UAF",
+    "KIND_DOUBLE_FREE",
+    "KIND_INVALID_FREE",
+    "KIND_UNINIT_READ",
+    "KIND_LEAK",
+    "KIND_RACE_WW",
+    "KIND_RACE_RW",
+    "KIND_FALSE_SHARING",
+    "ALL_KINDS",
+    "FAIL_ON_GROUPS",
+    "parse_fail_on",
+    "VariableRef",
+    "AccessContext",
+    "Finding",
+    "SanitizerReport",
+]
+
+KIND_OOB_READ = "oob-read"
+KIND_OOB_WRITE = "oob-write"
+KIND_UAF = "use-after-free"
+KIND_DOUBLE_FREE = "double-free"
+KIND_INVALID_FREE = "invalid-free"
+KIND_UNINIT_READ = "uninit-read"
+KIND_LEAK = "leak"
+KIND_RACE_WW = "race-ww"
+KIND_RACE_RW = "race-rw"
+KIND_FALSE_SHARING = "false-sharing"
+
+ALL_KINDS = (
+    KIND_OOB_READ,
+    KIND_OOB_WRITE,
+    KIND_UAF,
+    KIND_DOUBLE_FREE,
+    KIND_INVALID_FREE,
+    KIND_UNINIT_READ,
+    KIND_LEAK,
+    KIND_RACE_WW,
+    KIND_RACE_RW,
+    KIND_FALSE_SHARING,
+)
+
+# ``--fail-on`` accepts either exact kinds or these coarse groups.
+FAIL_ON_GROUPS: dict[str, tuple[str, ...]] = {
+    "oob": (KIND_OOB_READ, KIND_OOB_WRITE),
+    "race": (KIND_RACE_WW, KIND_RACE_RW),
+    "uaf": (KIND_UAF,),
+    "free": (KIND_DOUBLE_FREE, KIND_INVALID_FREE),
+    "uninit": (KIND_UNINIT_READ,),
+    "leak": (KIND_LEAK,),
+    "sharing": (KIND_FALSE_SHARING,),
+    "any": ALL_KINDS,
+    "all": ALL_KINDS,
+}
+
+
+def parse_fail_on(spec: str) -> frozenset[str]:
+    """Expand ``--fail-on race,oob,...`` into a set of finding kinds."""
+    kinds: set[str] = set()
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in FAIL_ON_GROUPS:
+            kinds.update(FAIL_ON_GROUPS[token])
+        elif token in ALL_KINDS:
+            kinds.add(token)
+        else:
+            choices = ", ".join(list(FAIL_ON_GROUPS) + list(ALL_KINDS))
+            raise ConfigError(
+                f"unknown --fail-on class {token!r}; choose from: {choices}"
+            )
+    return frozenset(kinds)
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    """The variable a finding is attributed to, with its allocation context."""
+
+    name: str
+    storage: str  # "heap" | "static" | "unknown"
+    size: int
+    alloc_location: str = ""
+    alloc_path: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """One thread's view of an offending access: who, where, and how it got there."""
+
+    thread: str
+    location: str
+    path: tuple[str, ...] = ()
+
+
+@dataclass
+class Finding:
+    """One deduplicated defect report (``count`` repeats collapse into it)."""
+
+    kind: str
+    variable: VariableRef
+    address: int
+    offset: int  # byte offset of `address` from the variable's start
+    contexts: tuple[AccessContext, ...]
+    detail: str = ""
+    count: int = 1
+
+    def headline(self) -> str:
+        where = f"{self.variable.name}+{self.offset}" if self.offset else self.variable.name
+        times = f" x{self.count}" if self.count > 1 else ""
+        return f"{self.kind}: {where} ({self.variable.storage}, {self.variable.size}B){times}"
+
+
+@dataclass
+class SanitizerReport:
+    """All findings of one sanitizing session, across its processes."""
+
+    findings: list[Finding] = field(default_factory=list)
+    process_names: tuple[str, ...] = ()
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def kinds(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    def by_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def matching(self, kinds: frozenset[str]) -> list[Finding]:
+        return [f for f in self.findings if f.kind in kinds]

@@ -1,0 +1,120 @@
+"""Shadow state for the simulated heap.
+
+Every allocation carves an *outer* reservation ``[addr-rz, addr+usable+rz)``
+out of the free list (see :class:`repro.sim.malloc.HeapAllocator`); the
+shadow map tracks the whole outer range so any access landing between the
+requested bytes and the neighbouring block is classified precisely:
+
+    outer_addr                addr        addr+nbytes          outer_end
+        |<----- redzone ------->|<- live -->|<- slack+redzone ---->|
+
+``nbytes`` is the *requested* size — the 16B-alignment slack past it is
+treated as redzone, like ASan's partial-rightmost-granule poisoning.
+
+Initialization is tracked at page granularity: the simulator's apps model
+initialization as one committing store per page (``touch_range`` /
+``calloc``), so a page that has never seen a store is genuinely
+never-initialized memory, and a load from it is an uninit-read.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.sanitize.report import VariableRef
+from repro.util.intervals import IntervalMap
+
+__all__ = ["ShadowBlock", "ShadowHeap", "S_LIVE", "S_REDZONE", "S_FREED", "S_WILD"]
+
+S_LIVE = "live"
+S_REDZONE = "redzone"
+S_FREED = "freed"
+S_WILD = "wild"  # heap segment but no block (never-allocated or long recycled)
+
+_serials = itertools.count(1)
+
+
+class ShadowBlock:
+    """Shadow record of one heap block (live or quarantined)."""
+
+    __slots__ = (
+        "serial", "addr", "nbytes", "outer_addr", "outer_end",
+        "var", "state", "free_context",
+    )
+
+    def __init__(
+        self,
+        addr: int,
+        nbytes: int,
+        outer_addr: int,
+        outer_end: int,
+        var: VariableRef,
+    ) -> None:
+        self.serial = next(_serials)
+        self.addr = addr
+        self.nbytes = nbytes
+        self.outer_addr = outer_addr
+        self.outer_end = outer_end
+        self.var = var
+        self.state = S_LIVE
+        self.free_context = None  # AccessContext of the freeing call, once freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShadowBlock({self.var.name}, {self.nbytes}B @ {self.addr:#x}, {self.state})"
+
+
+class ShadowHeap:
+    """Outer-range interval map of shadow blocks + page init tracking."""
+
+    def __init__(self, page_bits: int) -> None:
+        self._blocks = IntervalMap()
+        self._page_bits = page_bits
+        self.written_pages: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def add(self, block: ShadowBlock) -> None:
+        self._blocks.add(block.outer_addr, block.outer_end, block)
+
+    def remove_outer(self, outer_addr: int) -> ShadowBlock:
+        return self._blocks.remove(outer_addr)
+
+    def block_at(self, ea: int) -> ShadowBlock | None:
+        """The block whose *outer* range contains ``ea`` (any state)."""
+        return self._blocks.lookup(ea)
+
+    def classify(self, ea: int) -> tuple[str, ShadowBlock | None]:
+        """Byte state of ``ea``: live / redzone / freed / wild."""
+        block = self._blocks.lookup(ea)
+        if block is None:
+            return S_WILD, None
+        if block.state == S_FREED:
+            return S_FREED, block
+        if block.addr <= ea < block.addr + block.nbytes:
+            return S_LIVE, block
+        return S_REDZONE, block
+
+    def live_blocks(self) -> list[ShadowBlock]:
+        return [b for _s, _e, b in self._blocks if b.state == S_LIVE]
+
+    # -- page-granularity initialization state ------------------------------
+
+    def mark_written(self, ea: int) -> None:
+        self.written_pages.add(ea >> self._page_bits)
+
+    def mark_written_range(self, lo: int, hi: int) -> None:
+        """Mark every page overlapping ``[lo, hi)`` as initialized."""
+        self.written_pages.update(range(lo >> self._page_bits, ((hi - 1) >> self._page_bits) + 1))
+
+    def is_written(self, ea: int) -> bool:
+        return (ea >> self._page_bits) in self.written_pages
+
+    def first_unwritten(self, lo: int, hi: int) -> int | None:
+        """First page-start in ``[lo, hi)`` whose page was never stored to."""
+        pages = self.written_pages
+        bits = self._page_bits
+        for page in range(lo >> bits, ((hi - 1) >> bits) + 1):
+            if page not in pages:
+                return max(lo, page << bits)
+        return None

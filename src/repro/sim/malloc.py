@@ -6,11 +6,22 @@ HPCToolkit wraps libc's (§4.1.3 "Heap-allocated data").  A real free list
 after free is what forces the profiler to track *all* frees even when it
 skips tracking small allocations — otherwise stale map entries would
 attribute costs to the wrong variable.
+
+Sanitizer support (``repro.sanitize``): when ``redzone`` is nonzero every
+block is placed ``redzone`` bytes inside a larger reservation, so the
+bytes on either side of the usable range belong to no other block and an
+out-of-bounds access is unambiguous.  When ``quarantine_capacity`` is
+nonzero, freed blocks are parked in a FIFO quarantine instead of being
+returned to the free list immediately, so address reuse cannot mask a
+stale pointer.  Both default to off and leave the allocator's observable
+behaviour bit-identical to the plain configuration.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
+from collections import deque
+from typing import Callable
 
 from repro.errors import AllocationError
 
@@ -30,45 +41,95 @@ class HeapAllocator:
         # Free list: sorted list of [start, size] entries, non-adjacent
         # (adjacent entries are always coalesced).
         self._free: list[list[int]] = [[base, capacity]]
-        self._live: dict[int, int] = {}  # addr -> size
+        self._live: dict[int, int] = {}  # addr -> usable (aligned) size
         self.alloc_count = 0
         self.free_count = 0
         self.peak_bytes = 0
-        self.live_bytes = 0
+        self.live_bytes = 0  # includes redzones of live blocks
+        # Sanitizer knobs (off by default; see module docstring).
+        self.redzone = 0
+        self.quarantine_capacity = 0
+        self.quarantine_bytes = 0
+        self._quarantine: deque[tuple[int, int]] = deque()  # (outer_addr, outer_size)
+        self._rz: dict[int, int] = {}  # addr -> redzone this block was carved with
+        self._evict_hook: Callable[[int, int], None] | None = None
+
+    def set_evict_hook(self, hook: Callable[[int, int], None] | None) -> None:
+        """Observer called with ``(outer_addr, outer_size)`` when a block
+        leaves the quarantine and becomes reusable again."""
+        self._evict_hook = hook
 
     def malloc(self, nbytes: int) -> int:
         """Allocate ``nbytes`` (rounded to 16B); returns the block address."""
         if nbytes <= 0:
             raise AllocationError(f"malloc of non-positive size {nbytes}")
+        rz = self.redzone
         size = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        outer = size + 2 * rz
+        outer_addr = self._find_fit(outer)
+        if outer_addr is None and self._quarantine:
+            # Recycle quarantined blocks rather than failing: stale-pointer
+            # masking is a lesser evil than a spurious OOM.
+            self._drain_quarantine(0)
+            outer_addr = self._find_fit(outer)
+        if outer_addr is None:
+            raise AllocationError(
+                f"out of simulated heap: requested {outer}B, "
+                f"live {self.live_bytes}B of {self.capacity}B"
+            )
+        addr = outer_addr + rz
+        self._live[addr] = size
+        if rz:
+            self._rz[addr] = rz
+        self.alloc_count += 1
+        self.live_bytes += outer
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
+        return addr
+
+    def _find_fit(self, outer: int) -> int | None:
+        """First-fit scan; carves ``outer`` bytes and returns their start."""
         for i, entry in enumerate(self._free):
-            if entry[1] >= size:
+            if entry[1] >= outer:
                 addr = entry[0]
-                if entry[1] == size:
+                if entry[1] == outer:
                     self._free.pop(i)
                 else:
-                    entry[0] += size
-                    entry[1] -= size
-                self._live[addr] = size
-                self.alloc_count += 1
-                self.live_bytes += size
-                if self.live_bytes > self.peak_bytes:
-                    self.peak_bytes = self.live_bytes
+                    entry[0] += outer
+                    entry[1] -= outer
                 return addr
-        raise AllocationError(
-            f"out of simulated heap: requested {size}B, "
-            f"live {self.live_bytes}B of {self.capacity}B"
-        )
+        return None
 
     def free(self, addr: int) -> int:
-        """Release the block at ``addr``; returns its size."""
+        """Release the block at ``addr``; returns its usable size."""
         size = self._live.pop(addr, None)
         if size is None:
             raise AllocationError(f"free of non-live address {addr:#x}")
+        rz = self._rz.pop(addr, 0)
+        outer_addr = addr - rz
+        outer = size + 2 * rz
         self.free_count += 1
-        self.live_bytes -= size
-        self._insert_free(addr, size)
+        self.live_bytes -= outer
+        if self.quarantine_capacity > 0:
+            self._quarantine.append((outer_addr, outer))
+            self.quarantine_bytes += outer
+            self._drain_quarantine(self.quarantine_capacity)
+        else:
+            self._insert_free(outer_addr, outer)
         return size
+
+    def _drain_quarantine(self, limit: int) -> None:
+        """Evict oldest quarantined blocks until at most ``limit`` bytes remain."""
+        while self.quarantine_bytes > limit and self._quarantine:
+            outer_addr, outer = self._quarantine.popleft()
+            self.quarantine_bytes -= outer
+            self._insert_free(outer_addr, outer)
+            if self._evict_hook is not None:
+                self._evict_hook(outer_addr, outer)
+
+    def flush_quarantine(self) -> None:
+        """Return every quarantined block to the free list (teardown path)."""
+        self._drain_quarantine(0)
 
     def realloc(self, addr: int, nbytes: int) -> int:
         """Realloc: free old, then allocate new (returns new address).
@@ -79,7 +140,15 @@ class HeapAllocator:
         enough — matching libc, where realloc of the last block extends
         it rather than inflating peak heap.  Callers that care about the
         copy's memory traffic issue it explicitly.
+
+        ``realloc(addr, 0)`` follows the classic C semantics the rest of
+        this wrapper models: it frees ``addr`` (when non-null) and
+        returns the null address 0.
         """
+        if nbytes == 0:
+            if addr:
+                self.free(addr)
+            return 0
         if addr:
             self.free(addr)
         return self.malloc(nbytes)
@@ -87,6 +156,10 @@ class HeapAllocator:
     def size_of(self, addr: int) -> int | None:
         """Size of the live block starting at ``addr`` (None if not live)."""
         return self._live.get(addr)
+
+    def redzone_of(self, addr: int) -> int:
+        """Redzone width the live block at ``addr`` was carved with."""
+        return self._rz.get(addr, 0)
 
     def live_blocks(self) -> dict[int, int]:
         return dict(self._live)
@@ -126,8 +199,24 @@ class HeapAllocator:
                 raise AllocationError("uncoalesced adjacent free entries")
             prev_end = start + size
             free_bytes += size
-        if free_bytes + self.live_bytes != self.capacity:
+        live_outer = sum(
+            size + 2 * self._rz.get(addr, 0) for addr, size in self._live.items()
+        )
+        if live_outer != self.live_bytes:
+            raise AllocationError(
+                f"live accounting mismatch: tracked {self.live_bytes} "
+                f"computed {live_outer}"
+            )
+        quarantined = sum(outer for _addr, outer in self._quarantine)
+        if quarantined != self.quarantine_bytes:
+            raise AllocationError(
+                f"quarantine accounting mismatch: tracked {self.quarantine_bytes} "
+                f"computed {quarantined}"
+            )
+        if free_bytes + self.live_bytes + self.quarantine_bytes != self.capacity:
             raise AllocationError(
                 f"accounting mismatch: free={free_bytes} live={self.live_bytes} "
-                f"cap={self.capacity}"
+                f"quarantine={self.quarantine_bytes} cap={self.capacity}"
             )
+        if not set(self._rz) <= set(self._live):
+            raise AllocationError("redzone record for a non-live block")

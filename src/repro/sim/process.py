@@ -9,6 +9,7 @@ attached measurement hooks (the profiler).
 
 from __future__ import annotations
 
+import sys
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Generator
 
@@ -53,6 +54,7 @@ class SimProcess:
         self.modules: list[LoadModule] = []
         self.hooks: list = []  # profiler-style observers
         self.pmu = None  # PMU engine shared by all threads of this process
+        self.sanitizer = None  # set by repro.sanitize when a session is active
 
         topo = machine.topology
         self.master = SimThread(
@@ -67,6 +69,13 @@ class SimProcess:
         self.phase_stats: dict[str, "MachineStats"] = {}
         self._phase: str | None = None
         self.quantum = 2
+
+        # Sanitizer activation seam: only consulted when repro.sanitize has
+        # actually been imported, so runs that never touch the subsystem pay
+        # one dict lookup per process — and zero per access.
+        san_mod = sys.modules.get("repro.sanitize")
+        if san_mod is not None:
+            san_mod.maybe_install(self)
 
     # -- modules ------------------------------------------------------------
 
@@ -199,6 +208,10 @@ class SimProcess:
 
         if n_threads < 1:
             raise ConfigError("parallel region needs >= 1 thread")
+        for hook in self.hooks:
+            handler = getattr(hook, "on_parallel_begin", None)
+            if handler is not None:
+                handler(self, n_threads)
         callsite_ip = master_ctx.thread.current_function.ip(line)
         workers = []
         gens = []
@@ -220,3 +233,10 @@ class SimProcess:
         self.master.clock += region_cycles
         for thread in workers:
             thread.frames.clear()
+        # The implicit barrier above is the happens-before edge the race
+        # detector relies on: everything after this point is ordered after
+        # every access inside the region.
+        for hook in self.hooks:
+            handler = getattr(hook, "on_parallel_end", None)
+            if handler is not None:
+                handler(self)

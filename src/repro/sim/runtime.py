@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Generator, Iterable
 
-from repro.errors import SimulationError
+from repro.errors import AllocationError, SimulationError
 from repro.sim.arrays import SimArray
 from repro.sim.process import SimProcess
 from repro.sim.thread import SimThread
@@ -39,7 +39,10 @@ COMM_CYCLES_PER_BYTE = 0.05
 class Ctx:
     """Execution context of one simulated thread."""
 
-    __slots__ = ("process", "thread", "_aspace", "_hier", "_compute_cycle", "_page_bits")
+    __slots__ = (
+        "process", "thread", "_aspace", "_hier", "_compute_cycle",
+        "_page_bits", "_san",
+    )
 
     def __init__(self, process: SimProcess, thread: SimThread) -> None:
         self.process = process
@@ -48,6 +51,10 @@ class Ctx:
         self._hier = process.machine.hierarchy
         self._compute_cycle = process.machine.spec.latency.compute_cycle
         self._page_bits = process.machine.spec.page_bits
+        # Sanitizer fast path: captured once at context creation so the
+        # disabled case costs one is-None branch per access (repro.sanitize
+        # never imported -> process.sanitizer is always None).
+        self._san = process.sanitizer
 
     # -- call-stack management ------------------------------------------------
 
@@ -90,6 +97,9 @@ class Ctx:
     def load_ip(self, vaddr: int, ip: int) -> int:
         """One load at a precomputed IP; returns its latency in cycles."""
         thread = self.thread
+        san = self._san
+        if san is not None:
+            san.on_access(thread, vaddr, ip, False)
         home = self._aspace.home_of(vaddr, thread.numa_node)
         lat, lvl, tlbm = self._hier.access(thread.hw_tid, vaddr, home, False)
         thread.clock += lat
@@ -103,6 +113,9 @@ class Ctx:
     def store_ip(self, vaddr: int, ip: int) -> int:
         """One store at a precomputed IP; returns its latency in cycles."""
         thread = self.thread
+        san = self._san
+        if san is not None:
+            san.on_access(thread, vaddr, ip, True)
         home = self._aspace.home_of(vaddr, thread.numa_node)
         lat, lvl, tlbm = self._hier.access(thread.hw_tid, vaddr, home, True)
         thread.clock += lat
@@ -137,6 +150,9 @@ class Ctx:
     def _access_run(self, base: int, count: int, stride: int, ip: int, is_store: bool) -> int:
         if count <= 0:
             return 0
+        san = self._san
+        if san is not None:
+            san.on_access_run(self.thread, base, count, stride, ip, is_store)
         thread = self.thread
         node = thread.numa_node
         hw_tid = thread.hw_tid
@@ -248,9 +264,25 @@ class Ctx:
 
     def free(self, addr: int, line: int) -> None:
         thread = self.thread
+        san = self._san
+        if san is not None and not san.check_free(
+            thread, addr, thread.current_function.ip(line)
+        ):
+            # Double/invalid free: recorded as a finding; the simulated
+            # program keeps running (glibc would abort, but aborting would
+            # hide every later defect in the same run).  Hooks must NOT
+            # fire — the tracked block, if any, is still live.
+            thread.clock += FREE_COST
+            return
+        # Validate liveness BEFORE notifying hooks: a double/invalid free
+        # must raise without untracking the still-live variable from the
+        # profiler's heap map (hooks are observers, not validators).
+        heap = self._aspace.heap
+        if heap.size_of(addr) is None:
+            raise AllocationError(f"free of non-live address {addr:#x}")
         for hook in self.process.hooks:
             hook.on_free(self.process, thread, addr)
-        self._aspace.heap.free(addr)
+        heap.free(addr)
         thread.clock += FREE_COST
 
     def alloc_array(

@@ -30,7 +30,12 @@ from repro.core.derived import derive_from_profile
 from repro.core.guidance import advise
 from repro.core.metrics import MetricKind
 from repro.core.profiledb import ProfileDB
-from repro.core.render import render_bottom_up, render_top_down, render_variable_table
+from repro.core.render import (
+    render_bottom_up,
+    render_sanitizer_report,
+    render_top_down,
+    render_variable_table,
+)
 from repro.machine.stats import MachineStats
 from repro.util.fmt import format_table, human_bytes
 
@@ -139,6 +144,59 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _load_defect_seeds(path: str) -> dict:
+    import importlib.util
+
+    file = Path(path)
+    if not file.exists():
+        raise SystemExit(f"defect corpus not found: {file}")
+    spec = importlib.util.spec_from_file_location("repro_defect_corpus", file)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SEEDS
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.sanitize import SanitizerConfig, parse_fail_on, sanitizing
+
+    if args.list_defects:
+        for name, (_runner, expected) in _load_defect_seeds(args.defects_file).items():
+            print(f"{name:16s} -> {expected or '<no finding>'}")
+        return 0
+    if bool(args.app) == bool(args.defect):
+        raise SystemExit("sanitize: give exactly one of --app or --defect")
+    fail_kinds = parse_fail_on(args.fail_on) if args.fail_on else frozenset()
+    # Defect seeds free everything except the leak seed's block, so leak
+    # checking is always sound there; real apps opt in with --check-leaks.
+    config = SanitizerConfig(check_leaks=args.check_leaks or bool(args.defect))
+
+    if args.defect:
+        seeds = _load_defect_seeds(args.defects_file)
+        if args.defect not in seeds:
+            raise SystemExit(
+                f"unknown defect seed {args.defect!r}; known: {', '.join(seeds)}"
+            )
+        runner, _expected = seeds[args.defect]
+        with sanitizing(config) as session:
+            runner()
+        title = f"sanitize: defect seed {args.defect!r}"
+    else:
+        from repro.parallel.registry import run_app_rank
+
+        with sanitizing(config) as session:
+            run_app_rank(
+                args.app, args.rank, args.ranks,
+                variant=args.variant, preset=args.preset,
+            )
+        title = f"sanitize: {args.app} rank {args.rank}/{args.ranks}"
+
+    report = session.report()
+    print(render_sanitizer_report(report, title=title))
+    if fail_kinds and report.matching(fail_kinds):
+        return 1
+    return 0
+
+
 def cmd_merge(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         from repro.parallel import merge_rpdb_files
@@ -217,6 +275,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retries", type=int, default=1,
                      help="retries per failed rank before giving up")
     run.set_defaults(func=cmd_run)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run an app or defect seed under the shadow-memory/race checker",
+    )
+    sanitize.add_argument("--app", default=None,
+                          help="app to sanitize (see repro.parallel.APPS)")
+    sanitize.add_argument("--defect", default=None, metavar="SEED",
+                          help="defect-corpus seed to sanitize instead of an app")
+    sanitize.add_argument("--defects-file", default="examples/defects.py",
+                          help="path to the seeded-defect corpus")
+    sanitize.add_argument("--list-defects", action="store_true",
+                          help="list defect seeds and expected findings")
+    sanitize.add_argument("--preset", default="smoke",
+                          help="workload preset (default: smoke)")
+    sanitize.add_argument("--variant", default="original",
+                          help="app variant (default: original)")
+    sanitize.add_argument("--rank", type=int, default=0,
+                          help="MPI rank to run in-process (default 0)")
+    sanitize.add_argument("--ranks", type=int, default=2,
+                          help="total simulated ranks (default 2)")
+    sanitize.add_argument("--check-leaks", action="store_true",
+                          help="also report heap blocks still live at exit")
+    sanitize.add_argument("--fail-on", default=None, metavar="CLASSES",
+                          help="exit 1 when findings match these classes "
+                               "(comma list: oob,race,uaf,free,uninit,leak,"
+                               "sharing,any or exact kinds)")
+    sanitize.set_defaults(func=cmd_sanitize)
     return parser
 
 

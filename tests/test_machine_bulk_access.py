@@ -11,13 +11,12 @@ and compare everything observable.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Ctx, DataCentricProfiler, SimProcess, tiny_machine
+from repro.util.rng import DeterministicRNG
 from repro.machine.hierarchy import MemoryHierarchy
 from repro.machine.policies import Interleave
 from repro.pmu.ebs import EBSEngine
@@ -131,16 +130,16 @@ class TestHierarchyDifferential:
         # combined state identical to all-scalar.
         a = tiny_machine().hierarchy
         b = tiny_machine().hierarchy
-        rng = random.Random(7)
+        rng = DeterministicRNG(7)
         ops = []
         for _ in range(50):
             ops.append(
                 (
-                    rng.randrange(4),
-                    rng.randrange(1 << 20),
-                    rng.choice([8, 64, 4096]),
-                    rng.randrange(1, 40),
-                    rng.randrange(2),
+                    rng.randint(0, 3),
+                    rng.randint(0, (1 << 20) - 1),
+                    (8, 64, 4096)[rng.randint(0, 2)],
+                    rng.randint(1, 39),
+                    rng.randint(0, 1),
                     rng.random() < 0.3,
                 )
             )

@@ -1,0 +1,92 @@
+"""Unit tests for tools/reprolint.py (determinism/hygiene AST lint)."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _load_reprolint():
+    spec = importlib.util.spec_from_file_location(
+        "reprolint", REPO / "tools" / "reprolint.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+reprolint = _load_reprolint()
+
+
+def _rules(source: str, **kwargs) -> list[str]:
+    findings = reprolint.lint_source(source, Path("x.py"), **kwargs)
+    return [rule for _line, rule, _msg in findings]
+
+
+class TestRules:
+    def test_bare_except_flagged(self):
+        src = "try:\n    pass\nexcept:\n    pass\n"
+        assert _rules(src) == ["R001"]
+
+    def test_typed_except_ok(self):
+        src = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert _rules(src) == []
+
+    def test_mutable_default_list_literal(self):
+        assert _rules("def f(a, b=[]):\n    pass\n") == ["R002"]
+
+    def test_mutable_default_dict_constructor(self):
+        assert _rules("def f(*, b=dict()):\n    pass\n") == ["R002"]
+
+    def test_none_default_ok(self):
+        assert _rules("def f(a, b=None, c=(), d=0):\n    pass\n") == []
+
+    def test_import_random_flagged(self):
+        assert _rules("import random\n") == ["R003"]
+        assert _rules("from random import choice\n") == ["R003"]
+
+    def test_time_time_flagged_but_perf_counter_ok(self):
+        assert _rules("import time\nt = time.time()\n") == ["R003"]
+        assert _rules("import time\nt = time.perf_counter()\n") == []
+
+    def test_datetime_now_flagged(self):
+        assert _rules("import datetime\nd = datetime.now()\n") == ["R003"]
+        assert _rules("from datetime import date\nd = date.today()\n") == ["R003"]
+
+    def test_rng_facade_exempt(self):
+        src = "import random\nt = time.time()\n"
+        assert _rules(src, rng_exempt=True) == []
+
+    def test_print_flagged_only_in_library(self):
+        src = "print('hi')\n"
+        assert _rules(src, in_library=True) == ["R004"]
+        assert _rules(src, in_library=False) == []
+
+    def test_syntax_error_reported_not_raised(self):
+        assert _rules("def broken(:\n") == ["R000"]
+
+    def test_classify_paths(self):
+        lib, _ = reprolint._classify(Path("src/repro/sim/runtime.py"))
+        assert lib
+        tools, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
+        assert not tools
+        _, rng = reprolint._classify(Path("src/repro/util/rng.py"))
+        assert rng
+        test, _ = reprolint._classify(Path("tests/test_x.py"))
+        assert not test
+
+
+class TestRepoIsClean:
+    def test_whole_repo_green(self, capsys):
+        # Run from the repo root so the default targets resolve.
+        cwd = os.getcwd()
+        os.chdir(REPO)
+        try:
+            status = reprolint.main([])
+        finally:
+            os.chdir(cwd)
+        out = capsys.readouterr().out
+        assert status == 0, f"reprolint found violations:\n{out}"

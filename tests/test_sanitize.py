@@ -1,0 +1,416 @@
+"""Sanitizer subsystem: shadow checks, race detection, corpus, clean apps."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tests.conftest import MiniProgram
+from repro.parallel.registry import run_app_rank
+from repro.sanitize import SanitizerConfig, sanitizing
+from repro.sanitize.race import RaceDetector
+from repro.sanitize.report import parse_fail_on
+from repro.errors import ConfigError
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _load_corpus():
+    spec = importlib.util.spec_from_file_location(
+        "defect_corpus", REPO / "examples" / "defects.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+corpus = _load_corpus()
+
+
+def _one_report(config=None, **kwargs):
+    """Run ``fn(ctx, prog)`` under a session; return the report."""
+    fn = kwargs.pop("fn")
+    with sanitizing(config or SanitizerConfig(**kwargs)) as session:
+        prog = MiniProgram()
+        ctx = prog.master_ctx()
+        fn(ctx, prog)
+    return session.report()
+
+
+# ------------------------------------------------------------- shadow checker
+
+
+class TestShadowChecker:
+    def test_oob_read_names_variable_and_offset(self):
+        def fn(ctx, prog):
+            buf = ctx.malloc(256, line=20, var="buf")
+            ctx.touch_range(buf, 256, line=20)
+            ctx.load(buf + 260, line=10)
+            ctx.free(buf, line=21)
+
+        report = _one_report(fn=fn)
+        (f,) = report.findings
+        assert f.kind == "oob-read"
+        assert f.variable.name == "buf"
+        assert f.offset == 260
+        assert f.variable.alloc_location.startswith("main:20")
+        assert f.contexts[0].location.startswith("main:10")
+
+    def test_oob_write_left_redzone(self):
+        def fn(ctx, prog):
+            buf = ctx.malloc(128, line=20, var="buf")
+            ctx.touch_range(buf, 128, line=20)
+            ctx.store(buf - 8, line=10)
+            ctx.free(buf, line=21)
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.kind == "oob-write"
+        assert f.variable.name == "buf"
+        assert f.offset == -8
+
+    def test_alignment_slack_is_redzone(self):
+        # A 100B request is padded to 112B; bytes 100..111 are slack and
+        # must be poisoned like ASan's partial granule.
+        def fn(ctx, prog):
+            buf = ctx.malloc(100, line=20, var="buf")
+            ctx.touch_range(buf, 100, line=20)
+            ctx.load(buf + 104, line=10)
+            ctx.free(buf, line=21)
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.kind == "oob-read"
+
+    def test_use_after_free_has_both_contexts(self):
+        def fn(ctx, prog):
+            p = ctx.malloc(64, line=20, var="p")
+            ctx.store(p, line=10)
+            ctx.free(p, line=21)
+            ctx.load(p, line=11)
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.kind == "use-after-free"
+        assert f.variable.name == "p"
+        # The access context plus the freeing context.
+        assert len(f.contexts) == 2
+
+    def test_double_free_reported_not_raised(self):
+        def fn(ctx, prog):
+            p = ctx.malloc(64, line=20, var="p")
+            ctx.store(p, line=10)
+            ctx.free(p, line=21)
+            ctx.free(p, line=22)  # must not raise under the sanitizer
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.kind == "double-free"
+        assert len(f.contexts) == 2
+
+    def test_invalid_free_interior_pointer(self):
+        def fn(ctx, prog):
+            p = ctx.malloc(256, line=20, var="p")
+            ctx.store(p, line=10)
+            ctx.free(p + 32, line=21)
+            ctx.free(p, line=22)
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.kind == "invalid-free"
+        assert "interior" in f.detail
+
+    def test_uninit_read_on_fresh_page(self):
+        def fn(ctx, prog):
+            big = ctx.malloc(4 * 4096, line=20, var="big")
+            ctx.load(big + 8192, line=10)
+            ctx.touch_range(big, 4 * 4096, line=20)
+            ctx.free(big, line=21)
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.kind == "uninit-read"
+        assert f.variable.name == "big"
+
+    def test_calloc_counts_as_initialized(self):
+        def fn(ctx, prog):
+            z = ctx.calloc(4 * 4096, line=20, var="z")
+            ctx.load(z + 8192, line=10)
+            ctx.free(z, line=21)
+
+        assert _one_report(fn=fn).findings == []
+
+    def test_leak_reported_only_when_enabled(self):
+        def fn(ctx, prog):
+            lost = ctx.malloc(512, line=20, var="lost")
+            ctx.touch_range(lost, 512, line=20)
+
+        assert _one_report(fn=fn).findings == []  # off by default
+        report = _one_report(fn=fn, check_leaks=True)
+        (f,) = report.findings
+        assert f.kind == "leak"
+        assert f.variable.name == "lost"
+
+    def test_quarantine_defers_reuse(self):
+        # Freed block's address must not be handed out again immediately,
+        # so the stale load is caught instead of hitting a new block.
+        def fn(ctx, prog):
+            a = ctx.malloc(64, line=20, var="a")
+            ctx.store(a, line=10)
+            ctx.free(a, line=21)
+            b = ctx.malloc(64, line=22, var="b")
+            assert b != a  # quarantine holds a's range
+            ctx.store(b, line=10)
+            ctx.load(a, line=11)  # stale pointer
+            ctx.free(b, line=23)
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.kind == "use-after-free"
+        assert f.variable.name == "a"
+
+    def test_repeated_access_dedups_with_count(self):
+        def fn(ctx, prog):
+            buf = ctx.malloc(64, line=20, var="buf")
+            ctx.touch_range(buf, 64, line=20)
+            for _ in range(5):
+                ctx.load(buf + 72, line=10)
+            ctx.free(buf, line=21)
+
+        (f,) = _one_report(fn=fn).findings
+        assert f.count == 5
+
+    def test_anonymous_allocation_gets_site_name(self):
+        def fn(ctx, prog):
+            buf = ctx.malloc(64, line=20)  # no var name
+            ctx.touch_range(buf, 64, line=20)
+            ctx.load(buf + 72, line=10)
+            ctx.free(buf, line=21)
+
+        (f,) = _one_report(fn=fn).findings
+        assert "main:20" in f.variable.name
+
+
+# ------------------------------------------------------- race & false sharing
+
+
+def _region_report(worker_of, nbytes=4096, config=None):
+    with sanitizing(config or SanitizerConfig()) as session:
+        prog = MiniProgram()
+        ctx = prog.master_ctx()
+        shared = ctx.malloc(nbytes, line=20, var="shared")
+        ctx.touch_range(shared, nbytes, line=20)
+        ctx.parallel(
+            prog.work, lambda wctx, tid: worker_of(wctx, tid, shared), 2, line=30
+        )
+        ctx.free(shared, line=40)
+    return session.report()
+
+
+class TestRaceDetection:
+    def test_write_write_race(self):
+        def worker(wctx, tid, shared):
+            ip = wctx.ip(110)
+            for _ in range(8):
+                wctx.store_ip(shared, ip)
+                yield
+
+        (f,) = _region_report(worker).findings
+        assert f.kind == "race-ww"
+        assert f.variable.name == "shared"
+        threads = {c.thread for c in f.contexts}
+        assert len(threads) == 2  # both threads' contexts
+        assert all(c.path for c in f.contexts)
+
+    def test_read_write_race(self):
+        def worker(wctx, tid, shared):
+            ip = wctx.ip(110)
+            for _ in range(8):
+                if tid == 0:
+                    wctx.store_ip(shared + 8, ip)
+                else:
+                    wctx.load_ip(shared + 8, ip)
+                yield
+
+        (f,) = _region_report(worker).findings
+        assert f.kind == "race-rw"
+
+    def test_false_sharing_distinct_offsets_same_line(self):
+        def worker(wctx, tid, shared):
+            ip = wctx.ip(110)
+            for _ in range(12):
+                wctx.store_ip(shared + tid * 8, ip)
+                yield
+
+        (f,) = _region_report(worker).findings
+        assert f.kind == "false-sharing"
+        assert f.variable.name == "shared"
+        assert "alternations" in f.detail
+
+    def test_disjoint_lines_are_clean(self):
+        def worker(wctx, tid, shared):
+            ip = wctx.ip(110)
+            for i in range(12):
+                wctx.store_ip(shared + 2048 * tid + i * 8, ip)
+                yield
+
+        assert _region_report(worker).findings == []
+
+    def test_bulk_run_vs_scalar_conflict(self):
+        # One thread writes via the batched path, the other reads the same
+        # element via the scalar path: still a race.
+        def worker(wctx, tid, shared):
+            ip = wctx.ip(110)
+            for _ in range(4):
+                if tid == 0:
+                    wctx.store_run(shared, 16, 8, ip)
+                else:
+                    wctx.load_ip(shared + 64, ip)
+                yield
+
+        report = _region_report(worker)
+        kinds = {f.kind for f in report.findings}
+        assert "race-rw" in kinds
+
+    def test_master_accesses_outside_regions_not_raced(self):
+        # Master-thread stores before/after a region are ordered by the
+        # fork/join edges: no race with worker accesses.
+        def worker(wctx, tid, shared):
+            ip = wctx.ip(110)
+            for i in range(4):
+                wctx.load_ip(shared + tid * 2048, ip)
+                yield
+
+        assert _region_report(worker).findings == []
+
+    def test_epochs_do_not_leak_across_regions(self):
+        # Thread 0 writes an element in region 1; thread 1 writes it in
+        # region 2. The barrier between them orders the accesses: no race.
+        with sanitizing(SanitizerConfig()) as session:
+            prog = MiniProgram()
+            ctx = prog.master_ctx()
+            shared = ctx.malloc(1024, line=20, var="shared")
+            ctx.touch_range(shared, 1024, line=20)
+
+            def region(writer_tid):
+                def worker(wctx, tid):
+                    ip = wctx.ip(110)
+                    for _ in range(6):
+                        if tid == writer_tid:
+                            wctx.store_ip(shared, ip)
+                        yield
+
+                return worker
+
+            ctx.parallel(prog.work, region(0), 2, line=30)
+            ctx.parallel(prog.work, region(1), 2, line=31)
+            ctx.free(shared, line=40)
+        assert session.report().findings == []
+
+    def test_detector_unit_equal_stride_phase(self):
+        det = RaceDetector(line_bits=6, min_alternations=4, max_records=1000)
+        # Interleaved odd/even element writes: same span, never same byte.
+        det.record(1, "t1", 0x1000, 8, 16, 7, True, ())
+        det.record(2, "t2", 0x1008, 8, 16, 8, True, ())
+        conflicts, _sharing = det.end_region()
+        assert conflicts == []
+        det.record(1, "t1", 0x1000, 8, 16, 7, True, ())
+        det.record(2, "t2", 0x1010, 8, 16, 8, True, ())  # same phase: collide
+        conflicts, _sharing = det.end_region()
+        assert len(conflicts) == 1
+
+
+# ------------------------------------------------------------- defect corpus
+
+
+@pytest.mark.parametrize("seed", sorted(corpus.SEEDS))
+def test_corpus_seed_detected_exactly_once(seed):
+    runner, expected = corpus.SEEDS[seed]
+    report = corpus.run_seed(seed)
+    kinds = [f.kind for f in report.findings]
+    if expected is None:
+        assert kinds == []
+        return
+    assert kinds == [expected], f"{seed}: expected one {expected}, got {kinds}"
+    (finding,) = report.findings
+    assert finding.variable.name == corpus.EXPECTED_VARIABLE[seed]
+    assert finding.variable.alloc_location  # allocation context present
+    if expected.startswith("race") or expected == "false-sharing":
+        threads = {c.thread for c in finding.contexts}
+        assert len(threads) == 2, "both threads' contexts required"
+        assert all(c.path for c in finding.contexts)
+
+
+# ----------------------------------------------------------------- clean apps
+
+
+CLEAN_APPS = ["lulesh", "amg2006", "sweep3d", "nw", "streamcluster"]
+
+
+@pytest.mark.parametrize("app", CLEAN_APPS)
+def test_clean_app_zero_findings(app):
+    with sanitizing(SanitizerConfig()) as session:
+        run_app_rank(app, 0, 2)
+    report = session.report()
+    assert report.findings == [], [f.headline() for f in report.findings]
+
+
+def test_clean_app_optimized_variant_zero_findings():
+    # parallel-init stores inside regions (disjoint chunks): must be clean.
+    with sanitizing(SanitizerConfig()) as session:
+        run_app_rank("streamcluster", 0, 2, variant="parallel-init")
+    assert session.report().findings == []
+
+
+# ------------------------------------------------------------ disabled mode
+
+
+class TestDisabledMode:
+    def test_no_session_no_sanitizer(self):
+        prog = MiniProgram()
+        assert prog.process.sanitizer is None
+        ctx = prog.master_ctx()
+        assert ctx._san is None
+
+    def test_sessions_do_not_nest(self):
+        with sanitizing():
+            with pytest.raises(ConfigError):
+                with sanitizing():
+                    pass
+
+    def test_fail_on_parsing(self):
+        kinds = parse_fail_on("race,oob")
+        assert kinds == frozenset(
+            {"race-ww", "race-rw", "oob-read", "oob-write"}
+        )
+        assert parse_fail_on("any") == frozenset(corpus_kinds())
+        with pytest.raises(ConfigError):
+            parse_fail_on("bogus")
+
+    def test_profiles_byte_identical_with_subsystem_importable(self):
+        # The acceptance bar: importing repro.sanitize (without a session)
+        # must leave profile output byte-for-byte unchanged.  The baseline
+        # run happens in a subprocess that never imports the subsystem.
+        code = (
+            "from repro.parallel.registry import run_app_rank\n"
+            "import sys\n"
+            "assert 'repro.sanitize' not in sys.modules\n"
+            "baseline = run_app_rank('nw', 0, 2).canonical_bytes()\n"
+            "import repro.sanitize\n"
+            "from repro.sanitize import Sanitizer, SanitizerConfig\n"
+            "again = run_app_rank('nw', 0, 2).canonical_bytes()\n"
+            "assert again == baseline, 'profile bytes changed'\n"
+            "sys.stdout.write('IDENTICAL %d' % len(baseline))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.startswith("IDENTICAL")
+
+
+def corpus_kinds():
+    from repro.sanitize.report import ALL_KINDS
+
+    return ALL_KINDS

@@ -199,3 +199,118 @@ class TestProperties:
         heap.check_invariants()
         assert heap.live_bytes == 0
         assert heap.malloc(1 << 20) == 0
+
+
+class TestReallocZero:
+    def test_realloc_zero_frees_and_returns_null(self, heap):
+        a = heap.malloc(128)
+        assert heap.realloc(a, 0) == 0
+        assert heap.size_of(a) is None
+        assert heap.live_bytes == 0
+        heap.check_invariants()
+
+    def test_realloc_null_zero_is_noop(self, heap):
+        assert heap.realloc(0, 0) == 0
+        assert heap.live_bytes == 0
+        heap.check_invariants()
+
+    def test_realloc_zero_of_dead_block_raises(self, heap):
+        a = heap.malloc(64)
+        heap.free(a)
+        with pytest.raises(AllocationError):
+            heap.realloc(a, 0)
+
+
+class TestSanitizerKnobs:
+    def test_redzone_offsets_block_inside_reservation(self):
+        heap = HeapAllocator(BASE, 1 << 20)
+        heap.redzone = 64
+        a = heap.malloc(100)
+        assert a == BASE + 64
+        assert heap.size_of(a) == 112  # usable size is still the aligned request
+        assert heap.redzone_of(a) == 64
+        assert heap.live_bytes == 112 + 128
+        heap.free(a)
+        assert heap.live_bytes == 0
+        heap.check_invariants()
+
+    def test_quarantine_defers_address_reuse(self):
+        heap = HeapAllocator(BASE, 1 << 20)
+        heap.quarantine_capacity = 1 << 16
+        a = heap.malloc(64)
+        heap.free(a)
+        b = heap.malloc(64)
+        assert b != a  # a's range is parked, not reused
+        heap.check_invariants()
+        heap.flush_quarantine()
+        assert heap.quarantine_bytes == 0
+        heap.check_invariants()
+
+    def test_quarantine_evict_hook_fires_fifo(self):
+        heap = HeapAllocator(BASE, 1 << 20)
+        heap.quarantine_capacity = 128
+        evicted = []
+        heap.set_evict_hook(lambda addr, size: evicted.append((addr, size)))
+        blocks = [heap.malloc(64) for _ in range(4)]
+        for block in blocks:
+            heap.free(block)
+        # 4 * 64B freed with a 128B budget: the two oldest were evicted.
+        assert [addr for addr, _size in evicted] == blocks[:2]
+        heap.check_invariants()
+
+    def test_quarantine_drained_before_oom(self):
+        heap = HeapAllocator(BASE, 1 << 10)
+        heap.quarantine_capacity = 1 << 20
+        a = heap.malloc(1 << 10)
+        heap.free(a)
+        # The whole heap is quarantined; a new allocation must recycle it
+        # rather than raising.
+        b = heap.malloc(1 << 10)
+        assert b == a
+        heap.check_invariants()
+
+
+class TestStepwiseInvariants:
+    """Random malloc/calloc/realloc/free drivers with invariant checks
+    after *every* step, across sanitizer-knob configurations."""
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("malloc"), st.integers(1, 2048)),
+                st.tuples(st.just("calloc"), st.integers(1, 2048)),
+                st.tuples(st.just("realloc"), st.integers(0, 1024)),
+                st.tuples(st.just("free"), st.integers(0, 40)),
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+        redzone=st.sampled_from([0, 16, 64]),
+        quarantine=st.sampled_from([0, 4096]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_after_every_step(self, ops, redzone, quarantine):
+        heap = HeapAllocator(0x4000, 1 << 22)
+        heap.redzone = redzone
+        heap.quarantine_capacity = quarantine
+        live: list[int] = []
+        for op, arg in ops:
+            if op in ("malloc", "calloc"):
+                # calloc's zero-fill is a Ctx-level behaviour; the allocator
+                # sees the same carve either way.
+                live.append(heap.malloc(arg))
+            elif op == "realloc" and live:
+                idx = arg % len(live)
+                new = heap.realloc(live.pop(idx), arg)
+                if new:
+                    live.append(new)
+            elif op == "free" and live:
+                heap.free(live.pop(arg % len(live)))
+            heap.check_invariants()
+        for addr in live:
+            heap.free(addr)
+        heap.check_invariants()
+        heap.flush_quarantine()
+        heap.check_invariants()
+        assert heap.live_bytes == 0
+        assert heap.quarantine_bytes == 0

@@ -216,3 +216,48 @@ class TestPhasesAndComm:
         ctx = mini.master_ctx()
         ctx.compute(int(mini.machine.spec.clock_hz))
         assert mini.process.elapsed_seconds() >= 1.0
+
+
+class TestFreeValidation:
+    """Regression: Ctx.free must validate liveness BEFORE firing hooks.
+
+    Pre-fix, a double/invalid free notified every hook first, so the
+    profiler untracked the variable (or raised ProfileError mid-hook)
+    before the allocator rejected the free — corrupting HeapDataMap for
+    a still-live block.
+    """
+
+    def test_double_free_raises_allocation_error(self, profiled_mini):
+        prog, profiler = profiled_mini
+        ctx = prog.master_ctx()
+        addr = ctx.malloc(8192, line=20, var="table")
+        ctx.free(addr, line=21)
+        with pytest.raises(AllocationError):
+            ctx.free(addr, line=22)
+
+    def test_invalid_free_leaves_heap_map_intact(self, profiled_mini):
+        prog, profiler = profiled_mini
+        ctx = prog.master_ctx()
+        addr = ctx.malloc(8192, line=20, var="table")
+        assert profiler.heap_map.lookup(addr) is not None
+        with pytest.raises(AllocationError):
+            ctx.free(addr + 16, line=21)  # interior pointer
+        # The block is still live and still attributed.
+        assert profiler.heap_map.lookup(addr) is not None
+        assert prog.process.aspace.heap.size_of(addr) is not None
+        ctx.free(addr, line=22)  # proper cleanup still works afterwards
+        assert profiler.heap_map.lookup(addr) is None
+
+    def test_foreign_free_rejected_without_hook_side_effects(self, profiled_mini):
+        prog, profiler = profiled_mini
+        ctx = prog.master_ctx()
+        addr = ctx.malloc(8192, line=20, var="table")
+        other = ctx.malloc(8192, line=20, var="other")
+        # Simulate a confused pointer: free() of an address the allocator
+        # no longer considers live (freed behind the runtime's back).
+        prog.process.aspace.heap.free(other)
+        with pytest.raises(AllocationError):
+            ctx.free(other, line=21)
+        # The tracked entry for `other` was NOT untracked by hooks.
+        assert profiler.heap_map.lookup(other) is not None
+        assert profiler.heap_map.lookup(addr) is not None

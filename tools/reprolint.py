@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""reprolint — AST lint for this repo's determinism and hygiene invariants.
+
+The simulator's core guarantee is bit-reproducibility: the same config
+must produce byte-identical profiles on every run (that is what the
+merge/codec tests pin).  Nondeterminism sneaking into ``src/repro`` —
+wall-clock reads, ambient ``random`` — would break that silently, so it
+is banned at the AST level rather than hunted in code review.
+
+Rules:
+  R001  bare ``except:`` (swallows SystemExit/KeyboardInterrupt and bugs)
+  R002  mutable default argument (list/dict/set literals or constructors)
+  R003  nondeterminism: ``random`` module, ``time.time``, ``datetime.now``,
+        ``datetime.utcnow``, ``date.today`` — anywhere except the seeded
+        RNG facade ``src/repro/util/rng.py``
+  R004  ``print`` calls inside ``src/repro`` outside ``src/repro/tools``
+        (library code must return data; only CLIs talk to stdout)
+
+Usage: ``python tools/reprolint.py [paths...]`` (default: src tests
+benchmarks examples tools).  Prints ``file:line: RULE message`` per
+finding; exit status 1 when anything was found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_TARGETS = ("src", "tests", "benchmarks", "examples", "tools")
+
+# R003: calls banned as (module-ish value, attribute) pairs.
+_BANNED_CALLS = {
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "bytearray", "defaultdict"}
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: Path, in_library: bool, rng_exempt: bool) -> None:
+        self.path = path
+        self.in_library = in_library  # under src/repro but not src/repro/tools
+        self.rng_exempt = rng_exempt  # the seeded-RNG facade itself
+        self.findings: list[tuple[int, str, str]] = []
+
+    def _add(self, line: int, rule: str, message: str) -> None:
+        self.findings.append((line, rule, message))
+
+    # R001 ------------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(node.lineno, "R001", "bare `except:` — name the exception")
+        self.generic_visit(node)
+
+    # R002 ------------------------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                self._add(
+                    default.lineno, "R002",
+                    f"mutable default argument in {node.name}() — use None",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # R003 ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.rng_exempt:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random":
+                    self._add(
+                        node.lineno, "R003",
+                        "import of `random` — use repro.util.rng (seeded)",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.rng_exempt and node.module:
+            root = node.module.split(".")[0]
+            if root == "random":
+                self._add(
+                    node.lineno, "R003",
+                    "import from `random` — use repro.util.rng (seeded)",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            not self.rng_exempt
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+        ):
+            pair = (func.value.id, func.attr)
+            if pair in _BANNED_CALLS:
+                self._add(
+                    node.lineno, "R003",
+                    f"nondeterministic call {pair[0]}.{pair[1]}() — "
+                    "pass timestamps/seeds in explicitly",
+                )
+        # R004
+        if (
+            self.in_library
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._add(
+                node.lineno, "R004",
+                "print() in library code — return data, render in repro.tools",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: Path, in_library: bool = False, rng_exempt: bool = False
+) -> list[tuple[int, str, str]]:
+    """Lint one file's source text; returns (line, rule, message) findings."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, "R000", f"syntax error: {exc.msg}")]
+    visitor = _Visitor(path, in_library=in_library, rng_exempt=rng_exempt)
+    visitor.visit(tree)
+    return sorted(visitor.findings)
+
+
+def _classify(path: Path) -> tuple[bool, bool]:
+    parts = path.as_posix()
+    in_repro = "src/repro/" in parts or parts.startswith("src/repro/")
+    in_tools = "src/repro/tools/" in parts
+    rng_exempt = parts.endswith("repro/util/rng.py")
+    return (in_repro and not in_tools), rng_exempt
+
+
+def lint_paths(targets: list[Path]) -> list[str]:
+    reports: list[str] = []
+    for target in targets:
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for file in files:
+            in_library, rng_exempt = _classify(file)
+            findings = lint_source(
+                file.read_text(encoding="utf-8"), file,
+                in_library=in_library, rng_exempt=rng_exempt,
+            )
+            for line, rule, message in findings:
+                reports.append(f"{file}:{line}: {rule} {message}")
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = (argv if argv is not None else sys.argv[1:]) or list(DEFAULT_TARGETS)
+    targets = []
+    for arg in args:
+        path = Path(arg)
+        if path.exists():
+            targets.append(path)
+    reports = lint_paths(targets)
+    for report in reports:
+        print(report)
+    if reports:
+        print(f"reprolint: {len(reports)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
