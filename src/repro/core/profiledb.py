@@ -22,6 +22,7 @@ payloads (no metadata) still decode.
 from __future__ import annotations
 
 import struct
+import sys
 from typing import Iterator
 
 from repro.core.cct import CCT, CCTNode, canonical_key_order
@@ -35,6 +36,12 @@ _MAGIC = b"RPDB"
 _VERSION = 2
 _MIN_VERSION = 1
 _HEADER_LEN = 6  # magic + u16 version
+
+
+def _obs_session():
+    """The active repro.obs session, if that subsystem is even imported."""
+    obs_mod = sys.modules.get("repro.obs")
+    return obs_mod.active_session() if obs_mod is not None else None
 
 
 # -- varint codec --------------------------------------------------------------
@@ -349,6 +356,27 @@ class ProfileDB:
         content only — the form merge-equivalence tests and the parallel
         merge's byte-identity guarantee compare.
         """
+        obs = _obs_session()
+        if obs is None:
+            return self._to_bytes_impl(canonical)
+        start = obs.clock.now_us()
+        data = self._to_bytes_impl(canonical)
+        obs.trace.complete(
+            name="codec:encode", cat="codec", ts_us=start,
+            dur_us=obs.clock.now_us() - start, pid=0, tid=3,
+            args={"process": self.process_name, "bytes": len(data)},
+        )
+        obs.metrics.inc(
+            "repro_codec_encodes_total", 1,
+            help_text="ProfileDB encode operations",
+        )
+        obs.metrics.inc(
+            "repro_codec_encoded_bytes_total", len(data),
+            help_text="bytes produced by the profile encoder",
+        )
+        return data
+
+    def _to_bytes_impl(self, canonical: bool) -> bytes:
         strings = _StringTable()
         body = bytearray()
         _write_uvarint(body, strings.intern(self.process_name))
@@ -382,6 +410,24 @@ class ProfileDB:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ProfileDB":
+        obs = _obs_session()
+        if obs is None:
+            return cls._from_bytes_impl(data)
+        start = obs.clock.now_us()
+        db = cls._from_bytes_impl(data)
+        obs.trace.complete(
+            name="codec:decode", cat="codec", ts_us=start,
+            dur_us=obs.clock.now_us() - start, pid=0, tid=3,
+            args={"process": db.process_name, "bytes": len(data)},
+        )
+        obs.metrics.inc(
+            "repro_codec_decodes_total", 1,
+            help_text="ProfileDB decode operations",
+        )
+        return db
+
+    @classmethod
+    def _from_bytes_impl(cls, data: bytes) -> "ProfileDB":
         if len(data) < _HEADER_LEN:
             raise ProfileError(f"profile shorter than the {_HEADER_LEN}-byte header")
         if data[:4] != _MAGIC:

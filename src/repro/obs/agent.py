@@ -1,0 +1,296 @@
+"""Per-process observability agent (the sim-time half of the tracer).
+
+One :class:`ObsAgent` attaches to one :class:`~repro.sim.process.SimProcess`
+as an ordinary hook (same list the profiler sits in) plus the
+``process.obs`` back-pointer that ``SimProcess.phase`` consults.  It
+records *sim-time* spans — phases, ``Ctx.parallel`` regions, MPI ranks,
+malloc lifetimes — with timestamps derived purely from simulated cycles,
+so traces are as deterministic as the profiles themselves.
+
+The agent is strictly read-only with respect to simulation state: it
+never touches thread clocks, machine counters, or the heap, which is
+what keeps profiles byte-identical whether or not a session is active
+(pinned by tests/test_obs.py).
+
+At :meth:`finalize` it folds the process's end-of-run state into the
+session's metrics registry: every :class:`MachineStats` field, the
+contention/DRAM queue model, heap allocator occupancy, sanitizer
+counters when one is installed, and the profiler's self-overhead as a
+dilation percentage (measurement cycles vs. total simulated cycles —
+the paper's <3% claim, checked in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import ObsSession
+    from repro.sim.loader import LoadModule
+    from repro.sim.process import SimProcess
+    from repro.sim.thread import SimThread
+
+# Wall-domain events (driver, merge, codec) live in pid 0; simulated
+# processes get pid = rank + SIM_PID_BASE so the two domains never
+# collide in the timeline view.
+SIM_PID_BASE = 1
+
+
+class ObsAgent:
+    """Hook recording sim-time spans and end-of-run metrics for a process."""
+
+    def __init__(self, session: "ObsSession", process: "SimProcess") -> None:
+        self.session = session
+        self.process = process
+        self.pid = SIM_PID_BASE + process.pid
+        self.samples_seen = 0
+        self._region_stack: list[tuple[int, int]] = []  # (start_cycles, n_threads)
+        self._region_count = 0
+        self._live_allocs: dict[int, tuple[int, int, int, str | None]] = {}
+        self._malloc_spans = 0
+        self._rank_span_emitted = False
+        self._finalized = False
+        trace = session.trace
+        trace.process_name(self.pid, f"sim:{process.name}")
+        trace.thread_name(self.pid, 0, f"{process.name}.main")
+
+    # -- sim-time helpers ----------------------------------------------------
+
+    def _us(self, cycles: int) -> float:
+        return self.process.machine.cycles_to_seconds(cycles) * 1e6
+
+    # -- required hook protocol (no-ops where we have nothing to record) -----
+
+    def on_module_load(self, process: "SimProcess", module: "LoadModule") -> None:
+        return
+
+    def on_module_unload(self, process: "SimProcess", module: "LoadModule") -> None:
+        return
+
+    def on_thread_create(self, process: "SimProcess", thread: "SimThread") -> None:
+        self.session.trace.thread_name(
+            self.pid, thread.thread_index, thread.name
+        )
+
+    def on_sample(self, process: "SimProcess", thread: "SimThread", sample) -> None:
+        self.samples_seen += 1
+
+    def on_alloc(
+        self,
+        process: "SimProcess",
+        thread: "SimThread",
+        addr: int,
+        nbytes: int,
+        callsite_ip: int,
+        kind: str,
+        var: str | None = None,
+    ) -> None:
+        if not self.session.config.trace_malloc:
+            return
+        self._live_allocs[addr] = (thread.clock, thread.thread_index, nbytes, var)
+
+    def on_free(self, process: "SimProcess", thread: "SimThread", addr: int) -> None:
+        entry = self._live_allocs.pop(addr, None)
+        if entry is None:
+            return
+        self._emit_malloc_span(addr, entry, end_cycles=thread.clock)
+
+    # -- optional hook protocol ---------------------------------------------
+
+    def on_parallel_begin(self, process: "SimProcess", n_threads: int) -> None:
+        self._region_stack.append((process.master.clock, n_threads))
+
+    def on_parallel_end(self, process: "SimProcess") -> None:
+        if not self._region_stack:
+            return
+        start, n_threads = self._region_stack.pop()
+        self._region_count += 1
+        end = process.master.clock
+        self.session.trace.complete(
+            name=f"parallel[{n_threads}t]",
+            cat="parallel",
+            ts_us=self._us(start),
+            dur_us=self._us(end - start),
+            pid=self.pid,
+            tid=0,
+            args={"n_threads": n_threads, "cycles": end - start},
+        )
+
+    # -- calls from SimProcess / MPIJob (not part of the hook list) ---------
+
+    def on_phase(
+        self, process: "SimProcess", name: str, start_cycles: int, end_cycles: int
+    ) -> None:
+        self.session.trace.complete(
+            name=f"phase:{name}",
+            cat="phase",
+            ts_us=self._us(start_cycles),
+            dur_us=self._us(end_cycles - start_cycles),
+            pid=self.pid,
+            tid=0,
+            args={"cycles": end_cycles - start_cycles},
+        )
+
+    def on_rank_complete(self, process: "SimProcess") -> None:
+        """Emit the whole-rank span (also called from finalize as a backstop)."""
+        if self._rank_span_emitted:
+            return
+        self._rank_span_emitted = True
+        end = process.master.clock
+        self.session.trace.complete(
+            name=f"rank:{process.name}",
+            cat="rank",
+            ts_us=0.0,
+            dur_us=self._us(end),
+            pid=self.pid,
+            tid=0,
+            args={"pid": process.pid, "cycles": end},
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _emit_malloc_span(
+        self, addr: int, entry: tuple[int, int, int, str | None], end_cycles: int
+    ) -> None:
+        start, tid, nbytes, var = entry
+        end = max(end_cycles, start)
+        self._malloc_spans += 1
+        self.session.trace.complete(
+            name=f"malloc:{var}" if var else "malloc",
+            cat="malloc",
+            ts_us=self._us(start),
+            dur_us=self._us(end - start),
+            pid=self.pid,
+            tid=tid,
+            args={"addr": addr, "bytes": nbytes},
+        )
+
+    # -- end-of-run metrics ---------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close open spans and fold process state into session metrics."""
+        if self._finalized:
+            return
+        self._finalized = True
+        process = self.process
+        now = process.master.clock
+        for addr, entry in sorted(self._live_allocs.items()):
+            self._emit_malloc_span(addr, entry, end_cycles=max(now, entry[0]))
+        self._live_allocs.clear()
+        self.on_rank_complete(process)
+
+        metrics = self.session.metrics
+        labels = {"process": process.name}
+
+        # Machine layer: every MachineStats counter plus the queueing model.
+        # Tuple-valued fields fan out into labelled series (per data-source
+        # level, per NUMA node); scalars map 1:1.
+        hierarchy = process.machine.hierarchy
+        level_names = ("L1", "L2", "L3", "LMEM", "RMEM")
+        for field, value in hierarchy.stats().to_dict().items():
+            if isinstance(value, list):
+                key = "node" if "dram" in field else "level"
+                for i, item in enumerate(value):
+                    sub = dict(labels)
+                    sub[key] = (
+                        level_names[i]
+                        if key == "level" and i < len(level_names)
+                        else str(i)
+                    )
+                    metrics.set_gauge(
+                        f"repro_machine_{field}", item, sub,
+                        help_text="end-of-run machine hierarchy counter",
+                    )
+            else:
+                metrics.set_gauge(
+                    f"repro_machine_{field}", value, labels,
+                    help_text="end-of-run machine hierarchy counter",
+                )
+        contention = getattr(hierarchy, "contention", None)
+        if contention is not None:
+            metrics.set_gauge(
+                "repro_machine_contention_queue_cycles",
+                getattr(contention, "total_queue_cycles", 0), labels,
+                help_text="cycles spent queued on DRAM contention",
+            )
+
+        # Heap layer: allocator occupancy (also sanitizer quarantine below).
+        heap = getattr(process.aspace, "heap", None)
+        if heap is not None:
+            for name, attr in (
+                ("repro_heap_live_bytes", "live_bytes"),
+                ("repro_heap_peak_bytes", "peak_bytes"),
+                ("repro_heap_alloc_count", "alloc_count"),
+                ("repro_heap_free_count", "free_count"),
+            ):
+                value = getattr(heap, attr, None)
+                if value is not None:
+                    metrics.set_gauge(
+                        name, value, labels, help_text="heap allocator state"
+                    )
+            quarantine = getattr(heap, "quarantine_bytes", None)
+            if quarantine is not None:
+                metrics.set_gauge(
+                    "repro_sanitizer_quarantine_bytes", quarantine, labels,
+                    help_text="bytes held in the sanitizer free-quarantine",
+                )
+
+        # Sanitizer layer (only when a sanitize session installed one).
+        sanitizer = getattr(process, "sanitizer", None)
+        if sanitizer is not None:
+            for key, value in sorted(getattr(sanitizer, "stats", {}).items()):
+                metrics.set_gauge(
+                    f"repro_sanitizer_{key}", value, labels,
+                    help_text="sanitizer activity counter",
+                )
+            findings = getattr(sanitizer, "findings", None)
+            if findings is not None:
+                metrics.set_gauge(
+                    "repro_sanitizer_findings", len(findings), labels,
+                    help_text="sanitizer findings for this process",
+                )
+
+        # Simulator layer.
+        metrics.set_gauge(
+            "repro_sim_elapsed_cycles", now, labels,
+            help_text="master-clock cycles simulated",
+        )
+        metrics.set_gauge(
+            "repro_sim_parallel_regions", self._region_count, labels,
+            help_text="parallel regions executed",
+        )
+        metrics.set_gauge(
+            "repro_sim_malloc_spans", self._malloc_spans, labels,
+            help_text="malloc lifetime spans traced",
+        )
+        for name, cycles in sorted(process.phase_cycles.items()):
+            metrics.set_gauge(
+                "repro_sim_phase_cycles", cycles,
+                {"process": process.name, "phase": name},
+                help_text="cycles per named phase",
+            )
+
+        # Profiler self-overhead: dilation% vs simulated work (paper <3%).
+        overhead = 0
+        samples = self.samples_seen
+        for hook in process.hooks:
+            stats = getattr(hook, "stats", None)
+            cycles = getattr(stats, "overhead_cycles", None)
+            if cycles is not None:
+                overhead += cycles
+                samples = max(samples, getattr(stats, "samples", 0))
+        if samples or overhead:
+            metrics.set_gauge(
+                "repro_profiler_samples", samples, labels,
+                help_text="PMU samples handled",
+            )
+            metrics.set_gauge(
+                "repro_profiler_overhead_cycles", overhead, labels,
+                help_text="cycles charged to measurement machinery",
+            )
+            dilation = 100.0 * overhead / now if now else 0.0
+            metrics.set_gauge(
+                "repro_profiler_dilation_percent", dilation, labels,
+                help_text="measurement dilation vs simulated work",
+            )
+            self.session.dilation_percents[process.name] = dilation

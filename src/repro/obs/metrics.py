@@ -1,0 +1,216 @@
+"""Labelled metrics registry with deterministic JSON/Prometheus export.
+
+One registry per :class:`repro.obs.ObsSession`.  Three instrument
+kinds, mirroring the Prometheus data model:
+
+* counter   — monotonically increasing float (``inc``)
+* gauge     — last-write-wins float (``set_gauge``)
+* histogram — fixed-bucket distribution (``observe``) exported as
+  cumulative ``_bucket``/``_sum``/``_count`` series
+
+Every series is identified by ``(name, sorted label items)``; both
+export formats emit series sorted by that key, so two runs that record
+the same values produce byte-identical output regardless of insertion
+order.  No clocks here — values carry their own timestamps if callers
+want them (we don't: scrape-style export only).
+"""
+
+from __future__ import annotations
+
+import json
+
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.total += value
+        self.count += 1
+        # counts[i] holds the i-th bucket's own tally; cumulative() sums.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        out, running = [], 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+
+class MetricsRegistry:
+    """Collects labelled series; exports deterministic JSON/Prometheus."""
+
+    def __init__(self) -> None:
+        # name -> (kind, help)
+        self._meta: dict[str, tuple[str, str]] = {}
+        # (name, label_key) -> float | _Histogram
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    # -- declaration --------------------------------------------------------
+
+    def _declare(self, name: str, kind: str, help_text: str) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        existing = self._meta.get(name)
+        if existing is not None and existing[0] != kind:
+            raise ValueError(
+                f"metric {name!r} re-declared as {kind} (was {existing[0]})"
+            )
+        if existing is None:
+            self._meta[name] = (kind, help_text)
+
+    # -- recording ----------------------------------------------------------
+
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: dict[str, str] | None = None,
+        help_text: str = "",
+    ) -> None:
+        self._declare(name, "counter", help_text)
+        key = (name, _label_key(labels))
+        self._series[key] = float(self._series.get(key, 0.0)) + float(amount)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: dict[str, str] | None = None,
+        help_text: str = "",
+    ) -> None:
+        self._declare(name, "gauge", help_text)
+        self._series[(name, _label_key(labels))] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        help_text: str = "",
+    ) -> None:
+        self._declare(name, "histogram", help_text)
+        key = (name, _label_key(labels))
+        hist = self._series.get(key)
+        if hist is None:
+            hist = _Histogram(buckets)
+            self._series[key] = hist
+        hist.observe(value)
+
+    # -- introspection ------------------------------------------------------
+
+    def series_count(self) -> int:
+        """Distinct (name, labels) series, histograms counted once."""
+        return len(self._series)
+
+    def metric_names(self) -> list[str]:
+        return sorted(self._meta)
+
+    def value(self, name: str, labels: dict[str, str] | None = None) -> float:
+        entry = self._series[(name, _label_key(labels))]
+        if isinstance(entry, _Histogram):
+            raise TypeError(f"{name} is a histogram; no scalar value")
+        return float(entry)
+
+    # -- export -------------------------------------------------------------
+
+    def _sorted_series(self):
+        return sorted(self._series.items(), key=lambda item: item[0])
+
+    def to_json(self) -> str:
+        series = []
+        for (name, label_key), entry in self._sorted_series():
+            kind, help_text = self._meta[name]
+            record: dict = {
+                "name": name,
+                "kind": kind,
+                "labels": {k: v for k, v in label_key},
+            }
+            if help_text:
+                record["help"] = help_text
+            if isinstance(entry, _Histogram):
+                record["sum"] = entry.total
+                record["count"] = entry.count
+                record["buckets"] = [
+                    {"le": bound, "count": n} for bound, n in entry.cumulative()
+                ]
+            else:
+                record["value"] = entry
+            series.append(record)
+        return json.dumps(
+            {"series": series}, sort_keys=True, separators=(",", ":")
+        )
+
+    def to_prometheus(self) -> str:
+        lines: list[str] = []
+        emitted_header: set[str] = set()
+        for (name, label_key), entry in self._sorted_series():
+            kind, help_text = self._meta[name]
+            if name not in emitted_header:
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {kind}")
+                emitted_header.add(name)
+            if isinstance(entry, _Histogram):
+                for bound, n in entry.cumulative():
+                    bucket_key = label_key + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_key)} {n}"
+                    )
+                inf_key = label_key + (("le", "+Inf"),)
+                lines.append(
+                    f"{name}_bucket{_render_labels(inf_key)} {entry.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(label_key)} "
+                    f"{_format_value(entry.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(label_key)} {entry.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(label_key)} "
+                    f"{_format_value(float(entry))}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")

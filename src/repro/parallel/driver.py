@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import sys
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -33,6 +34,12 @@ from repro.parallel.registry import run_app_rank
 __all__ = ["DriverReport", "RankOutcome", "profile_ranks", "rank_path"]
 
 _POLL_SECONDS = 0.02
+
+
+def _obs_session():
+    """The active repro.obs session, if that subsystem is even imported."""
+    obs_mod = sys.modules.get("repro.obs")
+    return obs_mod.active_session() if obs_mod is not None else None
 
 
 def _available_cpus() -> int:
@@ -49,17 +56,29 @@ def rank_path(out_root: str | Path, app: str, rank: int) -> Path:
 
 @dataclass
 class RankOutcome:
-    """What happened to one rank across all its attempts."""
+    """What happened to one rank across all its attempts.
+
+    Recorded for every rank — including ranks whose every attempt
+    failed — so duration/retry accounting never has to be scraped out
+    of ``.err`` files.  ``elapsed_seconds`` spans first launch to final
+    settle (queue wait between retries included); ``attempt_seconds``
+    holds each individual attempt's wall-clock duration.
+    """
 
     rank: int
     path: str | None          # final .rpdb path, None if the rank failed
     attempts: int
     elapsed_seconds: float
     error: str | None = None  # last failure reason, None on success
+    attempt_seconds: list[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.path is not None
+
+    @property
+    def retries(self) -> int:
+        return max(self.attempts - 1, 0)
 
 
 @dataclass
@@ -128,6 +147,7 @@ class _Attempt:
     process: mp.process.BaseProcess
     deadline: float
     started: float
+    obs_start_us: float = 0.0  # session-clock launch time when tracing
 
 
 def _read_error(out_path: Path, default: str) -> str:
@@ -177,12 +197,15 @@ def profile_ranks(
     out_dir = Path(out_root) / app
     out_dir.mkdir(parents=True, exist_ok=True)
 
+    obs = _obs_session()
+    obs_t0 = obs.clock.now_us() if obs is not None else 0.0
     t0 = time.monotonic()
     pending: list[tuple[int, int]] = [(rank, 1) for rank in range(n_ranks)]
     pending.reverse()  # pop() from the tail -> ranks launch in order
     running: list[_Attempt] = []
     outcomes: dict[int, RankOutcome] = {}
     rank_started: dict[int, float] = {}
+    attempt_seconds: dict[int, list[float]] = {}
 
     def launch(rank: int, tries: int) -> None:
         out_path = rank_path(out_root, app, rank)
@@ -196,20 +219,49 @@ def profile_ranks(
         process.start()
         now = time.monotonic()
         rank_started.setdefault(rank, now)
-        running.append(_Attempt(rank, tries, process, now + timeout, now))
+        obs_start = obs.clock.now_us() if obs is not None else 0.0
+        running.append(
+            _Attempt(rank, tries, process, now + timeout, now, obs_start)
+        )
 
     def settle(attempt: _Attempt, error: str | None) -> None:
         """Record a finished attempt: success, retry, or final failure."""
         rank = attempt.rank
-        elapsed = time.monotonic() - rank_started[rank]
+        now = time.monotonic()
+        elapsed = now - rank_started[rank]
+        durations = attempt_seconds.setdefault(rank, [])
+        durations.append(now - attempt.started)
+        if obs is not None:
+            obs.trace.complete(
+                name=f"rank{rank}#try{attempt.tries}",
+                cat="driver",
+                ts_us=attempt.obs_start_us,
+                dur_us=obs.clock.now_us() - attempt.obs_start_us,
+                pid=0,
+                tid=1,
+                args={"rank": rank, "try": attempt.tries, "error": error},
+            )
+            obs.metrics.inc(
+                "repro_driver_attempts_total", 1, {"app": app},
+                help_text="rank worker attempts launched",
+            )
+            if error is not None and error.startswith("timed out"):
+                obs.metrics.inc(
+                    "repro_driver_timeouts_total", 1, {"app": app},
+                    help_text="rank attempts killed on timeout",
+                )
         if error is None:
             outcomes[rank] = RankOutcome(
-                rank, str(rank_path(out_root, app, rank)), attempt.tries, elapsed
+                rank, str(rank_path(out_root, app, rank)), attempt.tries,
+                elapsed, attempt_seconds=durations,
             )
         elif attempt.tries <= retries:
             pending.append((rank, attempt.tries + 1))
         else:
-            outcomes[rank] = RankOutcome(rank, None, attempt.tries, elapsed, error)
+            outcomes[rank] = RankOutcome(
+                rank, None, attempt.tries, elapsed, error,
+                attempt_seconds=durations,
+            )
 
     while pending or running:
         while pending and len(running) < jobs:
@@ -262,4 +314,34 @@ def profile_ranks(
         outcomes=[outcomes[rank] for rank in sorted(outcomes)],
         elapsed_seconds=time.monotonic() - t0,
     )
+    if obs is not None:
+        obs.trace.complete(
+            name=f"profile_ranks:{app}",
+            cat="driver",
+            ts_us=obs_t0,
+            dur_us=obs.clock.now_us() - obs_t0,
+            pid=0,
+            tid=1,
+            args={"n_ranks": n_ranks, "jobs": jobs},
+        )
+        metrics = obs.metrics
+        labels = {"app": app}
+        metrics.set_gauge(
+            "repro_driver_ranks", n_ranks, labels,
+            help_text="ranks requested from the driver",
+        )
+        metrics.set_gauge(
+            "repro_driver_ranks_failed", len(report.failed_ranks), labels,
+            help_text="ranks with no successful attempt",
+        )
+        metrics.set_gauge(
+            "repro_driver_retries_total",
+            sum(o.retries for o in report.outcomes), labels,
+            help_text="retry attempts across all ranks",
+        )
+        for outcome in report.outcomes:
+            metrics.observe(
+                "repro_driver_rank_seconds", outcome.elapsed_seconds, labels,
+                help_text="per-rank wall time, launch to settle",
+            )
     return report

@@ -28,6 +28,7 @@ leaves ``meta`` empty so its canonical bytes match the sequential
 from __future__ import annotations
 
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -137,6 +138,12 @@ def _available_cpus() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except (AttributeError, OSError):
         return os.cpu_count() or 1
+
+
+def _obs_session():
+    """The active repro.obs session, if that subsystem is even imported."""
+    obs_mod = sys.modules.get("repro.obs")
+    return obs_mod.active_session() if obs_mod is not None else None
 
 
 class _PoolRunner:
@@ -273,12 +280,28 @@ def parallel_reduction_merge(
     if start_method is None:
         start_method = "fork" if "fork" in get_all_start_methods() else "spawn"
 
+    obs = _obs_session()
+    obs_t0 = obs.clock.now_us() if obs is not None else 0.0
     t0 = time.monotonic()
     stats = MergeStats()
     report = ParallelMergeReport(n_inputs=len(blobs), jobs=jobs, arity=arity)
     runner = _PoolRunner(
         get_context(start_method), jobs, retries, round_timeout, report
     )
+
+    def timed_round(label: str, tasks: list[tuple]) -> list[tuple | None]:
+        if obs is None:
+            return runner.run_round(tasks)
+        start = obs.clock.now_us()
+        try:
+            return runner.run_round(tasks)
+        finally:
+            obs.trace.complete(
+                name=label, cat="merge", ts_us=start,
+                dur_us=obs.clock.now_us() - start,
+                pid=0, tid=2, args={"tasks": len(tasks)},
+            )
+
     try:
         # Round 0+1 fused: collapse each input's threads and chain-merge
         # the group, one pool task per group of `arity` raw inputs.
@@ -287,7 +310,7 @@ def parallel_reduction_merge(
             ([blob for blob, _ in group], [label for _, label in group], True)
             for group in groups
         ]
-        results = runner.run_round(tasks)
+        results = timed_round(f"merge-round1[{len(tasks)}]", tasks)
 
         leaf_all: list[int] = []
         round_visits: list[int] = []
@@ -325,7 +348,7 @@ def parallel_reduction_merge(
                 ([blob for blob, _ in group], [label for _, label in group], False)
                 for group in multi
             ]
-            results = runner.run_round(tasks)
+            results = timed_round(f"merge-round{round_i}[{len(tasks)}]", tasks)
 
             round_visits = [0] * len(groups)
             next_work: list[tuple[bytes, str]] = []
@@ -367,6 +390,34 @@ def parallel_reduction_merge(
     _mark_partial(out, report.dropped)
     report.rounds = stats.rounds
     report.elapsed_seconds = time.monotonic() - t0
+    if obs is not None:
+        obs.trace.complete(
+            name=f"parallel_reduction_merge:{name}",
+            cat="merge",
+            ts_us=obs_t0,
+            dur_us=obs.clock.now_us() - obs_t0,
+            pid=0,
+            tid=2,
+            args={"inputs": len(blobs), "arity": arity, "jobs": jobs},
+        )
+        metrics = obs.metrics
+        labels_m = {"job": name}
+        for metric, value, help_text in (
+            ("repro_merge_inputs", report.n_inputs, "profiles fed to the merge"),
+            ("repro_merge_fanin", arity, "reduction-tree arity"),
+            ("repro_merge_rounds", report.rounds, "reduction rounds executed"),
+            ("repro_merge_tasks", report.tasks_dispatched,
+             "tasks dispatched to the pool"),
+            ("repro_merge_pool_restarts", report.pool_restarts,
+             "pool rebuilds after worker death"),
+            ("repro_merge_parent_fallbacks", report.parent_fallbacks,
+             "tasks that ran in the parent"),
+            ("repro_merge_dropped", len(report.dropped),
+             "inputs dropped from the merge"),
+            ("repro_merge_seconds", report.elapsed_seconds,
+             "wall time of the whole merge"),
+        ):
+            metrics.set_gauge(metric, value, labels_m, help_text=help_text)
     return out, stats, report
 
 

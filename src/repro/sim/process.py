@@ -55,6 +55,7 @@ class SimProcess:
         self.hooks: list = []  # profiler-style observers
         self.pmu = None  # PMU engine shared by all threads of this process
         self.sanitizer = None  # set by repro.sanitize when a session is active
+        self.obs = None  # set by repro.obs when a session is active
 
         topo = machine.topology
         self.master = SimThread(
@@ -76,6 +77,11 @@ class SimProcess:
         san_mod = sys.modules.get("repro.sanitize")
         if san_mod is not None:
             san_mod.maybe_install(self)
+        # Observability uses the same seam; agents are read-only observers,
+        # so attaching one never perturbs profiles.
+        obs_mod = sys.modules.get("repro.obs")
+        if obs_mod is not None:
+            obs_mod.maybe_attach(self)
 
     # -- modules ------------------------------------------------------------
 
@@ -156,6 +162,8 @@ class SimProcess:
             prev = self.phase_stats.get(name)
             self.phase_stats[name] = delta if prev is None else prev + delta
             self._phase = outer
+            if self.obs is not None:
+                self.obs.on_phase(self, name, start, self.master.clock)
 
     @property
     def elapsed_cycles(self) -> int:

@@ -140,6 +140,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         status = outcome.path if outcome.ok else f"FAILED: {outcome.error}"
         print(f"  rank {outcome.rank:4d}  {outcome.elapsed_seconds:6.2f}s  "
               f"attempts={outcome.attempts}  {status}")
+        if outcome.retries:
+            tries = " ".join(f"{s:.2f}s" for s in outcome.attempt_seconds)
+            print(f"        attempt durations: {tries}")
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -194,6 +197,114 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     print(render_sanitizer_report(report, title=title))
     if fail_kinds and report.matching(fail_kinds):
         return 1
+    return 0
+
+
+def _run_observed(
+    app: str,
+    ranks: int,
+    variant: str,
+    preset: str,
+    jobs: int,
+    out_root: str | Path,
+):
+    """Shared trace/metrics pipeline, executed under an active obs session.
+
+    Three legs, so every span category and metric layer is exercised by
+    real subsystem code paths: (1) each rank once in-process — the only
+    place sim-time spans (phase, parallel region, rank, malloc) and
+    machine/profiler metrics can be captured, since driver workers are
+    separate OS processes; (2) the real multiprocess driver — wall-clock
+    driver spans and retry/timeout metrics; (3) a pool merge of the
+    driver's output — merge spans/metrics plus codec decode spans.
+    """
+    from repro.parallel import merge_rpdb_files, profile_ranks
+    from repro.parallel.registry import run_app_rank
+
+    for rank in range(ranks):
+        db = run_app_rank(app, rank, ranks, variant=variant, preset=preset)
+        db.to_bytes()  # codec-encode telemetry for this process's profiles
+    report = profile_ranks(
+        app, ranks, out_root, variant=variant, preset=preset, jobs=jobs
+    )
+    merged = None
+    if report.paths:
+        merged, _stats, _merge_report = merge_rpdb_files(
+            report.paths, app, jobs=1
+        )
+    return report, merged
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.obs import ManualClock, ObsConfig, observing
+
+    config = ObsConfig(
+        wall_clock=ManualClock() if args.deterministic else None,
+        trace_malloc=not args.no_malloc,
+    )
+    tmp = None
+    out_root = args.measurements
+    if out_root is None:
+        tmp = tempfile.TemporaryDirectory(prefix="hpcview-trace-")
+        out_root = tmp.name
+    try:
+        with observing(config) as session:
+            report, _merged = _run_observed(
+                args.app, args.ranks, args.variant, args.preset,
+                args.jobs, out_root,
+            )
+        session.finalize()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    path = session.trace.write(args.out)
+    print(f"wrote {path}: {len(session.trace.events)} events "
+          f"({session.trace.dropped_events} dropped)")
+    print(f"span categories: {', '.join(sorted(session.trace.categories()))}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    print(f"max measurement dilation: {session.max_dilation_percent():.2f}%")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import tempfile
+    from contextlib import nullcontext
+
+    from repro.obs import ManualClock, ObsConfig, observing
+
+    config = ObsConfig(
+        wall_clock=ManualClock() if args.deterministic else None,
+    )
+    # Sanitize by default so the sanitizer layer's series are populated;
+    # --no-sanitize measures the uninstrumented run instead.
+    if args.no_sanitize:
+        san_cm = nullcontext(None)
+    else:
+        from repro.sanitize import sanitizing
+
+        san_cm = sanitizing()
+    with tempfile.TemporaryDirectory(prefix="hpcview-metrics-") as out_root:
+        with san_cm as san_session, observing(config) as session:
+            _report, _merged = _run_observed(
+                args.app, args.ranks, args.variant, args.preset,
+                args.jobs, out_root,
+            )
+            if san_session is not None:
+                san_session.report()  # finalize sanitizers -> final stats
+        session.finalize()
+    text = (
+        session.metrics.to_prometheus()
+        if args.format == "prom"
+        else session.metrics.to_json()
+    )
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}: {session.metrics.series_count()} series")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -303,6 +414,51 @@ def build_parser() -> argparse.ArgumentParser:
                                "(comma list: oob,race,uaf,free,uninit,leak,"
                                "sharing,any or exact kinds)")
     sanitize.set_defaults(func=cmd_sanitize)
+
+    def add_telemetry_args(p):
+        p.add_argument("--app", default="nw",
+                       help="app to run (see repro.parallel.APPS; default nw)")
+        p.add_argument("--ranks", type=int, default=2, metavar="N",
+                       help="simulated MPI ranks (default 2)")
+        p.add_argument("--variant", default="original",
+                       help="app variant (default: original)")
+        p.add_argument("--preset", default="smoke",
+                       help="workload preset (default: smoke)")
+        p.add_argument("--jobs", type=int, default=1, metavar="J",
+                       help="driver worker processes (default 1)")
+        p.add_argument("--deterministic", action="store_true",
+                       help="use a fixed-step manual clock for wall-domain "
+                            "spans: byte-identical output across runs")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an app under the telemetry layer; write a Perfetto/"
+             "Chrome trace-event timeline",
+    )
+    add_telemetry_args(trace)
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="trace JSON output path (default trace.json)")
+    trace.add_argument("--no-malloc", action="store_true",
+                       help="skip malloc-lifetime spans (smaller traces)")
+    trace.add_argument("--measurements", default=None, metavar="DIR",
+                       help="keep driver .rpdb output here "
+                            "(default: temporary directory)")
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an app under the telemetry layer; export the metrics "
+             "registry",
+    )
+    add_telemetry_args(metrics)
+    metrics.add_argument("--format", choices=("prom", "json"), default="prom",
+                         help="export format (default: prom)")
+    metrics.add_argument("--out", default=None, metavar="FILE",
+                         help="write here instead of stdout")
+    metrics.add_argument("--no-sanitize", action="store_true",
+                         help="run without the sanitizer (drops that "
+                              "layer's metric series)")
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

@@ -402,3 +402,69 @@ class TestCtxDifferential:
         assert ctx.load_run(0x5000, -3, 8, ctx.ip(10)) == 0
         assert ctx.store_run(0x5000, 0, 8, ctx.ip(10)) == 0
         assert _thread_state(mini) == state
+
+
+# ---------------------------------------------------------------------------
+# MachineStats / phase attribution parity (telemetry reads these snapshots)
+
+
+class TestMachineStatsParity:
+    """The batched path must leave every MachineStats field — including
+    the per-phase attributed deltas that ``SimProcess.phase`` buckets and
+    ``repro.obs`` exports as metrics — bit-identical to the scalar path."""
+
+    def _run(self, bulk: bool):
+        prog = MiniProgram()
+        ctx = prog.master_ctx()
+        with prog.process.phase("init"):
+            a = ctx.alloc_array("A", (2048,), line=20)
+            if bulk:
+                ctx.store_run(*a.flat_run(), ctx.ip(10))
+            else:
+                ip = ctx.ip(10)
+                for i in range(2048):
+                    ctx.store_ip(a.flat_addr(i), ip)
+        with prog.process.phase("solve"):
+            if bulk:
+                ctx.load_run(*a.flat_run(), ctx.ip(10))
+                ctx.load_run(a.base, 512, 64, ctx.ip(10))
+            else:
+                ip = ctx.ip(10)
+                for i in range(2048):
+                    ctx.load_ip(a.flat_addr(i), ip)
+                for k in range(512):
+                    ctx.load_ip(a.base + k * 64, ip)
+        return prog
+
+    def test_snapshot_and_phase_stats_identical(self):
+        scalar = self._run(bulk=False)
+        batched = self._run(bulk=True)
+        # Whole-run snapshot: every dataclass field, tuples included.
+        assert (
+            scalar.machine.hierarchy.stats() == batched.machine.hierarchy.stats()
+        )
+        assert (
+            scalar.machine.hierarchy.stats().to_dict()
+            == batched.machine.hierarchy.stats().to_dict()
+        )
+        # Per-phase attribution: same phases, same cycle and stats deltas.
+        assert scalar.process.phase_cycles == batched.process.phase_cycles
+        assert set(scalar.process.phase_stats) == {"init", "solve"}
+        for name in scalar.process.phase_stats:
+            assert (
+                scalar.process.phase_stats[name]
+                == batched.process.phase_stats[name]
+            ), f"phase {name!r} stats diverge between scalar and batched paths"
+        assert scalar.process.phase_access_rates() == pytest.approx(
+            batched.process.phase_access_rates()
+        )
+
+    def test_phase_delta_sums_to_whole_run(self):
+        prog = self._run(bulk=True)
+        total = prog.machine.hierarchy.stats()
+        summed = None
+        for stats in prog.process.phase_stats.values():
+            summed = stats if summed is None else summed + stats
+        # Everything happened inside a phase, so the attributed deltas
+        # must reconstruct the whole-run snapshot exactly.
+        assert summed == total

@@ -157,6 +157,53 @@ class TestDriver:
         out_dir = tmp_path / "die"
         assert sorted(p.name for p in out_dir.glob("*.rpdb")) == []
 
+    def test_per_attempt_durations_recorded(self, tmp_path):
+        register_app("tiny", _tiny_rank)
+        report = profile_ranks("tiny", 3, tmp_path, jobs=2, timeout=60)
+        assert report.ok
+        for outcome in report.outcomes:
+            assert outcome.attempts == 1 and outcome.retries == 0
+            assert len(outcome.attempt_seconds) == 1
+            assert 0.0 <= outcome.attempt_seconds[0] <= outcome.elapsed_seconds
+
+    def test_failed_ranks_carry_durations_and_retries(self, tmp_path):
+        """Satellite: duration/retry accounting exists even when every
+        attempt failed — no scraping .err files or timing by hand."""
+
+        def killer(rank, n_ranks, variant="original", preset="smoke"):
+            if rank == 1:
+                os.kill(os.getpid(), 9)
+            return _tiny_rank(rank, n_ranks, variant, preset)
+
+        register_app("killer-durations", killer)
+        report = profile_ranks(
+            "killer-durations", 2, tmp_path, jobs=2, timeout=60, retries=2
+        )
+        (failed,) = [o for o in report.outcomes if o.rank == 1]
+        assert not failed.ok
+        assert failed.attempts == 3 and failed.retries == 2
+        assert len(failed.attempt_seconds) == 3
+        assert all(d >= 0.0 for d in failed.attempt_seconds)
+        # elapsed spans first launch -> final settle, so it bounds any
+        # single attempt from above.
+        assert failed.elapsed_seconds >= max(failed.attempt_seconds)
+        (survivor,) = [o for o in report.outcomes if o.rank == 0]
+        assert survivor.ok and survivor.retries == 0
+        assert len(survivor.attempt_seconds) == 1
+
+    def test_timed_out_attempt_duration_near_timeout(self, tmp_path):
+        def hangy(rank, n_ranks, variant="original", preset="smoke"):
+            time.sleep(600)
+
+        register_app("hangy-durations", hangy)
+        report = profile_ranks(
+            "hangy-durations", 1, tmp_path, jobs=1, timeout=0.5, retries=0
+        )
+        (outcome,) = report.outcomes
+        assert not outcome.ok and "timed out" in outcome.error
+        assert len(outcome.attempt_seconds) == 1
+        assert outcome.attempt_seconds[0] >= 0.5
+
     def test_bad_arguments_rejected(self, tmp_path):
         with pytest.raises(ConfigError):
             profile_ranks("tiny", 0, tmp_path)

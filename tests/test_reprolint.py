@@ -69,14 +69,46 @@ class TestRules:
         assert _rules("def broken(:\n") == ["R000"]
 
     def test_classify_paths(self):
-        lib, _ = reprolint._classify(Path("src/repro/sim/runtime.py"))
+        lib, _, _ = reprolint._classify(Path("src/repro/sim/runtime.py"))
         assert lib
-        tools, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
+        tools, _, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
         assert not tools
-        _, rng = reprolint._classify(Path("src/repro/util/rng.py"))
+        _, rng, _ = reprolint._classify(Path("src/repro/util/rng.py"))
         assert rng
-        test, _ = reprolint._classify(Path("tests/test_x.py"))
+        test, _, _ = reprolint._classify(Path("tests/test_x.py"))
         assert not test
+
+
+class TestR005ObsClockDiscipline:
+    """R005: only the clock facade may touch ``time`` inside repro.obs."""
+
+    def test_time_import_flagged_in_obs(self):
+        assert _rules("import time\n", obs_restricted=True) == ["R005"]
+        assert _rules("from time import perf_counter\n", obs_restricted=True) == [
+            "R005"
+        ]
+
+    def test_wall_clock_call_flagged_in_obs(self):
+        # perf_counter is fine under R003 (it is monotonic, not wall
+        # time) but still banned in repro.obs outside the facade.
+        src = "t = time.perf_counter()\n"
+        assert _rules(src, obs_restricted=True) == ["R005"]
+        assert _rules(src, obs_restricted=False) == []
+
+    def test_time_time_gets_both_rules(self):
+        rules = _rules("t = time.time()\n", obs_restricted=True)
+        assert sorted(rules) == ["R003", "R005"]
+
+    def test_unrestricted_module_unaffected(self):
+        assert _rules("import time\nt = time.perf_counter()\n") == []
+
+    def test_classify_obs_paths(self):
+        _, _, obs = reprolint._classify(Path("src/repro/obs/trace.py"))
+        assert obs
+        _, _, clock = reprolint._classify(Path("src/repro/obs/clock.py"))
+        assert not clock
+        _, _, other = reprolint._classify(Path("src/repro/sim/process.py"))
+        assert not other
 
 
 class TestRepoIsClean:

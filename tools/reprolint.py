@@ -15,6 +15,10 @@ Rules:
         RNG facade ``src/repro/util/rng.py``
   R004  ``print`` calls inside ``src/repro`` outside ``src/repro/tools``
         (library code must return data; only CLIs talk to stdout)
+  R005  wall-clock access inside ``src/repro/obs`` outside the clock
+        facade ``src/repro/obs/clock.py`` — the telemetry layer must take
+        injected clocks so traces can be made deterministic; any ``time``
+        import or ``time.*`` call elsewhere in the package is banned
 
 Usage: ``python tools/reprolint.py [paths...]`` (default: src tests
 benchmarks examples tools).  Prints ``file:line: RULE message`` per
@@ -47,10 +51,18 @@ def _is_mutable_default(node: ast.expr) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: Path, in_library: bool, rng_exempt: bool) -> None:
+    def __init__(
+        self,
+        path: Path,
+        in_library: bool,
+        rng_exempt: bool,
+        obs_restricted: bool = False,
+    ) -> None:
         self.path = path
         self.in_library = in_library  # under src/repro but not src/repro/tools
         self.rng_exempt = rng_exempt  # the seeded-RNG facade itself
+        # under src/repro/obs but not the clock facade: no wall-clock access
+        self.obs_restricted = obs_restricted
         self.findings: list[tuple[int, str, str]] = []
 
     def _add(self, line: int, rule: str, message: str) -> None:
@@ -82,25 +94,36 @@ class _Visitor(ast.NodeVisitor):
         self._check_defaults(node)
         self.generic_visit(node)
 
-    # R003 ------------------------------------------------------------------
+    # R003 / R005 ------------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
-        if not self.rng_exempt:
-            for alias in node.names:
-                root = alias.name.split(".")[0]
-                if root == "random":
-                    self._add(
-                        node.lineno, "R003",
-                        "import of `random` — use repro.util.rng (seeded)",
-                    )
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if not self.rng_exempt and root == "random":
+                self._add(
+                    node.lineno, "R003",
+                    "import of `random` — use repro.util.rng (seeded)",
+                )
+            if self.obs_restricted and root == "time":
+                self._add(
+                    node.lineno, "R005",
+                    "import of `time` in repro.obs — only the clock facade "
+                    "(repro/obs/clock.py) may read wall clocks",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if not self.rng_exempt and node.module:
+        if node.module:
             root = node.module.split(".")[0]
-            if root == "random":
+            if not self.rng_exempt and root == "random":
                 self._add(
                     node.lineno, "R003",
                     "import from `random` — use repro.util.rng (seeded)",
+                )
+            if self.obs_restricted and root == "time":
+                self._add(
+                    node.lineno, "R005",
+                    "import from `time` in repro.obs — only the clock facade "
+                    "(repro/obs/clock.py) may read wall clocks",
                 )
         self.generic_visit(node)
 
@@ -118,6 +141,12 @@ class _Visitor(ast.NodeVisitor):
                     f"nondeterministic call {pair[0]}.{pair[1]}() — "
                     "pass timestamps/seeds in explicitly",
                 )
+            if self.obs_restricted and func.value.id == "time":
+                self._add(
+                    node.lineno, "R005",
+                    f"wall-clock call time.{func.attr}() in repro.obs — "
+                    "inject a repro.obs.clock.Clock instead",
+                )
         # R004
         if (
             self.in_library
@@ -132,24 +161,33 @@ class _Visitor(ast.NodeVisitor):
 
 
 def lint_source(
-    source: str, path: Path, in_library: bool = False, rng_exempt: bool = False
+    source: str,
+    path: Path,
+    in_library: bool = False,
+    rng_exempt: bool = False,
+    obs_restricted: bool = False,
 ) -> list[tuple[int, str, str]]:
     """Lint one file's source text; returns (line, rule, message) findings."""
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return [(exc.lineno or 0, "R000", f"syntax error: {exc.msg}")]
-    visitor = _Visitor(path, in_library=in_library, rng_exempt=rng_exempt)
+    visitor = _Visitor(
+        path, in_library=in_library, rng_exempt=rng_exempt,
+        obs_restricted=obs_restricted,
+    )
     visitor.visit(tree)
     return sorted(visitor.findings)
 
 
-def _classify(path: Path) -> tuple[bool, bool]:
+def _classify(path: Path) -> tuple[bool, bool, bool]:
     parts = path.as_posix()
     in_repro = "src/repro/" in parts or parts.startswith("src/repro/")
     in_tools = "src/repro/tools/" in parts
     rng_exempt = parts.endswith("repro/util/rng.py")
-    return (in_repro and not in_tools), rng_exempt
+    in_obs = "src/repro/obs/" in parts
+    obs_restricted = in_obs and not parts.endswith("repro/obs/clock.py")
+    return (in_repro and not in_tools), rng_exempt, obs_restricted
 
 
 def lint_paths(targets: list[Path]) -> list[str]:
@@ -157,10 +195,11 @@ def lint_paths(targets: list[Path]) -> list[str]:
     for target in targets:
         files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
         for file in files:
-            in_library, rng_exempt = _classify(file)
+            in_library, rng_exempt, obs_restricted = _classify(file)
             findings = lint_source(
                 file.read_text(encoding="utf-8"), file,
                 in_library=in_library, rng_exempt=rng_exempt,
+                obs_restricted=obs_restricted,
             )
             for line, rule, message in findings:
                 reports.append(f"{file}:{line}: {rule} {message}")

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Minimal validators for the telemetry layer's export formats.
+
+Two checkers, used by the CI smoke job and tests/test_obs.py:
+
+* :func:`validate_trace` — structural check of Chrome trace-event JSON
+  as emitted by ``repro.obs.trace.TraceWriter`` (the subset Perfetto
+  and chrome://tracing rely on: a ``traceEvents`` list of objects with
+  per-phase required keys and sane types).
+* :func:`validate_prometheus` — line-level check of Prometheus text
+  exposition: HELP/TYPE headers, parseable sample lines, every sample
+  tied to a declared metric, histogram series complete.
+
+Usage::
+
+    python tools/trace_schema.py trace.json
+    python tools/trace_schema.py --prom metrics.prom
+    python tools/trace_schema.py trace.json --require-cats phase,driver
+
+Exit status 1 when any file fails validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+_COMPLETE_KEYS = ("name", "cat", "ts", "dur", "pid", "tid")
+_INSTANT_KEYS = ("name", "cat", "ts", "pid", "tid")
+_METADATA_KEYS = ("name", "pid", "tid", "args")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _check_keys(event: dict, keys, index: int, errors: list[str]) -> bool:
+    ok = True
+    for key in keys:
+        if key not in event:
+            errors.append(f"event[{index}]: ph {event.get('ph')!r} missing {key!r}")
+            ok = False
+    return ok
+
+
+def validate_trace(payload, require_cats: set[str] | None = None) -> list[str]:
+    """Validate a parsed trace JSON object; returns a list of errors."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    if not events:
+        errors.append("traceEvents is empty")
+    seen_cats: set[str] = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event[{i}]: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "X":
+            if _check_keys(event, _COMPLETE_KEYS, i, errors):
+                if not isinstance(event["ts"], (int, float)):
+                    errors.append(f"event[{i}]: ts must be a number")
+                if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+                    errors.append(f"event[{i}]: dur must be a number >= 0")
+                seen_cats.add(event["cat"])
+        elif ph == "i":
+            if _check_keys(event, _INSTANT_KEYS, i, errors):
+                seen_cats.add(event["cat"])
+        elif ph == "M":
+            if _check_keys(event, _METADATA_KEYS, i, errors):
+                if not isinstance(event["args"], dict) or "name" not in event["args"]:
+                    errors.append(f"event[{i}]: metadata args must carry a name")
+        else:
+            errors.append(f"event[{i}]: unsupported ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                errors.append(f"event[{i}]: {key} must be an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"event[{i}]: args must be an object")
+        if not isinstance(event.get("name"), str):
+            errors.append(f"event[{i}]: name must be a string")
+    if require_cats:
+        missing = sorted(require_cats - seen_cats)
+        if missing:
+            errors.append(f"missing required span categories: {', '.join(missing)}")
+    return errors
+
+
+def validate_prometheus(text: str) -> tuple[list[str], int]:
+    """Validate Prometheus text exposition; returns (errors, sample_count)."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(None, 3)) < 4:
+                errors.append(f"line {lineno}: malformed HELP")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {lineno}: malformed TYPE")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment form")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in types and base not in types:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE header")
+        labels = match.group("labels")
+        if labels:
+            body = labels[1:-1]
+            if body and _LABEL_RE.sub("", body).strip(", "):
+                errors.append(f"line {lineno}: malformed labels {labels!r}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"line {lineno}: bad value {value!r}")
+        samples += 1
+    if samples == 0:
+        errors.append("no samples found")
+    return errors, samples
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate trace-event JSON / Prometheus text exports"
+    )
+    parser.add_argument("files", nargs="+", help="files to validate")
+    parser.add_argument("--prom", action="store_true",
+                        help="treat files as Prometheus text (default: JSON)")
+    parser.add_argument("--require-cats", default=None, metavar="CATS",
+                        help="comma list of span categories the trace must cover")
+    args = parser.parse_args(argv)
+
+    require = (
+        {c.strip() for c in args.require_cats.split(",") if c.strip()}
+        if args.require_cats
+        else None
+    )
+    failed = False
+    for file in args.files:
+        text = Path(file).read_text(encoding="utf-8")
+        if args.prom:
+            errors, samples = validate_prometheus(text)
+            summary = f"{samples} sample(s)"
+        else:
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as exc:
+                print(f"{file}: invalid JSON: {exc}")
+                failed = True
+                continue
+            errors = validate_trace(payload, require_cats=require)
+            summary = f"{len(payload.get('traceEvents', []))} event(s)"
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{file}: {error}")
+        else:
+            print(f"{file}: OK ({summary})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
