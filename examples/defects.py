@@ -1,16 +1,24 @@
-"""Seeded-defect corpus for the sanitizer (``repro.sanitize``).
+"""Seeded-defect corpus for the sanitizer and the static analyzer.
 
-Each seed is a tiny self-contained app containing *exactly one* known
-bug class; the test suite (and the CI smoke) checks that sanitizing a
-seed yields exactly one finding of the expected kind, attributed to the
-right variable with the full calling contexts.  Seeds that are not the
-leak seed free everything they allocate, so enabling leak checking on
-them stays quiet.
+Each *dynamic* seed (``SEEDS``) is a tiny self-contained app containing
+exactly one known bug class; the test suite (and the CI smoke) checks
+that sanitizing a seed yields exactly one finding of the expected kind,
+attributed to the right variable with the full calling contexts.  Seeds
+that are not the leak seed free everything they allocate, so enabling
+leak checking on them stays quiet.
+
+Each *static* seed (``STATIC_SEEDS``) is a :class:`StaticModel` with
+exactly one statically visible hazard; ``hpcview staticcheck --defect``
+and the golden tests check that the analyzer flags it exactly once with
+the right code and variable.  The ``master_first_touch`` seed also has a
+dynamic twin (``STATIC_PROFILE_RUNNERS``) whose profile confirms the
+H001 prediction under ``--reconcile``.
 
 Run one seed from the CLI::
 
     PYTHONPATH=src python -m repro.tools.hpcview sanitize --defect oob_read
     PYTHONPATH=src python -m repro.tools.hpcview sanitize --defect race_ww --fail-on race
+    PYTHONPATH=src python -m repro.tools.hpcview staticcheck --defect master_first_touch
 
 or list them::
 
@@ -20,6 +28,12 @@ or list them::
 from __future__ import annotations
 
 from repro import Ctx, LoadModule, SimProcess, SourceFile, tiny_machine
+from repro.sim.openmp import omp_chunk, outlined_name
+from repro.staticcheck.model import (
+    OmpBlockPattern,
+    PerThreadSlotPattern,
+    StaticModel,
+)
 
 PAGE = 4096
 
@@ -225,6 +239,175 @@ EXPECTED_VARIABLE: dict[str, str] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Static-analyzer seeds (repro.staticcheck)
+# ---------------------------------------------------------------------------
+
+# The static seeds share one program image: main, one outlined parallel
+# region, and an orphan helper no call edge ever reaches (the dead-code
+# host for the H004 seed).  tiny_machine has 4 hardware threads on 2
+# NUMA nodes (2 per node), so a 4-thread region spans nodes and a
+# 2-thread region does not — the knob the seeds use to isolate H001.
+_STATIC_REGION = outlined_name("main", 1)
+_TABLE_ELEMS = 8192  # 64 KiB of 8B elements
+
+
+def _static_image(process: SimProcess):
+    src = SourceFile(
+        "defect.c",
+        {
+            10: "table = calloc(n, sizeof *table);",
+            20: "... = work[i];",
+            30: "for (i = 0; i < n; i++) counters[i] = 0;",
+            40: "free(table);",
+            105: "stream = malloc(CHUNK);",
+            110: "sum += table[i];",
+            111: "grid[i] = ...;",
+            205: "ghost = malloc(GHOST_BYTES);",
+        },
+    )
+    exe = LoadModule("defect.exe", is_executable=True)
+    main_fn = exe.add_function("main", src, 1, 60)
+    region_fn = exe.add_function(_STATIC_REGION, src, 100, 40)
+    exe.add_function("orphan_init", src, 200, 30)
+    process.load_module(exe)
+    return main_fn, region_fn
+
+
+def _static_model(name: str, n_threads: int = 4) -> StaticModel:
+    machine = tiny_machine()
+    process = SimProcess(machine, name=f"defect-{name}")
+    _static_image(process)
+    model = StaticModel(name, "seed", process, machine, n_threads)
+    model.entry("main")
+    return model
+
+
+def static_master_first_touch() -> StaticModel:
+    """H001: master callocs ``table``; a node-spanning region then reads it."""
+    model = _static_model("master_first_touch")
+    model.parallel_region("main", 50, _STATIC_REGION, 4)
+    model.alloc("main", 10, "table", _TABLE_ELEMS * 8, kind="calloc")
+    model.access(_STATIC_REGION, 110, "table", weight=float(_TABLE_ELEMS),
+                 pattern=OmpBlockPattern(_TABLE_ELEMS, 8))
+    model.free("main", 40, "table")
+    return model
+
+
+def static_false_sharing_slots() -> StaticModel:
+    """H002: per-thread 8B counter slots share one 64B line.
+
+    The region is declared 2 threads wide so it stays on one NUMA node:
+    the layout hazard fires without dragging a placement hazard along.
+    """
+    model = _static_model("false_sharing_slots", n_threads=2)
+    model.parallel_region("main", 50, _STATIC_REGION, 2)
+    model.alloc("main", 10, "counters", 64)
+    model.touch("main", 30, "counters", by="master")
+    model.access(_STATIC_REGION, 110, "counters", weight=4096.0,
+                 is_store=True, pattern=PerThreadSlotPattern(8))
+    model.free("main", 40, "counters")
+    return model
+
+
+def static_parallel_no_free() -> StaticModel:
+    """H003: each worker mallocs ``stream`` in the region body, never freed."""
+    model = _static_model("parallel_no_free")
+    model.parallel_region("main", 50, _STATIC_REGION, 4)
+    model.alloc(_STATIC_REGION, 105, "stream", PAGE, in_loop=True)
+    model.access(_STATIC_REGION, 110, "stream", weight=2048.0)
+    return model
+
+
+def static_dead_alloc() -> StaticModel:
+    """H004: ``ghost`` is allocated in a function no entry point reaches."""
+    model = _static_model("dead_alloc")
+    model.alloc("orphan_init", 205, "ghost", 32 * 1024)
+    model.alloc("main", 10, "work", PAGE)
+    model.access("main", 20, "work", weight=1024.0)
+    model.free("main", 40, "work")
+    return model
+
+
+def static_clean() -> StaticModel:
+    """No hazard: workers first-touch their own chunks, chunk spans are
+    far larger than a line, and everything allocated is freed."""
+    model = _static_model("clean_static")
+    model.parallel_region("main", 50, _STATIC_REGION, 4)
+    model.alloc("main", 10, "grid", _TABLE_ELEMS * 8)
+    model.touch(_STATIC_REGION, 110, "grid", by="workers")
+    model.access(_STATIC_REGION, 110, "grid", weight=float(_TABLE_ELEMS),
+                 pattern=OmpBlockPattern(_TABLE_ELEMS, 8))
+    model.access(_STATIC_REGION, 111, "grid", weight=float(_TABLE_ELEMS),
+                 is_store=True, pattern=OmpBlockPattern(_TABLE_ELEMS, 8))
+    model.free("main", 40, "grid")
+    return model
+
+
+def profile_master_first_touch():
+    """Dynamic twin of ``static_master_first_touch``: actually run it.
+
+    The master callocs ``table`` (zero-fill commits every page to node
+    0); all 4 threads then read their static chunks, so the node-1 half
+    of the team fetches remotely.  The marked-event profile this returns
+    is what ``hpcview staticcheck --reconcile-run`` uses to confirm the
+    H001 prediction.
+    """
+    from repro.core.profiler import DataCentricProfiler
+    from repro.pmu.events import PM_MRK_DATA_FROM_RMEM
+    from repro.pmu.marked import MarkedEventEngine
+
+    machine = tiny_machine()
+    process = SimProcess(machine, name="defect-master_first_touch")
+    profiler = DataCentricProfiler(process).attach()
+    process.pmu = MarkedEventEngine(PM_MRK_DATA_FROM_RMEM, period=8, seed=0x51A7)
+    main_fn, region_fn = _static_image(process)
+    ctx = Ctx(process, process.master)
+    ctx.enter(main_fn)
+    table = ctx.calloc(_TABLE_ELEMS * 8, line=10, var="table")
+
+    def worker(wctx: Ctx, tid: int):
+        ip = wctx.ip(110)
+        for i in omp_chunk(_TABLE_ELEMS, 4, tid):
+            wctx.load_ip(table + i * 8, ip)
+            if i % 256 == 0:
+                yield
+        yield
+
+    ctx.parallel(region_fn, worker, 4, line=50)
+    ctx.free(table, line=40)
+    ctx.leave()
+    db = profiler.finalize()
+    db.process_name = "defects.master_first_touch"
+    db.meta.update(app="defects", defect="master_first_touch", variant="seed")
+    return db
+
+
+# static seed name -> model builder.  Expected outcomes live alongside so
+# the golden tests and the CI smoke read one source of truth.
+STATIC_SEEDS: dict[str, object] = {
+    "master_first_touch": static_master_first_touch,
+    "false_sharing_slots": static_false_sharing_slots,
+    "parallel_no_free": static_parallel_no_free,
+    "dead_alloc": static_dead_alloc,
+    "clean_static": static_clean,
+}
+
+# seed -> (expected hazard codes, expected flagged variable or None).
+STATIC_EXPECTED: dict[str, tuple] = {
+    "master_first_touch": (("H001",), "table"),
+    "false_sharing_slots": (("H002",), "counters"),
+    "parallel_no_free": (("H003",), "stream"),
+    "dead_alloc": (("H004",), "ghost"),
+    "clean_static": ((), None),
+}
+
+# static seeds with a dynamic twin that produces a reconcilable profile.
+STATIC_PROFILE_RUNNERS: dict[str, object] = {
+    "master_first_touch": profile_master_first_touch,
+}
+
+
 def run_seed(name: str):
     """Run one seed under a sanitizing session; returns its SanitizerReport."""
     from repro.sanitize import SanitizerConfig, sanitizing
@@ -246,6 +429,18 @@ def main() -> int:
         failures += 0 if ok else 1
         status = "ok" if ok else "FAIL"
         print(f"{status:4s} {name:16s} expected={want} got={kinds}")
+    from repro.staticcheck import analyze_model
+
+    for name, builder in STATIC_SEEDS.items():
+        report = analyze_model(builder())
+        codes = [f.code for f in report.findings]
+        want_codes, want_var = STATIC_EXPECTED[name]
+        ok = tuple(codes) == want_codes and (
+            want_var is None or report.findings[0].variable == want_var
+        )
+        failures += 0 if ok else 1
+        status = "ok" if ok else "FAIL"
+        print(f"{status:4s} static:{name:22s} expected={list(want_codes)} got={codes}")
     return 1 if failures else 0
 
 

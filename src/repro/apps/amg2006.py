@@ -50,7 +50,10 @@ from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 from repro.util.rng import derive_rank_seed
 
-__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "PROBLEM_ARRAYS"]
+__all__ = [
+    "Config", "run", "run_rank", "rank_config", "VARIANTS", "PROBLEM_ARRAYS",
+    "static_model",
+]
 
 VARIANTS = ("original", "numactl", "libnuma")
 
@@ -291,6 +294,102 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
         ctx.call_sync(solve_fn, 60, solve_body)
 
     ctx.leave()
+
+
+def static_model(variant: str = "original", preset: str = "smoke"):
+    """Declarations for the static analyzer (see repro.staticcheck.model).
+
+    The seven problem arrays all allocate through one ``hypre_CAlloc``
+    site (line 175) reached from seven distinct call contexts — Figure
+    5's bottom-up shape; calloc under first touch makes the master the
+    placement committer, so all seven fire H001 in the original variant.
+    The churn chain allocates in a loop but frees (no H003); the
+    per-worker ``Vtemp_data`` allocates inside the relax region and
+    never frees (H003 in *every* variant — a true finding).
+    """
+    from repro.sim.openmp import outlined_name
+    from repro.staticcheck.model import StaticModel
+
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown amg2006 variant {variant!r}")
+    cfg = rank_config(preset, variant)
+    machine = cfg.machine_factory()
+    process = SimProcess(machine, name="amg2006")
+    _build_image(process)
+    model = StaticModel(
+        "amg2006", variant, process, machine, cfg.n_threads,
+        process_interleaved=(variant == "numactl"),
+    )
+    relax_region = outlined_name("hypre_BoomerAMGSolve", 0)
+    interp_region = outlined_name("hypre_BoomerAMGSolve", 1)
+
+    model.entry("main")
+    model.call("main", 20, "hypre_BuildIJLaplacian")
+    model.call("main", 40, "hypre_BoomerAMGSetup")
+    model.call("main", 60, "hypre_BoomerAMGSolve")
+    model.parallel_region("hypre_BoomerAMGSolve", 460, relax_region, cfg.n_threads)
+    model.parallel_region("hypre_BoomerAMGSolve", 490, interp_region, cfg.n_threads)
+    # The churn call chain: setup -> SetupLevel7 -> ... -> SetupLevel0.
+    model.call("hypre_BoomerAMGSetup", 305, "hypre_SetupLevel7")
+    for d in range(7, 0, -1):
+        model.call(f"hypre_SetupLevel{d}", 600 + 20 * d + 5, f"hypre_SetupLevel{d - 1}")
+
+    rows = float(cfg.rows)
+    iters = float(cfg.solve_iterations)
+
+    # Serial workspace: calloc'd, filled and consumed by the master only
+    # — no parallel access, so H001 must NOT fire (interleaving it is the
+    # paper's numactl init pathology, not a first-touch defect).
+    for w in range(3):
+        name = f"grid_workspace_{w}"
+        model.alloc("hypre_BuildIJLaplacian", 210 + w, name, 192 * 1024, kind="calloc")
+        model.access("hypre_BuildIJLaplacian", 220, name, weight=192 * 1024 / 256)
+
+    # The seven problem arrays: libnuma interleaves them at their call
+    # sites; otherwise each goes through the shared hypre_CAlloc site.
+    for idx, (name, nbytes) in enumerate(PROBLEM_ARRAYS):
+        if variant == "libnuma":
+            model.alloc(
+                "hypre_BoomerAMGSetup", 330 + idx, name, nbytes,
+                kind="numa_interleaved",
+            )
+        else:
+            model.call("hypre_BoomerAMGSetup", 330 + idx, "hypre_CAlloc")
+            model.alloc("hypre_CAlloc", 175, name, nbytes, kind="calloc")
+
+    model.alloc("hypre_SetupLevel0", 604, "churn", 256, kind="malloc", in_loop=True)
+    model.free("hypre_SetupLevel0", 605, "churn")
+    model.alloc("hypre_BoomerAMGSetup", 350, "small_tables", 8 * 3968, kind="malloc")
+    model.touch("hypre_BoomerAMGSetup", 350, "small_tables", by="master")
+
+    # Master matrix fill (one batched store run each, first three arrays).
+    for name, nbytes in PROBLEM_ARRAYS[:3]:
+        model.access(
+            "hypre_BoomerAMGSetup", 340, name, weight=nbytes / 512, is_store=True
+        )
+
+    # Per-worker solver workspace: allocated inside the relax region,
+    # first-touched by its worker, never freed.
+    model.alloc(relax_region, 465, "Vtemp_data", 16 * 1024, kind="malloc")
+    model.touch(relax_region, 466, "Vtemp_data", by="workers")
+
+    # Relax sweep: per row one A_diag_i load, two S_diag_j loads, four
+    # A_diag_j/A_diag_data loads, two workspace loads, a table poke.
+    model.access(relax_region, 470, "A_diag_i", weight=rows * iters)
+    model.access(relax_region, 470, "S_diag_j", weight=2 * rows * iters)
+    model.access(relax_region, 471, "A_diag_j", weight=4 * rows * iters)
+    model.access(relax_region, 472, "A_diag_data", weight=4 * rows * iters)
+    model.access(relax_region, 474, "Vtemp_data", weight=2 * rows * iters)
+    model.access(relax_region, 474, "small_tables", weight=rows * iters / 12)
+
+    # Interpolation sweep over rows/2.
+    half = rows / 2
+    model.access(interp_region, 495, "S_diag_i", weight=half * iters)
+    model.access(interp_region, 495, "A_diag_i", weight=half * iters)
+    model.access(interp_region, 495, "S_diag_j", weight=half * iters / 8)
+    model.access(interp_region, 496, "P_diag_j", weight=half * iters)
+    model.access(interp_region, 497, "P_diag_data", weight=half * iters)
+    return model
 
 
 def _power7_smt1() -> Machine:

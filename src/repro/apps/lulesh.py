@@ -39,7 +39,10 @@ from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 
-__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "DOMAIN_ARRAYS"]
+__all__ = [
+    "Config", "run", "run_rank", "rank_config", "VARIANTS", "DOMAIN_ARRAYS",
+    "static_model",
+]
 
 VARIANTS = ("original", "libnuma", "transpose", "both")
 
@@ -117,6 +120,68 @@ def run_rank(
     if cfg is None:
         cfg = rank_config(preset, variant)
     return single_process_rank(run, "lulesh", cfg, rank, n_ranks)
+
+
+def static_model(variant: str = "original", preset: str = "smoke"):
+    """Declarations for the static analyzer (see repro.staticcheck.model).
+
+    The 12 domain arrays are the H001 set (master touch at line 60, wide
+    teams in both solver regions); ``nodeElemCornerList`` and the scratch
+    blocks sit below the share threshold, and the two statics (f_elem,
+    Gamma) are first touched by workers — none of those may fire.
+    """
+    from repro.sim.openmp import outlined_name
+    from repro.staticcheck.model import StaticModel
+
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown lulesh variant {variant!r}")
+    cfg = rank_config(preset, variant)
+    machine = cfg.machine_factory()
+    process = SimProcess(machine, name="lulesh")
+    _build_image(process)
+    model = StaticModel("lulesh", variant, process, machine, cfg.n_threads)
+    kin_region = outlined_name("CalcKinematicsForElems", 0)
+    stress_region = outlined_name("IntegrateStressForElems", 0)
+
+    model.entry("main")
+    model.call("main", 85, "CalcKinematicsForElems")
+    model.call("main", 86, "IntegrateStressForElems")
+    model.parallel_region("CalcKinematicsForElems", 690, kin_region, cfg.n_threads)
+    model.parallel_region("IntegrateStressForElems", 790, stress_region, cfg.n_threads)
+
+    interleaved = variant in ("libnuma", "both")
+    kind = "numa_interleaved" if interleaved else "malloc"
+    nelem = float(cfg.nelem)
+    iters = float(cfg.iterations)
+    for idx, name in enumerate(DOMAIN_ARRAYS):
+        model.alloc("main", 22 + idx, name, cfg.nelem * 8, kind=kind)
+        model.touch("main", 60, name, by="master")
+    model.alloc("main", 40, "nodeElemCornerList", cfg.nelem * 2 * 4, kind="malloc")
+    model.touch("main", 60, "nodeElemCornerList", by="master")
+    model.alloc("main", 45, "scratch", 12 * 3968, kind="malloc")
+    model.touch("main", 60, "scratch", by="master")
+    model.alloc("main", 15, "f_elem", 0, kind="static")
+    model.alloc("main", 16, "Gamma", 0, kind="static")
+
+    # Kinematics: six streamed loads per element, one energy-family store
+    # and one force load (each array takes a third), plus a scratch poke.
+    for name in ("m_x", "m_y", "m_z", "m_xd", "m_yd", "m_zd"):
+        model.access(kin_region, 700, name, weight=nelem * iters)
+    for name in ("m_e", "m_p", "m_q"):
+        model.access(kin_region, 705, name, weight=nelem * iters / 3, is_store=True)
+    for name in ("m_fx", "m_fy", "m_fz"):
+        model.access(kin_region, 705, name, weight=nelem * iters / 3)
+    model.access(kin_region, 705, "scratch", weight=nelem * iters / 4)
+
+    # Stress integration: six streamed loads per element, corner-list
+    # gather + three f_elem stores every 4th element, Gamma every 4th.
+    for name in ("m_fx", "m_fy", "m_fz", "m_p", "m_q", "m_e"):
+        model.access(stress_region, 800, name, weight=nelem * iters)
+    corner = nelem * iters / max(1, cfg.corner_every)
+    model.access(stress_region, 801, "nodeElemCornerList", weight=corner)
+    model.access(stress_region, 802, "f_elem", weight=3 * corner, is_store=True)
+    model.access(stress_region, 802, "Gamma", weight=nelem * iters / 4)
+    return model
 
 
 def run(cfg: Config) -> AppResult:

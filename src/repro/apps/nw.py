@@ -30,7 +30,7 @@ from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 
-__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "static_model"]
 
 VARIANTS = ("original", "libnuma")
 
@@ -96,6 +96,46 @@ def run_rank(
     if cfg is None:
         cfg = rank_config(preset, variant)
     return single_process_rank(run, "nw", cfg, rank, n_ranks)
+
+
+def static_model(variant: str = "original", preset: str = "smoke"):
+    """Declarations for the static analyzer (see repro.staticcheck.model).
+
+    Mirrors exactly what run() does: who allocates, who touches first,
+    and which region accesses what with which estimated weight.  The
+    weights follow the wavefront loop bounds — every interior cell does
+    two referrence loads and one input_itemsets load + store (lines
+    163-165) — so static shares line up with Figure 11's dynamic split.
+    """
+    from repro.sim.openmp import outlined_name
+    from repro.staticcheck.model import StaticModel
+
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown nw variant {variant!r}")
+    cfg = rank_config(preset, variant)
+    machine = cfg.machine_factory()
+    process = SimProcess(machine, name="nw")
+    _build_image(process)
+    model = StaticModel("nw", variant, process, machine, cfg.n_threads)
+    region = outlined_name("_Z7runTestiPPc", 0)
+
+    model.entry("main")
+    model.call("main", 60, "_Z7runTestiPPc")
+    model.parallel_region("_Z7runTestiPPc", 150, region, cfg.n_threads)
+
+    kind = "numa_interleaved" if variant == "libnuma" else "malloc"
+    n = cfg.n
+    nbytes = n * n * 4
+    model.alloc("main", 45, "referrence", nbytes, kind=kind)
+    model.alloc("main", 46, "input_itemsets", nbytes, kind=kind)
+    model.touch("main", 50, "referrence", by="master")
+    model.touch("main", 50, "input_itemsets", by="master")
+
+    cells = float((n - 1) * (n - 1))  # interior wavefront cells
+    model.access(region, 163, "referrence", weight=2 * cells)
+    model.access(region, 164, "input_itemsets", weight=cells)
+    model.access(region, 165, "input_itemsets", weight=cells, is_store=True)
+    return model
 
 
 def run(cfg: Config) -> AppResult:

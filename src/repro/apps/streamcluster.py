@@ -35,7 +35,7 @@ from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 
-__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "static_model"]
 
 VARIANTS = ("original", "parallel-init")
 
@@ -110,6 +110,67 @@ def run_rank(
     if cfg is None:
         cfg = rank_config(preset, variant)
     return single_process_rank(run, "streamcluster", cfg, rank, n_ranks)
+
+
+def static_model(variant: str = "original", preset: str = "smoke"):
+    """Declarations for the static analyzer (see repro.staticcheck.model).
+
+    The interesting interprocedural case: block/point.p accesses sit in
+    ``dist``, an ordinary function — only the call-graph contexts through
+    the two pgain regions make them parallel accesses.  ``point.p``'s
+    weight lands *below* the share threshold, a deliberate static miss
+    the reconciliation pass surfaces (DESIGN.md discusses this limit).
+    """
+    from repro.sim.openmp import outlined_name
+    from repro.staticcheck.model import StaticModel
+
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown streamcluster variant {variant!r}")
+    cfg = rank_config(preset, variant)
+    machine = cfg.machine_factory()
+    process = SimProcess(machine, name="streamcluster")
+    _build_image(process)
+    model = StaticModel("streamcluster", variant, process, machine, cfg.n_threads)
+    pgain = "_Z5pgainlP6Points"
+    dist = "_Z4distP5PointS0_i"
+    init_region = outlined_name("main", 0)
+    region1 = outlined_name(pgain, 0)
+    region2 = outlined_name(pgain, 1)
+
+    model.entry("main")
+    model.call("main", 50, pgain)
+    model.parallel_region(pgain, 140, region1, cfg.n_threads)
+    model.parallel_region(pgain, 160, region2, cfg.n_threads)
+    model.call(region1, 141, dist)
+    model.call(region2, 161, dist)
+
+    npoints, dim = cfg.npoints, cfg.dim
+    model.alloc("main", 30, "block", npoints * dim * 4, kind="malloc")
+    model.alloc("main", 32, "point.p", npoints * 32, kind="malloc")
+    model.alloc("main", 34, "scratch", 16 * 3968, kind="malloc")
+    model.touch("main", 34, "scratch", by="master")
+    if variant == "parallel-init":
+        model.parallel_region("main", 42, init_region, cfg.n_threads)
+        model.touch(init_region, 43, "block", by="workers")
+        model.touch(init_region, 43, "point.p", by="workers")
+    else:
+        model.touch("main", 40, "block", by="master")
+        model.touch("main", 40, "point.p", by="master")
+
+    passes = float(cfg.passes_region1 + cfg.passes_region2)
+    per_pass = float(npoints)
+    # dist streams dim coords of p2 from block plus one p1 load per call.
+    model.access(dist, 175, "block", weight=passes * per_pass * (dim + 1))
+    # One point.p weight read per 8 points, one scratch poke per 12, at
+    # the ip(call_line+7) slots inside each region body.
+    for region, region_passes in (
+        (region1, float(cfg.passes_region1)),
+        (region2, float(cfg.passes_region2)),
+    ):
+        line = 148 if region == region1 else 168
+        model.access(region, line, "point.p", weight=region_passes * per_pass / 8)
+        model.access(region, line, "scratch", weight=region_passes * per_pass / 12)
+    return model
 
 
 def run(cfg: Config) -> AppResult:

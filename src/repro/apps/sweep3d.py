@@ -34,7 +34,7 @@ from repro.sim.runtime import Ctx
 from repro.sim.source import SourceFile
 from repro.util.rng import derive_rank_seed
 
-__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS"]
+__all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "static_model"]
 
 VARIANTS = ("original", "transposed")
 
@@ -159,6 +159,44 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
 
     process.run_serial(main_gen())
     ctx.leave()
+
+
+def static_model(variant: str = "original", preset: str = "smoke"):
+    """Declarations for the static analyzer (see repro.staticcheck.model).
+
+    Pure MPI: every rank allocates and first-touches its own arrays and
+    there are no parallel regions, so the analyzer must find *nothing* —
+    the paper's explicit "no NUMA problem to examine" point.  (The
+    spatial-locality pathology of Figure 6 is a latency problem the
+    dynamic profiler owns; it has no first-touch or sharing shape.)
+    """
+    from repro.staticcheck.model import StaticModel
+
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown sweep3d variant {variant!r}")
+    cfg = rank_config(preset, variant)
+    machine = cfg.machine_factory()
+    process = SimProcess(machine, name="sweep3d")
+    _build_image(process)
+    model = StaticModel("sweep3d", variant, process, machine, 1)
+
+    model.entry("MAIN__")
+    model.call("MAIN__", 30, "inner_")
+    model.call("inner_", 140, "sweep_")
+
+    it, jt, kt = cfg.it, cfg.jt, cfg.kt
+    cells = float(it * jt * kt * cfg.octants)
+    model.alloc("MAIN__", 20, "Flux", it * jt * kt * 8, kind="malloc")
+    model.alloc("MAIN__", 21, "Src", it * jt * kt * 8, kind="malloc")
+    model.alloc("MAIN__", 22, "Face", it * jt * 16 * 8, kind="malloc")
+    for name in ("Flux", "Src", "Face"):
+        model.touch("MAIN__", 25, name, by="master")
+
+    model.access("sweep_", 477, "Src", weight=cells * 1.5)
+    model.access("sweep_", 480, "Flux", weight=cells)
+    model.access("sweep_", 482, "Flux", weight=cells, is_store=True)
+    model.access("sweep_", 475, "Face", weight=2.0 * float(it * jt * cfg.octants))
+    return model
 
 
 RANK_PRESETS: dict[str, dict] = {

@@ -21,7 +21,13 @@ from repro.core.profiledb import ProfileDB, ThreadProfile
 from repro.core.merge import merge_profiles, reduction_tree_merge, MergeStats
 from repro.core.analyzer import Analyzer, ExperimentDB
 from repro.core.views import TopDownView, BottomUpView, VariableReport
-from repro.core.render import render_top_down, render_bottom_up, render_variable_table
+from repro.core.render import (
+    render_top_down,
+    render_bottom_up,
+    render_variable_table,
+    render_static_report,
+    render_reconciliation,
+)
 from repro.core.guidance import advise, Recommendation
 from repro.core.derived import BoundnessReport, derive_from_profile, derive_from_machine
 from repro.core.stackmap import StackDataMap, StackVariable
@@ -54,6 +60,8 @@ __all__ = [
     "render_top_down",
     "render_bottom_up",
     "render_variable_table",
+    "render_static_report",
+    "render_reconciliation",
     "advise",
     "Recommendation",
     "BoundnessReport",

@@ -18,11 +18,15 @@ against the pathologies of the case studies:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.analyzer import ExperimentDB
 from repro.core.metrics import MetricKind
 from repro.core.storage import StorageClass
 from repro.core.views import VariableReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.staticcheck.analyze import Finding
 
 __all__ = ["Recommendation", "advise"]
 
@@ -105,13 +109,29 @@ def advise(
     kind: MetricKind = MetricKind.LATENCY,
     top_n: int = 10,
     min_share: float = _MIN_SHARE,
+    static_findings: "Sequence[Finding] | None" = None,
 ) -> list[Recommendation]:
-    """Generate recommendations for the top variables of a profile."""
+    """Generate recommendations for the top variables of a profile.
+
+    When ``static_findings`` (from :func:`repro.staticcheck.analyze_model`)
+    is given, a recommendation whose variable the static pass also
+    flagged cites the prediction in its evidence — measurement and
+    structure agreeing is the strongest signal a fix is worth it.
+    """
+    predicted: dict[str, "Finding"] = {}
+    for finding in static_findings or ():
+        predicted.setdefault(finding.variable, finding)
     out = []
     for var in exp.top_variables(kind, n=top_n):
         if var.share < min_share:
             continue
         rec = _advise_variable(var)
-        if rec is not None:
-            out.append(rec)
+        if rec is None:
+            continue
+        hit = predicted.get(var.name)
+        if hit is not None:
+            rec.evidence += (
+                f"; predicted statically ({hit.code} at {hit.site})"
+            )
+        out.append(rec)
     return out

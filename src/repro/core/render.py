@@ -15,12 +15,16 @@ from repro.util.fmt import format_table, pct
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sanitize.report import SanitizerReport
+    from repro.staticcheck.analyze import StaticReport
+    from repro.staticcheck.reconcile import Reconciliation
 
 __all__ = [
     "render_top_down",
     "render_bottom_up",
     "render_variable_table",
     "render_sanitizer_report",
+    "render_static_report",
+    "render_reconciliation",
 ]
 
 
@@ -105,6 +109,87 @@ def render_variable_table(view: TopDownView, top_n: int = 10, title: str = "") -
         rows,
         title=title or "variables ranked by metric",
     )
+
+
+def render_static_report(
+    report: "StaticReport", top_n: int = 10, title: str = ""
+) -> str:
+    """Render a static-analysis report in the data-centric shape: the
+    call-graph summary, the per-variable reaching table, then each
+    predicted hazard with its allocation contexts."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"static analysis: {report.app}/{report.variant}   "
+        f"functions={report.n_functions} edges={report.n_edges} "
+        f"reachable={report.n_reachable}"
+        + ("   (context enumeration truncated)" if report.truncated else "")
+    )
+    lines.append("")
+    rows = []
+    for var in report.variables[:top_n]:
+        rows.append(
+            (
+                var.name,
+                var.storage,
+                var.nbytes,
+                f"{var.share:.1%}",
+                var.n_alloc_contexts,
+                var.n_access_contexts,
+            )
+        )
+    lines.append(format_table(
+        ("variable", "class", "bytes", "share", "alloc ctxs", "access ctxs"),
+        rows,
+        title="variables by static access share",
+    ))
+    lines.append("")
+    if not report.findings:
+        lines.append("no hazards predicted")
+        return "\n".join(lines)
+    lines.append(f"{len(report.findings)} predicted hazard(s):")
+    for finding in report.findings:
+        lines.append("")
+        lines.append(
+            f"  [{finding.code}] {finding.variable} [{finding.storage}] "
+            f"share {finding.share:.1%}  at {finding.site}"
+        )
+        lines.append(f"    {finding.message}")
+        for ctx in finding.contexts:
+            lines.append(f"    alloc context: {ctx}")
+    return "\n".join(lines)
+
+
+def render_reconciliation(rec: "Reconciliation", title: str = "") -> str:
+    """Render static-vs-dynamic verdicts plus the precision/recall line."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    rows = []
+    for v in rec.verdicts:
+        rows.append(
+            (
+                v.code,
+                v.variable,
+                v.label,
+                f"{v.remote_fraction:.0%}",
+                f"{v.dynamic_share:.1%}",
+                v.samples,
+                v.detail,
+            )
+        )
+    lines.append(format_table(
+        ("code", "variable", "verdict", "remote", "share", "samples", "detail"),
+        rows,
+        title=f"reconciliation: {rec.app}/{rec.variant}",
+    ))
+    lines.append(
+        f"confirmed={rec.n_confirmed} unconfirmed={rec.n_unconfirmed} "
+        f"missed={rec.n_missed}   "
+        f"precision={rec.precision:.0%} recall={rec.recall:.0%}"
+    )
+    return "\n".join(lines)
 
 
 def render_sanitizer_report(report: "SanitizerReport", title: str = "") -> str:

@@ -20,12 +20,17 @@ False sharing is the complementary report: *distinct*-offset writes from
 multiple threads to one cache line, alternating often enough to imply
 line ping-pong.  Lines already implicated in a race are excluded — that
 defect is the race, not the sharing.
+
+The run-geometry arithmetic (conflict, line coverage, in-line offsets)
+lives in :mod:`repro.util.linemath`, shared with the static analyzer's
+H002 layout check so the dynamic and static passes cannot drift.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from math import gcd
+
+from ..util.linemath import line_offsets, lines_touched, make_run, runs_conflict
 
 __all__ = ["AccessRecord", "RaceDetector", "SharingIncident"]
 
@@ -59,26 +64,6 @@ class SharingIncident:
         self.records = records  # one representative AccessRecord per thread
 
 
-def _contains(rec: AccessRecord, x: int) -> bool:
-    if not (rec.lo <= x < rec.hi):
-        return False
-    return rec.stride == 0 or (x - rec.lo) % rec.stride == 0
-
-
-def _runs_conflict(a: AccessRecord, b: AccessRecord) -> bool:
-    """Do the two runs touch a common byte?  Exact for equal/zero strides,
-    conservative (gcd divisibility) for mixed strides."""
-    if max(a.lo, b.lo) >= min(a.hi, b.hi):
-        return False
-    if a.stride == 0:
-        return _contains(b, a.lo)
-    if b.stride == 0:
-        return _contains(a, b.lo)
-    if a.stride == b.stride:
-        return (a.lo - b.lo) % a.stride == 0
-    return (b.lo - a.lo) % gcd(a.stride, b.stride) == 0
-
-
 class RaceDetector:
     """Per-epoch access log; analysis runs at each region's closing barrier."""
 
@@ -94,28 +79,16 @@ class RaceDetector:
         if len(self._records) >= self._max_records:
             self.dropped_records += 1
             return
-        if count == 1 or stride == 0:
-            rec = AccessRecord(base, base + 1, 0, 1, tid, thread_name, ip, is_store, path)
-        elif stride > 0:
-            hi = base + (count - 1) * stride + 1
-            rec = AccessRecord(base, hi, stride, count, tid, thread_name, ip, is_store, path)
-        else:
-            lo = base + (count - 1) * stride
-            rec = AccessRecord(lo, base + 1, -stride, count, tid, thread_name, ip, is_store, path)
-        self._records.append(rec)
+        run = make_run(base, count, stride)
+        self._records.append(
+            AccessRecord(
+                run.lo, run.hi, run.stride, run.count,
+                tid, thread_name, ip, is_store, path,
+            )
+        )
 
     def _lines_of(self, rec: AccessRecord) -> list[int]:
-        bits = self._line_bits
-        if rec.stride == 0:
-            return [rec.lo >> bits]
-        if rec.stride < (1 << bits):
-            return list(range(rec.lo >> bits, ((rec.hi - 1) >> bits) + 1))
-        seen: dict[int, None] = {}
-        addr = rec.lo
-        for _ in range(rec.count):
-            seen[addr >> bits] = None
-            addr += rec.stride
-        return list(seen)
+        return lines_touched(rec, self._line_bits)
 
     def end_region(self) -> tuple[list[tuple[AccessRecord, AccessRecord]], list[SharingIncident]]:
         """Close the epoch: return (conflict pairs, false-sharing incidents)."""
@@ -146,7 +119,7 @@ class RaceDetector:
                 pair = (min(id(w), id(rec)), max(id(w), id(rec)))
                 if pair in seen_pairs:
                     continue
-                if not _runs_conflict(w, rec):
+                if not runs_conflict(w, rec):
                     continue
                 seen_pairs.add(pair)
                 conflicts.append((w, rec))
@@ -161,7 +134,6 @@ class RaceDetector:
         # Per-line write sequences in program (record) order; raced lines are
         # excluded so a true race isn't double-reported as sharing.
         bits = self._line_bits
-        line_mask = (1 << bits) - 1
         line_writes: dict[int, list[AccessRecord]] = {}
         for w in writes:
             for line in self._lines_of(w):
@@ -183,17 +155,10 @@ class RaceDetector:
                 continue
             offsets: list[int] = []
             line_lo = line << bits
-            line_hi = line_lo + line_mask + 1
             for r in recs:
-                if r.stride == 0:
-                    if line_lo <= r.lo < line_hi and (r.lo & line_mask) not in offsets:
-                        insort(offsets, r.lo & line_mask)
-                else:
-                    addr = r.lo
-                    for _ in range(r.count):
-                        if line_lo <= addr < line_hi and (addr & line_mask) not in offsets:
-                            insort(offsets, addr & line_mask)
-                        addr += r.stride
+                for off in line_offsets(r, line_lo, bits):
+                    if off not in offsets:
+                        insort(offsets, off)
             if len(offsets) < 2:
                 # Same-offset writes from two threads would be a race and are
                 # handled above; sharing requires distinct offsets.

@@ -18,7 +18,7 @@ from repro.sim.arrays import SimArray
 from repro.sim.thread import SimThread, Frame
 from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
-from repro.sim.openmp import omp_chunk
+from repro.sim.openmp import omp_chunk, omp_chunks, outlined_name, parse_outlined
 from repro.sim.mpi import MPIJob, RankResult
 
 __all__ = [
@@ -34,6 +34,9 @@ __all__ = [
     "SimProcess",
     "Ctx",
     "omp_chunk",
+    "omp_chunks",
+    "outlined_name",
+    "parse_outlined",
     "MPIJob",
     "RankResult",
 ]

@@ -25,13 +25,20 @@ from typing import Callable
 
 from repro.errors import AllocationError
 
-__all__ = ["HeapAllocator"]
+__all__ = ["HeapAllocator", "HEAP_ALIGN"]
 
 _ALIGN = 16
+
+# Public introspection alias: static layout analysis (repro.staticcheck
+# hazard H002) must assume heap bases are only 16B-aligned — NOT
+# line-aligned — when predicting which thread footprints share a line.
+HEAP_ALIGN = _ALIGN
 
 
 class HeapAllocator:
     """First-fit allocator over ``[base, base+capacity)`` with coalescing."""
+
+    ALIGN = _ALIGN
 
     def __init__(self, base: int, capacity: int) -> None:
         if capacity <= 0:

@@ -13,7 +13,13 @@ from repro.sim.loader import LoadModule
 from repro.sim.program import Function
 from repro.sim.source import SourceFile
 
-__all__ = ["omp_chunk", "omp_chunks", "outlined_name", "declare_outlined"]
+__all__ = [
+    "omp_chunk",
+    "omp_chunks",
+    "outlined_name",
+    "parse_outlined",
+    "declare_outlined",
+]
 
 
 def omp_chunk(n_iters: int, n_threads: int, tid: int) -> range:
@@ -35,6 +41,20 @@ def omp_chunks(n_iters: int, n_threads: int) -> list[range]:
 def outlined_name(host_function: str, region_index: int = 0) -> str:
     """GNU-style outlined-function name for a parallel region."""
     return f"{host_function}$$OL$${region_index}"
+
+
+def parse_outlined(name: str) -> tuple[str, int] | None:
+    """Inverse of :func:`outlined_name`: ``(host, region_index)`` or ``None``.
+
+    Static passes use this to recover the host->outlined call edge from
+    symbol names alone, the way HPCToolkit's binary analysis recognizes
+    compiler-outlined regions in stripped binaries.  Nested regions parse
+    to their innermost host (``a$$OL$$0$$OL$$1`` -> (``a$$OL$$0``, 1)).
+    """
+    host, sep, index = name.rpartition("$$OL$$")
+    if not sep or not index.isdigit():
+        return None
+    return host, int(index)
 
 
 def declare_outlined(

@@ -59,6 +59,21 @@ class Function:
     def end_line(self) -> int:
         return self.start_line + self.n_lines - 1
 
+    @property
+    def is_outlined(self) -> bool:
+        """Is this a compiler-outlined parallel-region body (``$$OL$$``)?"""
+        from repro.sim.openmp import parse_outlined
+
+        return parse_outlined(self.name) is not None
+
+    @property
+    def outline_host(self) -> str | None:
+        """Host function name if this is an outlined region, else ``None``."""
+        from repro.sim.openmp import parse_outlined
+
+        parsed = parse_outlined(self.name)
+        return parsed[0] if parsed else None
+
     def ip(self, line: int, slot: int = 0) -> int:
         """Synthetic instruction address for (line, slot) within this function."""
         if not (self.start_line <= line <= self.end_line):

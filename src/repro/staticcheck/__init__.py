@@ -1,0 +1,59 @@
+"""Static data-centric analysis: predict hazards without executing.
+
+The dynamic side of the paper (profiler, sanitizer) measures what a run
+did; this package analyzes what a program's *structure* guarantees it
+will do — call graph and calling contexts from function/outlined-region
+symbols, allocation-site reaching per variable, and per-thread access
+footprints from the ``omp_chunk`` stride math — then predicts the NUMA
+and layout hazards the case studies measured (H001-H004) and reconciles
+those predictions against a merged dynamic profile.
+
+Entry points:
+
+- :func:`build_static_model` — resolve a bundled app's declarations;
+- :func:`analyze_model` — run the hazard catalogue over a model;
+- :func:`reconcile` — label predictions against an ``ExperimentDB``.
+"""
+
+from repro.staticcheck.analyze import (
+    MIN_SHARE,
+    Finding,
+    StaticReport,
+    VarSummary,
+    analyze_model,
+)
+from repro.staticcheck.callgraph import CallGraph, Context, Frame, build_callgraph
+from repro.staticcheck.model import (
+    AccessPattern,
+    OmpBlockPattern,
+    PerThreadSlotPattern,
+    StaticModel,
+)
+from repro.staticcheck.reconcile import Reconciliation, Verdict, reconcile
+from repro.staticcheck.registry import (
+    STATIC_APPS,
+    build_static_model,
+    register_static_app,
+)
+
+__all__ = [
+    "MIN_SHARE",
+    "Finding",
+    "StaticReport",
+    "VarSummary",
+    "analyze_model",
+    "CallGraph",
+    "Context",
+    "Frame",
+    "build_callgraph",
+    "AccessPattern",
+    "OmpBlockPattern",
+    "PerThreadSlotPattern",
+    "StaticModel",
+    "Reconciliation",
+    "Verdict",
+    "reconcile",
+    "STATIC_APPS",
+    "build_static_model",
+    "register_static_app",
+]

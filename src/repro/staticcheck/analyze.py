@@ -1,0 +1,422 @@
+"""Hazard analysis: predict data-centric pathologies without running.
+
+The hazard catalogue (see DESIGN.md "Static analysis"):
+
+H001 — master-thread first-touch before a wide parallel region.  A
+  heap/static variable placed by first touch, whose placement-committing
+  store runs on the master thread, and which a parallel region spanning
+  more than one NUMA node then accesses with a non-trivial share of the
+  model's access weight.  This is the paper's §5 NUMA pathology shape
+  (nw, streamcluster, LULESH, AMG2006) predicted from structure alone.
+
+H002 — false-sharing-prone layout.  A store site whose per-thread
+  footprints (from the ``omp_chunk``/slot stride math) are byte-disjoint
+  yet land in one cache line, with each thread's whole footprint inside
+  a line — the counter-array ping-pong shape.  Chunk-*boundary* line
+  sharing of large block ranges is deliberately not flagged: each thread
+  there owns many lines and only the seam is shared, which the dynamic
+  sanitizer likewise reports only under heavy alternation.  The line
+  geometry reuses :mod:`repro.util.linemath`, the same predicate the
+  dynamic detector runs, so the passes cannot drift.
+
+H003 — allocation inside a parallel body or loop with no matching free
+  (unbounded growth under iteration).
+
+H004 — dead allocation: the allocation site is unreachable from every
+  entry point, or the variable is never accessed, touched, or freed.
+
+Each finding names the variable, the triggering site, and the full
+calling contexts of its allocation — the paper's variable + alloc-site
++ context shape — so the reconciliation pass can line findings up
+against dynamic per-variable metrics one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.staticcheck.callgraph import CallGraph, build_callgraph
+from repro.staticcheck.model import (
+    AccessSite,
+    AllocSite,
+    RegionDecl,
+    StaticModel,
+    VarDecl,
+)
+from repro.util.linemath import runs_share_line
+
+__all__ = ["Finding", "VarSummary", "StaticReport", "analyze_model", "MIN_SHARE"]
+
+# Matches repro.core.guidance._MIN_SHARE: a variable below 3% of the
+# access weight is not worth a finding, statically or dynamically.
+MIN_SHARE = 0.03
+
+_MAX_CONTEXTS_PER_FINDING = 4
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One predicted hazard, in the data-centric coordinate system."""
+
+    code: str  # H001..H004
+    variable: str
+    storage: str  # heap | static
+    fn: str
+    line: int
+    share: float  # of the model's total access weight
+    message: str
+    contexts: tuple[str, ...]  # formatted alloc contexts (capped)
+
+    @property
+    def site(self) -> str:
+        return f"{self.fn}:{self.line}"
+
+
+@dataclass(frozen=True)
+class VarSummary:
+    """Per-variable reaching summary (pinned by the golden tests)."""
+
+    name: str
+    storage: str
+    nbytes: int
+    share: float
+    n_alloc_contexts: int
+    n_access_contexts: int
+
+
+@dataclass
+class StaticReport:
+    """The full result of one static analysis pass."""
+
+    app: str
+    variant: str
+    n_functions: int
+    n_edges: int
+    n_reachable: int
+    truncated: bool
+    variables: list[VarSummary] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    def findings_with_code(self, code: str) -> list[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def finding_for(self, variable: str, code: str | None = None) -> Finding | None:
+        for f in self.findings:
+            if f.variable == variable and (code is None or f.code == code):
+                return f
+        return None
+
+    @property
+    def codes(self) -> list[str]:
+        return sorted({f.code for f in self.findings})
+
+
+def _alloc_contexts(
+    graph: CallGraph, sites: list[AllocSite]
+) -> tuple[int, tuple[str, ...]]:
+    """Count and format the calling contexts reaching the alloc sites."""
+    count = 0
+    formatted: list[str] = []
+    for site in sites:
+        ctxs = graph.contexts_of(site.fn)
+        count += len(ctxs)
+        for ctx in ctxs:
+            if len(formatted) < _MAX_CONTEXTS_PER_FINDING:
+                formatted.append(
+                    graph.format_context(ctx, f"{site.fn}:{site.line}")
+                )
+    return count, tuple(formatted)
+
+
+def _regions_reaching(model: StaticModel, graph: CallGraph, fn: str) -> list[RegionDecl]:
+    """Regions through whose outlined bodies some context reaches ``fn``.
+
+    This is the interprocedural half of the reaching analysis: an access
+    in a helper (streamcluster's ``dist``) is a parallel access when
+    every call path to it passes through an outlined region, even though
+    the helper itself is an ordinary function.
+    """
+    found: dict[str, RegionDecl] = {}
+    direct = model.region_of(fn)
+    if direct is not None:
+        found[direct.outlined] = direct
+    for ctx in graph.contexts_of(fn):
+        for frame in ctx:
+            region = model.region_of(frame.fn)
+            if region is not None:
+                found[region.outlined] = region
+    return list(found.values())
+
+
+def _runs_serial(model: StaticModel, graph: CallGraph, fn: str) -> bool:
+    """Is there a region-free path from an entry to ``fn`` (so the master
+    thread executes it at least once)?"""
+    if model.region_of(fn) is not None or model.is_worker_fn(fn):
+        return False
+    ctxs = graph.contexts_of(fn)
+    if not ctxs:
+        # Unreachable code: fall back to the symbol-level classification.
+        return True
+    for ctx in ctxs:
+        if all(model.region_of(frame.fn) is None for frame in ctx):
+            return True
+    return False
+
+
+def _site_executor(
+    model: StaticModel, graph: CallGraph, fn: str, by: str | None = None
+) -> str:
+    """Who runs a site: the region side ("workers") or the serial side."""
+    if by is not None:
+        return by
+    return "master" if _runs_serial(model, graph, fn) else "workers"
+
+
+def _first_touch_executor(
+    model: StaticModel, graph: CallGraph, var: VarDecl
+) -> str | None:
+    """Which side commits first-touch placement, in declaration order.
+
+    calloc zero-fills at the allocation site, so the allocating side
+    commits placement immediately; otherwise the earliest declared
+    touch or access site wins (declaration order is program order).
+    """
+    events: list[tuple[str, str]] = []  # (executor, kind)
+    for alloc in var.alloc_sites:
+        if alloc.kind == "calloc":
+            events.append((_site_executor(model, graph, alloc.fn), "alloc"))
+    for touch in var.touch_sites:
+        events.append((_site_executor(model, graph, touch.fn, touch.by), "touch"))
+    if not events:
+        for acc in var.access_sites:
+            events.append((_site_executor(model, graph, acc.fn), "access"))
+            break
+    return events[0][0] if events else None
+
+
+def _first_master_site(
+    model: StaticModel, graph: CallGraph, var: VarDecl
+) -> tuple[str, int] | None:
+    """The site whose master-side store commits placement (for H001)."""
+    for alloc in var.alloc_sites:
+        if alloc.kind == "calloc" and _site_executor(model, graph, alloc.fn) == "master":
+            return alloc.fn, alloc.line
+    for touch in var.touch_sites:
+        if _site_executor(model, graph, touch.fn, touch.by) == "master":
+            return touch.fn, touch.line
+    return None
+
+
+def _wide_parallel_accesses(
+    model: StaticModel, graph: CallGraph, var: VarDecl
+) -> list[AccessSite]:
+    """Access sites reached through regions whose teams span >1 node."""
+    out: list[AccessSite] = []
+    for site in var.access_sites:
+        for region in _regions_reaching(model, graph, site.fn):
+            if model.region_spans_nodes(region.n_threads):
+                out.append(site)
+                break
+    return out
+
+
+def _check_h001(
+    model: StaticModel,
+    graph: CallGraph,
+    var: VarDecl,
+    share: float,
+    min_share: float = MIN_SHARE,
+) -> Finding | None:
+    if model.process_interleaved or var.policy != "first_touch":
+        return None
+    if not var.alloc_sites:
+        return None
+    if share < min_share:
+        return None
+    if _first_touch_executor(model, graph, var) != "master":
+        return None
+    wide = _wide_parallel_accesses(model, graph, var)
+    if not wide:
+        return None
+    master_site = _first_master_site(model, graph, var)
+    if master_site is None:
+        return None
+    fn, line = master_site
+    region_lines: set[int] = set()
+    for s in wide:
+        for region in _regions_reaching(model, graph, s.fn):
+            if model.region_spans_nodes(region.n_threads):
+                region_lines.add(region.line)
+    regions = sorted(region_lines)
+    _, contexts = _alloc_contexts(graph, var.alloc_sites)
+    n_nodes = model.n_numa_nodes
+    return Finding(
+        code="H001",
+        variable=var.name,
+        storage=var.storage,
+        fn=fn,
+        line=line,
+        share=share,
+        message=(
+            f"master-thread first touch at {fn}:{line} pins all pages of "
+            f"{var.name} ({var.nbytes}B) to one of {n_nodes} NUMA nodes; "
+            f"parallel region(s) at line(s) {regions} span multiple nodes "
+            f"and will fetch it remotely"
+        ),
+        contexts=contexts,
+    )
+
+
+def _check_h002(
+    model: StaticModel, graph: CallGraph, var: VarDecl, share: float
+) -> Finding | None:
+    line_size = 1 << model.line_bits
+    for site in var.access_sites:
+        if not site.is_store or site.pattern is None:
+            continue
+        regions = _regions_reaching(model, graph, site.fn)
+        if not regions:
+            continue
+        n_threads = max(region.n_threads for region in regions)
+        if n_threads < 2:
+            continue
+        for tid in range(min(n_threads - 1, 8)):
+            a = site.pattern.thread_run(tid, n_threads)
+            b = site.pattern.thread_run(tid + 1, n_threads)
+            # The whole-footprint-in-line rule: flag only when each
+            # thread's entire footprint fits in one line (slot ping-pong);
+            # mere chunk-boundary seams of large block ranges are not a
+            # layout defect and stay unflagged.
+            if (a.hi - a.lo) > line_size or (b.hi - b.lo) > line_size:
+                continue
+            shared = runs_share_line(a, b, model.line_bits)
+            if shared is None:
+                continue
+            _, contexts = _alloc_contexts(graph, var.alloc_sites)
+            return Finding(
+                code="H002",
+                variable=var.name,
+                storage=var.storage,
+                fn=site.fn,
+                line=site.line,
+                share=share,
+                message=(
+                    f"threads {tid} and {tid + 1} store disjoint bytes of "
+                    f"{var.name} in one {line_size}B cache line "
+                    f"(store at {site.fn}:{site.line}); the line will "
+                    f"ping-pong between their caches"
+                ),
+                contexts=contexts,
+            )
+    return None
+
+
+def _check_h003(
+    model: StaticModel, graph: CallGraph, var: VarDecl, share: float
+) -> Finding | None:
+    if var.storage != "heap" or var.free_sites:
+        return None
+    for alloc in var.alloc_sites:
+        if alloc.in_loop or model.is_worker_fn(alloc.fn):
+            where = (
+                "inside a parallel region body"
+                if model.is_worker_fn(alloc.fn)
+                else "inside a loop"
+            )
+            _, contexts = _alloc_contexts(graph, var.alloc_sites)
+            return Finding(
+                code="H003",
+                variable=var.name,
+                storage=var.storage,
+                fn=alloc.fn,
+                line=alloc.line,
+                share=share,
+                message=(
+                    f"{var.name} is allocated {where} at {alloc.fn}:{alloc.line} "
+                    f"with no matching free — repeated entry grows the heap "
+                    f"without bound"
+                ),
+                contexts=contexts,
+            )
+    return None
+
+
+def _check_h004(
+    model: StaticModel, graph: CallGraph, var: VarDecl, share: float
+) -> Finding | None:
+    for alloc in var.alloc_sites:
+        if not graph.reachable(alloc.fn):
+            return Finding(
+                code="H004",
+                variable=var.name,
+                storage=var.storage,
+                fn=alloc.fn,
+                line=alloc.line,
+                share=share,
+                message=(
+                    f"allocation site {alloc.fn}:{alloc.line} for {var.name} "
+                    f"is unreachable from every entry point"
+                ),
+                contexts=(),
+            )
+    if not var.access_sites and not var.touch_sites and not var.free_sites:
+        alloc = var.alloc_sites[0]
+        _, contexts = _alloc_contexts(graph, var.alloc_sites)
+        return Finding(
+            code="H004",
+            variable=var.name,
+            storage=var.storage,
+            fn=alloc.fn,
+            line=alloc.line,
+            share=share,
+            message=(
+                f"{var.name} is allocated at {alloc.fn}:{alloc.line} but never "
+                f"accessed, touched, or freed"
+            ),
+            contexts=contexts,
+        )
+    return None
+
+
+def analyze_model(
+    model: StaticModel, min_share: float = MIN_SHARE
+) -> StaticReport:
+    """Run the whole hazard catalogue over one static model."""
+    graph = build_callgraph(model)
+    total_weight = model.total_weight
+    report = StaticReport(
+        app=model.name,
+        variant=model.variant,
+        n_functions=graph.n_functions,
+        n_edges=graph.n_edges,
+        n_reachable=graph.n_reachable,
+        truncated=graph.truncated,
+    )
+
+    for var in model.iter_variables():
+        share = var.total_weight / total_weight if total_weight else 0.0
+        n_alloc, _ = _alloc_contexts(graph, var.alloc_sites)
+        n_access = sum(
+            len(graph.contexts_of(s.fn)) for s in var.access_sites
+        ) + sum(len(graph.contexts_of(s.fn)) for s in var.touch_sites)
+        report.variables.append(
+            VarSummary(
+                name=var.name,
+                storage=var.storage,
+                nbytes=var.nbytes,
+                share=share,
+                n_alloc_contexts=n_alloc,
+                n_access_contexts=n_access,
+            )
+        )
+        for check in (_check_h002, _check_h003, _check_h004):
+            finding = check(model, graph, var, share)
+            if finding is not None:
+                report.findings.append(finding)
+        h001 = _check_h001(model, graph, var, share, min_share)
+        if h001 is not None:
+            report.findings.append(h001)
+
+    report.variables.sort(key=lambda v: (-v.share, v.name))
+    report.findings.sort(key=lambda f: (f.code, -f.share, f.variable))
+    return report

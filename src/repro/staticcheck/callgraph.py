@@ -1,0 +1,108 @@
+"""Static call graph with reachable calling-context enumeration.
+
+The dynamic profiler attributes every sample to a *full calling context*
+(root frame down to the access site).  The static analyzer needs the
+same coordinate system without running anything: from the declared call
+sites and parallel regions it enumerates, per function, every acyclic
+path from an entry point — each path is a calling context in exactly
+the shape the paper's top-down view uses, so static findings can name
+the contexts the dynamic profile will later confirm or refute.
+
+Enumeration is capped (``max_depth``, ``max_contexts`` per function):
+deep recursion or combinatorial call structures truncate with a flag
+rather than blowing up, mirroring how HPCToolkit bounds its unwinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.staticcheck.model import StaticModel
+
+__all__ = ["Frame", "Context", "CallGraph", "build_callgraph"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One context frame: ``fn`` calls the next frame's function at ``line``."""
+
+    fn: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.fn}:{self.line}"
+
+
+# A calling context for function F: the chain of (caller, call-line)
+# frames root-first; F itself is implied as the path's target.
+Context = tuple[Frame, ...]
+
+
+@dataclass
+class CallGraph:
+    """Edges + per-function contexts enumerated from the entry points."""
+
+    n_functions: int = 0
+    edges: list[tuple[str, int, str, str]] = field(default_factory=list)
+    contexts: dict[str, list[Context]] = field(default_factory=dict)
+    truncated: bool = False
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def n_reachable(self) -> int:
+        return sum(1 for ctxs in self.contexts.values() if ctxs)
+
+    def reachable(self, fn: str) -> bool:
+        return bool(self.contexts.get(fn))
+
+    def contexts_of(self, fn: str) -> list[Context]:
+        return self.contexts.get(fn, [])
+
+    def format_context(self, ctx: Context, target: str) -> str:
+        """Render one context the way the top-down view prints paths."""
+        frames = [str(frame) for frame in ctx]
+        frames.append(target)
+        return " > ".join(frames)
+
+
+def build_callgraph(
+    model: StaticModel, max_depth: int = 32, max_contexts: int = 256
+) -> CallGraph:
+    """Enumerate every acyclic entry-to-function path in the model."""
+    graph = CallGraph(n_functions=len(model.functions))
+    seen_edges: set[tuple[str, int, str]] = set()
+    out_edges: dict[str, list[tuple[str, int]]] = {}
+    for site in model.calls:
+        key = (site.caller, site.line, site.callee)
+        if key in seen_edges:
+            continue
+        seen_edges.add(key)
+        graph.edges.append((site.caller, site.line, site.callee, site.kind))
+        out_edges.setdefault(site.caller, []).append((site.callee, site.line))
+
+    contexts: dict[str, list[Context]] = {fn: [] for fn in model.functions}
+
+    def visit(fn: str, path: Context, on_stack: frozenset[str]) -> None:
+        bucket = contexts[fn]
+        if len(bucket) < max_contexts:
+            bucket.append(path)
+        else:
+            graph.truncated = True
+            return
+        if len(path) >= max_depth:
+            graph.truncated = True
+            return
+        for callee, line in out_edges.get(fn, []):
+            if callee in on_stack:
+                graph.truncated = True  # cycle cut: contexts under-approximate
+                continue
+            visit(callee, path + (Frame(fn, line),), on_stack | {fn})
+
+    for entry in model.entries:
+        visit(entry, (), frozenset())
+
+    graph.contexts = contexts
+    return graph

@@ -1,0 +1,357 @@
+"""Declarative program model for no-execution data-centric analysis.
+
+The dynamic profiler recovers *variable + allocation site + full calling
+context* by running the program (§4 of the paper).  The static analyzer
+recovers the same shape from declarations alone: each bundled app (and
+each defect seed) publishes a :class:`StaticModel` describing what its
+simulated binary would show a binary analyzer — function symbols with
+source spans, outlined-region symbols (the ``$$OL$$`` convention), call
+sites, allocation sites, first-touch sites, access sites with estimated
+access weights, and free sites.  Nothing here executes; the analysis in
+:mod:`repro.staticcheck.analyze` combines these declarations with the
+machine geometry (NUMA-node span, cache-line size) and the
+``omp_chunk`` stride math to predict hazards.
+
+Every declared site is validated against the *real* program image: the
+``fn``/``line`` pair must fall inside the declared function's source
+span (checked via :meth:`repro.sim.program.Function.ip`), so a model
+cannot drift from the binary it claims to describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigError
+from repro.machine.presets import Machine
+from repro.sim.malloc import HEAP_ALIGN
+from repro.sim.openmp import omp_chunk, parse_outlined
+from repro.sim.process import SimProcess
+from repro.sim.program import Function
+from repro.util.linemath import Run, make_run
+
+__all__ = [
+    "AccessPattern",
+    "OmpBlockPattern",
+    "PerThreadSlotPattern",
+    "AllocSite",
+    "TouchSite",
+    "AccessSite",
+    "FreeSite",
+    "CallSite",
+    "RegionDecl",
+    "VarDecl",
+    "StaticModel",
+]
+
+_ALLOC_KINDS = ("malloc", "calloc", "static", "numa_interleaved")
+_POLICIES = ("first_touch", "interleaved")
+_EXECUTORS = ("master", "workers")
+
+
+class AccessPattern:
+    """How one access site's footprint decomposes across a thread team.
+
+    Subclasses answer: what strided byte run does thread ``tid`` of an
+    ``n_threads`` team touch, relative to the variable's base?  Bases
+    are modelled at offset 0 with the documented heap alignment
+    (``HEAP_ALIGN`` = 16B, *not* line-aligned), which is what makes the
+    H002 line-sharing prediction sound for sub-line footprints.
+    """
+
+    def thread_run(self, tid: int, n_threads: int) -> Run:
+        raise NotImplementedError
+
+    def span_bytes(self, tid: int, n_threads: int) -> int:
+        run = self.thread_run(tid, n_threads)
+        return run.hi - run.lo
+
+
+@dataclass(frozen=True)
+class OmpBlockPattern(AccessPattern):
+    """Static block scheduling over ``n_iters`` elements of ``elem_bytes``
+    — each thread owns one contiguous chunk (the ``omp_chunk`` math)."""
+
+    n_iters: int
+    elem_bytes: int
+
+    def thread_run(self, tid: int, n_threads: int) -> Run:
+        chunk = omp_chunk(self.n_iters, n_threads, tid)
+        if len(chunk) == 0:
+            return make_run(chunk.start * self.elem_bytes, 1, 0)
+        return make_run(chunk.start * self.elem_bytes, len(chunk), self.elem_bytes)
+
+
+@dataclass(frozen=True)
+class PerThreadSlotPattern(AccessPattern):
+    """Each thread hammers its own ``elem_bytes`` slot at index ``tid`` —
+    the counter-array layout that invites false sharing."""
+
+    elem_bytes: int
+
+    def thread_run(self, tid: int, n_threads: int) -> Run:
+        return make_run(tid * self.elem_bytes, 1, 0)
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """One allocation call site: ``var`` gets memory at ``fn:line``."""
+
+    var: str
+    fn: str
+    line: int
+    nbytes: int
+    kind: str  # malloc | calloc | static | numa_interleaved
+    in_loop: bool = False
+
+
+@dataclass(frozen=True)
+class TouchSite:
+    """An initialization/first-touch site (one store per page)."""
+
+    var: str
+    fn: str
+    line: int
+    by: str  # master | workers
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """A steady-state access site with an estimated access weight.
+
+    ``weight`` is the statically estimated access count at this site
+    (derived from the app's loop bounds); shares of the model-wide
+    weight drive the same ``min_share`` threshold the dynamic guidance
+    pass uses, so static and dynamic rankings are comparable.
+    """
+
+    var: str
+    fn: str
+    line: int
+    weight: float
+    is_store: bool = False
+    pattern: AccessPattern | None = None
+
+
+@dataclass(frozen=True)
+class FreeSite:
+    var: str
+    fn: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    caller: str
+    line: int
+    callee: str
+    kind: str  # call | parallel
+
+
+@dataclass(frozen=True)
+class RegionDecl:
+    """An outlined parallel region and the team width it runs with."""
+
+    host: str
+    line: int
+    outlined: str
+    n_threads: int
+
+
+@dataclass
+class VarDecl:
+    """Everything declared about one named variable."""
+
+    name: str
+    storage: str  # heap | static
+    policy: str = "first_touch"
+    alloc_sites: list[AllocSite] = field(default_factory=list)
+    touch_sites: list[TouchSite] = field(default_factory=list)
+    access_sites: list[AccessSite] = field(default_factory=list)
+    free_sites: list[FreeSite] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return max((s.nbytes for s in self.alloc_sites), default=0)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(site.weight for site in self.access_sites)
+
+
+class StaticModel:
+    """A program's static declaration set plus the machine geometry."""
+
+    def __init__(
+        self,
+        name: str,
+        variant: str,
+        process: SimProcess,
+        machine: Machine,
+        default_n_threads: int,
+        process_interleaved: bool = False,
+    ) -> None:
+        self.name = name
+        self.variant = variant
+        self.machine = machine
+        self.default_n_threads = default_n_threads
+        # numactl --interleave=all: every page interleaves process-wide,
+        # so no first-touch placement hazard can exist.
+        self.process_interleaved = process_interleaved
+        self.functions: dict[str, Function] = {}
+        for module in process.modules:
+            for fn in module.functions:
+                self.functions[fn.name] = fn
+        self.static_nbytes: dict[str, int] = {}
+        for module in process.modules:
+            for sym in module.statics:
+                self.static_nbytes[sym.name] = sym.size
+        self.entries: list[str] = []
+        self.calls: list[CallSite] = []
+        self.regions: dict[str, RegionDecl] = {}
+        self.variables: dict[str, VarDecl] = {}
+        self.heap_align = HEAP_ALIGN
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def line_bits(self) -> int:
+        return self.machine.spec.line_bits
+
+    @property
+    def n_numa_nodes(self) -> int:
+        return self.machine.n_numa_nodes
+
+    @property
+    def threads_per_node(self) -> int:
+        return max(1, self.machine.n_threads // self.machine.n_numa_nodes)
+
+    def region_spans_nodes(self, n_threads: int) -> bool:
+        """Does a team of ``n_threads`` necessarily span >1 NUMA node
+        under the simulator's linear thread placement?"""
+        return self.n_numa_nodes > 1 and n_threads > self.threads_per_node
+
+    # -- declaration helpers ----------------------------------------------
+    def _require_fn(self, fn: str, line: int) -> Function:
+        try:
+            function = self.functions[fn]
+        except KeyError:
+            raise ConfigError(f"{self.name}: unknown function {fn!r}") from None
+        function.ip(line)  # validates the line against the real span
+        return function
+
+    def entry(self, fn: str) -> None:
+        """Declare a program entry point (``main`` or an MPI rank main)."""
+        if fn not in self.functions:
+            raise ConfigError(f"{self.name}: unknown entry function {fn!r}")
+        if fn not in self.entries:
+            self.entries.append(fn)
+
+    def call(self, caller: str, line: int, callee: str) -> None:
+        self._require_fn(caller, line)
+        if callee not in self.functions:
+            raise ConfigError(f"{self.name}: unknown callee {callee!r}")
+        self.calls.append(CallSite(caller, line, callee, "call"))
+
+    def parallel_region(
+        self, host: str, line: int, outlined: str, n_threads: int | None = None
+    ) -> None:
+        """Declare a parallel region: ``host`` forks ``outlined`` at ``line``."""
+        self._require_fn(host, line)
+        parsed = parse_outlined(outlined)
+        if parsed is None or parsed[0] != host:
+            raise ConfigError(
+                f"{self.name}: {outlined!r} is not an outlined region of {host!r}"
+            )
+        if outlined not in self.functions:
+            raise ConfigError(f"{self.name}: unknown outlined function {outlined!r}")
+        width = self.default_n_threads if n_threads is None else n_threads
+        self.regions[outlined] = RegionDecl(host, line, outlined, width)
+        self.calls.append(CallSite(host, line, outlined, "parallel"))
+
+    def _var(self, name: str, storage: str) -> VarDecl:
+        var = self.variables.get(name)
+        if var is None:
+            var = VarDecl(name=name, storage=storage)
+            self.variables[name] = var
+        elif var.storage != storage:
+            raise ConfigError(
+                f"{self.name}: variable {name!r} declared both "
+                f"{var.storage} and {storage}"
+            )
+        return var
+
+    def alloc(
+        self,
+        fn: str,
+        line: int,
+        var: str,
+        nbytes: int,
+        kind: str = "malloc",
+        policy: str = "first_touch",
+        in_loop: bool = False,
+    ) -> None:
+        if kind not in _ALLOC_KINDS:
+            raise ConfigError(f"{self.name}: bad alloc kind {kind!r}")
+        if policy not in _POLICIES:
+            raise ConfigError(f"{self.name}: bad placement policy {policy!r}")
+        if kind == "numa_interleaved":
+            policy = "interleaved"
+        self._require_fn(fn, line)
+        storage = "static" if kind == "static" else "heap"
+        if kind == "static" and var in self.static_nbytes:
+            nbytes = self.static_nbytes[var]
+        decl = self._var(var, storage)
+        decl.policy = policy
+        decl.alloc_sites.append(AllocSite(var, fn, line, nbytes, kind, in_loop))
+
+    def touch(self, fn: str, line: int, var: str, by: str = "master") -> None:
+        if by not in _EXECUTORS:
+            raise ConfigError(f"{self.name}: bad touch executor {by!r}")
+        self._require_fn(fn, line)
+        decl = self._existing(var)
+        decl.touch_sites.append(TouchSite(var, fn, line, by))
+
+    def access(
+        self,
+        fn: str,
+        line: int,
+        var: str,
+        weight: float,
+        is_store: bool = False,
+        pattern: AccessPattern | None = None,
+    ) -> None:
+        if weight < 0:
+            raise ConfigError(f"{self.name}: negative access weight for {var!r}")
+        self._require_fn(fn, line)
+        decl = self._existing(var)
+        decl.access_sites.append(AccessSite(var, fn, line, weight, is_store, pattern))
+
+    def free(self, fn: str, line: int, var: str) -> None:
+        self._require_fn(fn, line)
+        decl = self._existing(var)
+        decl.free_sites.append(FreeSite(var, fn, line))
+
+    def _existing(self, var: str) -> VarDecl:
+        decl = self.variables.get(var)
+        if decl is None:
+            raise ConfigError(
+                f"{self.name}: variable {var!r} used before any alloc() declaration"
+            )
+        return decl
+
+    # -- queries -----------------------------------------------------------
+    def is_worker_fn(self, fn: str) -> bool:
+        """Does ``fn`` execute on the worker side of a parallel region?
+        (The outlined body, or anything only called from one.)"""
+        return parse_outlined(fn) is not None
+
+    def region_of(self, fn: str) -> RegionDecl | None:
+        return self.regions.get(fn)
+
+    def iter_variables(self) -> Iterable[VarDecl]:
+        return self.variables.values()
+
+    @property
+    def total_weight(self) -> float:
+        return sum(var.total_weight for var in self.variables.values())

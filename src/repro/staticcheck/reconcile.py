@@ -1,0 +1,206 @@
+"""Reconcile static predictions against a merged dynamic profile.
+
+The paper's thesis is that data-centric *measurement* pinpoints the
+variables worth fixing; the static pass makes the complementary claim
+that some of those variables are predictable without running.  This
+module closes the loop: given a :class:`StaticReport` and a merged
+``.rpdb``, each H001 prediction is labelled
+
+- ``confirmed``   — the variable shows up in the dynamic profile with a
+  remote-access fraction above the confirmation threshold;
+- ``unconfirmed`` — the variable was sampled but its remote fraction
+  stayed low (the predicted pathology did not materialize);
+- ``no-data``     — the profile has no samples for the variable (too
+  small, below the tracking threshold, or optimized away).
+
+Dynamic hot spots the static pass said nothing about are reported as
+``missed`` — remote-dominant variables with a share above the guidance
+threshold and no H001 prediction (e.g. streamcluster's ``point.p``,
+whose share sits below the static threshold; a deliberate demonstration
+of where structure-only analysis runs out).
+
+H002-H004 findings have no per-variable dynamic counterpart in the
+profile (sharing incidents live in the sanitizer, growth/dead-alloc in
+the allocator) and are labelled ``not-reconcilable`` rather than
+silently dropped.
+
+Precision = confirmed / (confirmed + unconfirmed);
+recall    = confirmed / (confirmed + missed).  ``no-data`` predictions
+count against neither — absence of samples is not evidence of absence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyzer import ExperimentDB
+from repro.core.metrics import MetricKind
+from repro.core.storage import StorageClass
+from repro.staticcheck.analyze import MIN_SHARE, Finding, StaticReport
+
+__all__ = ["Verdict", "Reconciliation", "reconcile"]
+
+# A prediction confirms when the variable's remote fraction (judged
+# among DRAM-serviced samples, as guidance does) clears this bar.  It
+# sits well below guidance's 0.5 "dominant" bar: confirmation asks "did
+# remote traffic appear where predicted", not "is it the top problem".
+_CONFIRM_REMOTE = 0.2
+# A dynamic variable is a "miss" when the static pass said nothing and
+# the dynamic side shows remote dominance at a guidance-level share.
+_MISS_REMOTE = 0.5
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One prediction (or dynamic-only miss) with its dynamic evidence."""
+
+    variable: str
+    code: str
+    label: str  # confirmed | unconfirmed | no-data | missed | not-reconcilable
+    remote_fraction: float
+    dynamic_share: float
+    samples: int
+    detail: str
+
+
+@dataclass
+class Reconciliation:
+    """Verdicts plus the precision/recall summary."""
+
+    app: str
+    variant: str
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    def with_label(self, label: str) -> list[Verdict]:
+        return [v for v in self.verdicts if v.label == label]
+
+    @property
+    def n_confirmed(self) -> int:
+        return len(self.with_label("confirmed"))
+
+    @property
+    def n_unconfirmed(self) -> int:
+        return len(self.with_label("unconfirmed"))
+
+    @property
+    def n_missed(self) -> int:
+        return len(self.with_label("missed"))
+
+    @property
+    def precision(self) -> float:
+        judged = self.n_confirmed + self.n_unconfirmed
+        return self.n_confirmed / judged if judged else 1.0
+
+    @property
+    def recall(self) -> float:
+        known = self.n_confirmed + self.n_missed
+        return self.n_confirmed / known if known else 1.0
+
+
+def _dynamic_remote(exp: ExperimentDB, name: str) -> tuple[float, float, int]:
+    """(remote fraction, share, samples) for a variable name, summed over
+    its allocation contexts the way ``variable_share`` sums shares."""
+    reports = [
+        v
+        for v in exp.top_down(MetricKind.LATENCY).variables
+        if v.name == name
+    ]
+    if not reports:
+        return 0.0, 0.0, 0
+    share = sum(v.share for v in reports)
+    samples = sum(v.samples for v in reports)
+    # Weight remote fraction by samples across contexts.
+    if samples:
+        remote = (
+            sum(max(v.remote_fraction, v.dram_remote_fraction) * v.samples for v in reports)
+            / samples
+        )
+    else:
+        remote = max(
+            max(v.remote_fraction, v.dram_remote_fraction) for v in reports
+        )
+    return remote, share, samples
+
+
+def _judge_h001(exp: ExperimentDB, finding: Finding) -> Verdict:
+    remote, share, samples = _dynamic_remote(exp, finding.variable)
+    if samples == 0:
+        label = "no-data"
+        detail = "no dynamic samples attribute to this variable"
+    elif remote >= _CONFIRM_REMOTE:
+        label = "confirmed"
+        detail = (
+            f"remote fraction {remote:.0%} over {samples} samples "
+            f"(dynamic share {share:.1%})"
+        )
+    else:
+        label = "unconfirmed"
+        detail = (
+            f"remote fraction only {remote:.0%} over {samples} samples — "
+            f"predicted remote traffic did not materialize"
+        )
+    return Verdict(
+        variable=finding.variable,
+        code=finding.code,
+        label=label,
+        remote_fraction=remote,
+        dynamic_share=share,
+        samples=samples,
+        detail=detail,
+    )
+
+
+def reconcile(
+    report: StaticReport,
+    exp: ExperimentDB,
+    min_share: float = MIN_SHARE,
+) -> Reconciliation:
+    """Label every prediction in ``report`` against the merged profile."""
+    result = Reconciliation(app=report.app, variant=report.variant)
+    predicted_h001 = set()
+    for finding in report.findings:
+        if finding.code == "H001":
+            predicted_h001.add(finding.variable)
+            result.verdicts.append(_judge_h001(exp, finding))
+        else:
+            result.verdicts.append(
+                Verdict(
+                    variable=finding.variable,
+                    code=finding.code,
+                    label="not-reconcilable",
+                    remote_fraction=0.0,
+                    dynamic_share=0.0,
+                    samples=0,
+                    detail=(
+                        f"{finding.code} has no per-variable counterpart in "
+                        f"the profile (check the sanitizer/allocator instead)"
+                    ),
+                )
+            )
+
+    # Dynamic-only hot spots the static pass failed to predict.
+    seen_missed: set[str] = set()
+    for var in exp.top_down(MetricKind.LATENCY).variables:
+        if var.name in predicted_h001 or var.name in seen_missed:
+            continue
+        if var.storage not in (StorageClass.HEAP, StorageClass.STATIC):
+            continue
+        remote = max(var.remote_fraction, var.dram_remote_fraction)
+        share = exp.variable_share(var.name, MetricKind.LATENCY)
+        if remote >= _MISS_REMOTE and share >= min_share:
+            seen_missed.add(var.name)
+            result.verdicts.append(
+                Verdict(
+                    variable=var.name,
+                    code="H001",
+                    label="missed",
+                    remote_fraction=remote,
+                    dynamic_share=share,
+                    samples=var.samples,
+                    detail=(
+                        f"dynamically remote-dominant ({remote:.0%}, share "
+                        f"{share:.1%}) but not predicted statically"
+                    ),
+                )
+            )
+    return result

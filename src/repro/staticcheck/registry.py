@@ -1,0 +1,56 @@
+"""App registry for static models (mirrors ``repro.parallel.registry``).
+
+Each bundled app module publishes ``static_model(variant, preset)``
+next to its runner, so the declarations live beside the code they
+describe; this registry resolves app names lazily to avoid importing
+every app at CLI startup.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.staticcheck.model import StaticModel
+
+__all__ = ["STATIC_APPS", "build_static_model", "register_static_app"]
+
+_APP_MODULES: dict[str, str] = {
+    "nw": "repro.apps.nw",
+    "streamcluster": "repro.apps.streamcluster",
+    "lulesh": "repro.apps.lulesh",
+    "amg2006": "repro.apps.amg2006",
+    "sweep3d": "repro.apps.sweep3d",
+}
+
+_CUSTOM: dict[str, Callable[[str, str], StaticModel]] = {}
+
+STATIC_APPS = tuple(sorted(_APP_MODULES))
+
+
+def register_static_app(
+    name: str, builder: Callable[[str, str], StaticModel]
+) -> None:
+    """Register an out-of-tree static model builder (tests use this)."""
+    _CUSTOM[name] = builder
+
+
+def build_static_model(
+    app: str, variant: str = "original", preset: str = "smoke"
+) -> StaticModel:
+    """Build the static model for a bundled (or registered) app."""
+    if app in _CUSTOM:
+        return _CUSTOM[app](variant, preset)
+    module_name = _APP_MODULES.get(app)
+    if module_name is None:
+        known = ", ".join(sorted(set(_APP_MODULES) | set(_CUSTOM)))
+        raise ConfigError(f"unknown app {app!r} (known: {known})")
+    module = import_module(module_name)
+    builder = getattr(module, "static_model", None)
+    if builder is None:
+        raise ConfigError(f"{module_name} does not publish static_model()")
+    model = builder(variant=variant, preset=preset)
+    if not isinstance(model, StaticModel):
+        raise ConfigError(f"{module_name}.static_model returned {type(model)!r}")
+    return model

@@ -10,6 +10,7 @@ files written with :meth:`repro.core.profiledb.ProfileDB.to_bytes`:
     python -m repro.tools.hpcview bottom job.rpdb --metric latency
     python -m repro.tools.hpcview advise job.rpdb
     python -m repro.tools.hpcview info   job.rpdb
+    python -m repro.tools.hpcview staticcheck --app nw --reconcile job.rpdb
     python -m repro.tools.hpcview info   --machine-stats run.mstats.json
 
 ``info --machine-stats`` renders a machine self-instrumentation snapshot
@@ -32,7 +33,9 @@ from repro.core.metrics import MetricKind
 from repro.core.profiledb import ProfileDB
 from repro.core.render import (
     render_bottom_up,
+    render_reconciliation,
     render_sanitizer_report,
+    render_static_report,
     render_top_down,
     render_variable_table,
 )
@@ -116,7 +119,18 @@ def cmd_advise(args: argparse.Namespace) -> None:
           f"remote intensity: {triage.remote_intensity:.0%}   "
           f"tlb intensity: {triage.tlb_intensity:.0%}")
     print()
-    recommendations = advise(exp, _metric(args.metric), top_n=args.n)
+    static_findings = None
+    if args.static_app:
+        from repro.staticcheck import analyze_model, build_static_model
+
+        static_findings = analyze_model(
+            build_static_model(
+                args.static_app, args.static_variant, args.static_preset
+            )
+        ).findings
+    recommendations = advise(
+        exp, _metric(args.metric), top_n=args.n, static_findings=static_findings
+    )
     if not recommendations:
         print("no variable clears the significance threshold")
     for rec in recommendations:
@@ -147,7 +161,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _load_defect_seeds(path: str) -> dict:
+def _load_defect_module(path: str):
     import importlib.util
 
     file = Path(path)
@@ -156,7 +170,11 @@ def _load_defect_seeds(path: str) -> dict:
     spec = importlib.util.spec_from_file_location("repro_defect_corpus", file)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    return module.SEEDS
+    return module
+
+
+def _load_defect_seeds(path: str) -> dict:
+    return _load_defect_module(path).SEEDS
 
 
 def cmd_sanitize(args: argparse.Namespace) -> int:
@@ -167,7 +185,7 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
             print(f"{name:16s} -> {expected or '<no finding>'}")
         return 0
     if bool(args.app) == bool(args.defect):
-        raise SystemExit("sanitize: give exactly one of --app or --defect")
+        args.parser.error("give exactly one of --app or --defect")
     fail_kinds = parse_fail_on(args.fail_on) if args.fail_on else frozenset()
     # Defect seeds free everything except the leak seed's block, so leak
     # checking is always sound there; real apps opt in with --check-leaks.
@@ -176,7 +194,7 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     if args.defect:
         seeds = _load_defect_seeds(args.defects_file)
         if args.defect not in seeds:
-            raise SystemExit(
+            args.parser.error(
                 f"unknown defect seed {args.defect!r}; known: {', '.join(seeds)}"
             )
         runner, _expected = seeds[args.defect]
@@ -197,6 +215,63 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     print(render_sanitizer_report(report, title=title))
     if fail_kinds and report.matching(fail_kinds):
         return 1
+    return 0
+
+
+def cmd_staticcheck(args: argparse.Namespace) -> int:
+    from repro.staticcheck import analyze_model, build_static_model, reconcile
+
+    if args.list_defects:
+        module = _load_defect_module(args.defects_file)
+        expected = getattr(module, "STATIC_EXPECTED", {})
+        for name in module.STATIC_SEEDS:
+            codes, _var = expected.get(name, ((), None))
+            print(f"{name:20s} -> {', '.join(codes) or '<no finding>'}")
+        return 0
+    if bool(args.app) == bool(args.defect):
+        args.parser.error("give exactly one of --app or --defect")
+
+    module = None
+    if args.app:
+        model = build_static_model(args.app, args.variant, args.preset)
+    else:
+        module = _load_defect_module(args.defects_file)
+        seeds = module.STATIC_SEEDS
+        if args.defect not in seeds:
+            args.parser.error(
+                f"unknown static seed {args.defect!r}; known: {', '.join(seeds)}"
+            )
+        model = seeds[args.defect]()
+    report = analyze_model(model, min_share=args.min_share)
+    print(render_static_report(report, top_n=args.n))
+
+    exp = None
+    if args.reconcile:
+        exp = _experiment(args.reconcile)
+    elif args.reconcile_run:
+        if args.app:
+            from repro.parallel.registry import run_app_rank
+
+            db = run_app_rank(
+                args.app, 0, 1, variant=args.variant, preset=args.preset
+            )
+        else:
+            runners = getattr(module, "STATIC_PROFILE_RUNNERS", {})
+            if args.defect not in runners:
+                args.parser.error(
+                    f"static seed {args.defect!r} has no dynamic profile "
+                    f"runner to reconcile against"
+                )
+            db = runners[args.defect]()
+        exp = Analyzer("staticcheck").add(db).analyze()
+    if exp is not None:
+        print()
+        print(render_reconciliation(reconcile(report, exp, min_share=args.min_share)))
+
+    if args.fail_on:
+        wanted = {c.strip().upper() for c in args.fail_on.split(",") if c.strip()}
+        if any("ANY" in wanted or f.code in wanted for f in report.findings):
+            return 1
     return 0
 
 
@@ -357,7 +432,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="hot accesses to show per variable")
     add("table", cmd_table, "compact one-row-per-variable ranking")
     add("bottom", cmd_bottom, "bottom-up view: allocation call sites")
-    add("advise", cmd_advise, "triage + optimization guidance")
+    advise_p = add("advise", cmd_advise, "triage + optimization guidance")
+    advise_p.add_argument("--static-app", default=None, metavar="APP",
+                          help="also run the static analyzer on APP and cite "
+                               "its predictions in the recommendations")
+    advise_p.add_argument("--static-variant", default="original",
+                          help="variant for --static-app (default: original)")
+    advise_p.add_argument("--static-preset", default="smoke",
+                          help="preset for --static-app (default: smoke)")
     merge = add("merge", cmd_merge, "merge databases into one (reduction tree)")
     merge.add_argument("-o", "--output", required=True, help="output .rpdb file")
     merge.add_argument("--jobs", type=int, default=None, metavar="J",
@@ -413,7 +495,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="exit 1 when findings match these classes "
                                "(comma list: oob,race,uaf,free,uninit,leak,"
                                "sharing,any or exact kinds)")
-    sanitize.set_defaults(func=cmd_sanitize)
+    sanitize.set_defaults(func=cmd_sanitize, parser=sanitize)
+
+    static = sub.add_parser(
+        "staticcheck",
+        help="predict data-centric hazards without running: call graph, "
+             "allocation reaching, NUMA/sharing analysis",
+    )
+    static.add_argument("--app", default=None,
+                        help="app to analyze (see repro.staticcheck.STATIC_APPS)")
+    static.add_argument("--defect", default=None, metavar="SEED",
+                        help="static defect seed to analyze instead of an app")
+    static.add_argument("--defects-file", default="examples/defects.py",
+                        help="path to the seeded-defect corpus")
+    static.add_argument("--list-defects", action="store_true",
+                        help="list static seeds and expected hazard codes")
+    static.add_argument("--variant", default="original",
+                        help="app variant (default: original)")
+    static.add_argument("--preset", default="smoke",
+                        help="workload preset (default: smoke)")
+    static.add_argument("-n", type=int, default=10,
+                        help="variables to show (default 10)")
+    static.add_argument("--min-share", type=float, default=0.03,
+                        help="minimum static access share for a placement "
+                             "finding (default 0.03, the guidance threshold)")
+    static.add_argument("--fail-on", default=None, metavar="CODES",
+                        help="exit 1 when findings match these hazard codes "
+                             "(comma list of H001..H004, or 'any')")
+    static.add_argument("--reconcile", nargs="+", default=None,
+                        metavar="FILE.rpdb",
+                        help="label predictions against these merged profiles")
+    static.add_argument("--reconcile-run", action="store_true",
+                        help="profile the app (rank 0) or the seed's dynamic "
+                             "twin in-process and reconcile against it")
+    static.set_defaults(func=cmd_staticcheck, parser=static)
 
     def add_telemetry_args(p):
         p.add_argument("--app", default="nw",

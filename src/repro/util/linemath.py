@@ -1,0 +1,161 @@
+"""Cache-line / stride conflict arithmetic shared across passes.
+
+One access "run" — ``count`` addresses starting at ``lo`` with a fixed
+non-negative ``stride`` — is the native shape of both the simulator's
+batched memory API and the static analyzer's per-thread footprints.  Two
+different subsystems must answer the same geometric questions about runs:
+
+- the *dynamic* race detector (:mod:`repro.sanitize.race`) decides
+  whether two recorded runs touched a common byte (a race candidate) or
+  merely a common cache line at distinct offsets (false sharing);
+- the *static* layout checker (:mod:`repro.staticcheck`) predicts, from
+  ``omp_chunk`` stride math alone, whether distinct threads' footprints
+  will land in one cache line (hazard H002).
+
+Keeping the predicate in one module means the two passes cannot drift:
+a layout the static pass calls sharing-prone is exactly a layout the
+dynamic detector would report given alternating writes.
+
+Functions are duck-typed over any object exposing ``lo``, ``hi``,
+``stride`` and ``count`` (``repro.sanitize.race.AccessRecord`` and
+:class:`Run` both qualify).  Runs are normalized ascending: ``lo`` is the
+lowest touched byte, ``hi`` one past the highest, ``stride >= 0`` and
+``stride == 0`` means the single address ``lo``.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Protocol
+
+__all__ = [
+    "Run",
+    "RunLike",
+    "make_run",
+    "run_contains",
+    "runs_conflict",
+    "lines_touched",
+    "line_offsets",
+    "runs_share_line",
+]
+
+
+class RunLike(Protocol):
+    """Anything shaped like a normalized strided run."""
+
+    lo: int
+    hi: int
+    stride: int
+    count: int
+
+
+class Run:
+    """A normalized strided access run (the minimal :class:`RunLike`)."""
+
+    __slots__ = ("lo", "hi", "stride", "count")
+
+    def __init__(self, lo: int, hi: int, stride: int, count: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.stride = stride
+        self.count = count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Run([{self.lo:#x}, {self.hi:#x}) stride={self.stride} n={self.count})"
+
+
+def make_run(base: int, count: int, stride: int) -> Run:
+    """Normalize ``count`` accesses at ``base + k*stride`` (any-sign stride)."""
+    if count <= 1 or stride == 0:
+        return Run(base, base + 1, 0, 1)
+    if stride > 0:
+        return Run(base, base + (count - 1) * stride + 1, stride, count)
+    lo = base + (count - 1) * stride
+    return Run(lo, base + 1, -stride, count)
+
+
+def run_contains(rec: RunLike, x: int) -> bool:
+    """Does the run's address progression include byte ``x``?"""
+    if not (rec.lo <= x < rec.hi):
+        return False
+    return rec.stride == 0 or (x - rec.lo) % rec.stride == 0
+
+
+def runs_conflict(a: RunLike, b: RunLike) -> bool:
+    """Do the two runs touch a common byte?  Exact for equal/zero strides,
+    conservative (gcd divisibility) for mixed strides."""
+    if max(a.lo, b.lo) >= min(a.hi, b.hi):
+        return False
+    if a.stride == 0:
+        return run_contains(b, a.lo)
+    if b.stride == 0:
+        return run_contains(a, b.lo)
+    if a.stride == b.stride:
+        return (a.lo - b.lo) % a.stride == 0
+    return (b.lo - a.lo) % gcd(a.stride, b.stride) == 0
+
+
+def lines_touched(rec: RunLike, line_bits: int) -> list[int]:
+    """Cache-line indices the run touches, in ascending address order.
+
+    Dense (stride below the line size) runs cover every line of their
+    span; sparse runs are enumerated address by address.
+    """
+    if rec.stride == 0:
+        return [rec.lo >> line_bits]
+    if rec.stride < (1 << line_bits):
+        return list(range(rec.lo >> line_bits, ((rec.hi - 1) >> line_bits) + 1))
+    seen: dict[int, None] = {}
+    addr = rec.lo
+    for _ in range(rec.count):
+        seen[addr >> line_bits] = None
+        addr += rec.stride
+    return list(seen)
+
+
+def line_offsets(rec: RunLike, line_addr: int, line_bits: int) -> list[int]:
+    """Sorted distinct in-line byte offsets the run touches within the
+    cache line starting at ``line_addr``."""
+    line_mask = (1 << line_bits) - 1
+    line_hi = line_addr + line_mask + 1
+    if rec.stride == 0:
+        if line_addr <= rec.lo < line_hi:
+            return [rec.lo & line_mask]
+        return []
+    offsets: dict[int, None] = {}
+    # First in-run address >= line_addr, then walk until past the line.
+    if rec.lo >= line_addr:
+        addr = rec.lo
+    else:
+        skip = -(-(line_addr - rec.lo) // rec.stride)  # ceil division
+        addr = rec.lo + skip * rec.stride
+    while addr < min(rec.hi, line_hi):
+        offsets[addr & line_mask] = None
+        addr += rec.stride
+    return sorted(offsets)
+
+
+def runs_share_line(a: RunLike, b: RunLike, line_bits: int) -> int | None:
+    """A cache-line address both runs touch while being byte-disjoint.
+
+    This is the false-sharing shape: two threads' footprints meet in one
+    line but never on one byte (a common byte would be a race, a
+    different defect).  Returns the base address of the lowest shared
+    line, or ``None``.  Exact when both strides fit within a line (dense
+    coverage); conservative for sparse runs, matching
+    :func:`runs_conflict`'s polarity.
+    """
+    if runs_conflict(a, b):
+        return None
+    a_lines = lines_touched(a, line_bits)
+    if len(a_lines) > 64:  # dense span: interval intersection suffices
+        lo = max(a.lo >> line_bits, b.lo >> line_bits)
+        hi = min((a.hi - 1) >> line_bits, (b.hi - 1) >> line_bits)
+        if lo <= hi and a.stride < (1 << line_bits) and b.stride < (1 << line_bits):
+            return lo << line_bits
+        a_lines = lines_touched(a, line_bits)
+    b_lines = set(lines_touched(b, line_bits))
+    for line in a_lines:
+        if line in b_lines:
+            return line << line_bits
+    return None

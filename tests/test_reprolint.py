@@ -111,6 +111,33 @@ class TestR005ObsClockDiscipline:
         assert not other
 
 
+class TestR006ExitDiscipline:
+    """R006: library code may not decide the process exit code."""
+
+    def test_sys_exit_flagged_in_library(self):
+        src = "import sys\nsys.exit(1)\n"
+        assert _rules(src, in_library=True) == ["R006"]
+        assert _rules(src, in_library=False) == []
+
+    def test_raise_systemexit_flagged_in_library(self):
+        assert _rules("raise SystemExit(2)\n", in_library=True) == ["R006"]
+        assert _rules("raise SystemExit\n", in_library=True) == ["R006"]
+        assert _rules("raise SystemExit(2)\n", in_library=False) == []
+
+    def test_other_raise_ok(self):
+        src = "raise ValueError('x')\n"
+        assert _rules(src, in_library=True) == []
+
+    def test_reraise_ok(self):
+        # A bare re-raise inside a handler names no exception: not R006.
+        src = "try:\n    pass\nexcept ValueError:\n    raise\n"
+        assert _rules(src, in_library=True) == []
+
+    def test_tools_cli_exempt(self):
+        lib, _, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
+        assert not lib  # tools are not library code, so R004/R006 skip them
+
+
 class TestRepoIsClean:
     def test_whole_repo_green(self, capsys):
         # Run from the repo root so the default targets resolve.

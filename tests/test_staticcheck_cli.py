@@ -1,0 +1,187 @@
+"""CLI tests for ``hpcview staticcheck`` and the argument-error audit.
+
+The audit half pins the contract that every malformed invocation —
+unknown subcommand, missing ``--app``, mutually exclusive flags given
+together — exits non-zero with usage text on *stderr*, so driver
+scripts and CI gates can rely on the exit status alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.hpcview import main
+
+REPO = Path(__file__).resolve().parents[1]
+DEFECTS = str(REPO / "examples" / "defects.py")
+
+
+def _run(argv, capsys):
+    status = main(argv)
+    captured = capsys.readouterr()
+    return status, captured.out, captured.err
+
+
+def _error(argv, capsys) -> tuple[int, str]:
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    err = capsys.readouterr().err
+    code = exc.value.code if isinstance(exc.value.code, int) else 1
+    return code, err
+
+
+class TestStaticcheckCommand:
+    def test_app_report_and_fail_on(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--app", "nw", "--fail-on", "H001,H002"], capsys
+        )
+        assert status == 1
+        assert "H001" in out and "referrence" in out and "input_itemsets" in out
+        assert "functions=3 edges=2 reachable=3" in out
+
+    def test_clean_variant_passes_the_gate(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--app", "nw", "--variant", "libnuma",
+             "--fail-on", "any"], capsys
+        )
+        assert status == 0
+        assert "no hazards predicted" in out
+
+    @pytest.mark.parametrize("seed,code", [
+        ("master_first_touch", "H001"),
+        ("false_sharing_slots", "H002"),
+        ("parallel_no_free", "H003"),
+        ("dead_alloc", "H004"),
+    ])
+    def test_each_seed_trips_its_gate(self, capsys, seed, code):
+        status, out, _ = _run(
+            ["staticcheck", "--defects-file", DEFECTS, "--defect", seed,
+             "--fail-on", code], capsys
+        )
+        assert status == 1
+        assert f"[{code}]" in out
+
+    def test_clean_seed_passes(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--defects-file", DEFECTS,
+             "--defect", "clean_static", "--fail-on", "any"], capsys
+        )
+        assert status == 0
+
+    def test_list_defects(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--defects-file", DEFECTS, "--list-defects"],
+            capsys,
+        )
+        assert status == 0
+        for name in ("master_first_touch", "clean_static"):
+            assert name in out
+
+    def test_reconcile_run_confirms_h001(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--defects-file", DEFECTS,
+             "--defect", "master_first_touch", "--reconcile-run"], capsys
+        )
+        assert status == 0
+        assert "confirmed" in out
+        assert "precision=100% recall=100%" in out
+
+    def test_reconcile_against_rpdb_files(self, capsys, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location("defects_cli", DEFECTS)
+        corpus = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(corpus)
+        db = corpus.STATIC_PROFILE_RUNNERS["master_first_touch"]()
+        path = tmp_path / "seed.rpdb"
+        path.write_bytes(db.to_bytes())
+        status, out, _ = _run(
+            ["staticcheck", "--defects-file", DEFECTS,
+             "--defect", "master_first_touch", "--reconcile", str(path)],
+            capsys,
+        )
+        assert status == 0
+        assert "confirmed" in out
+
+    def test_advise_cites_static_predictions(self, capsys, tmp_path):
+        import importlib.util
+
+        from repro.staticcheck import register_static_app
+
+        spec = importlib.util.spec_from_file_location("defects_adv", DEFECTS)
+        corpus = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(corpus)
+        db = corpus.STATIC_PROFILE_RUNNERS["master_first_touch"]()
+        path = tmp_path / "seed.rpdb"
+        path.write_bytes(db.to_bytes())
+        register_static_app(
+            "mft-seed",
+            lambda variant, preset: corpus.STATIC_SEEDS["master_first_touch"](),
+        )
+        status, out, _ = _run(
+            ["advise", str(path), "--metric", "remote",
+             "--static-app", "mft-seed"], capsys
+        )
+        assert status == 0
+        assert "predicted statically (H001 at main:10)" in out
+
+
+class TestArgumentErrors:
+    def test_unknown_subcommand(self, capsys):
+        code, err = _error(["frobnicate"], capsys)
+        assert code == 2
+        assert "usage:" in err and "invalid choice" in err
+
+    def test_run_missing_app(self, capsys):
+        code, err = _error(["run", "--ranks", "2"], capsys)
+        assert code == 2
+        assert "usage:" in err and "--app" in err
+
+    def test_staticcheck_needs_app_or_defect(self, capsys):
+        code, err = _error(["staticcheck"], capsys)
+        assert code == 2
+        assert "usage:" in err and "exactly one of --app or --defect" in err
+
+    def test_staticcheck_rejects_both_app_and_defect(self, capsys):
+        code, err = _error(
+            ["staticcheck", "--app", "nw", "--defect", "dead_alloc"], capsys
+        )
+        assert code == 2
+        assert "usage:" in err
+
+    def test_staticcheck_unknown_seed(self, capsys):
+        code, err = _error(
+            ["staticcheck", "--defects-file", DEFECTS, "--defect", "nope"],
+            capsys,
+        )
+        assert code == 2
+        assert "unknown static seed" in err
+
+    def test_staticcheck_seed_without_dynamic_twin(self, capsys):
+        code, err = _error(
+            ["staticcheck", "--defects-file", DEFECTS,
+             "--defect", "dead_alloc", "--reconcile-run"], capsys
+        )
+        assert code == 2
+        assert "no dynamic profile runner" in err
+
+    def test_sanitize_needs_app_or_defect(self, capsys):
+        code, err = _error(["sanitize"], capsys)
+        assert code == 2
+        assert "usage:" in err and "exactly one of --app or --defect" in err
+
+    def test_sanitize_unknown_seed(self, capsys):
+        code, err = _error(
+            ["sanitize", "--defects-file", DEFECTS, "--defect", "nope"],
+            capsys,
+        )
+        assert code == 2
+        assert "unknown defect seed" in err
+
+    def test_staticcheck_unknown_app_is_config_error(self, capsys):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["staticcheck", "--app", "nope"])

@@ -1,0 +1,164 @@
+"""Unit tests for the shared run-geometry arithmetic (repro.util.linemath).
+
+These pin the predicate both the dynamic race detector and the static
+H002 layout check depend on; any change here must keep the sanitizer's
+behaviour bit-identical (tests/test_sanitize.py pins that end to end).
+"""
+
+from __future__ import annotations
+
+from repro.util.linemath import (
+    Run,
+    line_offsets,
+    lines_touched,
+    make_run,
+    run_contains,
+    runs_conflict,
+    runs_share_line,
+)
+
+
+def _brute_addrs(run):
+    if run.stride == 0:
+        return {run.lo}
+    return {run.lo + k * run.stride for k in range(run.count)}
+
+
+class TestMakeRun:
+    def test_positive_stride(self):
+        r = make_run(100, 4, 8)
+        assert (r.lo, r.hi, r.stride, r.count) == (100, 125, 8, 4)
+
+    def test_negative_stride_normalizes_ascending(self):
+        r = make_run(100, 4, -8)
+        assert (r.lo, r.hi, r.stride, r.count) == (76, 101, 8, 4)
+        assert _brute_addrs(r) == {76, 84, 92, 100}
+
+    def test_single_access(self):
+        r = make_run(50, 1, 64)
+        assert (r.lo, r.hi, r.stride, r.count) == (50, 51, 0, 1)
+
+    def test_zero_stride_collapses(self):
+        r = make_run(50, 9, 0)
+        assert (r.lo, r.hi, r.stride, r.count) == (50, 51, 0, 1)
+
+
+class TestRunContains:
+    def test_on_and_off_progression(self):
+        r = make_run(0, 5, 8)  # {0, 8, 16, 24, 32}
+        assert run_contains(r, 16)
+        assert not run_contains(r, 17)
+        assert not run_contains(r, 40)  # past hi
+
+    def test_point_run(self):
+        r = make_run(7, 1, 0)
+        assert run_contains(r, 7)
+        assert not run_contains(r, 8)
+
+
+class TestRunsConflict:
+    def test_disjoint_windows(self):
+        assert not runs_conflict(make_run(0, 4, 8), make_run(100, 4, 8))
+
+    def test_equal_stride_same_phase(self):
+        assert runs_conflict(make_run(0, 8, 8), make_run(16, 8, 8))
+
+    def test_equal_stride_different_phase(self):
+        # Interleaved but never touching: {0,8,..} vs {4,12,..}
+        assert not runs_conflict(make_run(0, 8, 8), make_run(4, 8, 8))
+
+    def test_point_vs_run(self):
+        a = make_run(24, 1, 0)
+        assert runs_conflict(a, make_run(0, 5, 8))
+        assert not runs_conflict(a, make_run(1, 5, 8))
+
+    def test_mixed_strides_exact_hit(self):
+        # {0,6,12,18,24} vs {8,12,16} share 12.
+        assert runs_conflict(make_run(0, 5, 6), make_run(8, 3, 4))
+
+    def test_mixed_strides_gcd_conservative(self):
+        # gcd(6,4)=2 divides every even delta, so this may over-report —
+        # the documented conservative polarity.  Pin that a *provable*
+        # miss (odd delta, even gcd) is still rejected.
+        assert not runs_conflict(make_run(0, 5, 6), make_run(7, 3, 4))
+
+    def test_symmetry_matches_brute_force(self):
+        runs = [
+            make_run(0, 6, 8),
+            make_run(4, 6, 8),
+            make_run(16, 1, 0),
+            make_run(3, 10, 3),
+        ]
+        for a in runs:
+            for b in runs:
+                if a is b:
+                    continue
+                truth = bool(_brute_addrs(a) & _brute_addrs(b))
+                got = runs_conflict(a, b)
+                assert got == runs_conflict(b, a)
+                if truth:  # conservative: never misses a true conflict
+                    assert got
+
+
+class TestLinesTouched:
+    def test_dense_run_spans_lines(self):
+        # 64B lines: [0, 200) with stride 4 covers lines 0..3.
+        r = make_run(0, 50, 4)
+        assert lines_touched(r, 6) == [0, 1, 2, 3]
+
+    def test_sparse_run_exact_lines(self):
+        # stride 256 = 4 lines apart.
+        r = make_run(0, 4, 256)
+        assert lines_touched(r, 6) == [0, 4, 8, 12]
+
+    def test_point(self):
+        assert lines_touched(make_run(130, 1, 0), 6) == [2]
+
+
+class TestLineOffsets:
+    def test_offsets_within_one_line(self):
+        r = make_run(64, 4, 8)  # 64, 72, 80, 88 — all in line 1
+        assert line_offsets(r, 64, 6) == [0, 8, 16, 24]
+        assert line_offsets(r, 0, 6) == []
+        assert line_offsets(r, 128, 6) == []
+
+    def test_run_straddling_line_boundary(self):
+        r = make_run(56, 4, 8)  # 56, 64, 72, 80
+        assert line_offsets(r, 0, 6) == [56]
+        assert line_offsets(r, 64, 6) == [0, 8, 16]
+
+    def test_point_run(self):
+        assert line_offsets(make_run(70, 1, 0), 64, 6) == [6]
+        assert line_offsets(make_run(70, 1, 0), 0, 6) == []
+
+
+class TestRunsShareLine:
+    def test_per_thread_slots_in_one_line(self):
+        # Two 8B thread slots in one 64B line: the classic counter array.
+        a = make_run(0, 1, 0)
+        b = make_run(8, 1, 0)
+        assert runs_share_line(a, b, 6) == 0
+
+    def test_conflicting_runs_are_not_sharing(self):
+        # A common byte is a race, not false sharing.
+        a = make_run(0, 4, 8)
+        assert runs_share_line(a, a, 6) is None
+
+    def test_disjoint_lines(self):
+        assert runs_share_line(make_run(0, 1, 0), make_run(64, 1, 0), 6) is None
+
+    def test_chunk_boundary_line(self):
+        # Adjacent dense chunks meet in the boundary line — detected, and
+        # the caller decides whether boundary-only sharing matters.
+        a = make_run(0, 100, 1)  # [0, 100)
+        b = make_run(100, 100, 1)  # [100, 200)
+        assert runs_share_line(a, b, 6) == 64
+
+    def test_large_dense_runs_fast_path(self):
+        # Same stride, different phase: byte-disjoint, but their dense
+        # spans overlap across many lines (exercises the interval fast
+        # path for runs touching > 64 lines).
+        a = Run(0, 8185, 8, 1024)
+        b = Run(8004, 16000, 8, 1000)
+        assert not runs_conflict(a, b)
+        assert runs_share_line(a, b, 6) == (8004 >> 6) << 6

@@ -19,6 +19,9 @@ Rules:
         facade ``src/repro/obs/clock.py`` — the telemetry layer must take
         injected clocks so traces can be made deterministic; any ``time``
         import or ``time.*`` call elsewhere in the package is banned
+  R006  ``sys.exit()`` / ``raise SystemExit`` inside ``src/repro`` outside
+        ``src/repro/tools`` — library code must raise typed exceptions
+        (repro.errors) and leave process exit codes to the CLIs
 
 Usage: ``python tools/reprolint.py [paths...]`` (default: src tests
 benchmarks examples tools).  Prints ``file:line: RULE message`` per
@@ -156,6 +159,35 @@ class _Visitor(ast.NodeVisitor):
             self._add(
                 node.lineno, "R004",
                 "print() in library code — return data, render in repro.tools",
+            )
+        # R006 (the call form; `raise SystemExit` is caught in visit_Raise)
+        if (
+            self.in_library
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "sys"
+            and func.attr == "exit"
+        ):
+            self._add(
+                node.lineno, "R006",
+                "sys.exit() in library code — raise a repro.errors exception; "
+                "only CLIs in repro.tools choose exit codes",
+            )
+        self.generic_visit(node)
+
+    # R006 ------------------------------------------------------------------
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if self.in_library and name == "SystemExit":
+            self._add(
+                node.lineno, "R006",
+                "raise SystemExit in library code — raise a repro.errors "
+                "exception; only CLIs in repro.tools choose exit codes",
             )
         self.generic_visit(node)
 
