@@ -1,8 +1,22 @@
-"""Simulator throughput: scalar vs batched memory-access fast path.
+"""Simulator throughput: scalar vs batched vs vectorized vs sampled.
 
 Times the simulator's own hot loop (not the simulated workload!) in
-simulated-accesses-per-second, before/after the ``access_run`` batching,
-and cross-checks that both paths leave bit-identical machine state.
+simulated-accesses-per-second across the three ``access_run`` engines
+plus opt-in run sampling, and cross-checks that every full-fidelity
+path leaves bit-identical machine state:
+
+- **scalar**: one ``MemoryHierarchy.access`` call per access (the
+  original oracle loop);
+- **batched**: ``access_run`` with ``engine="python"`` — the PR 1
+  per-page batched loop, the baseline the vectorized criterion is
+  measured against;
+- **vectorized**: ``access_run`` with ``engine="auto"`` — columnar
+  closed-form segments (``repro.machine.vector``), fed one merged
+  same-home run per sweep exactly as ``Ctx`` now issues them;
+- **sampled**: ``Ctx``-level run sampling (``repro.sim.sampling``) on
+  top of the vectorized engine — not bit-identical by design, so it is
+  timed and reported (with its extrapolation scale) but parity-checked
+  only for the always-simulated tallies.
 
 Runs two ways:
 
@@ -12,15 +26,16 @@ Runs two ways:
       PYTHONPATH=src python benchmarks/bench_simulator_throughput.py \
           --stats-out out/throughput.mstats.json
 
-  ``--smoke`` shrinks the workload and skips the speedup assertion (CI
-  machines have unpredictable timers); the equivalence checks always run.
-  ``--stats-out`` dumps the batched run's ``MachineStats`` as JSON for
+  ``--smoke`` shrinks the workload and skips the speedup assertions (CI
+  machines have unpredictable timers); the equivalence checks always run
+  and fail the bench on any engine divergence.  ``--stats-out`` dumps
+  the vectorized run's ``MachineStats`` as JSON for
   ``hpcview info --machine-stats``.
 
 - under pytest-benchmark with the other reproduction benches
   (``pytest benchmarks/bench_simulator_throughput.py``), asserting the
-  acceptance criterion: >= 2x simulated-accesses/sec on a unit-stride
-  sweep through the batched path.
+  acceptance criteria: >= 2x batched over scalar and >= 10x vectorized
+  over batched on the unit-stride sweep.
 """
 
 from __future__ import annotations
@@ -29,16 +44,19 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
-from repro.machine.presets import amd_magnycours
+from repro.machine.presets import Machine, amd_magnycours
 from repro.sim.process import SimProcess
 from repro.sim.runtime import Ctx
 from repro.util.fmt import format_table
 
 FULL_ACCESSES = 400_000
 SMOKE_ACCESSES = 30_000
-MIN_SPEEDUP = 2.0  # acceptance criterion for the unit-stride sweep
+MIN_SPEEDUP = 2.0  # batched over scalar, unit-stride (PR 1 criterion)
+MIN_VECTOR_SPEEDUP = 10.0  # vectorized over batched, unit-stride
+MIN_SAMPLED_SPEEDUP = 2.0  # sampled over unsampled Ctx, rate 0.25
 
 # (name, stride in bytes, accesses scale): unit-stride is the headline
 # case; line-stride misses every access; page-stride stresses the TLB.
@@ -49,8 +67,11 @@ SCENARIOS = (
 )
 
 
-def _machine():
-    return amd_magnycours()
+def _machine(engine: str = "auto"):
+    base = amd_magnycours()
+    if engine == base.spec.sim_engine:
+        return base
+    return Machine(replace(base.spec, sim_engine=engine))
 
 
 def _state(h) -> tuple:
@@ -77,8 +98,8 @@ def _scalar_sweep(hier, base: int, stride: int, count: int) -> int:
 
 
 def _batched_sweep(hier, base: int, stride: int, count: int) -> int:
-    # Split at page boundaries exactly like Ctx does, so the timing is an
-    # honest proxy for the runtime-layer fast path.
+    # Split at page boundaries exactly like the PR 1 Ctx did, so the
+    # timing is an honest proxy for the pre-vectorization fast path.
     page_bits = hier.page_bits
     total = 0
     cur = base
@@ -92,6 +113,13 @@ def _batched_sweep(hier, base: int, stride: int, count: int) -> int:
     return total
 
 
+def _merged_sweep(hier, base: int, stride: int, count: int) -> int:
+    # One merged same-home run per sweep: what Ctx issues since the
+    # same-home page-chunk merging (all pages are first-touched by the
+    # sweeping thread, so the whole sweep shares one home node).
+    return hier.access_run(0, base, stride, count, 0, False)
+
+
 def _time(fn, *args) -> tuple[float, int]:
     t0 = time.perf_counter()
     result = fn(*args)
@@ -99,81 +127,156 @@ def _time(fn, *args) -> tuple[float, int]:
 
 
 def run_throughput(n_accesses: int, check_speedup: bool):
-    """Compare scalar vs batched sweeps; returns (rows, batched machine)."""
+    """Compare the engines sweep-by-sweep; returns (rows, vector machine)."""
     rows = []
-    speedups = {}
-    batched_machine = None
+    batched_speedups = {}
+    vector_speedups = {}
+    vector_machine = None
     for name, stride, scale in SCENARIOS:
         count = max(1, int(n_accesses * scale))
         base = 1 << 30
 
-        m_scalar = _machine()
+        m_scalar = _machine("python")
         dt_s, lat_s = _time(_scalar_sweep, m_scalar.hierarchy, base, stride, count)
 
-        m_batched = _machine()
+        m_batched = _machine("python")
         dt_b, lat_b = _time(_batched_sweep, m_batched.hierarchy, base, stride, count)
-        batched_machine = m_batched
 
-        if lat_s != lat_b or _state(m_scalar.hierarchy) != _state(m_batched.hierarchy):
+        m_vector = _machine("auto")
+        dt_v, lat_v = _time(_merged_sweep, m_vector.hierarchy, base, stride, count)
+        vector_machine = m_vector
+
+        state_s = _state(m_scalar.hierarchy)
+        if lat_s != lat_b or state_s != _state(m_batched.hierarchy):
             raise AssertionError(
                 f"{name}: batched path diverged from scalar "
                 f"(lat {lat_s} vs {lat_b})"
             )
+        if lat_s != lat_v or state_s != _state(m_vector.hierarchy):
+            raise AssertionError(
+                f"{name}: vectorized path diverged from scalar "
+                f"(lat {lat_s} vs {lat_v})"
+            )
 
         rate_s = count / dt_s
         rate_b = count / dt_b
-        speedups[name] = rate_b / rate_s
+        rate_v = count / dt_v
+        batched_speedups[name] = rate_b / rate_s
+        vector_speedups[name] = rate_v / rate_b
         rows.append(
             (
                 name,
                 f"{count}",
                 f"{rate_s / 1e6:.2f}M/s",
                 f"{rate_b / 1e6:.2f}M/s",
+                f"{rate_v / 1e6:.2f}M/s",
                 f"{rate_b / rate_s:.2f}x",
+                f"{rate_v / rate_b:.2f}x",
             )
         )
 
     if check_speedup:
-        unit = speedups["unit-stride (8B)"]
-        assert unit >= MIN_SPEEDUP, (
-            f"unit-stride batched speedup {unit:.2f}x below the {MIN_SPEEDUP}x "
-            "acceptance bar"
+        unit = "unit-stride (8B)"
+        assert batched_speedups[unit] >= MIN_SPEEDUP, (
+            f"unit-stride batched speedup {batched_speedups[unit]:.2f}x below "
+            f"the {MIN_SPEEDUP}x acceptance bar"
         )
-    return rows, batched_machine
+        assert vector_speedups[unit] >= MIN_VECTOR_SPEEDUP, (
+            f"unit-stride vectorized speedup {vector_speedups[unit]:.2f}x over "
+            f"batched below the {MIN_VECTOR_SPEEDUP}x acceptance bar"
+        )
+    return rows, vector_machine
 
 
-def run_ctx_equivalence(n: int = 20_000) -> None:
-    """End-to-end sanity: Ctx.load_run == Ctx.load_ip loop, full stack."""
+def _build_ctx(engine: str = "auto"):
     from repro.sim.loader import LoadModule
     from repro.sim.source import SourceFile
 
-    def build():
-        proc = SimProcess(_machine())
-        exe = LoadModule("bench.exe", is_executable=True)
-        src = SourceFile("bench.c", {10: "x = a[i];"})
-        main = exe.add_function("main", src, 1, 60)
-        proc.load_module(exe)
-        ctx = Ctx(proc, proc.master)
-        ctx.enter(main)
-        return proc, ctx
+    proc = SimProcess(_machine(engine))
+    exe = LoadModule("bench.exe", is_executable=True)
+    src = SourceFile("bench.c", {10: "x = a[i];"})
+    main = exe.add_function("main", src, 1, 60)
+    proc.load_module(exe)
+    ctx = Ctx(proc, proc.master)
+    ctx.enter(main)
+    return proc, ctx
 
-    pa, ca = build()
-    pb, cb = build()
+
+def _ctx_run_storm(ctx, arr, n_runs: int, run_len: int) -> None:
+    ip = ctx.ip(10)
+    for i in range(n_runs):
+        start = (i * 17) % max(1, arr.shape[0] - run_len)
+        base, count, stride = arr.flat_run(start, run_len)
+        ctx.load_run(base, count, stride, ip)
+
+
+def run_sampled(n_accesses: int, check_speedup: bool, rate: float = 0.25):
+    """Time a Ctx-level run storm unsampled vs sampled; returns a row."""
+    from repro.sim.sampling import sampling
+
+    run_len = 1 << 10
+    n_runs = max(1, n_accesses // run_len)
+
+    proc_full, ctx_full = _build_ctx("auto")
+    arr_full = ctx_full.alloc_array("A", (n_runs * 32 + run_len,), line=20)
+    dt_full, _ = _time(_ctx_run_storm, ctx_full, arr_full, n_runs, run_len)
+
+    with sampling(rate=rate, min_run=64, seed=7):
+        proc_samp, ctx_samp = _build_ctx("auto")
+    arr_samp = ctx_samp.alloc_array("A", (n_runs * 32 + run_len,), line=20)
+    dt_samp, _ = _time(_ctx_run_storm, ctx_samp, arr_samp, n_runs, run_len)
+
+    sampler = proc_samp.sampler
+    assert sampler is not None
+    assert sampler.issued_accesses == proc_full.master.mem_count
+    count = n_runs * run_len
+    rate_full = count / dt_full
+    rate_samp = count / dt_samp
+    speedup = rate_samp / rate_full
+    if check_speedup:
+        assert speedup >= MIN_SAMPLED_SPEEDUP, (
+            f"sampled speedup {speedup:.2f}x below the "
+            f"{MIN_SAMPLED_SPEEDUP}x bar at rate {rate}"
+        )
+    return (
+        f"sampled runs (rate {rate})",
+        f"{count}",
+        f"{rate_full / 1e6:.2f}M/s",
+        f"{rate_samp / 1e6:.2f}M/s",
+        f"{sampler.scale():.2f}",
+        f"{speedup:.2f}x",
+    )
+
+
+def run_ctx_equivalence(n: int = 20_000) -> None:
+    """End-to-end sanity: Ctx.load_run == Ctx.load_ip loop on every engine."""
+    pa, ca = _build_ctx("python")
     a = ca.alloc_array("A", (n,), line=20)
-    b = cb.alloc_array("A", (n,), line=20)
     ip_a = ca.ip(10)
     for i in range(n):
         ca.load_ip(a.flat_addr(i), ip_a)
-    cb.load_run(*b.flat_run(), cb.ip(10))
-    assert pa.master.clock == pb.master.clock
-    assert _state(pa.machine.hierarchy) == _state(pb.machine.hierarchy)
+
+    for engine in ("python", "auto", "vector"):
+        pb, cb = _build_ctx(engine)
+        b = cb.alloc_array("A", (n,), line=20)
+        cb.load_run(*b.flat_run(), cb.ip(10))
+        assert pa.master.clock == pb.master.clock, engine
+        assert _state(pa.machine.hierarchy) == _state(pb.machine.hierarchy), engine
 
 
 def _render(rows) -> str:
     return format_table(
-        ("sweep", "accesses", "scalar", "batched", "speedup"),
+        ("sweep", "accesses", "scalar", "batched", "vector", "bat/scl", "vec/bat"),
         rows,
         title="simulator throughput (simulated accesses per wall-clock second)",
+    )
+
+
+def _render_sampled(row) -> str:
+    return format_table(
+        ("workload", "accesses", "full", "sampled", "scale", "speedup"),
+        [row],
+        title="sampled simulation (Ctx run storm, vectorized engine)",
     )
 
 
@@ -187,7 +290,11 @@ def test_simulator_throughput(benchmark):
     rows, _ = benchmark.pedantic(
         run_throughput, args=(FULL_ACCESSES, True), rounds=1, iterations=1
     )
-    report("simulator throughput: batched access fast path", _render(rows))
+    sampled_row = run_sampled(FULL_ACCESSES, check_speedup=True)
+    report(
+        "simulator throughput: engine fast paths",
+        _render(rows) + "\n" + _render_sampled(sampled_row),
+    )
 
 
 # ---- standalone entry point ------------------------------------------------
@@ -198,12 +305,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small run, equivalence checks only (no speedup assertion)",
+        help="small run, equivalence checks only (no speedup assertions)",
     )
     parser.add_argument(
         "--stats-out",
         metavar="FILE.json",
-        help="write the batched run's MachineStats snapshot as JSON",
+        help="write the vectorized run's MachineStats snapshot as JSON",
     )
     args = parser.parse_args(argv)
 
@@ -211,7 +318,9 @@ def main(argv: list[str] | None = None) -> int:
     run_ctx_equivalence(5_000 if args.smoke else 20_000)
     rows, machine = run_throughput(n, check_speedup=not args.smoke)
     print(_render(rows))
-    print("scalar/batched equivalence: OK")
+    sampled_row = run_sampled(n, check_speedup=not args.smoke)
+    print(_render_sampled(sampled_row))
+    print("scalar/batched/vectorized equivalence: OK")
 
     if args.stats_out:
         path = Path(args.stats_out)

@@ -74,13 +74,22 @@ def profile_attachment(
 
 
 def as_rank_db(
-    db: ProfileDB, app: str, rank: int, n_ranks: int, variant: str, seed: int
+    db: ProfileDB,
+    app: str,
+    rank: int,
+    n_ranks: int,
+    variant: str,
+    seed: int,
+    process: SimProcess | None = None,
 ) -> ProfileDB:
     """Stamp one rank's profile database with its provenance.
 
     The parallel driver writes this DB to ``measurements/<app>/<rank>.rpdb``;
     the metadata lets the merge (and a human with ``hpcview info``) tell
-    which rank of which run a stray file belongs to.
+    which rank of which run a stray file belongs to.  When the simulated
+    ``process`` is supplied, its elapsed cycles and — under a sampled
+    session — the sampler's tallies ride along, which is what the
+    fidelity report and ``hpcview`` read back.
     """
     db.process_name = f"{app}.rank{rank:04d}"
     db.meta.update(
@@ -90,6 +99,10 @@ def as_rank_db(
         variant=variant,
         seed=str(seed),
     )
+    if process is not None:
+        db.meta["elapsed_cycles"] = str(process.elapsed_cycles)
+        if process.sampler is not None:
+            db.meta.update(process.sampler.to_meta())
     return db
 
 
@@ -107,8 +120,11 @@ def single_process_rank(
     seed = derive_rank_seed(cfg.seed, rank)
     cfg = replace(cfg, seed=seed, profile=True)
     result = run_fn(cfg)
-    db = result.profilers[0].finalize()
-    return as_rank_db(db, app, rank, n_ranks, cfg.variant, seed)
+    profiler = result.profilers[0]
+    return as_rank_db(
+        profiler.finalize(), app, rank, n_ranks, cfg.variant, seed,
+        process=profiler.process,
+    )
 
 
 def analyze_profilers(

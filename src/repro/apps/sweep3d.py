@@ -239,7 +239,8 @@ def run_rank(
         rank, lambda process, r, n: _rank_main(cfg, process, r, n), attach=attach
     )
     return as_rank_db(
-        result.attachment.finalize(), "sweep3d", rank, n_ranks, cfg.variant, seed
+        result.attachment.finalize(), "sweep3d", rank, n_ranks, cfg.variant, seed,
+        process=result.attachment.process,
     )
 
 

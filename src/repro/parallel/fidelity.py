@@ -1,0 +1,226 @@
+"""Fidelity report for sampled simulation: sampled vs full divergence.
+
+Sampled simulation (:mod:`repro.sim.sampling`) trades exactness for
+throughput; this module measures what the trade actually cost for a
+given app preset.  It runs one rank twice — full-fidelity, then under a
+sampling session — and compares:
+
+- **per-metric totals**: each :class:`~repro.core.metrics.MetricKind`
+  total from the sampled run, multiplied by the sampler's extrapolation
+  scale, against the full run's total (relative error);
+- **per-variable attributions**: each top variable's *share* of samples
+  and latency, sampled vs full (absolute delta — shares are
+  self-normalizing and take no scaling);
+- **elapsed cycles**: the EWMA clock estimate's end-to-end accuracy.
+
+The report is the contract behind the documented error bound: CI runs it
+over every bundled app preset (``hpcview fidelity``) and fails when any
+divergence exceeds the threshold, so the bound in DESIGN.md stays an
+enforced property rather than a hope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyzer import Analyzer, ExperimentDB
+from repro.core.metrics import MetricKind
+from repro.core.profiledb import ProfileDB
+from repro.parallel.registry import run_app_rank
+from repro.sim.sampling import sampling
+
+__all__ = [
+    "MetricFidelity",
+    "VariableFidelity",
+    "FidelityReport",
+    "measure_fidelity",
+    "render_fidelity",
+]
+
+
+@dataclass(frozen=True)
+class MetricFidelity:
+    """One metric's sampled-vs-full comparison."""
+
+    metric: str
+    full: int
+    sampled_raw: int
+    sampled_scaled: float
+    rel_err: float
+
+
+@dataclass(frozen=True)
+class VariableFidelity:
+    """One variable's share comparison under one metric."""
+
+    variable: str
+    metric: str
+    full_share: float
+    sampled_share: float
+    delta: float
+
+
+@dataclass
+class FidelityReport:
+    """Divergence of a sampled run from its full-fidelity twin."""
+
+    app: str
+    preset: str
+    variant: str
+    rate: float
+    min_run: int
+    seed: int
+    scale: float
+    skipped_accesses: int
+    issued_accesses: int
+    elapsed_full: int
+    elapsed_sampled: int
+    metrics: list[MetricFidelity] = field(default_factory=list)
+    variables: list[VariableFidelity] = field(default_factory=list)
+
+    @property
+    def elapsed_rel_err(self) -> float:
+        return _rel_err(self.elapsed_sampled, self.elapsed_full)
+
+    @property
+    def max_metric_rel_err(self) -> float:
+        errs = [m.rel_err for m in self.metrics]
+        errs.append(self.elapsed_rel_err)
+        return max(errs)
+
+    @property
+    def max_share_delta(self) -> float:
+        return max((v.delta for v in self.variables), default=0.0)
+
+    def within(self, max_metric_rel_err: float, max_share_delta: float) -> bool:
+        """Is every divergence inside the documented bound?"""
+        return (
+            self.max_metric_rel_err <= max_metric_rel_err
+            and self.max_share_delta <= max_share_delta
+        )
+
+
+def _rel_err(estimate: float, truth: float) -> float:
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / truth
+
+
+def _analyze(name: str, db: ProfileDB) -> ExperimentDB:
+    return Analyzer(name).add(db).analyze()
+
+
+# Share comparisons use the attribution-bearing metrics: sample counts
+# drive every GUI view, latency weights them.  REMOTE/TLB_MISS totals are
+# still compared (they are in the per-metric table) but their per-variable
+# shares are ratios of two small counts and would dominate the delta with
+# pure sampling noise.
+_SHARE_KINDS = (MetricKind.SAMPLES, MetricKind.LATENCY)
+
+
+def measure_fidelity(
+    app: str,
+    preset: str = "smoke",
+    variant: str = "original",
+    rate: float = 0.25,
+    min_run: int = 64,
+    seed: int = 0x5EED,
+    top_n: int = 8,
+) -> FidelityReport:
+    """Run ``app`` full and sampled, and quantify the divergence.
+
+    Both runs use rank 0 of a 1-rank job with the same preset/variant, so
+    the only difference between them is the sampling session.
+    """
+    full_db = run_app_rank(app, 0, 1, variant=variant, preset=preset)
+    with sampling(rate=rate, min_run=min_run, seed=seed):
+        sampled_db = run_app_rank(app, 0, 1, variant=variant, preset=preset)
+
+    full = _analyze(f"{app}-full", full_db)
+    samp = _analyze(f"{app}-sampled", sampled_db)
+    scale = float(sampled_db.meta.get("sampling_scale", "1.0"))
+
+    report = FidelityReport(
+        app=app,
+        preset=preset,
+        variant=variant,
+        rate=rate,
+        min_run=min_run,
+        seed=seed,
+        scale=scale,
+        skipped_accesses=int(sampled_db.meta.get("sampling_skipped_accesses", "0")),
+        issued_accesses=int(sampled_db.meta.get("sampling_issued_accesses", "0")),
+        elapsed_full=int(full_db.meta.get("elapsed_cycles", "0")),
+        elapsed_sampled=int(sampled_db.meta.get("elapsed_cycles", "0")),
+    )
+
+    for kind in MetricKind:
+        full_total = full.total(kind)
+        raw = samp.total(kind)
+        scaled = raw * scale
+        report.metrics.append(
+            MetricFidelity(
+                metric=kind.value,
+                full=full_total,
+                sampled_raw=raw,
+                sampled_scaled=scaled,
+                rel_err=_rel_err(scaled, full_total),
+            )
+        )
+
+    for kind in _SHARE_KINDS:
+        names: list[str] = []
+        for exp in (full, samp):
+            for var in exp.top_variables(kind, top_n):
+                if var.name not in names:
+                    names.append(var.name)
+        for name in names:
+            full_share = full.variable_share(name, kind)
+            samp_share = samp.variable_share(name, kind)
+            report.variables.append(
+                VariableFidelity(
+                    variable=name,
+                    metric=kind.value,
+                    full_share=full_share,
+                    sampled_share=samp_share,
+                    delta=abs(samp_share - full_share),
+                )
+            )
+    return report
+
+
+def render_fidelity(report: FidelityReport) -> str:
+    """Human-readable fidelity report (what ``hpcview fidelity`` prints)."""
+    lines = [
+        f"fidelity report: {report.app} (preset={report.preset}, "
+        f"variant={report.variant})",
+        f"  sampling: rate={report.rate} min_run={report.min_run} "
+        f"seed={report.seed:#x}",
+        f"  accesses: issued={report.issued_accesses} "
+        f"skipped={report.skipped_accesses} scale={report.scale:.4f}",
+        f"  elapsed cycles: full={report.elapsed_full} "
+        f"sampled={report.elapsed_sampled} "
+        f"rel_err={report.elapsed_rel_err:.4f}",
+        "",
+        f"  {'metric':<10} {'full':>14} {'sampled*scale':>16} {'rel_err':>9}",
+    ]
+    for m in report.metrics:
+        lines.append(
+            f"  {m.metric:<10} {m.full:>14} {m.sampled_scaled:>16.1f} "
+            f"{m.rel_err:>9.4f}"
+        )
+    lines.append("")
+    lines.append(
+        f"  {'variable':<28} {'metric':<8} {'full':>8} {'sampled':>8} {'delta':>8}"
+    )
+    for v in report.variables:
+        lines.append(
+            f"  {v.variable:<28} {v.metric:<8} {v.full_share:>8.4f} "
+            f"{v.sampled_share:>8.4f} {v.delta:>8.4f}"
+        )
+    lines.append("")
+    lines.append(
+        f"  max metric rel_err={report.max_metric_rel_err:.4f} "
+        f"max share delta={report.max_share_delta:.4f}"
+    )
+    return "\n".join(lines)

@@ -41,7 +41,7 @@ class Ctx:
 
     __slots__ = (
         "process", "thread", "_aspace", "_hier", "_compute_cycle",
-        "_page_bits", "_san",
+        "_page_bits", "_san", "_sampler",
     )
 
     def __init__(self, process: SimProcess, thread: SimThread) -> None:
@@ -55,6 +55,9 @@ class Ctx:
         # disabled case costs one is-None branch per access (repro.sanitize
         # never imported -> process.sanitizer is always None).
         self._san = process.sanitizer
+        # Run sampler, same pattern (repro.sim.sampling session active at
+        # process creation -> sampled simulation; otherwise always None).
+        self._sampler = process.sampler
 
     # -- call-stack management ------------------------------------------------
 
@@ -105,6 +108,9 @@ class Ctx:
         thread.clock += lat
         thread.inst_count += 1
         thread.mem_count += 1
+        sampler = self._sampler
+        if sampler is not None:
+            sampler.note_scalar()
         pmu = self.process.pmu
         if pmu is not None:
             pmu.note_mem(self.process, thread, ip, vaddr, lat, lvl, tlbm, False)
@@ -121,6 +127,9 @@ class Ctx:
         thread.clock += lat
         thread.inst_count += 1
         thread.mem_count += 1
+        sampler = self._sampler
+        if sampler is not None:
+            sampler.note_scalar()
         pmu = self.process.pmu
         if pmu is not None:
             pmu.note_mem(self.process, thread, ip, vaddr, lat, lvl, tlbm, True)
@@ -154,6 +163,16 @@ class Ctx:
         if san is not None:
             san.on_access_run(self.thread, base, count, stride, ip, is_store)
         thread = self.thread
+        sampler = self._sampler
+        if sampler is not None and not sampler.observe_run(count):
+            # Sampled-out run: charge the estimated clock cost, touch no
+            # machine state, deliver no PMU samples.  The sanitizer above
+            # still saw the run — its analysis stays exact.
+            est = sampler.estimate_skipped(count)
+            thread.clock += est
+            thread.inst_count += count
+            thread.mem_count += count
+            return est
         node = thread.numa_node
         hw_tid = thread.hw_tid
         home_of = self._aspace.home_of
@@ -173,9 +192,15 @@ class Ctx:
             # different home node (first-touch/interleave placement), and
             # home_of itself commits first-touch, so it must be consulted
             # in access order — once per page, not once per access.
-            page_size = 1 << page_bits
+            # Consecutive page chunks with the *same* home are merged back
+            # into one access_run call (home_of does not depend on access
+            # effects, so consulting it a chunk early is unobservable):
+            # long same-home runs are what the vector engine feeds on.
             cur = base
             remaining = count
+            run_start = base
+            run_count = 0
+            run_home = 0
             while remaining > 0:
                 if stride > 0:
                     boundary = ((cur >> page_bits) + 1) << page_bits
@@ -185,10 +210,27 @@ class Ctx:
                     n = (cur - page_start) // -stride + 1
                 if n > remaining:
                     n = remaining
-                total += access_run(hw_tid, cur, stride, n, home_of(cur, node), is_store, record)
+                home = home_of(cur, node)
+                if run_count and home == run_home:
+                    run_count += n
+                else:
+                    if run_count:
+                        total += access_run(
+                            hw_tid, run_start, stride, run_count, run_home,
+                            is_store, record,
+                        )
+                    run_start = cur
+                    run_count = n
+                    run_home = home
                 cur += n * stride
                 remaining -= n
+            if run_count:
+                total += access_run(
+                    hw_tid, run_start, stride, run_count, run_home, is_store, record
+                )
 
+        if sampler is not None:
+            sampler.note_simulated(count, total)
         if record is None:
             thread.clock += total
             thread.inst_count += count

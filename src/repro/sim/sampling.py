@@ -1,0 +1,248 @@
+"""Opt-in sampled simulation: simulate a subset of access runs.
+
+Full-fidelity simulation pays the memory-hierarchy model on every access
+run.  For throughput studies that is often unnecessary: a deterministic
+subset of the *long* runs, plus every short run, predicts level counts,
+latencies and per-variable attributions to within a few percent — the
+"Memory Access Vectors" result this mode reproduces, with an explicit
+fidelity report (:mod:`repro.parallel.fidelity`) instead of blind trust.
+
+Model
+-----
+
+``Ctx`` consults the process's :class:`RunSampler` before each batched
+access run:
+
+- runs shorter than ``min_run`` accesses are always simulated (they are
+  cheap, numerous, and carry most of the *distinct-context* information
+  the profiler attributes);
+- longer ("eligible") runs are simulated with probability ``rate`` by a
+  seeded :class:`~repro.util.rng.DeterministicRNG` draw — same seed,
+  same run order, same decisions, bit-for-bit;
+- a skipped run advances the thread clock by ``count`` times the EWMA
+  cycles-per-access of the runs actually simulated so far (the first
+  eligible run is always simulated to prime the estimate), delivers no
+  PMU samples, and touches no machine state.
+
+Estimator and error model
+-------------------------
+
+Skipped accesses never reach the hierarchy, so raw event counts (level
+counts, profile sample counts, latency sums) are *undercounts* by
+roughly the sampled fraction.  The extrapolation :meth:`RunSampler.scale`
+— issued accesses over simulated accesses — multiplies any count-like
+metric back to full-run magnitude; it is exact when skipped runs behave
+like simulated ones on average (the EWMA clock estimate makes the same
+assumption).  Share-type metrics (per-variable fractions) need no
+scaling at all: both numerator and denominator shrink together.  The
+residual error is therefore concentrated in (a) heterogeneity between
+skipped and simulated runs and (b) warmup distortion — which is exactly
+what the fidelity report measures, per metric and per variable, by
+running an app preset both ways.
+
+Activation mirrors ``repro.sanitize``: this module is consulted through
+``sys.modules`` only if something imported it, so runs that never enable
+sampling pay nothing.  Use::
+
+    from repro.sim.sampling import sampling
+
+    with sampling(rate=0.25, seed=7):
+        db = run_app_rank("nw", 0, 1)
+
+Worker processes forked while a session is active inherit it (the
+parallel driver's default start method), each deriving its own stream
+from the session seed and its pid.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ConfigError
+from repro.util.rng import DeterministicRNG, derive_rank_seed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+
+__all__ = [
+    "SamplingConfig",
+    "RunSampler",
+    "sampling",
+    "activate",
+    "deactivate",
+    "active_config",
+    "maybe_attach",
+]
+
+_EWMA_ALPHA = 0.25  # weight of the newest cycles-per-access observation
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Parameters of one sampled-simulation session."""
+
+    rate: float = 0.25
+    min_run: int = 64
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigError(f"sampling rate must be in (0, 1], got {self.rate}")
+        if self.min_run < 1:
+            raise ConfigError("min_run must be >= 1")
+
+
+class RunSampler:
+    """Per-process run-sampling state (decisions, clock estimate, tallies)."""
+
+    __slots__ = (
+        "config",
+        "_rng",
+        "_cpa",
+        "issued_runs",
+        "issued_accesses",
+        "scalar_accesses",
+        "eligible_runs",
+        "eligible_accesses",
+        "skipped_runs",
+        "skipped_accesses",
+        "estimated_cycles",
+        "simulated_cycles",
+    )
+
+    def __init__(self, config: SamplingConfig, seed: int) -> None:
+        self.config = config
+        self._rng = DeterministicRNG(seed)
+        self._cpa: float | None = None  # EWMA cycles per simulated access
+        self.issued_runs = 0
+        self.issued_accesses = 0
+        self.scalar_accesses = 0
+        self.eligible_runs = 0
+        self.eligible_accesses = 0
+        self.skipped_runs = 0
+        self.skipped_accesses = 0
+        self.estimated_cycles = 0
+        self.simulated_cycles = 0
+
+    # -- hot path ---------------------------------------------------------
+
+    def note_scalar(self) -> None:
+        """Account one scalar (non-run) access — always simulated.
+
+        Scalar accesses count toward the issued/simulated totals so that
+        :meth:`scale` extrapolates only the *run* undercount — a profile
+        mixing per-access gathers with strided runs would otherwise have
+        its fully-simulated scalar portion inflated too.  They stay out
+        of the run EWMA: a skipped run's clock estimate should reflect
+        runs, whose locality differs from data-dependent scalar traffic.
+        """
+        self.issued_accesses += 1
+        self.scalar_accesses += 1
+
+    def observe_run(self, count: int) -> bool:
+        """Account one issued run; return whether to simulate it."""
+        self.issued_runs += 1
+        self.issued_accesses += count
+        if count < self.config.min_run:
+            return True
+        self.eligible_runs += 1
+        self.eligible_accesses += count
+        if self._cpa is None:
+            # Always simulate the first eligible run: it primes the
+            # clock estimate for everything skipped after it.
+            return True
+        return self._rng.random() < self.config.rate
+
+    def note_simulated(self, count: int, cycles: int) -> None:
+        """Fold a simulated run into the cycles-per-access estimate."""
+        if count <= 0:
+            return
+        self.simulated_cycles += cycles
+        obs = cycles / count
+        cpa = self._cpa
+        self._cpa = obs if cpa is None else cpa + _EWMA_ALPHA * (obs - cpa)
+
+    def estimate_skipped(self, count: int) -> int:
+        """Clock advance charged for a run that is not simulated."""
+        self.skipped_runs += 1
+        self.skipped_accesses += count
+        est = int(count * (self._cpa or 0.0))
+        self.estimated_cycles += est
+        return est
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def simulated_accesses(self) -> int:
+        return self.issued_accesses - self.skipped_accesses
+
+    def scale(self) -> float:
+        """Extrapolation factor for count-type metrics (>= 1.0)."""
+        simulated = self.simulated_accesses
+        if simulated <= 0:
+            return 1.0
+        return self.issued_accesses / simulated
+
+    def to_meta(self) -> dict[str, str]:
+        """Provenance stamped into a rank's profile DB metadata."""
+        return {
+            "sampling_rate": repr(self.config.rate),
+            "sampling_min_run": str(self.config.min_run),
+            "sampling_seed": str(self.config.seed),
+            "sampling_issued_runs": str(self.issued_runs),
+            "sampling_issued_accesses": str(self.issued_accesses),
+            "sampling_scalar_accesses": str(self.scalar_accesses),
+            "sampling_skipped_runs": str(self.skipped_runs),
+            "sampling_skipped_accesses": str(self.skipped_accesses),
+            "sampling_estimated_cycles": str(self.estimated_cycles),
+            "sampling_scale": repr(self.scale()),
+        }
+
+
+# -- session management (mirrors repro.sanitize's activation seam) ---------
+
+_active: SamplingConfig | None = None
+
+
+def activate(config: SamplingConfig) -> None:
+    """Enable sampling for every :class:`SimProcess` created after this."""
+    global _active
+    _active = config
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+def active_config() -> SamplingConfig | None:
+    return _active
+
+
+@contextmanager
+def sampling(
+    rate: float = 0.25, min_run: int = 64, seed: int = 0x5EED
+) -> Iterator[SamplingConfig]:
+    """Scoped sampled-simulation session."""
+    global _active
+    config = SamplingConfig(rate=rate, min_run=min_run, seed=seed)
+    previous = _active
+    activate(config)
+    try:
+        yield config
+    finally:
+        _active = previous
+
+
+def maybe_attach(process: "SimProcess") -> None:
+    """Install a sampler on ``process`` if a session is active.
+
+    Called from ``SimProcess.__init__`` through the ``sys.modules`` seam;
+    each process derives an independent deterministic stream from the
+    session seed and its pid, so multiprocess ranks sample reproducibly
+    and independently.
+    """
+    if _active is not None:
+        process.sampler = RunSampler(_active, derive_rank_seed(_active.seed, process.pid))

@@ -68,15 +68,20 @@ def batched_replay(h: MemoryHierarchy, runs) -> list:
 
 def assert_equivalent(runs, prefetch: bool) -> None:
     a = tiny_machine(prefetch=prefetch).hierarchy
-    b = tiny_machine(prefetch=prefetch).hierarchy
     stream_a = scalar_replay(a, runs)
-    stream_b = batched_replay(b, runs)
-    assert stream_a == stream_b
-    assert hierarchy_state(a) == hierarchy_state(b)
+    state_a = hierarchy_state(a)
     total = sum(lat for lat, _, _ in stream_a)
-    # access_run's return value is the run-total latency.
-    c = tiny_machine(prefetch=prefetch).hierarchy
-    assert sum(c.access_run(*run[:5], run[5]) for run in runs) == total
+    # Both access_run engines must match the scalar oracle: the PR 1
+    # per-page loop ("python") and the columnar one ("vector", which
+    # forces vectorization even for short runs).
+    for engine in ("python", "vector"):
+        b = tiny_machine(prefetch=prefetch, engine=engine).hierarchy
+        stream_b = batched_replay(b, runs)
+        assert stream_a == stream_b, engine
+        assert state_a == hierarchy_state(b), engine
+        # access_run's return value is the run-total latency.
+        c = tiny_machine(prefetch=prefetch, engine=engine).hierarchy
+        assert sum(c.access_run(*run[:5], run[5]) for run in runs) == total, engine
 
 
 # ---------------------------------------------------------------------------
@@ -84,8 +89,9 @@ def assert_equivalent(runs, prefetch: bool) -> None:
 
 run_strategy = st.tuples(
     st.integers(min_value=0, max_value=3),                    # hw_tid (tiny: 4)
-    st.integers(min_value=0, max_value=1 << 20),              # base
-    st.sampled_from([0, 1, 4, 8, 16, 64, 100, 256, 4096, 4104, -8, -64, -4096]),
+    st.integers(min_value=-5000, max_value=1 << 20),          # base (incl. page -1)
+    st.sampled_from([0, 1, 3, 4, 8, 16, 64, 100, 256, 4096, 4104,
+                     -1, -3, -8, -64, -100, -4096, -4104]),
     st.integers(min_value=0, max_value=200),                  # count
     st.integers(min_value=0, max_value=1),                    # home node
     st.booleans(),                                            # is_store
@@ -184,6 +190,55 @@ class TestHierarchyDifferential:
         assert hierarchy_state(h) == before
 
 
+class TestDegenerateStrides:
+    """Pinned divergences between the batched loop and the scalar oracle.
+
+    The batched loop's same-page repeat skip used ``cur_page = -1`` as
+    its "no page yet" sentinel, so a run whose *first* access really
+    lives on page -1 (base in [-page_size, -1]) skipped the initial TLB
+    lookup and probed the wrong line-residency state.  Fixed by a None
+    sentinel (see ``MemoryHierarchy._access_run_python``); these tests
+    keep it fixed, alongside the other degenerate shapes the audit
+    covered (stride 0, negative strides, backwards page re-crossing).
+    """
+
+    @pytest.mark.parametrize("base", [-4096, -2048, -64, -1])
+    @pytest.mark.parametrize("stride", [0, 1, 8])
+    def test_first_access_on_page_minus_one(self, base, stride):
+        # Page -1 is a real page: its first touch must miss the TLB and
+        # install, exactly as the scalar loop does.
+        assert_equivalent([(0, base, stride, 40, 0, False)], True)
+
+    @pytest.mark.parametrize("stride", [-1, -3, -8, -64, -100, -4096, -4104])
+    def test_negative_strides_cross_pages_backwards(self, stride):
+        # Walk downward across several page boundaries, ending below 0.
+        assert_equivalent([(0, 2 * 4096 + 17, stride, 150, 0, False)], True)
+
+    @pytest.mark.parametrize("prefetch", [True, False])
+    def test_backwards_page_recrossing(self, prefetch):
+        # Forward over a page boundary, then back over the same boundary:
+        # the repeat-skip must re-probe the TLB on each re-crossing, and
+        # the prefetch streams seeded by the forward pass must interact
+        # with the backward pass identically on both paths.
+        runs = [
+            (0, 4096 - 8 * 10, 8, 30, 0, False),    # cross page 0 -> 1
+            (0, 4096 + 8 * 19, -8, 30, 0, False),   # re-cross 1 -> 0
+            (0, 4096 - 64 * 3, 64, 9, 0, True),     # cross again, line stride
+            (0, 4096 + 64 * 5, -64, 9, 0, True),
+        ]
+        assert_equivalent(runs, prefetch)
+
+    def test_stride_zero_repeats_one_address(self):
+        # stride 0 is one line, one page: a single lookup then repeat
+        # credits, even at a negative base.
+        runs = [
+            (0, 0x3456, 0, 100, 0, False),
+            (1, -100, 0, 100, 1, True),
+            (0, 0x3456, 0, 50, 0, True),
+        ]
+        assert_equivalent(runs, True)
+
+
 # ---------------------------------------------------------------------------
 # Ctx-level equivalence (page chunking, first touch, PMU delivery)
 
@@ -225,8 +280,8 @@ class _SampleRecorder:
         )
 
 
-def _twin(pmu_factory=None, interleave=False):
-    prog = MiniProgram()
+def _twin(pmu_factory=None, interleave=False, engine="auto"):
+    prog = MiniProgram(machine=tiny_machine(engine=engine))
     if interleave:
         nodes = list(range(prog.machine.n_numa_nodes))
         prog.process.aspace.set_default_policy(Interleave(nodes))
@@ -243,10 +298,17 @@ def _thread_state(prog: MiniProgram) -> tuple:
     return (t.clock, t.inst_count, t.mem_count, t.pmu_countdown)
 
 
-def _compare_ctx(scalar_ops, bulk_ops, pmu_factory=None, interleave=False):
-    """Run two op scripts on twin processes and compare everything."""
-    pa, ca, ra = _twin(pmu_factory, interleave)
-    pb, cb, rb = _twin(pmu_factory, interleave)
+def _compare_ctx(scalar_ops, bulk_ops, pmu_factory=None, interleave=False,
+                 engine="auto"):
+    """Run two op scripts on twin processes and compare everything.
+
+    The scalar script runs on the python engine (its accesses never take
+    ``access_run`` anyway); the bulk script runs on ``engine``, so a
+    "vector" parametrization checks the PMU sample stream is replayed
+    byte-identically from the vectorized path's record.
+    """
+    pa, ca, ra = _twin(pmu_factory, interleave, engine="python")
+    pb, cb, rb = _twin(pmu_factory, interleave, engine=engine)
     scalar_ops(ca)
     bulk_ops(cb)
     assert ra.samples == rb.samples
@@ -265,11 +327,13 @@ PMU_FACTORIES = {
 
 
 class TestCtxDifferential:
+    @pytest.mark.parametrize("engine", ["python", "vector"])
     @pytest.mark.parametrize("pmu", sorted(PMU_FACTORIES))
     @pytest.mark.parametrize("interleave", [False, True])
-    def test_load_run_page_crossing(self, pmu, interleave):
+    def test_load_run_page_crossing(self, pmu, interleave, engine):
         # 3000 unit-stride loads cross ~6 pages; under Interleave each
-        # page has a different home node, exercising per-page chunking.
+        # page has a different home node, exercising per-page chunking
+        # (and the same-home merge when placement is first-touch).
         def scalar(ctx: Ctx):
             a = ctx.alloc_array("A", (3000,), line=20)
             ip = ctx.ip(10)
@@ -280,10 +344,11 @@ class TestCtxDifferential:
             a = ctx.alloc_array("A", (3000,), line=20)
             ctx.load_run(*a.flat_run(), ctx.ip(10))
 
-        _compare_ctx(scalar, bulk, PMU_FACTORIES[pmu], interleave)
+        _compare_ctx(scalar, bulk, PMU_FACTORIES[pmu], interleave, engine)
 
+    @pytest.mark.parametrize("engine", ["python", "vector"])
     @pytest.mark.parametrize("pmu", sorted(PMU_FACTORIES))
-    def test_store_run_strided(self, pmu):
+    def test_store_run_strided(self, pmu, engine):
         def scalar(ctx: Ctx):
             a = ctx.alloc_array("A", (256, 64), line=20)
             ip = ctx.ip(10)
@@ -295,9 +360,10 @@ class TestCtxDifferential:
             a = ctx.alloc_array("A", (256, 64), line=20)
             ctx.store_run(*a.axis_run(0, 0, 3), ctx.ip(10))
 
-        _compare_ctx(scalar, bulk, PMU_FACTORIES[pmu])
+        _compare_ctx(scalar, bulk, PMU_FACTORIES[pmu], engine=engine)
 
-    def test_mixed_loads_stores_with_profiler(self):
+    @pytest.mark.parametrize("engine", ["python", "vector"])
+    def test_mixed_loads_stores_with_profiler(self, engine):
         # Full stack: profiler attached, EBS skid, heap + static accesses.
         def body(ctx: Ctx, bulk: bool):
             a = ctx.alloc_array("A", (1200,), line=20, kind="calloc")
@@ -316,7 +382,9 @@ class TestCtxDifferential:
                     ctx.load_ip(a.flat_addr(i), ip)
 
         def run(bulk: bool):
-            prog = MiniProgram()
+            prog = MiniProgram(
+                machine=tiny_machine(engine=engine if bulk else "python")
+            )
             profiler = DataCentricProfiler(prog.process).attach()
             rec = _SampleRecorder()
             prog.process.hooks.append(rec)

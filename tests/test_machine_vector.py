@@ -1,0 +1,238 @@
+"""The columnar access_run engine vs the scalar oracle.
+
+``repro.machine.vector`` vectorizes ``MemoryHierarchy.access_run`` by
+proving, per fixed-stride segment, that every probed line/page is either
+all-miss (cold sweep) or all-hit (hot sweep) and applying closed forms;
+anything it cannot prove falls back to the PR 1 per-access loop.  The
+scalar ``access`` loop is retained as the differential oracle, and this
+suite drives randomized and adversarial workloads through both, asserting
+bit-identical final ``MachineStats``, total cycles, per-access records,
+prefetch-stream state and LRU orders.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tiny_machine
+from repro.errors import ConfigError
+from repro.machine.presets import Machine, MachineSpec, amd_magnycours
+from tests.test_machine_bulk_access import (
+    batched_replay,
+    hierarchy_state,
+    scalar_replay,
+)
+
+PAGE = 4096
+
+
+def _twins(prefetch=True, engine="vector"):
+    a = tiny_machine(prefetch=prefetch, engine="python").hierarchy
+    b = tiny_machine(prefetch=prefetch, engine=engine).hierarchy
+    return a, b
+
+
+def assert_vector_matches_scalar(runs, prefetch=True):
+    a, b = _twins(prefetch)
+    stream_a = scalar_replay(a, runs)
+    stream_b = batched_replay(b, runs)
+    assert stream_a == stream_b
+    assert hierarchy_state(a) == hierarchy_state(b)
+    assert a.stats() == b.stats()
+
+
+# ---------------------------------------------------------------------------
+# randomized run generator: mixed strides, page-straddling bases,
+# load/store mixes, region reuse (hot regime), prefetch on/off
+
+
+@st.composite
+def run_program(draw):
+    """A list of runs with deliberate region reuse and nasty bases."""
+    # A few shared regions: re-sweeping one that is still resident is
+    # what drives the engine's hot (all-hit) regime.
+    regions = draw(
+        st.lists(
+            st.integers(min_value=-PAGE, max_value=1 << 18),
+            min_size=1, max_size=3,
+        )
+    )
+    n_runs = draw(st.integers(min_value=1, max_value=6))
+    runs = []
+    for _ in range(n_runs):
+        region = draw(st.sampled_from(regions))
+        # Page-straddling offsets: land near boundaries on purpose.
+        offset = draw(st.sampled_from([0, 1, 7, PAGE - 1, PAGE - 8, PAGE + 3]))
+        stride = draw(
+            st.sampled_from(
+                [1, 3, 4, 8, 16, 64, 100, 256, 640, PAGE, PAGE + 8,
+                 -1, -3, -8, -64, -100, -PAGE, -(PAGE + 8)]
+            )
+        )
+        count = draw(st.integers(min_value=1, max_value=400))
+        base = region + offset
+        if stride < 0:
+            base += count * -stride  # walk down through the region
+        runs.append(
+            (
+                draw(st.integers(min_value=0, max_value=3)),  # hw_tid
+                base,
+                stride,
+                count,
+                draw(st.integers(min_value=0, max_value=1)),  # home
+                draw(st.booleans()),                          # is_store
+            )
+        )
+    return runs
+
+
+class TestRandomizedDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(runs=run_program(), prefetch=st.booleans())
+    def test_stats_and_cycles_bit_identical(self, runs, prefetch):
+        a, b = _twins(prefetch)
+        total_a = sum(
+            sum(h[0] for h in scalar_replay(a, [run])) for run in runs
+        )
+        total_b = sum(b.access_run(*run[:5], run[5]) for run in runs)
+        assert total_a == total_b
+        assert a.stats() == b.stats()
+        assert hierarchy_state(a) == hierarchy_state(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(runs=run_program())
+    def test_records_bit_identical(self, runs):
+        assert_vector_matches_scalar(runs)
+
+
+# ---------------------------------------------------------------------------
+# regime edge cases
+
+
+class TestRegimeEdges:
+    def test_hot_resweep_promotes_identically(self):
+        # Second sweep of an L1-resident region: all hits, LRU promotion
+        # order must match the scalar loop's per-access promotes.
+        runs = [
+            (0, 0x10000, 8, 64, 0, False),   # 8 lines: fits tiny L1
+            (0, 0x10000, 8, 64, 0, False),   # hot resweep
+            (0, 0x10000, 8, 64, 0, True),    # hot store resweep
+        ]
+        assert_vector_matches_scalar(runs)
+
+    def test_prefetch_chain_collision_truncates(self):
+        # A unit-line sweep seeds a stream at expected-next-miss; a second
+        # sweep whose probed range contains that stream value must split
+        # where the prefetch hit lands.
+        runs = [
+            (0, 0x40000, 64, 10, 0, False),          # seeds stream at +10 lines
+            (0, 0x40000 + 64 * 5, 64, 20, 0, False),  # collides mid-run
+        ]
+        assert_vector_matches_scalar(runs)
+
+    def test_descending_page_crossing_tlb(self):
+        # dq = -1: page transitions walk downward; TLB install order and
+        # walk charges must match.
+        runs = [(0, 6 * PAGE + 11, -8, 5 * PAGE // 8, 0, False)]
+        assert_vector_matches_scalar(runs)
+
+    def test_page_multiple_stride(self):
+        # stride % page == 0: every access is a page transition.
+        runs = [
+            (0, 0x100000, PAGE, 120, 0, False),
+            (0, 0x100000 + 64, 2 * PAGE, 60, 0, True),
+            (0, 0x100000 + 120 * PAGE, -PAGE, 120, 0, False),
+        ]
+        assert_vector_matches_scalar(runs)
+
+    def test_l2_resident_falls_back_correctly(self):
+        # Sweep a region larger than L1 but L2-resident, then resweep:
+        # the resweep is neither all-L1-hit nor cold, so the engine must
+        # delegate to the python loop — and still match the oracle.
+        lines = 12  # > tiny L1 capacity (8 lines), <= L2 (16)
+        runs = [
+            (0, 0x20000, 64, lines, 0, False),
+            (0, 0x20000, 64, lines, 0, False),
+        ]
+        assert_vector_matches_scalar(runs)
+
+    def test_subline_strides_share_line_lookups(self):
+        # Sub-line strides repeat each line several times: repeat credits
+        # and the first-probe-per-line structure must agree.
+        runs = [
+            (0, PAGE - 9, 3, 500, 0, False),   # straddles the page start
+            (1, -7, 5, 300, 1, True),          # begins on page -1
+        ]
+        assert_vector_matches_scalar(runs)
+
+    def test_interleaved_threads_share_l3(self):
+        # Different cores' sweeps through one shared region: the second
+        # core's L1 is cold but L3 is warm — a mixed regime per core.
+        runs = [
+            (0, 0x80000, 64, 100, 0, False),
+            (2, 0x80000, 64, 100, 0, False),
+            (0, 0x80000, 64, 100, 0, False),
+        ]
+        assert_vector_matches_scalar(runs)
+
+    @pytest.mark.parametrize("prefetch", [True, False])
+    def test_magnycours_preset_parity(self, prefetch):
+        # The bench machine, mid-size workload, both prefetch settings.
+        spec = amd_magnycours().spec
+        a = Machine(
+            MachineSpec(**{**spec.__dict__, "sim_engine": "python",
+                           "prefetch": prefetch})
+        ).hierarchy
+        b = Machine(
+            MachineSpec(**{**spec.__dict__, "sim_engine": "vector",
+                           "prefetch": prefetch})
+        ).hierarchy
+        runs = [
+            (0, 1 << 30, 8, 3000, 0, False),
+            (1, (1 << 30) + 64, 64, 1500, 1, True),
+            (0, 1 << 30, 8, 3000, 0, False),
+            (3, (1 << 30) + 9 * PAGE, -8, 2000, 0, False),
+        ]
+        stream_a = scalar_replay(a, runs)
+        stream_b = batched_replay(b, runs)
+        assert stream_a == stream_b
+        assert a.stats() == b.stats()
+
+
+# ---------------------------------------------------------------------------
+# engine knob
+
+
+class TestEngineKnob:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            tiny_machine(engine="fortran")
+
+    def test_python_engine_never_vectorizes(self):
+        h = tiny_machine(engine="python").hierarchy
+        assert h.engine == "python"
+        assert h._vector_run is None
+
+    def test_auto_gates_on_run_length(self):
+        from repro.machine.vector import VECTOR_MIN_RUN
+
+        h = tiny_machine(engine="auto").hierarchy
+        assert h.engine == "auto"
+        assert h._vector_min == VECTOR_MIN_RUN
+        forced = tiny_machine(engine="vector").hierarchy
+        assert forced._vector_min < VECTOR_MIN_RUN
+
+    def test_results_identical_across_knob_values(self):
+        runs = [
+            (0, 0x5000, 8, 600, 0, False),
+            (1, 0x5000, 8, 600, 1, True),
+            (0, 0x9000 + 5, 3, 50, 0, False),  # below the auto threshold
+        ]
+        states = []
+        for engine in ("python", "auto", "vector"):
+            h = tiny_machine(engine=engine).hierarchy
+            total = sum(h.access_run(*run[:5], run[5]) for run in runs)
+            states.append((total, hierarchy_state(h)))
+        assert states[0] == states[1] == states[2]

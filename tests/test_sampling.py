@@ -1,0 +1,270 @@
+"""Sampled simulation: decision stream, estimator, seam, and fidelity.
+
+``repro.sim.sampling`` simulates a deterministic subset of access runs
+and extrapolates the rest.  These tests pin the decision stream's
+determinism, the EWMA clock estimator, the extrapolation scale, the
+``sys.modules`` activation seam, the provenance stamped into rank DBs,
+the ``repro.obs`` metric fold — and the acceptance bound: sampled-mode
+divergence stays within the documented limits on every bundled app
+preset at smoke scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Ctx, SimProcess, tiny_machine
+from repro.errors import ConfigError
+from repro.pmu.ebs import EBSEngine
+from repro.sim.sampling import (
+    RunSampler,
+    SamplingConfig,
+    active_config,
+    sampling,
+)
+from tests.conftest import MiniProgram
+from tests.test_machine_bulk_access import _SampleRecorder, hierarchy_state
+
+# Documented error bounds (DESIGN.md "Vectorized core"): per-metric
+# relative error and per-variable share delta of a sampled run.
+MAX_METRIC_REL_ERR = 0.10
+MAX_SHARE_DELTA = 0.02
+
+
+class TestConfig:
+    @pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+    def test_rate_validated(self, rate):
+        with pytest.raises(ConfigError):
+            SamplingConfig(rate=rate)
+
+    def test_min_run_validated(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(min_run=0)
+
+    def test_rate_one_allowed(self):
+        SamplingConfig(rate=1.0)
+
+
+class TestRunSampler:
+    def _decisions(self, seed: int, counts) -> list[bool]:
+        s = RunSampler(SamplingConfig(rate=0.5, min_run=64), seed)
+        out = []
+        for c in counts:
+            keep = s.observe_run(c)
+            out.append(keep)
+            if keep:
+                s.note_simulated(c, c * 10)
+            else:
+                s.estimate_skipped(c)
+        return out
+
+    def test_same_seed_same_decisions(self):
+        counts = [100] * 200
+        assert self._decisions(3, counts) == self._decisions(3, counts)
+
+    def test_different_seeds_differ(self):
+        counts = [100] * 400
+        assert self._decisions(3, counts) != self._decisions(4, counts)
+
+    def test_short_runs_always_simulated(self):
+        s = RunSampler(SamplingConfig(rate=0.01, min_run=64), seed=1)
+        assert all(s.observe_run(63) for _ in range(500))
+        assert s.skipped_runs == 0
+        assert s.eligible_runs == 0
+
+    def test_first_eligible_run_primes_the_estimate(self):
+        s = RunSampler(SamplingConfig(rate=0.01, min_run=64), seed=1)
+        assert s.observe_run(1000), "first eligible run must be simulated"
+        s.note_simulated(1000, 5000)  # 5 cycles/access
+        est = s.estimate_skipped(200)
+        assert est == 200 * 5
+
+    def test_ewma_tracks_recent_cost(self):
+        s = RunSampler(SamplingConfig(rate=0.5, min_run=1), seed=1)
+        s.note_simulated(100, 1000)   # 10 c/a
+        s.note_simulated(100, 30_00)  # 30 c/a -> ewma 15
+        assert s.estimate_skipped(100) == 1500
+
+    def test_scale_dilutes_with_scalar_accesses(self):
+        s = RunSampler(SamplingConfig(rate=0.5, min_run=64), seed=1)
+        s.observe_run(1000)
+        s.note_simulated(1000, 1000)
+        for _ in range(1000):
+            s.note_scalar()
+        # 2000 issued, 0 skipped: nothing to extrapolate.
+        assert s.scale() == 1.0
+        s.observe_run(1000)
+        s.estimate_skipped(1000)  # force one skip into the tallies
+        assert s.scale() == pytest.approx(3000 / 2000)
+
+    def test_to_meta_round_trips_tallies(self):
+        s = RunSampler(SamplingConfig(rate=0.25, min_run=64, seed=9), seed=9)
+        s.observe_run(100)
+        s.note_simulated(100, 400)
+        meta = s.to_meta()
+        assert meta["sampling_rate"] == "0.25"
+        assert meta["sampling_issued_accesses"] == "100"
+        assert float(meta["sampling_scale"]) == 1.0
+
+
+class TestActivationSeam:
+    def test_no_session_no_sampler(self):
+        assert active_config() is None
+        assert SimProcess(tiny_machine()).sampler is None
+
+    def test_session_attaches_to_new_processes(self):
+        with sampling(rate=0.5, seed=3) as cfg:
+            p = SimProcess(tiny_machine())
+            assert p.sampler is not None
+            assert p.sampler.config is cfg
+        assert active_config() is None
+        assert SimProcess(tiny_machine()).sampler is None
+
+    def test_processes_derive_independent_streams(self):
+        with sampling(rate=0.5, seed=3):
+            a = SimProcess(tiny_machine(), pid=0).sampler
+            b = SimProcess(tiny_machine(), pid=1).sampler
+        for s in (a, b):  # prime the EWMA so draws actually happen
+            s.observe_run(100)
+            s.note_simulated(100, 500)
+        da = [a.observe_run(100) for _ in range(300)]
+        db = [b.observe_run(100) for _ in range(300)]
+        assert da != db
+
+    def test_sessions_restore_previous(self):
+        with sampling(rate=0.5) as outer:
+            with sampling(rate=0.25):
+                assert active_config().rate == 0.25
+            assert active_config() is outer
+
+
+def _run_storm(prog: MiniProgram, n_runs: int = 40, run_len: int = 512):
+    ctx = prog.master_ctx()
+    a = ctx.alloc_array("A", (n_runs * 64 + run_len,), line=20)
+    ip = ctx.ip(10)
+    for i in range(n_runs):
+        base, count, stride = a.flat_run(i * 64, run_len)
+        ctx.load_run(base, count, stride, ip)
+    return ctx
+
+
+class TestCtxIntegration:
+    def test_skipped_runs_touch_no_machine_state(self):
+        with sampling(rate=0.25, min_run=64, seed=5):
+            prog = MiniProgram()
+        sampler = prog.process.sampler
+        baseline = hierarchy_state(prog.machine.hierarchy)
+        _run_storm(prog)
+        assert sampler.skipped_runs > 0
+        # Simulated accesses reached the hierarchy; skipped ones did not.
+        assert prog.machine.hierarchy.load_count == sampler.simulated_accesses
+        assert prog.machine.hierarchy.load_count < sampler.issued_accesses
+        assert hierarchy_state(prog.machine.hierarchy) != baseline
+
+    def test_skipped_runs_advance_clock_and_counters(self):
+        with sampling(rate=0.25, min_run=64, seed=5):
+            prog = MiniProgram()
+        _run_storm(prog)
+        sampler = prog.process.sampler
+        t = prog.process.master
+        assert t.mem_count == sampler.issued_accesses
+        assert sampler.estimated_cycles > 0
+        assert t.clock > sampler.estimated_cycles  # simulated + estimated
+
+    def test_skipped_runs_deliver_no_pmu_samples(self):
+        def storm(sampled: bool):
+            with sampling(rate=0.25, min_run=64, seed=5):
+                prog = MiniProgram() if sampled else None
+            if prog is None:
+                prog = MiniProgram()
+            rec = _SampleRecorder()
+            prog.process.hooks.append(rec)
+            prog.process.pmu = EBSEngine(period=16, skid=2, seed=3)
+            _run_storm(prog)
+            return prog, rec
+
+        full_prog, full_rec = storm(sampled=False)
+        samp_prog, samp_rec = storm(sampled=True)
+        assert len(samp_rec.samples) < len(full_rec.samples)
+        # The sampled stream is a subsequence in spirit: every delivered
+        # sample came from a really-simulated access.
+        assert samp_prog.process.master.mem_count == full_prog.process.master.mem_count
+
+    def test_same_seed_reproduces_identical_profiles(self):
+        from repro.parallel.registry import run_app_rank
+
+        def run():
+            with sampling(rate=0.25, min_run=64, seed=11):
+                return run_app_rank("amg2006", 0, 1).canonical_bytes()
+
+        assert run() == run()
+
+    def test_rank_db_meta_stamped(self):
+        from repro.parallel.registry import run_app_rank
+
+        with sampling(rate=0.25, min_run=64, seed=11):
+            db = run_app_rank("amg2006", 0, 1)
+        assert "sampling_scale" in db.meta
+        assert int(db.meta["sampling_issued_accesses"]) > 0
+        assert int(db.meta["elapsed_cycles"]) > 0
+        plain = run_app_rank("amg2006", 0, 1)
+        assert "sampling_scale" not in plain.meta
+        assert int(plain.meta["elapsed_cycles"]) > 0
+
+
+class TestObsFold:
+    def test_sampler_tallies_exported_as_gauges(self):
+        from repro.obs import observing
+
+        with observing() as session:
+            with sampling(rate=0.25, min_run=64, seed=5):
+                prog = MiniProgram()
+            _run_storm(prog)
+        session.finalize()
+        labels = {"process": prog.process.name}
+        reg = session.metrics
+        assert reg.value("repro_sim_sampling_skipped_runs", labels) > 0
+        assert reg.value("repro_sim_sampling_scale", labels) > 1.0
+        assert reg.value("repro_sim_sampling_issued_accesses", labels) == float(
+            prog.process.sampler.issued_accesses
+        )
+
+    def test_no_gauges_without_sampler(self):
+        from repro.obs import observing
+
+        with observing() as session:
+            prog = MiniProgram()
+            _run_storm(prog)
+        session.finalize()
+        assert "repro_sim_sampling_scale" not in session.metrics.metric_names()
+
+
+class TestFidelityBounds:
+    """The acceptance criterion: divergence within the documented bound
+    on every bundled app preset (smoke scale)."""
+
+    @pytest.mark.parametrize(
+        "app", ["amg2006", "lulesh", "nw", "streamcluster", "sweep3d"]
+    )
+    def test_app_within_bounds(self, app):
+        from repro.parallel.fidelity import measure_fidelity
+
+        report = measure_fidelity(
+            app, preset="smoke", rate=0.25, min_run=64, seed=7
+        )
+        assert report.within(MAX_METRIC_REL_ERR, MAX_SHARE_DELTA), (
+            f"{app}: max metric rel_err {report.max_metric_rel_err:.4f}, "
+            f"max share delta {report.max_share_delta:.4f}"
+        )
+
+    def test_report_shape(self):
+        from repro.core.metrics import MetricKind
+        from repro.parallel.fidelity import measure_fidelity, render_fidelity
+
+        report = measure_fidelity("amg2006", rate=0.25, seed=7)
+        assert {m.metric for m in report.metrics} == {k.value for k in MetricKind}
+        assert report.skipped_accesses > 0
+        assert report.scale > 1.0
+        text = render_fidelity(report)
+        assert "max metric rel_err" in text
+        assert report.app in text
