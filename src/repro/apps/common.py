@@ -101,6 +101,10 @@ def as_rank_db(
     )
     if process is not None:
         db.meta["elapsed_cycles"] = str(process.elapsed_cycles)
+        # The machine preset the rank ran on: the formula registry keys
+        # per-architecture constant overrides (latencies, thresholds) on
+        # this when deriving metrics from the merged profile.
+        db.meta["machine"] = process.machine.spec.name
         if process.sampler is not None:
             db.meta.update(process.sampler.to_meta())
     return db

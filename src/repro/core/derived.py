@@ -2,9 +2,10 @@
 
 Before applying data-centric analysis, the paper "computes derived
 metrics to identify whether a program is memory-bound enough for data
-locality optimization".  This module implements that triage on top of
-either machine-level counters (when you own the run) or a merged profile
-(when you only have the measurement data):
+locality optimization".  Both entry points below route through the
+declarative formula engine in :mod:`repro.metrics.boundness` — one DAG
+of metric nodes evaluated over either a merged profile or a live
+machine through the adapters in :mod:`repro.metrics.sources`:
 
 - *memory cycle fraction*: sampled access latency relative to total
   sampled cost — the headroom locality optimization could recover;
@@ -12,63 +13,20 @@ either machine-level counters (when you own the run) or a merged profile
 - *remote intensity*: fraction of DRAM-serviced samples that crossed the
   interconnect (the NUMA-specific headroom);
 - *TLB intensity*: page-walk pressure (long-stride/irregular signature).
+
+This module keeps the historical import surface
+(``repro.core.derived.BoundnessReport`` etc.); the definitions live in
+:mod:`repro.metrics`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.analyzer import ExperimentDB
-from repro.core.metrics import MetricKind
-from repro.core.storage import StorageClass
-from repro.machine.hierarchy import LVL_LMEM, LVL_RMEM
 from repro.machine.presets import Machine
+from repro.metrics.boundness import BoundnessReport, report_from_source
+from repro.metrics.sources import MachineSource, ProfileSource
 
 __all__ = ["BoundnessReport", "derive_from_profile", "derive_from_machine"]
-
-_MEMORY_BOUND_FRACTION = 0.25
-_NUMA_BOUND_REMOTE = 0.4
-
-
-@dataclass(frozen=True)
-class BoundnessReport:
-    """Triage verdict for a profiled execution."""
-
-    memory_cycle_fraction: float   # sampled latency / total sampled cycles
-    dram_intensity: float          # DRAM-serviced / all memory samples
-    remote_intensity: float        # remote / DRAM-serviced samples
-    tlb_intensity: float           # TLB-missing / all memory samples
-    samples: int
-
-    @property
-    def memory_bound(self) -> bool:
-        """Worth running data-centric analysis at all (paper's gate)."""
-        return self.memory_cycle_fraction >= _MEMORY_BOUND_FRACTION
-
-    @property
-    def numa_bound(self) -> bool:
-        """Worth examining NUMA events specifically."""
-        return self.memory_bound and self.remote_intensity >= _NUMA_BOUND_REMOTE
-
-    def verdict(self) -> str:
-        if not self.memory_bound:
-            return "compute-bound: data-locality optimization has little headroom"
-        if self.numa_bound:
-            return "NUMA-bound: examine remote-access events and placement"
-        if self.tlb_intensity > 0.2:
-            return "latency-bound with TLB pressure: suspect long strides/layout"
-        return "memory-bound: examine cache locality and data layout"
-
-
-def _report(total_latency, compute_cycles, samples, dram, remote, tlb) -> BoundnessReport:
-    total_cost = total_latency + compute_cycles
-    return BoundnessReport(
-        memory_cycle_fraction=(total_latency / total_cost) if total_cost else 0.0,
-        dram_intensity=(dram / samples) if samples else 0.0,
-        remote_intensity=(remote / dram) if dram else 0.0,
-        tlb_intensity=(tlb / samples) if samples else 0.0,
-        samples=samples,
-    )
 
 
 def derive_from_profile(exp: ExperimentDB) -> BoundnessReport:
@@ -80,50 +38,15 @@ def derive_from_profile(exp: ExperimentDB) -> BoundnessReport:
     which is fine, because one only configures a NUMA event after the
     initial triage.
     """
-    profile = exp.profile
-    samples = 0
-    latency = 0
-    dram = 0
-    remote = 0
-    tlb = 0
-    for storage in (StorageClass.HEAP, StorageClass.STATIC,
-                    StorageClass.STACK, StorageClass.UNKNOWN):
-        cct = profile.get_cct(storage)
-        if cct is None:
-            continue
-        m = cct.root.inclusive()
-        samples += m.samples
-        latency += m.latency
-        dram += m.levels[LVL_LMEM] + m.levels[LVL_RMEM]
-        remote += m.levels[LVL_RMEM]
-        tlb += m.tlb_misses
-    compute = 0
-    nonmem_cct = profile.get_cct(StorageClass.NONMEM)
-    if nonmem_cct is not None:
-        compute = nonmem_cct.root.inclusive().events  # period-scaled instruction estimate
-    return _report(latency, compute, samples, dram, remote, tlb)
+    return report_from_source(ProfileSource(exp))
 
 
 def derive_from_machine(machine: Machine, elapsed_cycles: int) -> BoundnessReport:
     """Derive boundness from the machine's exact counters (no sampling).
 
-    Uses the hierarchy's level counts and latency model to estimate
-    memory cycles against the elapsed time.
+    Memory cycles are the modelled level costs over the hierarchy's
+    counters — remote DRAM priced by the *observed* per-hop access
+    distribution, not a fixed worst-case distance — plus controller
+    queueing, judged against the elapsed clock.
     """
-    h = machine.hierarchy
-    lat = machine.spec.latency
-    counts = h.level_counts
-    memory_cycles = (
-        counts[0] * lat.l1
-        + counts[1] * lat.l2
-        + counts[2] * lat.l3
-        + counts[3] * lat.local_dram
-        + counts[4] * lat.dram(2)
-        + h.contention.total_queue_cycles
-    )
-    accesses = sum(counts)
-    dram = counts[LVL_LMEM] + counts[LVL_RMEM]
-    remote = counts[LVL_RMEM]
-    tlb = sum(t.misses for t in h.tlb)
-    compute = max(0, elapsed_cycles - memory_cycles)
-    return _report(memory_cycles, compute, accesses, dram, remote, tlb)
+    return report_from_source(MachineSource(machine, elapsed_cycles))

@@ -22,7 +22,13 @@ from repro.core.profiledb import ProfileDB, ThreadProfile
 from repro.core.storage import StorageClass
 from repro.errors import ProfileError
 
-__all__ = ["MergeStats", "merge_thread_profiles", "merge_profiles", "reduction_tree_merge"]
+__all__ = [
+    "MergeStats",
+    "consensus_meta",
+    "merge_thread_profiles",
+    "merge_profiles",
+    "reduction_tree_merge",
+]
 
 
 @dataclass
@@ -70,6 +76,26 @@ def _collapse_db(db: ProfileDB, stats: MergeStats | None = None) -> ThreadProfil
     return merged
 
 
+def consensus_meta(dbs: Sequence[ProfileDB]) -> dict[str, str]:
+    """Metadata every input agrees on (same key, same value in all DBs).
+
+    Rank-specific keys (rank, seed, elapsed cycles) differ and drop out;
+    job-level provenance (app, variant, n_ranks, the machine preset the
+    ranks ran on) survives the merge.  Intersection is associative and
+    commutative, so any merge schedule yields the same result — the
+    byte-identity-across-schedules invariant holds.
+    """
+    if not dbs:
+        return {}
+    out = dict(dbs[0].meta)
+    for db in dbs[1:]:
+        meta = db.meta
+        out = {k: v for k, v in out.items() if meta.get(k) == v}
+        if not out:
+            break
+    return out
+
+
 def merge_profiles(dbs: Sequence[ProfileDB], name: str = "job") -> ProfileDB:
     """Sequentially merge many process DBs into one job-level DB.
 
@@ -84,6 +110,7 @@ def merge_profiles(dbs: Sequence[ProfileDB], name: str = "job") -> ProfileDB:
             merge_thread_profiles(merged, profile, stats)
     out = ProfileDB(name)
     out.add_thread(merged)
+    out.meta.update(consensus_meta(dbs))
     return out
 
 
@@ -144,4 +171,5 @@ def reduction_tree_merge(
     merged.thread_name = f"{name}.merged"
     out = ProfileDB(name)
     out.add_thread(merged)
+    out.meta.update(consensus_meta(dbs))
     return out, stats

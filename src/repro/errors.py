@@ -29,3 +29,8 @@ class SimulationError(ReproError):
 
 class ProfileError(ReproError):
     """Profile data is malformed or cannot be merged/analyzed."""
+
+
+class FormulaError(ReproError):
+    """A derived-metric formula is ill-formed (unknown reference, unit
+    mismatch, dependency cycle) or cannot be evaluated over a source."""

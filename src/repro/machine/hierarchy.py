@@ -140,6 +140,12 @@ class MemoryHierarchy:
         self._numa_of = [topology.numa_of(t) for t in range(topology.n_threads)]
 
         self.level_counts = [0, 0, 0, 0, 0]
+        # DRAM accesses by interconnect distance: [same-node, same-socket
+        # cross-die, cross-socket].  hop_counts[0] == level_counts[LVL_LMEM]
+        # and hop_counts[1] + hop_counts[2] == level_counts[LVL_RMEM];
+        # derived metrics price remote DRAM from this observed distribution
+        # instead of assuming a fixed 2-hop distance.
+        self.hop_counts = [0, 0, 0]
         self.load_count = 0
         self.store_count = 0
         self.prefetch_hits = 0
@@ -243,6 +249,7 @@ class MemoryHierarchy:
         self.l3[socket].install(line)
         level = LVL_RMEM if remote else LVL_LMEM
         self.level_counts[level] += 1
+        self.hop_counts[hops] += 1
         return (cycles, level, tlb_miss)
 
     def access_run(
@@ -343,7 +350,8 @@ class MemoryHierarchy:
         store_extra = lat.store_extra if is_store else 0
         my_node = self._numa_of[hw_tid]
         remote = home_node != my_node
-        dram_lat = lat.dram(self.topology.hops(my_node, home_node))
+        dram_hops = self.topology.hops(my_node, home_node)
+        dram_lat = lat.dram(dram_hops)
         dram_level = LVL_RMEM if remote else LVL_LMEM
         dram_access = self.contention.dram_access
         l1_access = l1.access
@@ -474,6 +482,7 @@ class MemoryHierarchy:
         lc[LVL_L3] += n3
         if nd:
             lc[dram_level] += nd
+            self.hop_counts[dram_hops] += nd
             self.memmgr.note_dram_accesses(home_node, remote, nd)
         if pf_hits:
             self.prefetch_hits += pf_hits
@@ -525,6 +534,7 @@ class MemoryHierarchy:
             l3_misses += c.misses
         return MachineStats(
             level_counts=tuple(self.level_counts),
+            hop_counts=tuple(self.hop_counts),
             loads=self.load_count,
             stores=self.store_count,
             prefetch_hits=self.prefetch_hits,

@@ -26,6 +26,10 @@ class MachineStats:
     """One immutable snapshot of the machine's self-instrumentation."""
 
     level_counts: tuple[int, ...] = (0, 0, 0, 0, 0)
+    # DRAM accesses by interconnect distance (0 = same node, 1 = same
+    # socket / different die, 2 = cross-socket); prices remote DRAM by
+    # observed hop distribution instead of a fixed worst case.
+    hop_counts: tuple[int, ...] = (0, 0, 0)
     loads: int = 0
     stores: int = 0
     prefetch_hits: int = 0
@@ -119,6 +123,12 @@ class MachineStats:
         out.append(("L1 hits / misses", f"{self.l1_hits} / {self.l1_misses}"))
         out.append(("L2 hits / misses", f"{self.l2_hits} / {self.l2_misses}"))
         out.append(("L3 hits / misses", f"{self.l3_hits} / {self.l3_misses}"))
+        out.append(
+            (
+                "DRAM accesses per hop",
+                " ".join(str(n) for n in self.hop_counts) or "-",
+            )
+        )
         out.append(("DRAM accesses per node", " ".join(str(n) for n in self.dram_accesses) or "-"))
         out.append(
             (

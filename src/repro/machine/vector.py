@@ -101,7 +101,8 @@ def access_run_vector(
     store_extra = lat.store_extra if is_store else 0
     my_node = h._numa_of[hw_tid]
     remote = home_node != my_node
-    dram_lat = lat.dram(h.topology.hops(my_node, home_node))
+    dram_hops = h.topology.hops(my_node, home_node)
+    dram_lat = lat.dram(dram_hops)
     dram_level = _LVL_RMEM if remote else _LVL_LMEM
     prefetch_on = h.prefetch_enabled
     streams = h._streams[core]
@@ -212,6 +213,7 @@ def access_run_vector(
         mF = int(np.searchsorted(trans_idx, F))  # page walks in the segment
         queue = h.contention.dram_access_bulk(home_node, hw_tid, F)
         h.memmgr.note_dram_accesses(home_node, remote, F)
+        h.hop_counts[dram_hops] += F
 
         serve0 = serve_rest = dram_lat
         if prefetch_on:

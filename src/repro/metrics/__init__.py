@@ -1,0 +1,52 @@
+"""Derived-metric formula engine and the boundness triage built on it.
+
+:mod:`repro.metrics.formula` is the generic engine (declare counters,
+constants and formula nodes; eager validation; evaluate over any
+:class:`~repro.metrics.formula.CounterSource`).
+:mod:`repro.metrics.boundness` declares the paper's §5 triage metrics and
+the LIKWID-style top-down hierarchy as nodes of one registry, and
+:mod:`repro.metrics.sources` adapts merged profiles and live machines to
+the counter protocol.
+"""
+
+from repro.metrics.boundness import (
+    REGISTRY,
+    BoundnessReport,
+    evaluate_boundness,
+    register_spec,
+    report_from_source,
+)
+from repro.metrics.formula import (
+    Constant,
+    Counter,
+    CounterSource,
+    EvalResult,
+    FormulaNode,
+    FormulaRegistry,
+    Ref,
+    TreeRow,
+    requires,
+)
+from repro.metrics.render import render_topdown
+from repro.metrics.sources import MachineSource, ProfileSource, StaticSource
+
+__all__ = [
+    "FormulaRegistry",
+    "FormulaNode",
+    "Counter",
+    "Constant",
+    "CounterSource",
+    "Ref",
+    "requires",
+    "EvalResult",
+    "TreeRow",
+    "REGISTRY",
+    "BoundnessReport",
+    "register_spec",
+    "evaluate_boundness",
+    "report_from_source",
+    "StaticSource",
+    "ProfileSource",
+    "MachineSource",
+    "render_topdown",
+]

@@ -1,0 +1,544 @@
+"""The boundness-triage metrics, as formula nodes (paper §5).
+
+Before applying data-centric analysis, the paper "computes derived
+metrics to identify whether a program is memory-bound enough for data
+locality optimization".  This module declares that triage — previously
+ad-hoc arithmetic in ``repro/core/derived.py`` — as nodes in a
+:class:`repro.metrics.formula.FormulaRegistry`, evaluated over either a
+merged profile or a live machine through the adapters in
+:mod:`repro.metrics.sources`.
+
+Three override mechanisms replace what used to be hard-coded:
+
+* **per-architecture constants** — every bundled machine preset
+  registers its latency model (and topology-derived mean remote hop
+  distance) as constant overrides keyed by the preset name, so a
+  profile stamped ``machine=amd-magnycours`` prices DRAM with
+  Magny-Cours latencies;
+* **per-source-kind nodes** — ``mem_cycles`` reads the *measured*
+  sampled latency on a profile source but sums modelled level costs on
+  a machine source; ``compute_cycles`` likewise (NONMEM instruction
+  estimate vs. elapsed-minus-memory);
+* **observed hop pricing** — remote DRAM cycles come from the
+  hierarchy's per-hop access counts when available (machine sources),
+  falling back to the preset's mean remote distance.  The old code
+  priced *all* remote DRAM at a fixed 2-hop ``lat.dram(2)``, which
+  overcharged every same-socket/cross-die access on multi-die parts
+  like Magny-Cours.
+
+The top-down hierarchy (LIKWID/pmu-tools style) hangs off the same
+nodes: level-0 ``total_cycles`` splits into frontend/retiring/backend,
+backend into core/memory, memory into cache/DRAM/TLB, and DRAM into
+local/NUMA/queue.  The simulator has no frontend or core pipeline model,
+so those nodes are explicit zeros rather than absent — the renderer
+shows the whole accounting.  ``tlb_bound`` overlaps its siblings (a TLB
+walk accrues on an access that is *also* counted under cache or DRAM);
+the overlap is documented in the node and flagged by the renderer.
+
+On sampled-profile sources the level-3/4 breakdown is modelled from
+sample counts and latency constants (samples don't record per-level
+cycle splits); the top of the tree uses the measured latency, so the
+``memory_bound`` share equals the report's ``memory_cycle_fraction``
+exactly on both source kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.latency import LatencyModel
+from repro.machine.presets import MachineSpec, builtin_specs
+from repro.metrics.formula import CounterSource, EvalResult, FormulaRegistry, Ref
+
+__all__ = [
+    "REGISTRY",
+    "BoundnessReport",
+    "register_spec",
+    "evaluate_boundness",
+    "report_from_source",
+    "MEMORY_BOUND_FRACTION",
+    "NUMA_BOUND_REMOTE",
+    "TLB_PRESSURE",
+]
+
+# The paper's §5 gates (defaults; presets may override per architecture).
+MEMORY_BOUND_FRACTION = 0.25
+NUMA_BOUND_REMOTE = 0.4
+TLB_PRESSURE = 0.2
+
+
+@dataclass(frozen=True)
+class BoundnessReport:
+    """Triage verdict for a profiled execution."""
+
+    memory_cycle_fraction: float   # memory cycles / total cycles
+    dram_intensity: float          # DRAM-serviced / all memory samples
+    remote_intensity: float        # remote / DRAM-serviced samples
+    tlb_intensity: float           # TLB-missing / all memory samples
+    samples: int
+    # Total accounted cycles (memory + compute).  Distinguishes a truly
+    # empty input (samples == 0 *and* total_cycles == 0 -> inconclusive)
+    # from a genuinely compute-only execution (no memory samples but
+    # real elapsed cycles -> compute-bound).
+    total_cycles: int = 0
+    # The thresholds this report was judged against (per-architecture
+    # overrides may have shifted them from the defaults).
+    memory_bound_fraction: float = MEMORY_BOUND_FRACTION
+    numa_bound_remote: float = NUMA_BOUND_REMOTE
+    tlb_pressure: float = TLB_PRESSURE
+
+    @property
+    def memory_bound(self) -> bool:
+        """Worth running data-centric analysis at all (paper's gate)."""
+        return self.memory_cycle_fraction >= self.memory_bound_fraction
+
+    @property
+    def numa_bound(self) -> bool:
+        """Worth examining NUMA events specifically."""
+        return self.memory_bound and self.remote_intensity >= self.numa_bound_remote
+
+    def verdict(self) -> str:
+        if self.samples == 0 and self.total_cycles == 0:
+            # An empty profile used to read "compute-bound", which is a
+            # misleading answer to "should I optimize locality?" when
+            # nothing at all was observed.
+            return "inconclusive: no samples or cycles observed (empty profile?)"
+        if not self.memory_bound:
+            return "compute-bound: data-locality optimization has little headroom"
+        if self.numa_bound:
+            return "NUMA-bound: examine remote-access events and placement"
+        if self.tlb_intensity > self.tlb_pressure:
+            return "latency-bound with TLB pressure: suspect long strides/layout"
+        return "memory-bound: examine cache locality and data layout"
+
+
+# ---------------------------------------------------------------------------
+# Registry: counter vocabulary
+# ---------------------------------------------------------------------------
+
+REGISTRY = FormulaRegistry("boundness")
+
+REGISTRY.counter("samples", "count", "memory accesses observed (sampled or exact)")
+REGISTRY.counter("l1_samples", "count", "accesses served by L1")
+REGISTRY.counter("l2_samples", "count", "accesses served by L2")
+REGISTRY.counter("l3_samples", "count", "accesses served by L3")
+REGISTRY.counter("lmem_samples", "count", "accesses served by local DRAM")
+REGISTRY.counter("rmem_samples", "count", "accesses served by remote DRAM")
+REGISTRY.counter("tlb_miss_samples", "count", "accesses that took a TLB walk")
+REGISTRY.counter(
+    "hop1_samples", "count",
+    "DRAM accesses observed at 1 interconnect hop (machine sources)",
+)
+REGISTRY.counter(
+    "hop2_samples", "count",
+    "DRAM accesses observed at 2 interconnect hops (machine sources)",
+)
+REGISTRY.counter(
+    "queue_cycles", "cycles",
+    "controller queueing delay accrued at the DRAM controllers",
+)
+REGISTRY.counter(
+    "elapsed_cycles", "cycles", "wall clock of the run (machine sources)"
+)
+REGISTRY.counter(
+    "measured_memory_cycles", "cycles",
+    "summed sampled access latency (profile sources)",
+)
+REGISTRY.counter(
+    "nonmem_event_cycles", "cycles",
+    "period-scaled non-memory instruction estimate (profile sources)",
+)
+
+# ---------------------------------------------------------------------------
+# Constants: latency model + thresholds, with per-architecture overrides
+# ---------------------------------------------------------------------------
+
+_DEFAULT_LAT = LatencyModel()
+
+REGISTRY.constant("lat_l1", _DEFAULT_LAT.l1, "cycles", "L1 hit latency")
+REGISTRY.constant("lat_l2", _DEFAULT_LAT.l2, "cycles", "L2 hit latency")
+REGISTRY.constant("lat_l3", _DEFAULT_LAT.l3, "cycles", "L3 hit latency")
+REGISTRY.constant(
+    "lat_local_dram", _DEFAULT_LAT.local_dram, "cycles", "local DRAM latency"
+)
+REGISTRY.constant(
+    "lat_hop", _DEFAULT_LAT.hop, "cycles", "per-interconnect-hop DRAM penalty"
+)
+REGISTRY.constant(
+    "lat_tlb_walk", _DEFAULT_LAT.tlb_walk, "cycles", "page-table walk cost"
+)
+REGISTRY.constant(
+    "avg_remote_hops", 2.0, "count",
+    "mean interconnect distance of a remote access (fallback when no "
+    "per-hop counts were observed)",
+)
+REGISTRY.constant(
+    "memory_bound_fraction", MEMORY_BOUND_FRACTION, "fraction",
+    "memory-cycle share above which locality optimization has headroom",
+)
+REGISTRY.constant(
+    "numa_bound_remote", NUMA_BOUND_REMOTE, "fraction",
+    "remote share of DRAM samples above which NUMA events are worth it",
+)
+REGISTRY.constant(
+    "tlb_pressure", TLB_PRESSURE, "fraction",
+    "TLB-miss share above which long strides/layout are suspect",
+)
+
+_registered_specs: set[str] = set()
+
+
+def register_spec(spec: MachineSpec) -> None:
+    """Register one machine preset's per-architecture constant overrides.
+
+    Idempotent by preset name; all bundled presets are registered at
+    import, so this only matters for user-defined specs.
+    """
+    if spec.name in _registered_specs:
+        return
+    _registered_specs.add(spec.name)
+    lat = spec.latency
+    for cname, value in (
+        ("lat_l1", lat.l1),
+        ("lat_l2", lat.l2),
+        ("lat_l3", lat.l3),
+        ("lat_local_dram", lat.local_dram),
+        ("lat_hop", lat.hop),
+        ("lat_tlb_walk", lat.tlb_walk),
+    ):
+        REGISTRY.constant(cname, value, override=spec.name)
+    REGISTRY.constant("avg_remote_hops", spec.avg_remote_hops, override=spec.name)
+    for cname, value in (
+        ("memory_bound_fraction", spec.memory_bound_fraction),
+        ("numa_bound_remote", spec.numa_bound_remote),
+        ("tlb_pressure", spec.tlb_pressure),
+    ):
+        if value is not None:
+            REGISTRY.constant(cname, value, override=spec.name)
+
+
+for _spec in builtin_specs():
+    register_spec(_spec)
+
+# ---------------------------------------------------------------------------
+# Value nodes: modelled cycle costs
+# ---------------------------------------------------------------------------
+
+_N = REGISTRY.node
+
+_N(
+    "l1_cycles", "cycles",
+    lambda ev: ev("l1_samples") * ev("lat_l1"),
+    reqs=("l1_samples:count", "lat_l1:cycles"),
+    doc="modelled cycles spent in L1-serviced accesses",
+)
+_N(
+    "l2_cycles", "cycles",
+    lambda ev: ev("l2_samples") * ev("lat_l2"),
+    reqs=("l2_samples:count", "lat_l2:cycles"),
+    doc="modelled cycles spent in L2-serviced accesses",
+)
+_N(
+    "l3_cycles", "cycles",
+    lambda ev: ev("l3_samples") * ev("lat_l3"),
+    reqs=("l3_samples:count", "lat_l3:cycles"),
+    doc="modelled cycles spent in L3-serviced accesses",
+)
+_N(
+    "local_dram_cycles", "cycles",
+    lambda ev: ev("lmem_samples") * ev("lat_local_dram"),
+    reqs=("lmem_samples:count", "lat_local_dram:cycles"),
+    doc="modelled cycles spent in local-DRAM-serviced accesses",
+)
+
+
+def _remote_dram_cycles(ev) -> float:
+    """Price remote DRAM by observed hop distance when available.
+
+    Machine sources expose the hierarchy's per-hop access counts, so
+    each access is charged its actual interconnect distance (this is
+    the fix for the old fixed ``lat.dram(2)`` pricing, which overcharged
+    same-socket/cross-die accesses on multi-die parts).  Profile sources
+    don't observe hop distance; fall back to the preset's mean remote
+    distance over a uniform placement.
+    """
+    local = ev("lat_local_dram")
+    hop = ev("lat_hop")
+    if ev.has("hop1_samples") and ev.has("hop2_samples"):
+        return ev("hop1_samples") * (local + hop) + ev("hop2_samples") * (
+            local + 2 * hop
+        )
+    return int(ev("rmem_samples") * (local + ev("avg_remote_hops") * hop))
+
+
+_N(
+    "remote_dram_cycles", "cycles",
+    _remote_dram_cycles,
+    reqs=(
+        Ref("hop1_samples", "count", optional=True),
+        Ref("hop2_samples", "count", optional=True),
+        "rmem_samples:count",
+        "lat_local_dram:cycles",
+        "lat_hop:cycles",
+        "avg_remote_hops:count",
+    ),
+    doc="modelled cycles spent in remote-DRAM-serviced accesses",
+)
+_N(
+    "tlb_cycles", "cycles",
+    lambda ev: ev("tlb_miss_samples") * ev("lat_tlb_walk"),
+    reqs=("tlb_miss_samples:count", "lat_tlb_walk:cycles"),
+    doc="modelled cycles spent in page-table walks",
+)
+_N(
+    "cache_cycles", "cycles",
+    lambda ev: ev("l1_cycles") + ev("l2_cycles") + ev("l3_cycles"),
+    reqs=("l1_cycles:cycles", "l2_cycles:cycles", "l3_cycles:cycles"),
+    doc="modelled cycles in cache-serviced accesses",
+)
+_N(
+    "dram_cycles", "cycles",
+    lambda ev: ev("local_dram_cycles")
+    + ev("remote_dram_cycles")
+    + ev.get("queue_cycles", 0),
+    reqs=(
+        "local_dram_cycles:cycles",
+        "remote_dram_cycles:cycles",
+        Ref("queue_cycles", "cycles", optional=True),
+    ),
+    doc="modelled cycles in DRAM-serviced accesses, queueing included",
+)
+_N(
+    "dram_samples", "count",
+    lambda ev: ev("lmem_samples") + ev("rmem_samples"),
+    reqs=("lmem_samples:count", "rmem_samples:count"),
+    doc="accesses serviced by DRAM (local + remote)",
+)
+
+# mem_cycles is the triage basis.  The base variant sums the modelled
+# level costs (what a machine source supports); the "profile" override
+# uses the latency the sampler actually measured.
+_N(
+    "mem_cycles", "cycles",
+    lambda ev: ev("cache_cycles") + ev("dram_cycles"),
+    reqs=("cache_cycles:cycles", "dram_cycles:cycles"),
+    doc="cycles attributable to the memory subsystem",
+)
+_N(
+    "mem_cycles", "cycles",
+    lambda ev: ev("measured_memory_cycles"),
+    reqs=("measured_memory_cycles:cycles",),
+    doc="cycles attributable to the memory subsystem (measured latency)",
+    override="profile",
+)
+
+# compute_cycles: the profile path estimates compute from non-memory IBS
+# samples; on a machine the exact clock is available, so compute is
+# whatever the memory model doesn't account for.
+_N(
+    "compute_cycles", "cycles",
+    lambda ev: ev.get("nonmem_event_cycles", 0),
+    reqs=(Ref("nonmem_event_cycles", "cycles", optional=True),),
+    doc="cycles attributable to computation",
+)
+_N(
+    "compute_cycles", "cycles",
+    lambda ev: max(0, ev("elapsed_cycles") - ev("mem_cycles")),
+    reqs=("elapsed_cycles:cycles", "mem_cycles:cycles"),
+    doc="cycles attributable to computation (elapsed minus memory)",
+    override="machine",
+)
+
+# ---------------------------------------------------------------------------
+# Ratio and flag nodes (the report's fields)
+# ---------------------------------------------------------------------------
+
+
+def _memory_cycle_fraction(ev) -> float:
+    total = ev("mem_cycles") + ev("compute_cycles")
+    return (ev("mem_cycles") / total) if total else 0.0
+
+
+_N(
+    "memory_cycle_fraction", "fraction",
+    _memory_cycle_fraction,
+    reqs=("mem_cycles:cycles", "compute_cycles:cycles"),
+    doc="memory cycles / total cycles — the locality-optimization headroom",
+)
+_N(
+    "dram_intensity", "fraction",
+    lambda ev: (ev("dram_samples") / ev("samples")) if ev("samples") else 0.0,
+    reqs=("dram_samples:count", "samples:count"),
+    doc="fraction of accesses served by memory",
+)
+_N(
+    "remote_intensity", "fraction",
+    lambda ev: (ev("rmem_samples") / ev("dram_samples"))
+    if ev("dram_samples")
+    else 0.0,
+    reqs=("rmem_samples:count", "dram_samples:count"),
+    doc="fraction of DRAM-serviced accesses that crossed the interconnect",
+)
+_N(
+    "tlb_intensity", "fraction",
+    lambda ev: (ev("tlb_miss_samples") / ev("samples")) if ev("samples") else 0.0,
+    reqs=("tlb_miss_samples:count", "samples:count"),
+    doc="fraction of accesses that took a page walk",
+)
+_N(
+    "is_memory_bound", "flag",
+    lambda ev: 1.0
+    if ev("memory_cycle_fraction") >= ev("memory_bound_fraction")
+    else 0.0,
+    reqs=("memory_cycle_fraction:fraction", "memory_bound_fraction:fraction"),
+    doc="paper §5 gate: worth running data-centric analysis at all",
+)
+_N(
+    "is_numa_bound", "flag",
+    lambda ev: 1.0
+    if ev("is_memory_bound") and ev("remote_intensity") >= ev("numa_bound_remote")
+    else 0.0,
+    reqs=(
+        "is_memory_bound:flag",
+        "remote_intensity:fraction",
+        "numa_bound_remote:fraction",
+    ),
+    doc="paper §5 gate: worth configuring NUMA marked events",
+)
+
+# ---------------------------------------------------------------------------
+# Top-down hierarchy (LIKWID style); levels 0-4
+# ---------------------------------------------------------------------------
+
+_N(
+    "total_cycles", "cycles",
+    lambda ev: ev("mem_cycles") + ev("compute_cycles"),
+    reqs=("mem_cycles:cycles", "compute_cycles:cycles"),
+    level=0,
+    doc="all accounted cycles",
+)
+_N(
+    "frontend_bound", "cycles",
+    lambda ev: 0,
+    level=1, parent="total_cycles",
+    doc="fetch/decode stalls — the simulator has no frontend model (always 0)",
+)
+_N(
+    "retiring", "cycles",
+    lambda ev: ev("compute_cycles"),
+    reqs=("compute_cycles:cycles",),
+    level=1, parent="total_cycles",
+    doc="useful computation",
+)
+_N(
+    "backend_bound", "cycles",
+    lambda ev: ev("mem_cycles"),
+    reqs=("mem_cycles:cycles",),
+    level=1, parent="total_cycles",
+    doc="stalls waiting on the backend (all memory in this model)",
+)
+_N(
+    "core_bound", "cycles",
+    lambda ev: 0,
+    level=2, parent="backend_bound",
+    doc="execution-port pressure — no core pipeline model (always 0)",
+)
+_N(
+    "memory_bound", "cycles",
+    lambda ev: ev("mem_cycles"),
+    reqs=("mem_cycles:cycles",),
+    level=2, parent="backend_bound",
+    doc="stalls in the memory subsystem",
+)
+_N(
+    "cache_bound", "cycles",
+    lambda ev: ev("cache_cycles"),
+    reqs=("cache_cycles:cycles",),
+    level=3, parent="memory_bound",
+    doc="cycles in cache-serviced accesses (modelled)",
+)
+_N(
+    "dram_bound", "cycles",
+    lambda ev: ev("dram_cycles"),
+    reqs=("dram_cycles:cycles",),
+    level=3, parent="memory_bound",
+    doc="cycles in DRAM-serviced accesses (modelled)",
+)
+_N(
+    "tlb_bound", "cycles",
+    lambda ev: ev("tlb_cycles"),
+    reqs=("tlb_cycles:cycles",),
+    level=3, parent="memory_bound",
+    doc="page-walk cycles; overlaps siblings (a walk accrues on an "
+    "access also counted under cache or DRAM)",
+)
+_N(
+    "l1_bound", "cycles",
+    lambda ev: ev("l1_cycles"),
+    reqs=("l1_cycles:cycles",),
+    level=4, parent="cache_bound",
+    doc="cycles in L1-serviced accesses",
+)
+_N(
+    "l2_bound", "cycles",
+    lambda ev: ev("l2_cycles"),
+    reqs=("l2_cycles:cycles",),
+    level=4, parent="cache_bound",
+    doc="cycles in L2-serviced accesses",
+)
+_N(
+    "l3_bound", "cycles",
+    lambda ev: ev("l3_cycles"),
+    reqs=("l3_cycles:cycles",),
+    level=4, parent="cache_bound",
+    doc="cycles in L3-serviced accesses",
+)
+_N(
+    "local_dram_bound", "cycles",
+    lambda ev: ev("local_dram_cycles"),
+    reqs=("local_dram_cycles:cycles",),
+    level=4, parent="dram_bound",
+    doc="cycles in local DRAM accesses",
+)
+_N(
+    "numa_bound", "cycles",
+    lambda ev: ev("remote_dram_cycles"),
+    reqs=("remote_dram_cycles:cycles",),
+    level=4, parent="dram_bound",
+    doc="cycles in remote (cross-interconnect) DRAM accesses",
+)
+_N(
+    "queue_bound", "cycles",
+    lambda ev: ev.get("queue_cycles", 0),
+    reqs=(Ref("queue_cycles", "cycles", optional=True),),
+    level=4, parent="dram_bound",
+    doc="controller queueing delay (bandwidth contention)",
+)
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def evaluate_boundness(source: CounterSource) -> EvalResult:
+    """Evaluate every boundness node over ``source``."""
+    spec = getattr(source, "spec", None)
+    if spec is not None:
+        register_spec(spec)
+    return REGISTRY.evaluate(source)
+
+
+def report_from_source(source: CounterSource) -> BoundnessReport:
+    """Build the triage report by evaluating the formula DAG."""
+    result = evaluate_boundness(source)
+    return BoundnessReport(
+        memory_cycle_fraction=result["memory_cycle_fraction"],
+        dram_intensity=result["dram_intensity"],
+        remote_intensity=result["remote_intensity"],
+        tlb_intensity=result["tlb_intensity"],
+        samples=int(source.counter("samples")),
+        total_cycles=int(result["total_cycles"]),
+        memory_bound_fraction=result["memory_bound_fraction"],
+        numa_bound_remote=result["numa_bound_remote"],
+        tlb_pressure=result["tlb_pressure"],
+    )

@@ -1,0 +1,603 @@
+"""Declarative derived-metric formula DAG (pmu-tools style).
+
+The paper gates data-centric analysis on derived metrics ("is this
+execution memory-bound enough for locality optimization?", §5).  Those
+metrics used to be ad-hoc arithmetic scattered across three number
+paths (``repro.core.derived``, the ``repro.obs`` gauges, the
+``repro.staticcheck`` weights); this module is the one engine they all
+route through now.
+
+A :class:`FormulaRegistry` holds three kinds of named entities:
+
+* **counters** — the raw-input vocabulary a :class:`CounterSource`
+  adapter provides (``samples``, ``rmem_samples``, ...).  Declaring them
+  up front is what makes "unknown reference" a *registration-time*
+  error instead of a KeyError three layers deep at evaluation.
+* **constants** — model parameters (latency costs, thresholds) with a
+  base value and optional per-architecture / per-preset / per-source
+  overrides.
+* **formula nodes** — one derived metric each: a typed ``requires(...)``
+  list referencing counters, constants or other nodes, a ``compute``
+  callable receiving a resolver, and optionally a position (``level`` +
+  ``parent``) in a LIKWID-style top-down hierarchy.
+
+Validation is eager, in the spirit of pmu-tools' ``knl_ratios.py``
+``@requires`` classes: every reference must already be declared, units
+must match, hierarchy links must be consistent, and the dependency
+graph (across *all* override variants) must stay acyclic — all checked
+at registration, so a broken formula fails at import time with a clear
+error, never mid-evaluation.
+
+Evaluation runs over a :class:`CounterSource` adapter; overrides are
+resolved through the source's ``override_keys`` (most specific first),
+which is how one node definition can price remote DRAM differently per
+machine preset, or read measured latency on a profile source while
+summing modelled level costs on a live machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.errors import FormulaError
+
+__all__ = [
+    "UNITS",
+    "Ref",
+    "requires",
+    "Counter",
+    "Constant",
+    "FormulaNode",
+    "CounterSource",
+    "FormulaRegistry",
+    "EvalResult",
+    "TreeRow",
+]
+
+# The unit vocabulary: "count" (events/samples), "cycles" (costs),
+# "fraction" (ratios in [0, 1]) and "flag" (0.0/1.0 verdict bits).
+UNITS = frozenset({"count", "cycles", "fraction", "flag"})
+
+
+@dataclass(frozen=True)
+class Ref:
+    """One typed dependency of a formula node.
+
+    ``unit`` (when given) must match the declared unit of the referenced
+    entity — checked at registration.  ``optional`` marks counters a
+    source may legitimately lack (e.g. queue cycles on a sampled-profile
+    source); the node's ``compute`` reads those via ``ev.get(name,
+    default)`` and must cope with their absence.
+    """
+
+    name: str
+    unit: str | None = None
+    optional: bool = False
+
+
+def requires(*specs: "Ref | str") -> tuple[Ref, ...]:
+    """Normalize dependency declarations: ``"name"``, ``"name:unit"`` or
+    :class:`Ref` instances."""
+    out: list[Ref] = []
+    for spec in specs:
+        if isinstance(spec, Ref):
+            out.append(spec)
+        elif isinstance(spec, str):
+            name, _, unit = spec.partition(":")
+            out.append(Ref(name, unit or None))
+        else:
+            raise FormulaError(f"bad requires() entry {spec!r}: want str or Ref")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Counter:
+    """A declared raw counter (provided by a :class:`CounterSource`)."""
+
+    name: str
+    unit: str
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A named model parameter (base value or one override variant)."""
+
+    name: str
+    value: float
+    unit: str
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class FormulaNode:
+    """One derived metric: typed inputs, a compute, a hierarchy slot."""
+
+    name: str
+    unit: str
+    compute: Callable[["_Resolver"], float]
+    requires: tuple[Ref, ...] = ()
+    level: int | None = None
+    parent: str | None = None
+    doc: str = ""
+
+
+@runtime_checkable
+class CounterSource(Protocol):
+    """The uniform raw-counter protocol both adapters implement.
+
+    ``override_keys`` drives constant/node variant resolution, most
+    specific key first (e.g. ``("smoke", "amd-magnycours", "machine")``).
+    """
+
+    kind: str
+    override_keys: tuple[str, ...]
+
+    def has(self, name: str) -> bool: ...
+
+    def counter(self, name: str) -> float: ...
+
+    def describe(self) -> str: ...
+
+
+@dataclass(frozen=True)
+class TreeRow:
+    """One evaluated hierarchy node, ready for rendering."""
+
+    name: str
+    level: int
+    value: float
+    parent: str | None
+    share_of_parent: float | None  # None at the root
+    share_of_total: float
+    doc: str = ""
+
+
+class _Resolver:
+    """The ``ev`` object handed to a node's ``compute``.
+
+    Enforces the pmu-tools discipline: a compute may only read names it
+    declared in ``requires(...)`` — an undeclared read is a
+    :class:`FormulaError`, not a silent lookup.
+    """
+
+    __slots__ = ("_registry", "_node", "_allowed", "_eval")
+
+    def __init__(self, registry: "FormulaRegistry", node: FormulaNode, evaluate):
+        self._registry = registry
+        self._node = node
+        self._allowed = {ref.name: ref for ref in node.requires}
+        self._eval = evaluate
+
+    def _ref(self, name: str) -> Ref:
+        ref = self._allowed.get(name)
+        if ref is None:
+            raise FormulaError(
+                f"formula {self._node.name!r} reads {name!r} without "
+                f"declaring it in requires(...)"
+            )
+        return ref
+
+    def __call__(self, name: str) -> float:
+        self._ref(name)
+        value = self._eval(name)
+        if value is _MISSING:
+            raise FormulaError(
+                f"formula {self._node.name!r} requires counter {name!r} "
+                f"which this source does not provide (declare the Ref "
+                f"optional and read it with ev.get() if that is expected)"
+            )
+        return value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        self._ref(name)
+        value = self._eval(name)
+        return default if value is _MISSING else value
+
+    def has(self, name: str) -> bool:
+        self._ref(name)
+        return self._eval(name) is not _MISSING
+
+
+_MISSING = object()  # sentinel: counter absent from the source
+
+
+class EvalResult(Mapping):
+    """Evaluated node (and resolved constant) values for one source."""
+
+    def __init__(
+        self,
+        registry: "FormulaRegistry",
+        source: CounterSource,
+        values: dict[str, float],
+    ) -> None:
+        self._registry = registry
+        self.source = source
+        self._values = values
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def node_values(self) -> dict[str, float]:
+        """Only the formula-node values (no constants)."""
+        return {
+            name: self._values[name]
+            for name in self._registry.node_names()
+            if name in self._values
+        }
+
+    def tree(self) -> list[TreeRow]:
+        """Hierarchy nodes in parent-before-child (DFS) order."""
+        reg = self._registry
+        roots = [n for n in reg.hierarchy_names() if reg.base_node(n).parent is None]
+        children: dict[str, list[str]] = {}
+        for name in reg.hierarchy_names():
+            parent = reg.base_node(name).parent
+            if parent is not None:
+                children.setdefault(parent, []).append(name)
+        total = sum(abs(self._values[r]) for r in roots) or None
+        rows: list[TreeRow] = []
+
+        def walk(name: str, parent: str | None) -> None:
+            node = reg.base_node(name)
+            value = self._values[name]
+            if parent is None:
+                share = None
+            else:
+                pval = self._values[parent]
+                share = (value / pval) if pval else 0.0
+            rows.append(
+                TreeRow(
+                    name=name,
+                    level=node.level or 0,
+                    value=value,
+                    parent=parent,
+                    share_of_parent=share,
+                    share_of_total=(value / total) if total else 0.0,
+                    doc=node.doc,
+                )
+            )
+            for child in children.get(name, ()):
+                walk(child, name)
+
+        for root in roots:
+            walk(root, None)
+        return rows
+
+
+class FormulaRegistry:
+    """Named counters, constants and formula nodes with eager validation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: dict[str, Counter] = {}
+        # name -> {override_key | None: entity}; None is the base variant.
+        self._constants: dict[str, dict[str | None, Constant]] = {}
+        self._nodes: dict[str, dict[str | None, FormulaNode]] = {}
+        self._node_order: list[str] = []
+
+    # -- declaration --------------------------------------------------------
+
+    def _check_unit(self, unit: str, what: str) -> None:
+        if unit not in UNITS:
+            raise FormulaError(
+                f"{what}: unknown unit {unit!r}; choose one of "
+                f"{', '.join(sorted(UNITS))}"
+            )
+
+    def _check_fresh(self, name: str, what: str) -> None:
+        for namespace, label in (
+            (self._counters, "counter"),
+            (self._constants, "constant"),
+            (self._nodes, "formula"),
+        ):
+            if name in namespace:
+                raise FormulaError(
+                    f"{what}: {name!r} is already declared as a {label} "
+                    f"in registry {self.name!r}"
+                )
+
+    def counter(self, name: str, unit: str, doc: str = "") -> Counter:
+        """Declare one raw counter of the source vocabulary."""
+        self._check_unit(unit, f"counter {name!r}")
+        self._check_fresh(name, f"counter {name!r}")
+        entity = Counter(name, unit, doc)
+        self._counters[name] = entity
+        return entity
+
+    def constant(
+        self,
+        name: str,
+        value: float,
+        unit: str | None = None,
+        doc: str = "",
+        override: str | None = None,
+    ) -> Constant:
+        """Declare a model parameter, or an override variant of one.
+
+        Base declaration requires ``unit``; overrides inherit (and must
+        not contradict) the base unit and must name an existing base.
+        """
+        if override is None:
+            if unit is None:
+                raise FormulaError(f"constant {name!r}: base declaration needs a unit")
+            self._check_unit(unit, f"constant {name!r}")
+            self._check_fresh(name, f"constant {name!r}")
+            entity = Constant(name, value, unit, doc)
+            self._constants[name] = {None: entity}
+            return entity
+        variants = self._constants.get(name)
+        if variants is None:
+            raise FormulaError(
+                f"override of unknown constant {name!r} (register the base first)"
+            )
+        base = variants[None]
+        if unit is not None and unit != base.unit:
+            raise FormulaError(
+                f"constant {name!r} override {override!r}: unit {unit!r} "
+                f"contradicts base unit {base.unit!r}"
+            )
+        variants[override] = Constant(name, value, base.unit, doc or base.doc)
+        return variants[override]
+
+    def node(
+        self,
+        name: str,
+        unit: str,
+        compute: Callable[[_Resolver], float],
+        reqs: Iterable[Ref | str] = (),
+        level: int | None = None,
+        parent: str | None = None,
+        doc: str = "",
+        override: str | None = None,
+    ) -> FormulaNode:
+        """Register one formula node (or an override variant of one).
+
+        All validation happens here, not at evaluation: unknown
+        references, unit mismatches, hierarchy inconsistencies and
+        dependency cycles (across every override variant) all raise
+        :class:`FormulaError` immediately.
+        """
+        refs = requires(*reqs)
+        self._check_unit(unit, f"formula {name!r}")
+
+        if override is None:
+            self._check_fresh(name, f"formula {name!r}")
+        else:
+            variants = self._nodes.get(name)
+            if variants is None:
+                raise FormulaError(
+                    f"override of unknown formula {name!r} (register the base first)"
+                )
+            base = variants[None]
+            if unit != base.unit:
+                raise FormulaError(
+                    f"formula {name!r} override {override!r}: unit {unit!r} "
+                    f"contradicts base unit {base.unit!r}"
+                )
+
+        for ref in refs:
+            declared_unit = self._unit_of(ref.name)
+            if declared_unit is None:
+                raise FormulaError(
+                    f"formula {name!r} requires unknown reference {ref.name!r} "
+                    f"(registry {self.name!r} declares no such counter, "
+                    f"constant or formula)"
+                )
+            if ref.unit is not None and ref.unit != declared_unit:
+                raise FormulaError(
+                    f"formula {name!r}: reference {ref.name!r} declared as "
+                    f"{ref.unit!r} but {ref.name!r} is a {declared_unit!r}"
+                )
+
+        if override is None:
+            if parent is not None:
+                parent_variants = self._nodes.get(parent)
+                if parent_variants is None:
+                    raise FormulaError(
+                        f"formula {name!r}: parent {parent!r} is not a "
+                        f"registered formula (register parents first)"
+                    )
+                parent_level = parent_variants[None].level
+                if parent_level is None:
+                    raise FormulaError(
+                        f"formula {name!r}: parent {parent!r} has no hierarchy level"
+                    )
+                if level != parent_level + 1:
+                    raise FormulaError(
+                        f"formula {name!r}: level {level} under parent "
+                        f"{parent!r} (level {parent_level}) — children sit "
+                        f"exactly one level below their parent"
+                    )
+            elif level is not None and level != 0:
+                raise FormulaError(
+                    f"formula {name!r}: level {level} without a parent "
+                    f"(only level-0 roots have no parent)"
+                )
+        else:
+            # Overrides replace the compute, never the hierarchy slot.
+            base = self._nodes[name][None]
+            level, parent = base.level, base.parent
+
+        entity = FormulaNode(
+            name=name, unit=unit, compute=compute, requires=refs,
+            level=level, parent=parent, doc=doc,
+        )
+        if override is None:
+            self._nodes[name] = {None: entity}
+            self._node_order.append(name)
+        else:
+            self._nodes[name][override] = entity
+        try:
+            self._check_cycles()
+        except FormulaError:
+            # Roll the registration back so the registry stays usable.
+            if override is None:
+                del self._nodes[name]
+                self._node_order.remove(name)
+            else:
+                del self._nodes[name][override]
+            raise
+        return entity
+
+    def formula(self, name: str, unit: str, **kwargs):
+        """Decorator form of :meth:`node` for def-style computes."""
+
+        def wrap(fn: Callable[[_Resolver], float]) -> Callable:
+            reqs = kwargs.pop("reqs", ())
+            self.node(name, unit, fn, reqs=reqs, doc=fn.__doc__ or "", **kwargs)
+            return fn
+
+        return wrap
+
+    # -- introspection ------------------------------------------------------
+
+    def _unit_of(self, name: str) -> str | None:
+        if name in self._counters:
+            return self._counters[name].unit
+        if name in self._constants:
+            return self._constants[name][None].unit
+        if name in self._nodes:
+            return self._nodes[name][None].unit
+        return None
+
+    def counter_names(self) -> tuple[str, ...]:
+        return tuple(self._counters)
+
+    def constant_names(self) -> tuple[str, ...]:
+        return tuple(self._constants)
+
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self._node_order)
+
+    def hierarchy_names(self) -> tuple[str, ...]:
+        return tuple(
+            n for n in self._node_order if self._nodes[n][None].level is not None
+        )
+
+    def base_node(self, name: str) -> FormulaNode:
+        return self._nodes[name][None]
+
+    def counter_doc(self, name: str) -> str:
+        return self._counters[name].doc
+
+    def node_doc(self, name: str) -> str:
+        return self._nodes[name][None].doc
+
+    # -- validation ---------------------------------------------------------
+
+    def _check_cycles(self) -> None:
+        """DFS over the union graph (all override variants) for cycles."""
+        edges: dict[str, list[str]] = {}
+        for name, variants in self._nodes.items():
+            deps: list[str] = []
+            for variant in variants.values():
+                for ref in variant.requires:
+                    if ref.name in self._nodes and ref.name not in deps:
+                        deps.append(ref.name)
+            edges[name] = deps
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in edges}
+        for start in edges:
+            if color[start] != WHITE:
+                continue
+            path: list[str] = []
+            stack: list[tuple[str, int]] = [(start, 0)]
+            color[start] = GREY
+            path.append(start)
+            while stack:
+                name, idx = stack.pop()
+                deps = edges[name]
+                if idx < len(deps):
+                    stack.append((name, idx + 1))
+                    child = deps[idx]
+                    if color[child] == GREY:
+                        cycle = path[path.index(child):] + [child]
+                        raise FormulaError(
+                            f"registry {self.name!r}: dependency cycle "
+                            + " -> ".join(cycle)
+                        )
+                    if color[child] == WHITE:
+                        color[child] = GREY
+                        path.append(child)
+                        stack.append((child, 0))
+                else:
+                    color[name] = BLACK
+                    path.pop()
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _pick(self, variants: Mapping[str | None, object], keys: tuple[str, ...]):
+        for key in keys:
+            if key in variants:
+                return variants[key]
+        return variants[None]
+
+    def evaluate(
+        self, source: CounterSource, only: Iterable[str] | None = None
+    ) -> EvalResult:
+        """Evaluate formula nodes over ``source``; returns an
+        :class:`EvalResult` mapping node and constant names to values.
+
+        ``only`` restricts evaluation to the listed nodes (plus their
+        transitive dependencies); by default every registered node is
+        evaluated.
+        """
+        keys = tuple(source.override_keys)
+        cache: dict[str, float] = {}
+        in_flight: list[str] = []
+
+        def resolve(name: str):
+            if name in cache:
+                return cache[name]
+            if name in self._counters:
+                if not source.has(name):
+                    return _MISSING
+                value = source.counter(name)
+            elif name in self._constants:
+                value = self._pick(self._constants[name], keys).value
+            elif name in self._nodes:
+                if name in in_flight:
+                    cycle = in_flight[in_flight.index(name):] + [name]
+                    raise FormulaError(
+                        f"registry {self.name!r}: dependency cycle at "
+                        "evaluation: " + " -> ".join(cycle)
+                    )
+                node = self._pick(self._nodes[name], keys)
+                in_flight.append(name)
+                try:
+                    value = node.compute(_Resolver(self, node, resolve))
+                finally:
+                    in_flight.pop()
+            else:
+                raise FormulaError(
+                    f"registry {self.name!r} declares no entity {name!r}"
+                )
+            cache[name] = value
+            return value
+
+        wanted = tuple(only) if only is not None else self.node_names()
+        for name in wanted:
+            if name not in self._nodes:
+                raise FormulaError(
+                    f"evaluate(only=...): {name!r} is not a formula in "
+                    f"registry {self.name!r}"
+                )
+            value = resolve(name)
+            if value is _MISSING:  # pragma: no cover - nodes never go missing
+                raise FormulaError(f"formula {name!r} did not evaluate")
+        values = {
+            name: v for name, v in cache.items() if v is not _MISSING
+        }
+        # Resolved constants ride along for introspection/rendering.
+        for cname in self._constants:
+            if cname not in values:
+                values[cname] = self._pick(self._constants[cname], keys).value
+        return EvalResult(self, source, values)

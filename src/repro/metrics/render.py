@@ -1,0 +1,52 @@
+"""LIKWID-style text rendering of the top-down hierarchy."""
+
+from __future__ import annotations
+
+from repro.metrics.formula import EvalResult
+
+__all__ = ["render_topdown"]
+
+
+def render_topdown(result: EvalResult, title: str = "") -> str:
+    """Render an evaluated hierarchy as an indented share-of-parent tree.
+
+    One row per hierarchy node, indented by level, with the node's cycle
+    value, its share of its parent and its share of the root — the shape
+    of LIKWID's topdown group output.  The triage verdict rides along at
+    the bottom so the tree answers the paper's §5 question directly.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"top-down over {result.source.describe()}")
+    lines.append("")
+    name_width = max(
+        (2 * row.level + len(row.name) for row in result.tree()), default=10
+    )
+    for row in result.tree():
+        label = "  " * row.level + row.name
+        if row.share_of_parent is None:
+            share = "        root  "
+        else:
+            share = f"{row.share_of_parent:6.1%} of parent"
+        note = ""
+        if "overlap" in row.doc:
+            note = "  (overlaps siblings)"
+        elif "always 0" in row.doc:
+            note = "  (not modelled)"
+        lines.append(
+            f"  {label:<{name_width}}  {row.value:>14,.0f} cy"
+            f"  {share}  {row.share_of_total:6.1%} of total{note}"
+        )
+    lines.append("")
+    lines.append(
+        "gates: memory_cycle_fraction="
+        f"{result['memory_cycle_fraction']:.3f} "
+        f"(>= {result['memory_bound_fraction']:g} -> memory-bound: "
+        f"{'yes' if result['is_memory_bound'] else 'no'})   "
+        "remote_intensity="
+        f"{result['remote_intensity']:.3f} "
+        f"(>= {result['numa_bound_remote']:g} -> NUMA-bound: "
+        f"{'yes' if result['is_numa_bound'] else 'no'})"
+    )
+    return "\n".join(lines)

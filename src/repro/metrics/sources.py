@@ -1,0 +1,157 @@
+"""Counter-source adapters for the formula engine.
+
+The engine evaluates formula nodes over anything implementing the
+:class:`repro.metrics.formula.CounterSource` protocol.  Two adapters
+cover the repo's measurement modes:
+
+* :class:`ProfileSource` — a merged ``.rpdb`` profile
+  (:class:`repro.core.analyzer.ExperimentDB`): sampled counters, plus
+  the *measured* per-sample latency the old ``derive_from_profile``
+  summed directly.
+* :class:`MachineSource` — a live simulated :class:`Machine`: exact
+  level counts, observed per-hop DRAM counts, controller queue cycles
+  and the elapsed-cycle clock.
+
+Both speak the same counter vocabulary (declared in
+:mod:`repro.metrics.boundness`), so one set of formula nodes produces
+reports from either; counters only one mode can provide
+(``measured_memory_cycles``, ``elapsed_cycles``, per-hop counts) are
+declared ``optional`` in the nodes that read them, and per-kind
+overrides (keys ``"profile"`` / ``"machine"``) pick the right compute
+where the two modes genuinely differ.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.machine.hierarchy import LVL_L1, LVL_L2, LVL_L3, LVL_LMEM, LVL_RMEM
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard, typing only
+    from repro.core.analyzer import ExperimentDB
+    from repro.machine.presets import Machine
+
+__all__ = ["StaticSource", "ProfileSource", "MachineSource"]
+
+
+class StaticSource:
+    """A :class:`CounterSource` over a plain dict (tests, what-if runs)."""
+
+    def __init__(
+        self,
+        counters: dict[str, float],
+        kind: str = "static",
+        override_keys: tuple[str, ...] = (),
+        description: str = "static counters",
+    ) -> None:
+        self.kind = kind
+        self.override_keys = override_keys or (kind,)
+        self._counters = dict(counters)
+        self._description = description
+
+    def has(self, name: str) -> bool:
+        return name in self._counters
+
+    def counter(self, name: str) -> float:
+        return self._counters[name]
+
+    def describe(self) -> str:
+        return self._description
+
+
+class ProfileSource(StaticSource):
+    """Raw counters gathered from a merged profile database.
+
+    Sums the same per-storage-class inclusive metrics the old
+    ``derive_from_profile`` walked: sampled accesses, their measured
+    latency, per-level counts, TLB misses, plus the NONMEM (period-scaled
+    instruction) estimate of compute cycles.  The rank DBs stamp the
+    machine preset they ran on into profile metadata, which becomes the
+    leading override key so per-architecture constants resolve for
+    profiles too.
+    """
+
+    kind = "profile"
+
+    def __init__(self, exp: "ExperimentDB") -> None:
+        from repro.core.storage import StorageClass
+
+        profile = exp.profile
+        samples = latency = tlb = 0
+        levels = [0, 0, 0, 0, 0]
+        for storage in (StorageClass.HEAP, StorageClass.STATIC,
+                        StorageClass.STACK, StorageClass.UNKNOWN):
+            cct = profile.get_cct(storage)
+            if cct is None:
+                continue
+            m = cct.root.inclusive()
+            samples += m.samples
+            latency += m.latency
+            tlb += m.tlb_misses
+            for lvl in range(len(levels)):
+                levels[lvl] += m.levels[lvl]
+        compute = 0
+        nonmem_cct = profile.get_cct(StorageClass.NONMEM)
+        if nonmem_cct is not None:
+            compute = nonmem_cct.root.inclusive().events
+        machine_name = exp.db.meta.get("machine", "")
+        keys = (machine_name, "profile") if machine_name else ("profile",)
+        super().__init__(
+            counters={
+                "samples": samples,
+                "l1_samples": levels[LVL_L1],
+                "l2_samples": levels[LVL_L2],
+                "l3_samples": levels[LVL_L3],
+                "lmem_samples": levels[LVL_LMEM],
+                "rmem_samples": levels[LVL_RMEM],
+                "tlb_miss_samples": tlb,
+                "measured_memory_cycles": latency,
+                "nonmem_event_cycles": compute,
+            },
+            kind="profile",
+            override_keys=keys,
+            description=(
+                f"merged profile ({exp.db.process_name or 'unnamed'}, "
+                f"{samples} samples"
+                + (f", machine {machine_name}" if machine_name else "")
+                + ")"
+            ),
+        )
+
+
+class MachineSource(StaticSource):
+    """Raw counters snapshotted from a live simulated machine.
+
+    Exact (unsampled) hierarchy counters, including the observed per-hop
+    DRAM distribution that prices remote accesses by actual interconnect
+    distance instead of the old fixed-2-hop assumption.
+    """
+
+    kind = "machine"
+
+    def __init__(self, machine: "Machine", elapsed_cycles: int) -> None:
+        h = machine.hierarchy
+        counts = h.level_counts
+        hops = h.hop_counts
+        super().__init__(
+            counters={
+                "samples": sum(counts),
+                "l1_samples": counts[LVL_L1],
+                "l2_samples": counts[LVL_L2],
+                "l3_samples": counts[LVL_L3],
+                "lmem_samples": counts[LVL_LMEM],
+                "rmem_samples": counts[LVL_RMEM],
+                "tlb_miss_samples": sum(t.misses for t in h.tlb),
+                "hop1_samples": hops[1],
+                "hop2_samples": hops[2],
+                "queue_cycles": h.contention.total_queue_cycles,
+                "elapsed_cycles": elapsed_cycles,
+            },
+            kind="machine",
+            override_keys=(machine.spec.name, "machine"),
+            description=(
+                f"machine {machine.spec.name} "
+                f"({sum(counts)} accesses, {elapsed_cycles} elapsed cycles)"
+            ),
+        )
+        self.spec = machine.spec

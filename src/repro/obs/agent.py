@@ -189,7 +189,12 @@ class ObsAgent:
         level_names = ("L1", "L2", "L3", "LMEM", "RMEM")
         for field, value in hierarchy.stats().to_dict().items():
             if isinstance(value, list):
-                key = "node" if "dram" in field else "level"
+                if "hop" in field:
+                    key = "hops"
+                elif "dram" in field:
+                    key = "node"
+                else:
+                    key = "level"
                 for i, item in enumerate(value):
                     sub = dict(labels)
                     sub[key] = (
@@ -206,11 +211,25 @@ class ObsAgent:
                     f"repro_machine_{field}", value, labels,
                     help_text="end-of-run machine hierarchy counter",
                 )
+        # Derived-metric layer: evaluate the boundness formula DAG over
+        # the live machine and fold every node value into the registry —
+        # the same engine (and therefore the same numbers) behind
+        # ``derive_from_machine`` and ``hpcview topdown``, replacing the
+        # hand-rolled gauge arithmetic this block used to do.
+        from repro.metrics.boundness import REGISTRY, evaluate_boundness
+        from repro.metrics.sources import MachineSource
+
+        result = evaluate_boundness(MachineSource(process.machine, now))
+        for name, value in sorted(result.node_values().items()):
+            metrics.set_gauge(
+                f"repro_derived_{name}", value, labels,
+                help_text=REGISTRY.node_doc(name) or "derived metric node",
+            )
         contention = getattr(hierarchy, "contention", None)
         if contention is not None:
             metrics.set_gauge(
                 "repro_machine_contention_queue_cycles",
-                getattr(contention, "total_queue_cycles", 0), labels,
+                result["queue_bound"], labels,
                 help_text="cycles spent queued on DRAM contention",
             )
 

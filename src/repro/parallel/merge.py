@@ -37,7 +37,12 @@ from multiprocessing import get_all_start_methods, get_context
 from pathlib import Path
 from typing import Sequence
 
-from repro.core.merge import MergeStats, _collapse_db, merge_thread_profiles
+from repro.core.merge import (
+    MergeStats,
+    _collapse_db,
+    consensus_meta,
+    merge_thread_profiles,
+)
 from repro.core.profiledb import ProfileDB
 from repro.errors import ConfigError, ProfileError
 
@@ -91,6 +96,7 @@ def _merge_group(
     stats = MergeStats()
     dropped: list[tuple[str, str]] = []
     work = []  # collapsed/decoded ThreadProfiles, group order preserved
+    decoded: list[ProfileDB] = []  # for consensus-meta propagation
     leaf_visits: list[int] = []
     profiles_in = 0
     for blob, label in zip(blobs, labels):
@@ -99,6 +105,7 @@ def _merge_group(
         except ProfileError as exc:
             dropped.append((label, str(exc)))
             continue
+        decoded.append(db)
         profiles_in += len(db.threads)
         if collapse:
             before = stats.node_visits
@@ -119,6 +126,9 @@ def _merge_group(
 
     out = ProfileDB("merge-intermediate")
     out.add_thread(target)
+    # Same consensus-meta rule as the in-process merge: intersection is
+    # schedule-independent, preserving byte-identity across schedules.
+    out.meta.update(consensus_meta(decoded))
     return (
         out.to_bytes(),
         leaf_visits,
@@ -387,6 +397,7 @@ def parallel_reduction_merge(
     merged.thread_name = f"{name}.merged"
     out = ProfileDB(name)
     out.add_thread(merged)
+    out.meta.update(final_db.meta)  # consensus meta from the reduction
     _mark_partial(out, report.dropped)
     report.rounds = stats.rounds
     report.elapsed_seconds = time.monotonic() - t0

@@ -9,6 +9,8 @@ files written with :meth:`repro.core.profiledb.ProfileDB.to_bytes`:
     python -m repro.tools.hpcview top    job.rpdb --metric remote -n 10
     python -m repro.tools.hpcview bottom job.rpdb --metric latency
     python -m repro.tools.hpcview advise job.rpdb
+    python -m repro.tools.hpcview topdown job.rpdb
+    python -m repro.tools.hpcview topdown --app nw --preset smoke
     python -m repro.tools.hpcview info   job.rpdb
     python -m repro.tools.hpcview staticcheck --app nw --reconcile job.rpdb
     python -m repro.tools.hpcview info   --machine-stats run.mstats.json
@@ -141,6 +143,46 @@ def cmd_advise(args: argparse.Namespace) -> None:
         print("no variable clears the significance threshold")
     for rec in recommendations:
         print(" -", rec)
+
+
+def cmd_topdown(args: argparse.Namespace) -> int:
+    from repro.metrics import (
+        MachineSource,
+        ProfileSource,
+        evaluate_boundness,
+        report_from_source,
+        render_topdown,
+    )
+
+    if bool(args.profiles) == bool(args.app):
+        raise SystemExit(
+            "topdown: give merged profile files, or --app for a live run"
+        )
+    if args.app:
+        # Live machine adapter: run the app in-process and read the
+        # hierarchy's exact counters (including observed per-hop DRAM).
+        from importlib import import_module
+
+        from repro.parallel import APPS
+
+        if args.app not in APPS:
+            raise SystemExit(
+                f"unknown app {args.app!r}; known apps: {', '.join(APPS)}"
+            )
+        module = import_module(f"repro.apps.{args.app}")
+        result = module.run(module.rank_config(args.preset, args.variant))
+        source = MachineSource(result.machines[0], result.elapsed_cycles)
+        title = (
+            f"topdown: {args.app}/{args.variant} ({args.preset} preset, "
+            f"live machine counters)"
+        )
+    else:
+        # Profile adapter: sampled counters from merged .rpdb files.
+        source = ProfileSource(_experiment(args.profiles))
+        title = f"topdown: {' '.join(args.profiles)} (merged profile)"
+    print(render_topdown(evaluate_boundness(source), title=title))
+    print(f"verdict: {report_from_source(source).verdict()}")
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -488,6 +530,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: in-process sequential merge)")
     merge.add_argument("--arity", type=int, default=2,
                        help="reduction-tree fan-in (with --jobs; default 2)")
+
+    topdown = sub.add_parser(
+        "topdown",
+        help="LIKWID-style top-down boundness hierarchy, from merged "
+             "profiles or a live in-process run",
+    )
+    topdown.add_argument("profiles", nargs="*",
+                         help="merged profile database files (.rpdb)")
+    topdown.add_argument("--app", default=None,
+                         help="run this app in-process and read the live "
+                              "machine counters instead of profiles")
+    topdown.add_argument("--variant", default="original",
+                         help="app variant for --app (default: original)")
+    topdown.add_argument("--preset", default="smoke",
+                         help="workload preset for --app (default: smoke)")
+    topdown.set_defaults(func=cmd_topdown)
 
     run = sub.add_parser(
         "run", help="profile an app, one worker process per MPI rank"

@@ -1,0 +1,422 @@
+"""Boundness triage: parity with the pre-engine implementation + bug fixes.
+
+``derive_from_profile``/``derive_from_machine`` now route through the
+formula engine (repro.metrics).  This file pins three things:
+
+* **parity oracle** — verbatim copies of the old hand-rolled arithmetic
+  from ``repro/core/derived.py``; the engine must reproduce its numbers
+  *byte-identically* on real runs of all five bundled apps, except where
+  the per-hop remote-DRAM pricing fix intentionally diverges (asserted
+  as an exact delta, not just "different");
+* **the 2-hop pricing fix** — the old code charged every remote DRAM
+  access ``lat.dram(2)``; on multi-die topologies (Magny-Cours, tiny
+  with ``numa_per_socket=2``) same-socket/cross-die accesses are 1 hop;
+* **verdict semantics** — every branch of ``BoundnessReport.verdict()``,
+  including the degenerate inputs the old code answered misleadingly
+  (an empty profile used to read "compute-bound").
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.core.analyzer import Analyzer
+from repro.core.derived import (
+    BoundnessReport,
+    derive_from_machine,
+    derive_from_profile,
+)
+from repro.core.profiler import DataCentricProfiler
+from repro.core.storage import StorageClass
+from repro.machine.hierarchy import LVL_LMEM, LVL_RMEM
+from repro.machine.presets import tiny_machine
+from repro.metrics import (
+    MachineSource,
+    ProfileSource,
+    StaticSource,
+    evaluate_boundness,
+    report_from_source,
+)
+from repro import IBSEngine
+from tests.conftest import MiniProgram
+
+APPS = ("amg2006", "lulesh", "nw", "streamcluster", "sweep3d")
+
+
+# ---------------------------------------------------------------------------
+# The oracle: the pre-engine arithmetic, copied verbatim (modulo the
+# report type) from repro/core/derived.py before the rewrite.
+# ---------------------------------------------------------------------------
+
+
+def _oracle_report(total_latency, compute_cycles, samples, dram, remote, tlb):
+    total_cost = total_latency + compute_cycles
+    return (
+        (total_latency / total_cost) if total_cost else 0.0,
+        (dram / samples) if samples else 0.0,
+        (remote / dram) if dram else 0.0,
+        (tlb / samples) if samples else 0.0,
+        samples,
+    )
+
+
+def oracle_from_profile(exp):
+    profile = exp.profile
+    samples = latency = dram = remote = tlb = 0
+    for storage in (StorageClass.HEAP, StorageClass.STATIC,
+                    StorageClass.STACK, StorageClass.UNKNOWN):
+        cct = profile.get_cct(storage)
+        if cct is None:
+            continue
+        m = cct.root.inclusive()
+        samples += m.samples
+        latency += m.latency
+        dram += m.levels[LVL_LMEM] + m.levels[LVL_RMEM]
+        remote += m.levels[LVL_RMEM]
+        tlb += m.tlb_misses
+    compute = 0
+    nonmem_cct = profile.get_cct(StorageClass.NONMEM)
+    if nonmem_cct is not None:
+        compute = nonmem_cct.root.inclusive().events
+    return _oracle_report(latency, compute, samples, dram, remote, tlb)
+
+
+def oracle_from_machine(machine, elapsed_cycles):
+    h = machine.hierarchy
+    lat = machine.spec.latency
+    counts = h.level_counts
+    memory_cycles = (
+        counts[0] * lat.l1
+        + counts[1] * lat.l2
+        + counts[2] * lat.l3
+        + counts[3] * lat.local_dram
+        + counts[4] * lat.dram(2)          # the bug: all remotes at 2 hops
+        + h.contention.total_queue_cycles
+    )
+    accesses = sum(counts)
+    dram = counts[LVL_LMEM] + counts[LVL_RMEM]
+    remote = counts[LVL_RMEM]
+    tlb = sum(t.misses for t in h.tlb)
+    compute = max(0, elapsed_cycles - memory_cycles)
+    return _oracle_report(memory_cycles, compute, accesses, dram, remote, tlb)
+
+
+def oracle_machine_memory_cycles(machine):
+    h = machine.hierarchy
+    lat = machine.spec.latency
+    counts = h.level_counts
+    return (
+        counts[0] * lat.l1 + counts[1] * lat.l2 + counts[2] * lat.l3
+        + counts[3] * lat.local_dram + counts[4] * lat.dram(2)
+        + h.contention.total_queue_cycles
+    )
+
+
+def _fields(rep: BoundnessReport):
+    return (
+        rep.memory_cycle_fraction,
+        rep.dram_intensity,
+        rep.remote_intensity,
+        rep.tlb_intensity,
+        rep.samples,
+    )
+
+
+@pytest.fixture(scope="module")
+def app_runs():
+    """One profiled smoke run per bundled app (module-scoped: ~3 s total)."""
+    runs = {}
+    for app in APPS:
+        module = importlib.import_module(f"repro.apps.{app}")
+        runs[app] = module.run(module.rank_config("smoke"))
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# Parity with the old implementation on real app runs
+# ---------------------------------------------------------------------------
+
+
+class TestProfileParity:
+    """The profile path changed engines, not numbers: byte parity everywhere."""
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_byte_identical_to_oracle(self, app_runs, app):
+        exp = app_runs[app].experiment
+        assert _fields(derive_from_profile(exp)) == oracle_from_profile(exp)
+
+
+class TestMachineParity:
+    """The machine path is byte-identical except the intentional hop fix."""
+
+    @pytest.mark.parametrize("app", ("amg2006", "nw", "streamcluster"))
+    def test_single_die_sockets_byte_identical(self, app_runs, app):
+        # power7: one NUMA node per socket, so every remote access really
+        # is 2 hops and the old fixed pricing was accidentally correct.
+        result = app_runs[app]
+        machine = result.machines[0]
+        assert machine.spec.numa_per_socket == 1
+        assert machine.hierarchy.hop_counts[1] == 0
+        for elapsed in (result.elapsed_cycles,
+                        3 * oracle_machine_memory_cycles(machine)):
+            assert _fields(derive_from_machine(machine, elapsed)) == (
+                oracle_from_machine(machine, elapsed)
+            )
+
+    def test_multi_die_delta_is_exactly_the_hop_overcharge(self, app_runs):
+        # lulesh runs on Magny-Cours (2 dies per package): its 1-hop
+        # accesses were each overpriced by one hop's latency.
+        machine = app_runs["lulesh"].machines[0]
+        hop1 = machine.hierarchy.hop_counts[1]
+        assert hop1 > 0, "run no longer exercises 1-hop remotes"
+        result = evaluate_boundness(
+            MachineSource(machine, app_runs["lulesh"].elapsed_cycles)
+        )
+        old_mem = oracle_machine_memory_cycles(machine)
+        assert old_mem - result["mem_cycles"] == hop1 * machine.spec.latency.hop
+
+    def test_multi_die_without_one_hop_traffic_stays_identical(self, app_runs):
+        # sweep3d also runs on Magny-Cours but its smoke shard happens to
+        # stay on-node: no 1-hop accesses, so the fix changes nothing.
+        result = app_runs["sweep3d"]
+        machine = result.machines[0]
+        if machine.hierarchy.hop_counts[1]:
+            pytest.skip("smoke preset started producing 1-hop traffic")
+        assert _fields(derive_from_machine(machine, result.elapsed_cycles)) == (
+            oracle_from_machine(machine, result.elapsed_cycles)
+        )
+
+
+class TestAdapterParity:
+    """Both adapters feed one DAG; its internal accounting must close."""
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_hierarchy_sums_close_on_both_sources(self, app_runs, app):
+        run = app_runs[app]
+        sources = [
+            MachineSource(run.machines[0], run.elapsed_cycles),
+            ProfileSource(run.experiment),
+        ]
+        for source in sources:
+            result = evaluate_boundness(source)
+            assert result["total_cycles"] == (
+                result["frontend_bound"] + result["retiring"]
+                + result["backend_bound"]
+            )
+            assert result["backend_bound"] == (
+                result["core_bound"] + result["memory_bound"]
+            )
+            assert result["cache_bound"] == (
+                result["l1_bound"] + result["l2_bound"] + result["l3_bound"]
+            )
+            assert result["dram_bound"] == (
+                result["local_dram_bound"] + result["numa_bound"]
+                + result["queue_bound"]
+            )
+            # The memory_bound share of the tree equals the report's
+            # memory_cycle_fraction exactly — on either source kind.
+            rows = {r.name: r for r in result.tree()}
+            assert rows["memory_bound"].share_of_total == (
+                result["memory_cycle_fraction"]
+            )
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_report_fields_come_from_engine_nodes(self, app_runs, app):
+        run = app_runs[app]
+        for source in (MachineSource(run.machines[0], run.elapsed_cycles),
+                       ProfileSource(run.experiment)):
+            result = evaluate_boundness(source)
+            rep = report_from_source(source)
+            assert rep.memory_cycle_fraction == result["memory_cycle_fraction"]
+            assert rep.remote_intensity == result["remote_intensity"]
+            assert rep.tlb_intensity == result["tlb_intensity"]
+            assert (rep.memory_bound, rep.numa_bound) == (
+                bool(result["is_memory_bound"]), bool(result["is_numa_bound"])
+            )
+
+
+# ---------------------------------------------------------------------------
+# The hop-pricing fix, isolated on an asymmetric tiny topology
+# ---------------------------------------------------------------------------
+
+
+class TestHopPricingRegression:
+    def _machine_with_one_hop_remotes(self):
+        # 2 sockets x 2 NUMA nodes: node 1 is on thread 0's socket (1 hop),
+        # node 2/3 are cross-socket (2 hops).  Prefetch off so every cold
+        # line is priced as a true DRAM access.
+        machine = tiny_machine(sockets=2, numa_per_socket=2, prefetch=False)
+        h = machine.hierarchy
+        for i in range(64):
+            h.access(0, i * 4096 * 3, home_node=1)   # 1-hop remote
+        for i in range(64):
+            h.access(0, (1 << 30) + i * 4096 * 3, home_node=2)  # 2-hop remote
+        return machine
+
+    def test_observed_hops_priced_individually(self):
+        machine = self._machine_with_one_hop_remotes()
+        h = machine.hierarchy
+        assert h.hop_counts[1] > 0 and h.hop_counts[2] > 0
+        lat = machine.spec.latency
+        result = evaluate_boundness(MachineSource(machine, 10))
+        assert result["remote_dram_cycles"] == (
+            h.hop_counts[1] * lat.dram(1) + h.hop_counts[2] * lat.dram(2)
+        )
+
+    def test_old_pricing_overcharged_one_hop_accesses(self):
+        machine = self._machine_with_one_hop_remotes()
+        h = machine.hierarchy
+        # Judge against an elapsed clock with compute headroom, where the
+        # memory-cycle estimate actually moves the fraction.
+        elapsed = 4 * oracle_machine_memory_cycles(machine)
+        new = derive_from_machine(machine, elapsed)
+        old_mcf = oracle_from_machine(machine, elapsed)[0]
+        assert new.memory_cycle_fraction < old_mcf
+        # The overcharge is exactly one hop latency per 1-hop access.
+        result = evaluate_boundness(MachineSource(machine, elapsed))
+        assert (
+            oracle_machine_memory_cycles(machine) - result["mem_cycles"]
+            == h.hop_counts[1] * machine.spec.latency.hop
+        )
+
+    def test_profile_fallback_uses_topology_mean_distance(self):
+        # Without observed per-hop counts the engine prices remotes at the
+        # preset's mean remote distance — 2.0 only on single-die sockets.
+        src = StaticSource(
+            {"samples": 10, "l1_samples": 0, "l2_samples": 0, "l3_samples": 0,
+             "lmem_samples": 0, "rmem_samples": 10, "tlb_miss_samples": 0},
+        )
+        result = evaluate_boundness(src)
+        lat_local = result["lat_local_dram"]
+        lat_hop = result["lat_hop"]
+        assert result["remote_dram_cycles"] == int(
+            10 * (lat_local + 2.0 * lat_hop)
+        )
+
+    def test_magnycours_mean_distance_below_two(self):
+        from repro.machine.presets import amd_magnycours_spec, power7_spec
+
+        assert power7_spec().avg_remote_hops == 2.0
+        # 8 nodes, 1 one-hop peer, 6 two-hop peers: (1 + 12) / 7.
+        assert amd_magnycours_spec().avg_remote_hops == pytest.approx(13 / 7)
+
+
+# ---------------------------------------------------------------------------
+# Verdict branches and degenerate inputs
+# ---------------------------------------------------------------------------
+
+
+def _static_report(**counters) -> BoundnessReport:
+    base = {"samples": 0, "l1_samples": 0, "l2_samples": 0, "l3_samples": 0,
+            "lmem_samples": 0, "rmem_samples": 0, "tlb_miss_samples": 0}
+    base.update(counters)
+    return report_from_source(StaticSource(base))
+
+
+class TestVerdictBranches:
+    def test_inconclusive_on_truly_empty_input(self):
+        rep = _static_report()
+        assert rep.samples == 0 and rep.total_cycles == 0
+        assert rep.verdict().startswith("inconclusive")
+
+    def test_compute_bound(self):
+        rep = _static_report(samples=100, l1_samples=100,
+                             nonmem_event_cycles=100_000)
+        assert not rep.memory_bound
+        assert rep.verdict().startswith("compute-bound")
+
+    def test_memory_bound(self):
+        rep = _static_report(samples=100, l3_samples=60, lmem_samples=40,
+                             nonmem_event_cycles=10)
+        assert rep.memory_bound and not rep.numa_bound
+        assert rep.verdict().startswith("memory-bound")
+
+    def test_numa_bound(self):
+        rep = _static_report(samples=100, lmem_samples=40, rmem_samples=60)
+        assert rep.numa_bound
+        assert rep.verdict().startswith("NUMA-bound")
+
+    def test_tlb_pressure(self):
+        rep = _static_report(samples=100, lmem_samples=100,
+                             tlb_miss_samples=30)
+        assert rep.memory_bound and not rep.numa_bound
+        assert rep.tlb_intensity > rep.tlb_pressure
+        assert "TLB" in rep.verdict()
+
+    def test_gate_is_inclusive_at_threshold(self):
+        # memory_cycle_fraction == 0.25 exactly -> memory-bound (>=).
+        rep = BoundnessReport(
+            memory_cycle_fraction=0.25, dram_intensity=0.0,
+            remote_intensity=0.0, tlb_intensity=0.0, samples=1,
+            total_cycles=100,
+        )
+        assert rep.memory_bound
+
+    def test_per_report_thresholds_respected(self):
+        rep = BoundnessReport(
+            memory_cycle_fraction=0.3, dram_intensity=0.5,
+            remote_intensity=0.5, tlb_intensity=0.0, samples=10,
+            total_cycles=100, memory_bound_fraction=0.5,
+        )
+        # Same numbers, stricter per-architecture gate: not memory-bound.
+        assert not rep.memory_bound
+        assert rep.verdict().startswith("compute-bound")
+
+
+class TestDegenerateInputs:
+    def test_empty_profile_is_inconclusive(self):
+        # The old code called this "compute-bound", a misleading answer
+        # to "should I optimize locality?" when nothing was observed.
+        mini = MiniProgram()
+        profiler = DataCentricProfiler(mini.process).attach()
+        exp = Analyzer("empty").add(profiler.finalize()).analyze()
+        rep = derive_from_profile(exp)
+        assert rep.samples == 0
+        assert rep.verdict().startswith("inconclusive")
+
+    def test_idle_machine_with_elapsed_time_is_compute_bound(self):
+        # No memory accesses but real elapsed cycles: a genuinely
+        # compute-only run, not an empty measurement.
+        rep = derive_from_machine(tiny_machine(), 5_000)
+        assert rep.samples == 0 and rep.total_cycles == 5_000
+        assert rep.verdict().startswith("compute-bound")
+
+    def test_marked_event_only_profile_degenerates_to_memory_character(self):
+        # Marked-event sampling records no NONMEM samples: compute is 0,
+        # the fraction saturates at 1.0, and the verdict stays a memory
+        # verdict (the triage that *configures* marked events already ran).
+        src = StaticSource(
+            {"samples": 50, "lmem_samples": 50, "l1_samples": 0,
+             "l2_samples": 0, "l3_samples": 0, "rmem_samples": 0,
+             "tlb_miss_samples": 0, "measured_memory_cycles": 9_000},
+            kind="profile", override_keys=("profile",),
+        )
+        rep = report_from_source(src)
+        assert rep.memory_cycle_fraction == 1.0
+        assert not rep.verdict().startswith("inconclusive")
+        assert rep.memory_bound
+
+    def test_zero_dram_profile_has_no_numa_signal(self):
+        # All cache hits: remote_intensity must be 0.0 (not 0/0 noise)
+        # and the report must not gate into the NUMA branch.
+        mini = MiniProgram()
+        profiler = DataCentricProfiler(mini.process).attach()
+        mini.process.pmu = IBSEngine(period=4, seed=7)
+        ctx = mini.master_ctx()
+        arr = ctx.alloc_array("hot", (64,), line=20)
+        ip = ctx.ip(10)
+
+        def kern():
+            for i in range(2000):
+                ctx.load_ip(arr.flat_addr(i % arr.size), ip)
+                if i % 64 == 0:
+                    yield
+
+        mini.process.run_serial(kern())
+        exp = Analyzer("cachey").add(profiler.finalize()).analyze()
+        rep = derive_from_profile(exp)
+        assert rep.samples > 0
+        assert rep.remote_intensity == 0.0
+        assert not rep.numa_bound

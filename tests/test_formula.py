@@ -1,0 +1,275 @@
+"""Unit tests for the derived-metric formula engine (repro.metrics.formula).
+
+The engine's contract is *eager* validation: a broken formula set must
+fail at registration (import time for the bundled registry), never
+mid-evaluation — so most of this file asserts FormulaError at precisely
+the declaring call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.metrics.formula import (
+    FormulaRegistry,
+    Ref,
+    requires,
+)
+from repro.metrics.sources import StaticSource
+
+
+def _registry() -> FormulaRegistry:
+    reg = FormulaRegistry("t")
+    reg.counter("a", "count", "input a")
+    reg.counter("b", "count", "input b")
+    reg.constant("k", 10.0, "cycles", "a cost")
+    return reg
+
+
+class TestRequiresNormalization:
+    def test_string_forms(self):
+        refs = requires("a", "b:count", Ref("c", "cycles", optional=True))
+        assert refs[0] == Ref("a", None)
+        assert refs[1] == Ref("b", "count")
+        assert refs[2].optional
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(FormulaError, match="bad requires"):
+            requires(42)
+
+
+class TestRegistrationValidation:
+    def test_unknown_unit_rejected(self):
+        reg = FormulaRegistry("t")
+        with pytest.raises(FormulaError, match="unknown unit"):
+            reg.counter("a", "furlongs")
+        with pytest.raises(FormulaError, match="unknown unit"):
+            reg.constant("k", 1.0, "parsecs")
+        with pytest.raises(FormulaError, match="unknown unit"):
+            reg.node("n", "stones", lambda ev: 0)
+
+    def test_duplicate_name_rejected_across_namespaces(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="already declared as a counter"):
+            reg.constant("a", 1.0, "count")
+        with pytest.raises(FormulaError, match="already declared as a constant"):
+            reg.counter("k", "cycles")
+        reg.node("n", "count", lambda ev: 0)
+        with pytest.raises(FormulaError, match="already declared as a formula"):
+            reg.node("n", "count", lambda ev: 1)
+
+    def test_unknown_reference_rejected(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="unknown reference 'nope'"):
+            reg.node("n", "count", lambda ev: ev("nope"), reqs=("nope",))
+        # Self-reference is just an unknown reference at registration
+        # time: the name is not declared until the node registers.
+        with pytest.raises(FormulaError, match="unknown reference 'n'"):
+            reg.node("n", "count", lambda ev: ev("n"), reqs=("n",))
+
+    def test_reference_unit_mismatch_rejected(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="declared as 'cycles'.*'count'"):
+            reg.node("n", "count", lambda ev: ev("a"), reqs=("a:cycles",))
+
+    def test_constant_override_needs_base(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="unknown constant"):
+            reg.constant("missing", 1.0, override="arch")
+
+    def test_constant_override_unit_contradiction(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="contradicts base unit"):
+            reg.constant("k", 2.0, unit="count", override="arch")
+
+    def test_node_override_needs_base_and_same_unit(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="unknown formula"):
+            reg.node("n", "count", lambda ev: 0, override="arch")
+        reg.node("n", "count", lambda ev: 0)
+        with pytest.raises(FormulaError, match="contradicts base unit"):
+            reg.node("n", "cycles", lambda ev: 0, override="arch")
+
+
+class TestHierarchyValidation:
+    def test_level_without_parent_rejected(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="without a parent"):
+            reg.node("n", "count", lambda ev: 0, level=1)
+
+    def test_unknown_parent_rejected(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="parent 'ghost'"):
+            reg.node("n", "count", lambda ev: 0, level=1, parent="ghost")
+
+    def test_parent_without_level_rejected(self):
+        reg = _registry()
+        reg.node("flat", "count", lambda ev: 0)  # no hierarchy slot
+        with pytest.raises(FormulaError, match="no hierarchy level"):
+            reg.node("n", "count", lambda ev: 0, level=1, parent="flat")
+
+    def test_child_level_must_be_parent_plus_one(self):
+        reg = _registry()
+        reg.node("root", "count", lambda ev: 0, level=0)
+        with pytest.raises(FormulaError, match="exactly one level below"):
+            reg.node("n", "count", lambda ev: 0, level=2, parent="root")
+
+
+class TestCycleDetection:
+    def test_cycle_via_override_variant(self):
+        reg = _registry()
+        reg.node("x", "count", lambda ev: 1.0)
+        reg.node("y", "count", lambda ev: ev("x") + 1, reqs=("x",))
+        # An override of x depending on y closes the loop x -> y -> x in
+        # the union graph: rejected even though the base graph is acyclic.
+        with pytest.raises(FormulaError, match="dependency cycle"):
+            reg.node(
+                "x", "count", lambda ev: ev("y"), reqs=("y",), override="arch"
+            )
+        # The failed registration rolled back: the registry still
+        # evaluates, and an "arch"-keyed source sees the base variant.
+        src = StaticSource({"a": 0, "b": 0}, override_keys=("arch",))
+        result = reg.evaluate(src)
+        assert result["x"] == 1.0
+        assert result["y"] == 2.0
+
+    def test_three_node_cycle_names_the_path(self):
+        reg = _registry()
+        reg.node("n1", "count", lambda ev: 1.0)
+        reg.node("n2", "count", lambda ev: ev("n1"), reqs=("n1",))
+        reg.node("n3", "count", lambda ev: ev("n2"), reqs=("n2",))
+        with pytest.raises(FormulaError) as err:
+            reg.node(
+                "n1", "count", lambda ev: ev("n3"), reqs=("n3",), override="v"
+            )
+        assert "->" in str(err.value)
+        assert "n1" in str(err.value) and "n3" in str(err.value)
+
+
+class TestResolverDiscipline:
+    def test_undeclared_read_rejected_at_evaluation(self):
+        reg = _registry()
+        reg.node("n", "count", lambda ev: ev("b"), reqs=("a",))  # reads b!
+        with pytest.raises(FormulaError, match="without[\\s\\S]*declaring"):
+            reg.evaluate(StaticSource({"a": 1, "b": 2}))
+
+    def test_missing_required_counter_is_an_error(self):
+        reg = _registry()
+        reg.node("n", "count", lambda ev: ev("a"), reqs=("a",))
+        with pytest.raises(FormulaError, match="does not provide"):
+            reg.evaluate(StaticSource({"b": 2}))
+
+    def test_optional_counter_defaults(self):
+        reg = _registry()
+        reg.node(
+            "n", "count",
+            lambda ev: ev("a") + ev.get("b", 100),
+            reqs=("a", Ref("b", optional=True)),
+        )
+        assert reg.evaluate(StaticSource({"a": 1, "b": 2}))["n"] == 3
+        assert reg.evaluate(StaticSource({"a": 1}))["n"] == 101
+
+    def test_has_probes_source(self):
+        reg = _registry()
+        reg.node(
+            "n", "count",
+            lambda ev: 1.0 if ev.has("b") else 0.0,
+            reqs=(Ref("b", optional=True),),
+        )
+        assert reg.evaluate(StaticSource({"b": 5}))["n"] == 1.0
+        assert reg.evaluate(StaticSource({}))["n"] == 0.0
+
+
+class TestOverrideResolution:
+    def _reg(self) -> FormulaRegistry:
+        reg = _registry()
+        reg.constant("k", 20.0, override="machine")
+        reg.constant("k", 30.0, override="amd")
+        reg.node("n", "cycles", lambda ev: ev("a") * ev("k"), reqs=("a", "k"))
+        reg.node(
+            "n", "cycles", lambda ev: -ev("a") * ev("k"), reqs=("a", "k"),
+            override="machine",
+        )
+        return reg
+
+    def test_most_specific_key_wins(self):
+        reg = self._reg()
+        # ("amd", "machine"): constant resolves per-arch, node per-kind.
+        result = reg.evaluate(
+            StaticSource({"a": 2}, override_keys=("amd", "machine"))
+        )
+        assert result["k"] == 30.0
+        assert result["n"] == -60.0
+
+    def test_generic_key_falls_through(self):
+        reg = self._reg()
+        result = reg.evaluate(StaticSource({"a": 2}, override_keys=("machine",)))
+        assert result["k"] == 20.0
+        assert result["n"] == -40.0
+
+    def test_no_key_uses_base(self):
+        reg = self._reg()
+        result = reg.evaluate(
+            StaticSource({"a": 2}, override_keys=("unrelated",))
+        )
+        assert result["k"] == 10.0
+        assert result["n"] == 20.0
+
+
+class TestEvaluation:
+    def test_only_restricts_but_pulls_dependencies(self):
+        reg = _registry()
+        reg.node("low", "count", lambda ev: ev("a"), reqs=("a",))
+        reg.node("high", "count", lambda ev: ev("low") * 2, reqs=("low",))
+        calls = []
+        reg.node("other", "count", lambda ev: calls.append(1) or 0.0)
+        result = reg.evaluate(StaticSource({"a": 3}), only=("high",))
+        assert result["high"] == 6
+        assert result["low"] == 3  # transitive dependency came along
+        assert "other" not in result.node_values()
+        assert not calls  # unrequested nodes never computed
+
+    def test_only_rejects_non_formula_names(self):
+        reg = _registry()
+        with pytest.raises(FormulaError, match="not a formula"):
+            reg.evaluate(StaticSource({}), only=("a",))
+
+    def test_constants_ride_along_in_result(self):
+        reg = _registry()
+        result = reg.evaluate(StaticSource({}))
+        assert result["k"] == 10.0
+
+    def test_decorator_form_registers_doc(self):
+        reg = _registry()
+
+        @reg.formula("n", "count", reqs=("a",))
+        def n(ev):
+            """twice a"""
+            return ev("a") * 2
+
+        assert reg.node_doc("n") == "twice a"
+        assert reg.evaluate(StaticSource({"a": 4}))["n"] == 8
+
+
+class TestTree:
+    def _reg(self) -> FormulaRegistry:
+        reg = FormulaRegistry("tree")
+        reg.counter("work", "cycles")
+        reg.node("total", "cycles", lambda ev: 100.0, level=0)
+        reg.node("left", "cycles", lambda ev: 60.0, level=1, parent="total")
+        reg.node("right", "cycles", lambda ev: 40.0, level=1, parent="total")
+        reg.node("leaf", "cycles", lambda ev: 15.0, level=2, parent="left")
+        reg.node("flat", "cycles", lambda ev: ev("work"), reqs=("work",))
+        return reg
+
+    def test_three_levels_with_shares(self):
+        rows = self._reg().evaluate(StaticSource({"work": 1})).tree()
+        by_name = {r.name: r for r in rows}
+        assert [r.name for r in rows] == ["total", "left", "leaf", "right"]
+        assert by_name["total"].share_of_parent is None
+        assert by_name["left"].share_of_parent == pytest.approx(0.6)
+        assert by_name["leaf"].share_of_parent == pytest.approx(0.25)
+        assert by_name["leaf"].share_of_total == pytest.approx(0.15)
+        assert by_name["leaf"].level == 2
+        assert "flat" not in by_name  # non-hierarchy nodes stay out

@@ -138,6 +138,35 @@ class TestR006ExitDiscipline:
         assert not lib  # tools are not library code, so R004/R006 skip them
 
 
+class TestR007LevelConstants:
+    """R007: level arrays must be indexed via LVL_*, not magic integers."""
+
+    def test_literal_index_flagged_in_library(self):
+        src = "frac = counts[3] + counts[4]\n"
+        assert _rules(src, in_library=True) == ["R007", "R007"]
+
+    def test_attribute_access_flagged(self):
+        src = "self.level_counts[0] += 1\n"
+        assert _rules(src, in_library=True) == ["R007"]
+        assert _rules("h.hop_counts[2] += n\n", in_library=True) == ["R007"]
+
+    def test_constant_name_index_ok(self):
+        src = "self.level_counts[LVL_L1] += 1\n"
+        assert _rules(src, in_library=True) == []
+
+    def test_variable_index_ok(self):
+        assert _rules("h.hop_counts[hops] += 1\n", in_library=True) == []
+
+    def test_slices_and_other_arrays_ok(self):
+        assert _rules("head = counts[:2]\n", in_library=True) == []
+        assert _rules("x = weights[0]\n", in_library=True) == []
+
+    def test_tests_and_tools_exempt(self):
+        # Tests pin concrete orderings on purpose; only library code is held
+        # to the symbolic-constant rule.
+        assert _rules("assert levels[0] == 7\n", in_library=False) == []
+
+
 class TestRepoIsClean:
     def test_whole_repo_green(self, capsys):
         # Run from the repo root so the default targets resolve.

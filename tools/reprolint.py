@@ -22,6 +22,11 @@ Rules:
   R006  ``sys.exit()`` / ``raise SystemExit`` inside ``src/repro`` outside
         ``src/repro/tools`` — library code must raise typed exceptions
         (repro.errors) and leave process exit codes to the CLIs
+  R007  integer-literal index into a data-source level array
+        (``level_counts``/``levels``/``counts``/``hop_counts``) inside
+        ``src/repro`` — use the ``LVL_*`` constants from
+        ``repro.machine.hierarchy`` so reordering the hierarchy cannot
+        silently skew derived reports
 
 Usage: ``python tools/reprolint.py [paths...]`` (default: src tests
 benchmarks examples tools).  Prints ``file:line: RULE message`` per
@@ -43,6 +48,10 @@ _BANNED_CALLS = {
     ("datetime", "utcnow"),
     ("date", "today"),
 }
+
+# R007: arrays indexed by data-source level (or NUMA hop distance) whose
+# ordering is defined once, by the LVL_* constants in repro.machine.hierarchy.
+_LEVEL_ARRAYS = {"level_counts", "levels", "counts", "hop_counts"}
 
 
 def _is_mutable_default(node: ast.expr) -> bool:
@@ -172,6 +181,29 @@ class _Visitor(ast.NodeVisitor):
                 node.lineno, "R006",
                 "sys.exit() in library code — raise a repro.errors exception; "
                 "only CLIs in repro.tools choose exit codes",
+            )
+        self.generic_visit(node)
+
+    # R007 ------------------------------------------------------------------
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        base = node.value
+        name = None
+        if isinstance(base, ast.Name):
+            name = base.id
+        elif isinstance(base, ast.Attribute):
+            name = base.attr
+        index = node.slice
+        if (
+            self.in_library
+            and name in _LEVEL_ARRAYS
+            and isinstance(index, ast.Constant)
+            and isinstance(index.value, int)
+            and not isinstance(index.value, bool)
+        ):
+            self._add(
+                node.lineno, "R007",
+                f"integer-literal index `{name}[{index.value}]` — use the "
+                "LVL_* constants from repro.machine.hierarchy",
             )
         self.generic_visit(node)
 
