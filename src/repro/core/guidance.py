@@ -24,6 +24,12 @@ from repro.core.analyzer import ExperimentDB
 from repro.core.metrics import MetricKind
 from repro.core.storage import StorageClass
 from repro.core.views import VariableReport
+from repro.metrics.boundness import (
+    MIN_SHARE,
+    REGISTRY,
+    REMOTE_DOMINANT_FRACTION,
+    TLB_PRESSURE,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.staticcheck.analyze import Finding
@@ -49,9 +55,12 @@ class Recommendation:
         )
 
 
-_REMOTE_DOMINANT = 0.5
-_TLB_HOT = 0.2
-_MIN_SHARE = 0.03
+# Single-sourced from the formula registry's constant definitions in
+# repro.metrics.boundness — the same objects the static analyzer and the
+# reconciler read, so the passes cannot drift.
+_REMOTE_DOMINANT = REMOTE_DOMINANT_FRACTION
+_TLB_HOT = TLB_PRESSURE
+_MIN_SHARE = MIN_SHARE
 
 
 def _advise_variable(var: VariableReport) -> Recommendation | None:
@@ -108,7 +117,7 @@ def advise(
     exp: ExperimentDB,
     kind: MetricKind = MetricKind.LATENCY,
     top_n: int = 10,
-    min_share: float = _MIN_SHARE,
+    min_share: float | None = None,
     static_findings: "Sequence[Finding] | None" = None,
 ) -> list[Recommendation]:
     """Generate recommendations for the top variables of a profile.
@@ -116,11 +125,26 @@ def advise(
     When ``static_findings`` (from :func:`repro.staticcheck.analyze_model`)
     is given, a recommendation whose variable the static pass also
     flagged cites the prediction in its evidence — measurement and
-    structure agreeing is the strongest signal a fix is worth it.
+    structure agreeing is the strongest signal a fix is worth it; when
+    findings carry a ``predicted_impact``
+    (:func:`repro.staticcheck.predict.report_with_impacts`),
+    recommendations are ranked by expected payoff instead of by share.
+
+    ``min_share=None`` resolves the noise threshold through the formula
+    registry with the profile's ``(machine, "profile")`` override keys.
     """
+    if min_share is None:
+        try:
+            machine = str(exp.db.meta.get("machine", "") or "")
+        except Exception:
+            machine = ""
+        keys = (machine, "profile") if machine else ("profile",)
+        min_share = REGISTRY.constant_value("min_share", keys)
     predicted: dict[str, "Finding"] = {}
     for finding in static_findings or ():
-        predicted.setdefault(finding.variable, finding)
+        seen = predicted.get(finding.variable)
+        if seen is None or finding.predicted_impact > seen.predicted_impact:
+            predicted[finding.variable] = finding
     out = []
     for var in exp.top_variables(kind, n=top_n):
         if var.share < min_share:
@@ -133,5 +157,23 @@ def advise(
             rec.evidence += (
                 f"; predicted statically ({hit.code} at {hit.site})"
             )
+            if hit.predicted_impact > 0:
+                rec.evidence += (
+                    f"; predicted impact {hit.predicted_impact:.0%} of cycles"
+                )
         out.append(rec)
-    return out
+    # Rank by predicted payoff when the static pass quantified one;
+    # share order (the top_variables order) breaks ties and covers the
+    # no-impact case, preserving the pre-impact ranking exactly.
+    ranked = sorted(
+        enumerate(out),
+        key=lambda pair: (
+            -(
+                predicted[pair[1].variable].predicted_impact
+                if pair[1].variable in predicted
+                else 0.0
+            ),
+            pair[0],
+        ),
+    )
+    return [rec for _, rec in ranked]

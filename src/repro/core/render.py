@@ -16,7 +16,7 @@ from repro.util.fmt import format_table, pct
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sanitize.report import SanitizerReport
     from repro.staticcheck.analyze import StaticReport
-    from repro.staticcheck.reconcile import Reconciliation
+    from repro.staticcheck.reconcile import MetricReconciliation, Reconciliation
 
 __all__ = [
     "render_top_down",
@@ -25,6 +25,7 @@ __all__ = [
     "render_sanitizer_report",
     "render_static_report",
     "render_reconciliation",
+    "render_metric_reconciliation",
 ]
 
 
@@ -156,6 +157,11 @@ def render_static_report(
             f"share {finding.share:.1%}  at {finding.site}"
         )
         lines.append(f"    {finding.message}")
+        if finding.predicted_impact > 0:
+            lines.append(
+                f"    predicted impact: fixing this saves "
+                f"{finding.predicted_impact:.1%} of predicted cycles"
+            )
         for ctx in finding.contexts:
             lines.append(f"    alloc context: {ctx}")
     return "\n".join(lines)
@@ -189,6 +195,53 @@ def render_reconciliation(rec: "Reconciliation", title: str = "") -> str:
         f"missed={rec.n_missed}   "
         f"precision={rec.precision:.0%} recall={rec.recall:.0%}"
     )
+    for warning in rec.warnings:
+        lines.append(f"warning: {warning}")
+    return "\n".join(lines)
+
+
+def render_metric_reconciliation(
+    rec: "MetricReconciliation", title: str = ""
+) -> str:
+    """Render per-variable static-vs-dynamic derived-metric comparison."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    rows = []
+    for vm in rec.variables:
+        for delta in vm.deltas:
+            rows.append(
+                (
+                    vm.variable,
+                    delta.metric,
+                    f"{delta.static_value:.3f}",
+                    f"{delta.dynamic_value:.3f}",
+                    f"{delta.rel_error:.1%}",
+                )
+            )
+        rows.append(
+            (
+                vm.variable,
+                "verdict",
+                vm.static_verdict,
+                vm.dynamic_verdict,
+                "agree" if vm.agree else "DISAGREE",
+            )
+        )
+    lines.append(format_table(
+        ("variable", "metric", "static", "dynamic", "rel err"),
+        rows,
+        title=(
+            f"metric reconciliation: {rec.app}/{rec.variant} "
+            f"(sampling vocabulary: {rec.vocabulary})"
+        ),
+    ))
+    lines.append(
+        f"variables compared={len(rec.variables)} "
+        f"verdict agreement={rec.n_agree}/{len(rec.variables)}"
+    )
+    for warning in rec.warnings:
+        lines.append(f"warning: {warning}")
     return "\n".join(lines)
 
 

@@ -68,6 +68,12 @@ class VariableReport:
     dram_remote_fraction: float = 0.0   # remote samples / DRAM-serviced samples
     tlb_miss_fraction: float = 0.0
     samples: int = 0
+    # Raw inclusive counters, so per-variable formula sources
+    # (repro.metrics.sources.VariableProfileSource) can feed the
+    # boundness DAG without re-walking the CCT.
+    levels: tuple[int, ...] = ()        # per-service-level sample counts
+    latency: int = 0                    # summed sampled access latency
+    tlb_misses: int = 0
 
 
 @dataclass
@@ -199,6 +205,9 @@ def _heap_variables(
                         dram_remote_fraction=_dram_remote(incl),
                         tlb_miss_fraction=incl.tlb_misses / samples,
                         samples=incl.samples,
+                        levels=tuple(incl.levels),
+                        latency=incl.latency,
+                        tlb_misses=incl.tlb_misses,
                     )
                 )
             else:
@@ -246,6 +255,9 @@ def _named_variables(
                 dram_remote_fraction=_dram_remote(incl),
                 tlb_miss_fraction=incl.tlb_misses / samples,
                 samples=incl.samples,
+                levels=tuple(incl.levels),
+                latency=incl.latency,
+                tlb_misses=incl.tlb_misses,
             )
         )
     return reports

@@ -10,7 +10,10 @@ the counter protocol.
 """
 
 from repro.metrics.boundness import (
+    CONFIRM_REMOTE_FRACTION,
+    MIN_SHARE,
     REGISTRY,
+    REMOTE_DOMINANT_FRACTION,
     BoundnessReport,
     evaluate_boundness,
     register_spec,
@@ -24,11 +27,17 @@ from repro.metrics.formula import (
     FormulaNode,
     FormulaRegistry,
     Ref,
+    Resolver,
     TreeRow,
     requires,
 )
 from repro.metrics.render import render_topdown
-from repro.metrics.sources import MachineSource, ProfileSource, StaticSource
+from repro.metrics.sources import (
+    MachineSource,
+    ProfileSource,
+    StaticSource,
+    VariableProfileSource,
+)
 
 __all__ = [
     "FormulaRegistry",
@@ -37,6 +46,7 @@ __all__ = [
     "Constant",
     "CounterSource",
     "Ref",
+    "Resolver",
     "requires",
     "EvalResult",
     "TreeRow",
@@ -45,8 +55,12 @@ __all__ = [
     "register_spec",
     "evaluate_boundness",
     "report_from_source",
+    "MIN_SHARE",
+    "CONFIRM_REMOTE_FRACTION",
+    "REMOTE_DOMINANT_FRACTION",
     "StaticSource",
     "ProfileSource",
+    "VariableProfileSource",
     "MachineSource",
     "render_topdown",
 ]

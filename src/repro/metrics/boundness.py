@@ -48,7 +48,13 @@ from dataclasses import dataclass
 
 from repro.machine.latency import LatencyModel
 from repro.machine.presets import MachineSpec, builtin_specs
-from repro.metrics.formula import CounterSource, EvalResult, FormulaRegistry, Ref
+from repro.metrics.formula import (
+    CounterSource,
+    EvalResult,
+    FormulaRegistry,
+    Ref,
+    Resolver,
+)
 
 __all__ = [
     "REGISTRY",
@@ -59,12 +65,24 @@ __all__ = [
     "MEMORY_BOUND_FRACTION",
     "NUMA_BOUND_REMOTE",
     "TLB_PRESSURE",
+    "MIN_SHARE",
+    "CONFIRM_REMOTE_FRACTION",
+    "REMOTE_DOMINANT_FRACTION",
 ]
 
 # The paper's §5 gates (defaults; presets may override per architecture).
 MEMORY_BOUND_FRACTION = 0.25
 NUMA_BOUND_REMOTE = 0.4
 TLB_PRESSURE = 0.2
+
+# Data-centric triage thresholds shared by the static analyzer, the
+# reconciliation pass and the guidance pass.  Defined ONCE here (and as
+# registry constants below, so per-preset overrides apply); the old
+# copies in ``repro.staticcheck.analyze`` and ``repro.core.guidance``
+# are now imports of these names.
+MIN_SHARE = 0.03                 # below this share a variable is noise
+CONFIRM_REMOTE_FRACTION = 0.2    # remote share that confirms an H001 prediction
+REMOTE_DOMINANT_FRACTION = 0.5   # remote share that makes NUMA the diagnosis
 
 
 @dataclass(frozen=True)
@@ -148,6 +166,11 @@ REGISTRY.counter(
     "nonmem_event_cycles", "cycles",
     "period-scaled non-memory instruction estimate (profile sources)",
 )
+REGISTRY.counter(
+    "metric_share", "fraction",
+    "this variable's share of the ranked metric (per-variable sources; "
+    "whole-execution sources omit it and count as share 1.0)",
+)
 
 # ---------------------------------------------------------------------------
 # Constants: latency model + thresholds, with per-architecture overrides
@@ -183,6 +206,21 @@ REGISTRY.constant(
 REGISTRY.constant(
     "tlb_pressure", TLB_PRESSURE, "fraction",
     "TLB-miss share above which long strides/layout are suspect",
+)
+REGISTRY.constant(
+    "min_share", MIN_SHARE, "fraction",
+    "metric share below which a variable is noise (analyzer, reconciler "
+    "and guidance all read this one constant)",
+)
+REGISTRY.constant(
+    "confirm_remote_fraction", CONFIRM_REMOTE_FRACTION, "fraction",
+    "remote-DRAM share above which a dynamic profile confirms a static "
+    "H001 (master first touch) prediction",
+)
+REGISTRY.constant(
+    "remote_dominant_fraction", REMOTE_DOMINANT_FRACTION, "fraction",
+    "remote-DRAM share above which a variable's pathology is NUMA "
+    "placement rather than plain cache locality",
 )
 
 _registered_specs: set[str] = set()
@@ -252,7 +290,7 @@ _N(
 )
 
 
-def _remote_dram_cycles(ev) -> float:
+def _remote_dram_cycles(ev: Resolver) -> float:
     """Price remote DRAM by observed hop distance when available.
 
     Machine sources expose the hierarchy's per-hop access counts, so
@@ -354,7 +392,7 @@ _N(
 # ---------------------------------------------------------------------------
 
 
-def _memory_cycle_fraction(ev) -> float:
+def _memory_cycle_fraction(ev: Resolver) -> float:
     total = ev("mem_cycles") + ev("compute_cycles")
     return (ev("mem_cycles") / total) if total else 0.0
 
@@ -404,6 +442,57 @@ _N(
         "numa_bound_remote:fraction",
     ),
     doc="paper §5 gate: worth configuring NUMA marked events",
+)
+
+# ---------------------------------------------------------------------------
+# Data-centric hazard predicates (per-variable sources)
+# ---------------------------------------------------------------------------
+#
+# These used to live as hand-rolled comparisons in
+# ``repro.staticcheck.analyze``/``reconcile`` and ``repro.core.guidance``.
+# Expressed as flag nodes they evaluate identically over a per-variable
+# slice of a dynamic profile (VariableProfileSource) and over the static
+# predictor's counters (repro.staticcheck.predict), with per-preset
+# constant overrides applying to both.
+
+_N(
+    "remote_dram_fraction", "fraction",
+    lambda ev: ev("remote_intensity"),
+    reqs=("remote_intensity:fraction",),
+    doc="remote / DRAM-serviced accesses — the H001 evidence metric "
+    "(alias of remote_intensity under its data-centric name)",
+)
+_N(
+    "is_remote_dominant", "flag",
+    lambda ev: 1.0
+    if ev("remote_dram_fraction") >= ev("remote_dominant_fraction")
+    else 0.0,
+    reqs=("remote_dram_fraction:fraction", "remote_dominant_fraction:fraction"),
+    doc="this variable's DRAM traffic is mostly remote — placement, not "
+    "cache locality, is the diagnosis",
+)
+_N(
+    "is_tlb_hot", "flag",
+    lambda ev: 1.0 if ev("tlb_intensity") >= ev("tlb_pressure") else 0.0,
+    reqs=("tlb_intensity:fraction", "tlb_pressure:fraction"),
+    doc="this variable's accesses take page walks often enough to "
+    "suspect stride/layout",
+)
+_N(
+    "is_significant", "flag",
+    lambda ev: 1.0 if ev.get("metric_share", 1.0) >= ev("min_share") else 0.0,
+    reqs=(Ref("metric_share", "fraction", optional=True), "min_share:fraction"),
+    doc="this variable carries enough of the ranked metric to be worth "
+    "reporting at all (sources without a share count as significant)",
+)
+_N(
+    "h001_confirmed", "flag",
+    lambda ev: 1.0
+    if ev("remote_dram_fraction") >= ev("confirm_remote_fraction")
+    else 0.0,
+    reqs=("remote_dram_fraction:fraction", "confirm_remote_fraction:fraction"),
+    doc="the observed remote share is high enough to confirm a static "
+    "master-first-touch (H001) prediction",
 )
 
 # ---------------------------------------------------------------------------

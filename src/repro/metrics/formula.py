@@ -38,7 +38,16 @@ summing modelled level costs on a live machine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    TypeVar,
+    runtime_checkable,
+)
 
 from repro.errors import FormulaError
 
@@ -52,8 +61,11 @@ __all__ = [
     "CounterSource",
     "FormulaRegistry",
     "EvalResult",
+    "Resolver",
     "TreeRow",
 ]
+
+_T = TypeVar("_T")
 
 # The unit vocabulary: "count" (events/samples), "cycles" (costs),
 # "fraction" (ratios in [0, 1]) and "flag" (0.0/1.0 verdict bits).
@@ -164,7 +176,12 @@ class _Resolver:
 
     __slots__ = ("_registry", "_node", "_allowed", "_eval")
 
-    def __init__(self, registry: "FormulaRegistry", node: FormulaNode, evaluate):
+    def __init__(
+        self,
+        registry: "FormulaRegistry",
+        node: FormulaNode,
+        evaluate: Callable[[str], float],
+    ) -> None:
         self._registry = registry
         self._node = node
         self._allowed = {ref.name: ref for ref in node.requires}
@@ -200,10 +217,17 @@ class _Resolver:
         return self._eval(name) is not _MISSING
 
 
-_MISSING = object()  # sentinel: counter absent from the source
+# Sentinel: counter absent from the source.  Typed ``Any`` so it can
+# flow through the float-typed evaluation plumbing without casts.
+_MISSING: Any = object()
+
+# Public name for the resolver type handed to ``compute`` callables, so
+# def-style formula computes outside this module can annotate their
+# parameter (strict mypy requires it).
+Resolver = _Resolver
 
 
-class EvalResult(Mapping):
+class EvalResult(Mapping[str, float]):
     """Evaluated node (and resolved constant) values for one source."""
 
     def __init__(
@@ -219,7 +243,7 @@ class EvalResult(Mapping):
     def __getitem__(self, name: str) -> float:
         return self._values[name]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._values)
 
     def __len__(self) -> int:
@@ -447,10 +471,12 @@ class FormulaRegistry:
             raise
         return entity
 
-    def formula(self, name: str, unit: str, **kwargs):
+    def formula(
+        self, name: str, unit: str, **kwargs: Any
+    ) -> Callable[[Callable[[_Resolver], float]], Callable[[_Resolver], float]]:
         """Decorator form of :meth:`node` for def-style computes."""
 
-        def wrap(fn: Callable[[_Resolver], float]) -> Callable:
+        def wrap(fn: Callable[[_Resolver], float]) -> Callable[[_Resolver], float]:
             reqs = kwargs.pop("reqs", ())
             self.node(name, unit, fn, reqs=reqs, doc=fn.__doc__ or "", **kwargs)
             return fn
@@ -534,11 +560,26 @@ class FormulaRegistry:
 
     # -- evaluation ---------------------------------------------------------
 
-    def _pick(self, variants: Mapping[str | None, object], keys: tuple[str, ...]):
+    def _pick(self, variants: Mapping[str | None, _T], keys: tuple[str, ...]) -> _T:
         for key in keys:
             if key in variants:
                 return variants[key]
         return variants[None]
+
+    def constant_value(self, name: str, keys: tuple[str, ...] = ()) -> float:
+        """Resolve one constant through override ``keys`` without a source.
+
+        This is how non-formula code (the static analyzer's share gate,
+        the guidance pass) reads thresholds from the same registry the
+        metric DAG evaluates, so a per-preset override shifts every
+        consumer at once.
+        """
+        variants = self._constants.get(name)
+        if variants is None:
+            raise FormulaError(
+                f"registry {self.name!r} declares no constant {name!r}"
+            )
+        return self._pick(variants, tuple(keys)).value
 
     def evaluate(
         self, source: CounterSource, only: Iterable[str] | None = None
@@ -554,7 +595,7 @@ class FormulaRegistry:
         cache: dict[str, float] = {}
         in_flight: list[str] = []
 
-        def resolve(name: str):
+        def resolve(name: str) -> float:
             if name in cache:
                 return cache[name]
             if name in self._counters:

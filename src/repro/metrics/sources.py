@@ -29,9 +29,15 @@ from repro.machine.hierarchy import LVL_L1, LVL_L2, LVL_L3, LVL_LMEM, LVL_RMEM
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard, typing only
     from repro.core.analyzer import ExperimentDB
+    from repro.core.views import VariableReport
     from repro.machine.presets import Machine
 
-__all__ = ["StaticSource", "ProfileSource", "MachineSource"]
+__all__ = [
+    "StaticSource",
+    "ProfileSource",
+    "VariableProfileSource",
+    "MachineSource",
+]
 
 
 class StaticSource:
@@ -115,6 +121,44 @@ class ProfileSource(StaticSource):
                 f"{samples} samples"
                 + (f", machine {machine_name}" if machine_name else "")
                 + ")"
+            ),
+        )
+
+
+class VariableProfileSource(StaticSource):
+    """One variable's slice of a merged profile, as a counter source.
+
+    Feeds the per-variable hazard predicates (``remote_dram_fraction``,
+    ``is_remote_dominant``, ``h001_confirmed``, ``is_significant``) with
+    the variable's own inclusive counters from the data-centric view,
+    plus its ``metric_share`` of the ranked metric.  Carries the same
+    override keys as the whole-profile source, so per-architecture
+    threshold overrides resolve identically.
+    """
+
+    kind = "profile"
+
+    def __init__(self, var: "VariableReport", exp: "ExperimentDB") -> None:
+        levels = tuple(var.levels) + (0,) * (5 - len(var.levels))
+        machine_name = exp.db.meta.get("machine", "")
+        keys = (machine_name, "profile") if machine_name else ("profile",)
+        super().__init__(
+            counters={
+                "samples": var.samples,
+                "l1_samples": levels[LVL_L1],
+                "l2_samples": levels[LVL_L2],
+                "l3_samples": levels[LVL_L3],
+                "lmem_samples": levels[LVL_LMEM],
+                "rmem_samples": levels[LVL_RMEM],
+                "tlb_miss_samples": var.tlb_misses,
+                "measured_memory_cycles": var.latency,
+                "metric_share": var.share,
+            },
+            kind="profile",
+            override_keys=keys,
+            description=(
+                f"variable {var.name} ({var.samples} samples, "
+                f"share {var.share:.1%})"
             ),
         )
 

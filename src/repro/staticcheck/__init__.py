@@ -12,7 +12,11 @@ Entry points:
 
 - :func:`build_static_model` — resolve a bundled app's declarations;
 - :func:`analyze_model` — run the hazard catalogue over a model;
-- :func:`reconcile` — label predictions against an ``ExperimentDB``.
+- :func:`predict_model` — predict machine counters from the model and
+  evaluate them on the same formula DAG the profiler reports;
+- :func:`reconcile` — label predictions against an ``ExperimentDB``;
+- :func:`reconcile_metrics` — compare static vs dynamic evaluations of
+  the same derived metrics, per variable, with relative error.
 """
 
 from repro.staticcheck.analyze import (
@@ -29,7 +33,23 @@ from repro.staticcheck.model import (
     PerThreadSlotPattern,
     StaticModel,
 )
-from repro.staticcheck.reconcile import Reconciliation, Verdict, reconcile
+from repro.staticcheck.predict import (
+    ModelPrediction,
+    VarPrediction,
+    model_source,
+    predict_model,
+    report_with_impacts,
+    variable_source,
+)
+from repro.staticcheck.reconcile import (
+    MetricDelta,
+    MetricReconciliation,
+    Reconciliation,
+    VariableMetrics,
+    Verdict,
+    reconcile,
+    reconcile_metrics,
+)
 from repro.staticcheck.registry import (
     STATIC_APPS,
     build_static_model,
@@ -53,6 +73,16 @@ __all__ = [
     "Reconciliation",
     "Verdict",
     "reconcile",
+    "ModelPrediction",
+    "VarPrediction",
+    "predict_model",
+    "model_source",
+    "variable_source",
+    "report_with_impacts",
+    "MetricDelta",
+    "MetricReconciliation",
+    "VariableMetrics",
+    "reconcile_metrics",
     "STATIC_APPS",
     "build_static_model",
     "register_static_app",

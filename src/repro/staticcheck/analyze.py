@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.metrics.boundness import MIN_SHARE, REGISTRY
 from repro.staticcheck.callgraph import CallGraph, build_callgraph
 from repro.staticcheck.model import (
     AccessSite,
@@ -47,9 +48,10 @@ from repro.util.linemath import runs_share_line
 
 __all__ = ["Finding", "VarSummary", "StaticReport", "analyze_model", "MIN_SHARE"]
 
-# Matches repro.core.guidance._MIN_SHARE: a variable below 3% of the
-# access weight is not worth a finding, statically or dynamically.
-MIN_SHARE = 0.03
+# MIN_SHARE is defined ONCE, in repro.metrics.boundness (and mirrored as
+# the registry constant "min_share" so per-preset overrides apply); it is
+# re-exported here for compatibility, and repro.core.guidance imports the
+# same object — the two passes cannot drift.
 
 _MAX_CONTEXTS_PER_FINDING = 4
 
@@ -66,6 +68,10 @@ class Finding:
     share: float  # of the model's total access weight
     message: str
     contexts: tuple[str, ...]  # formatted alloc contexts (capped)
+    # Fraction of predicted total cycles a virtual fix would save
+    # (repro.staticcheck.predict.report_with_impacts); 0 when the hazard
+    # class has no counter-level fix model or nothing was saved.
+    predicted_impact: float = 0.0
 
     @property
     def site(self) -> str:
@@ -379,9 +385,19 @@ def _check_h004(
 
 
 def analyze_model(
-    model: StaticModel, min_share: float = MIN_SHARE
+    model: StaticModel, min_share: float | None = None
 ) -> StaticReport:
-    """Run the whole hazard catalogue over one static model."""
+    """Run the whole hazard catalogue over one static model.
+
+    ``min_share=None`` resolves the threshold through the formula
+    registry with this model's ``(preset, "static")`` override keys, so
+    a per-architecture ``min_share`` override changes static triage the
+    same way it changes the dynamic passes.
+    """
+    if min_share is None:
+        min_share = REGISTRY.constant_value(
+            "min_share", (model.machine.spec.name, "static")
+        )
     graph = build_callgraph(model)
     total_weight = model.total_weight
     report = StaticReport(

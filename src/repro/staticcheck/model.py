@@ -212,6 +212,10 @@ class StaticModel:
         self.regions: dict[str, RegionDecl] = {}
         self.variables: dict[str, VarDecl] = {}
         self.heap_align = HEAP_ALIGN
+        # Statically estimated non-memory compute cycles (loop bookkeeping,
+        # arithmetic), feeding the prediction's ``nonmem_event_cycles``
+        # counter so predicted memory-bound fractions aren't trivially 1.0.
+        self.compute_cycles_estimate: float = 0.0
 
     # -- geometry ----------------------------------------------------------
     @property
@@ -326,6 +330,12 @@ class StaticModel:
         self._require_fn(fn, line)
         decl = self._existing(var)
         decl.access_sites.append(AccessSite(var, fn, line, weight, is_store, pattern))
+
+    def compute_estimate(self, cycles: float) -> None:
+        """Declare the model's estimated non-memory compute cycles."""
+        if cycles < 0:
+            raise ConfigError(f"{self.name}: negative compute estimate")
+        self.compute_cycles_estimate = float(cycles)
 
     def free(self, fn: str, line: int, var: str) -> None:
         self._require_fn(fn, line)

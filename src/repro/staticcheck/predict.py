@@ -1,0 +1,513 @@
+"""Static counter prediction: machine counters from a model, no execution.
+
+The analyzer in :mod:`repro.staticcheck.analyze` predicts *hazards*; this
+module predicts *numbers* — the same counter vocabulary the dynamic
+profiler feeds the boundness formula DAG (:mod:`repro.metrics.boundness`),
+estimated closed-form from a :class:`StaticModel` plus the machine
+geometry.  Stride math from the access patterns (``OmpBlockPattern`` /
+``PerThreadSlotPattern``) drives per-thread footprints; the preset's
+cache capacities decide the residence level; the placement policy plus
+the linear thread layout decide the local/remote DRAM split and the
+per-hop distribution.  The result is a :class:`StaticSource` per
+variable (and one for the whole model) with override keys
+``(preset, "static")``, so per-architecture latency constants and triage
+thresholds resolve identically to the dynamic adapters — one metric DAG,
+two evaluation modes.
+
+Predictor assumptions (see DESIGN.md "Static prediction on the formula
+engine"):
+
+* one contiguous per-thread footprint per access site (the pattern's
+  ``thread_run``, or an even ``nbytes / team`` split when no pattern is
+  declared);
+* whole-line cold misses once, then steady-state hits at the smallest
+  cache level whose capacity holds the per-thread footprint, with
+  repeated sweeps (``weight / elements``) re-fetching from DRAM only
+  when the footprint exceeds the last-level cache;
+* first-touch placement commits on the declared executor — master
+  stores pin every page to the master's node, worker stores pin each
+  thread's chunk locally; interleaved policies spread pages uniformly;
+* line-sharing store sites (the H002 shape) serve their steady-state
+  stores at L3 cost — the coherence ping-pong — tracked separately so
+  the virtual "pad the line" fix can move them back.
+
+The virtual-fix evaluation (:func:`report_with_impacts`) re-evaluates
+``total_cycles`` with a hazard repaired — H001: the variable's remote
+DRAM re-homed local; H002: its ping-pong stores restored to L1 — and
+reports the relative saving as the finding's predicted impact, which
+``hpcview advise`` uses to rank recommendations by payoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from math import ceil
+
+from repro.machine.presets import MachineSpec
+from repro.machine.topology import Topology
+from repro.metrics.boundness import REGISTRY, evaluate_boundness
+from repro.metrics.formula import EvalResult
+from repro.metrics.sources import StaticSource
+from repro.staticcheck.analyze import (
+    Finding,
+    StaticReport,
+    _first_touch_executor,
+    _regions_reaching,
+)
+from repro.staticcheck.callgraph import CallGraph, build_callgraph
+from repro.staticcheck.model import AccessSite, StaticModel, VarDecl
+from repro.util.linemath import runs_share_line
+
+__all__ = [
+    "VarPrediction",
+    "ModelPrediction",
+    "predict_model",
+    "model_source",
+    "variable_source",
+    "condition_counters",
+    "source_vocabulary",
+    "report_with_impacts",
+    "STATIC_KIND",
+]
+
+# The source-kind override key static predictions evaluate under.
+STATIC_KIND = "static"
+
+# Assumed element size when an access site declares no pattern.
+_DEFAULT_ELEM_BYTES = 8
+
+# Counter names every prediction carries (zero-filled when unobserved).
+_COUNTER_NAMES = (
+    "samples",
+    "l1_samples",
+    "l2_samples",
+    "l3_samples",
+    "lmem_samples",
+    "rmem_samples",
+    "hop1_samples",
+    "hop2_samples",
+    "tlb_miss_samples",
+)
+
+
+def _zero_counters() -> dict[str, float]:
+    return {name: 0.0 for name in _COUNTER_NAMES}
+
+
+def _merge_into(acc: dict[str, float], extra: dict[str, float]) -> None:
+    for name, value in extra.items():
+        acc[name] = acc.get(name, 0.0) + value
+
+
+@dataclass
+class VarPrediction:
+    """Predicted counters for one variable, plus fix bookkeeping."""
+
+    name: str
+    storage: str
+    share: float                       # of the model's total access weight
+    counters: dict[str, float] = field(default_factory=_zero_counters)
+    # Steady-state stores elevated to L3 by line ping-pong (H002); the
+    # "pad the line" virtual fix moves exactly these back to L1.
+    sharing_l3: float = 0.0
+
+    def fixed_h001(self) -> dict[str, float]:
+        """Counters with the variable's pages re-homed locally."""
+        fixed = dict(self.counters)
+        fixed["lmem_samples"] = fixed["lmem_samples"] + fixed["rmem_samples"]
+        fixed["rmem_samples"] = 0.0
+        fixed["hop1_samples"] = 0.0
+        fixed["hop2_samples"] = 0.0
+        return fixed
+
+    def fixed_h002(self) -> dict[str, float]:
+        """Counters with the ping-pong line padded apart."""
+        fixed = dict(self.counters)
+        moved = min(self.sharing_l3, fixed["l3_samples"])
+        fixed["l3_samples"] = fixed["l3_samples"] - moved
+        fixed["l1_samples"] = fixed["l1_samples"] + moved
+        return fixed
+
+
+@dataclass
+class ModelPrediction:
+    """Predicted counters for a whole static model."""
+
+    app: str
+    variant: str
+    spec: MachineSpec
+    variables: dict[str, VarPrediction] = field(default_factory=dict)
+    compute_cycles: float = 0.0
+
+    @property
+    def override_keys(self) -> tuple[str, str]:
+        return (self.spec.name, STATIC_KIND)
+
+    def totals(self) -> dict[str, float]:
+        acc = _zero_counters()
+        for var in self.variables.values():
+            _merge_into(acc, var.counters)
+        acc["nonmem_event_cycles"] = self.compute_cycles
+        return acc
+
+
+# ---------------------------------------------------------------------------
+# Geometry helpers
+# ---------------------------------------------------------------------------
+
+
+def _cache_capacities(spec: MachineSpec) -> tuple[int, int, int]:
+    line = 1 << spec.line_bits
+    return (
+        spec.l1_sets * spec.l1_assoc * line,
+        spec.l2_sets * spec.l2_assoc * line,
+        spec.l3_sets * spec.l3_assoc * line,
+    )
+
+
+def _team_width(model: StaticModel, graph: CallGraph, site: AccessSite) -> int:
+    """The widest team reaching a site; 1 when only serial paths do."""
+    widths = [
+        region.n_threads
+        for region in _regions_reaching(model, graph, site.fn)
+    ]
+    return max(widths) if widths else 1
+
+
+def _thread_footprints(
+    site: AccessSite, var: VarDecl, team: int
+) -> list[int]:
+    if site.pattern is not None:
+        return [site.pattern.span_bytes(tid, team) for tid in range(team)]
+    if var.nbytes <= 0:
+        return [0] * team
+    split = ceil(var.nbytes / team)
+    return [split] * team
+
+
+def _elem_bytes(site: AccessSite) -> int:
+    return int(getattr(site.pattern, "elem_bytes", 0)) or _DEFAULT_ELEM_BYTES
+
+
+def _is_sharing_store(
+    model: StaticModel, site: AccessSite, team: int
+) -> bool:
+    """The H002 predicate: adjacent sub-line footprints in one line."""
+    if not site.is_store or site.pattern is None or team < 2:
+        return False
+    line_size = 1 << model.line_bits
+    for tid in range(min(team - 1, 8)):
+        a = site.pattern.thread_run(tid, team)
+        b = site.pattern.thread_run(tid + 1, team)
+        if (a.hi - a.lo) > line_size or (b.hi - b.lo) > line_size:
+            continue
+        if runs_share_line(a, b, model.line_bits) is not None:
+            return True
+    return False
+
+
+def _dram_split(
+    model: StaticModel,
+    graph: CallGraph,
+    var: VarDecl,
+    site: AccessSite,
+    team: int,
+    dram_total: float,
+    footprints: list[int],
+) -> dict[str, float]:
+    """Split DRAM accesses into local/remote and per-hop counts.
+
+    Thread ``tid`` of the team pins to hardware thread ``tid`` (the
+    simulator's linear placement); its share of the site's DRAM traffic
+    is proportional to its footprint.  The target node comes from the
+    placement policy.
+    """
+    out = {
+        "lmem_samples": 0.0,
+        "rmem_samples": 0.0,
+        "hop1_samples": 0.0,
+        "hop2_samples": 0.0,
+    }
+    if dram_total <= 0:
+        return out
+    topo: Topology = model.machine.topology
+    n_nodes = topo.n_numa_nodes
+    total_fp = sum(footprints)
+    weights = (
+        [fp / total_fp for fp in footprints]
+        if total_fp
+        else [1.0 / team] * team
+    )
+
+    interleaved = model.process_interleaved or var.policy == "interleaved"
+    executor = _first_touch_executor(model, graph, var)
+    for tid in range(team):
+        w = dram_total * weights[tid]
+        if w <= 0:
+            continue
+        here = topo.numa_of(tid % topo.n_threads)
+        if interleaved:
+            # Pages spread uniformly: 1/n of accesses land locally, the
+            # rest split across the other nodes by hop distance.
+            out["lmem_samples"] += w / n_nodes
+            remote = w * (n_nodes - 1) / n_nodes
+            out["rmem_samples"] += remote
+            others = [n for n in range(n_nodes) if n != here]
+            for node in others:
+                hop_share = remote / len(others)
+                if topo.hops(here, node) == 1:
+                    out["hop1_samples"] += hop_share
+                else:
+                    out["hop2_samples"] += hop_share
+        elif executor == "master":
+            home = topo.numa_of(0)
+            if here == home:
+                out["lmem_samples"] += w
+            else:
+                out["rmem_samples"] += w
+                if topo.hops(here, home) == 1:
+                    out["hop1_samples"] += w
+                else:
+                    out["hop2_samples"] += w
+        else:
+            # Worker first touch: each thread homed its own chunk.
+            out["lmem_samples"] += w
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Per-site counter prediction
+# ---------------------------------------------------------------------------
+
+
+def _site_counters(
+    model: StaticModel,
+    graph: CallGraph,
+    var: VarDecl,
+    site: AccessSite,
+) -> tuple[dict[str, float], float]:
+    """Predict one access site's counters; returns (counters, sharing_l3)."""
+    spec = model.machine.spec
+    counters = _zero_counters()
+    accesses = float(site.weight)
+    counters["samples"] = accesses
+    if accesses <= 0:
+        return counters, 0.0
+
+    team = _team_width(model, graph, site)
+    footprints = _thread_footprints(site, var, team)
+    line_size = 1 << spec.line_bits
+    page_size = 1 << spec.page_bits
+    elem = _elem_bytes(site)
+
+    lines_total = sum(ceil(fp / line_size) for fp in footprints if fp > 0)
+    pages_total = sum(ceil(fp / page_size) for fp in footprints if fp > 0)
+    elems_total = sum(max(1, fp // elem) for fp in footprints if fp > 0)
+    fp_max = max(footprints) if footprints else 0
+
+    if lines_total == 0:
+        # Degenerate footprint: everything stays in registers/L1.
+        counters["l1_samples"] = accesses
+        return counters, 0.0
+
+    l1_cap, l2_cap, l3_cap = _cache_capacities(spec)
+    passes = max(1, round(accesses / elems_total)) if elems_total else 1
+
+    cold = float(min(accesses, lines_total))
+    remaining = accesses - cold
+    steady_line_touches = min(remaining, float((passes - 1) * lines_total))
+
+    dram_total = cold
+    l1_hits = remaining
+    if fp_max > l3_cap:
+        # DRAM-resident sweeps: every pass re-fetches each line.
+        dram_total += steady_line_touches
+        l1_hits = remaining - steady_line_touches
+    elif fp_max > l2_cap:
+        counters["l3_samples"] += steady_line_touches
+        l1_hits = remaining - steady_line_touches
+    elif fp_max > l1_cap:
+        counters["l2_samples"] += steady_line_touches
+        l1_hits = remaining - steady_line_touches
+
+    sharing_l3 = 0.0
+    if _is_sharing_store(model, site, team):
+        # Line ping-pong: steady stores cost an L3-ish coherence trip.
+        sharing_l3 = l1_hits
+        counters["l3_samples"] += l1_hits
+        l1_hits = 0.0
+    counters["l1_samples"] += l1_hits
+
+    _merge_into(
+        counters,
+        _dram_split(model, graph, var, site, team, dram_total, footprints),
+    )
+
+    tlb_cap_pages = spec.tlb_sets * spec.tlb_assoc
+    pages_max = max(
+        (ceil(fp / page_size) for fp in footprints if fp > 0), default=0
+    )
+    tlb = float(pages_total)
+    if pages_max > tlb_cap_pages:
+        tlb = float(passes * pages_total)
+    counters["tlb_miss_samples"] = min(accesses, tlb)
+    return counters, sharing_l3
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def predict_model(model: StaticModel) -> ModelPrediction:
+    """Predict the full counter set for every variable of ``model``."""
+    graph = build_callgraph(model)
+    spec = model.machine.spec
+    total_weight = model.total_weight
+    pred = ModelPrediction(
+        app=model.name,
+        variant=model.variant,
+        spec=spec,
+        compute_cycles=float(model.compute_cycles_estimate),
+    )
+    for var in model.iter_variables():
+        share = var.total_weight / total_weight if total_weight else 0.0
+        vp = VarPrediction(name=var.name, storage=var.storage, share=share)
+        for site in var.access_sites:
+            counters, sharing = _site_counters(model, graph, var, site)
+            _merge_into(vp.counters, counters)
+            vp.sharing_l3 += sharing
+        pred.variables[var.name] = vp
+    return pred
+
+
+def model_source(
+    pred: ModelPrediction, counters: dict[str, float] | None = None
+) -> StaticSource:
+    """Whole-model counter source with ``(preset, "static")`` keys."""
+    return StaticSource(
+        counters if counters is not None else pred.totals(),
+        kind=STATIC_KIND,
+        override_keys=pred.override_keys,
+        description=f"static prediction of {pred.app}/{pred.variant} "
+        f"on {pred.spec.name}",
+    )
+
+
+def variable_source(pred: ModelPrediction, name: str) -> StaticSource:
+    """One variable's counter source (includes its ``metric_share``)."""
+    vp = pred.variables[name]
+    counters = dict(vp.counters)
+    counters["metric_share"] = vp.share
+    return StaticSource(
+        counters,
+        kind=STATIC_KIND,
+        override_keys=pred.override_keys,
+        description=f"static prediction of {pred.app}:{name} "
+        f"on {pred.spec.name}",
+    )
+
+
+def condition_counters(
+    counters: dict[str, float], vocabulary: str
+) -> dict[str, float]:
+    """Restrict predicted counters to a sampler's event vocabulary.
+
+    Marked-event profiles (``PM_MRK_DATA_FROM_RMEM``) observe *only*
+    remote-DRAM accesses; comparing raw static predictions against such
+    a profile would mismatch every cache-level metric by construction.
+    ``vocabulary="rmem-only"`` keeps the remote counters and drops the
+    rest, scaling TLB walks by the remote share — the same conditioning
+    the sampler's physics applies.  ``"all"`` is the identity.
+    """
+    if vocabulary == "all":
+        return dict(counters)
+    if vocabulary != "rmem-only":
+        raise ValueError(f"unknown sampling vocabulary {vocabulary!r}")
+    out = dict(counters)
+    samples = counters.get("samples", 0.0)
+    rmem = counters.get("rmem_samples", 0.0)
+    remote_share = rmem / samples if samples else 0.0
+    out["samples"] = rmem
+    out["l1_samples"] = 0.0
+    out["l2_samples"] = 0.0
+    out["l3_samples"] = 0.0
+    out["lmem_samples"] = 0.0
+    out["tlb_miss_samples"] = counters.get("tlb_miss_samples", 0.0) * remote_share
+    return out
+
+
+def source_vocabulary(source: StaticSource) -> str:
+    """Infer a profile source's sampling vocabulary from its counters.
+
+    A marked-event (remote-DRAM-only) profile has remote samples but no
+    cache or local-DRAM samples at all; everything else counts as a
+    full-vocabulary sampler.
+    """
+    cache_or_local = sum(
+        source.counter(name)
+        for name in ("l1_samples", "l2_samples", "l3_samples", "lmem_samples")
+        if source.has(name)
+    )
+    rmem = source.counter("rmem_samples") if source.has("rmem_samples") else 0.0
+    if rmem > 0 and cache_or_local == 0:
+        return "rmem-only"
+    return "all"
+
+
+def _total_cycles(pred: ModelPrediction, counters: dict[str, float]) -> float:
+    src = model_source(pred, counters)
+    result = REGISTRY.evaluate(src, only=("total_cycles",))
+    return result["total_cycles"]
+
+
+def report_with_impacts(
+    model: StaticModel, report: StaticReport
+) -> StaticReport:
+    """Attach a predicted relative impact to each H001/H002 finding.
+
+    Each impact re-evaluates the whole-model ``total_cycles`` node with
+    that one hazard virtually fixed (pages re-homed / line padded) and
+    reports the fractional saving.  Findings whose fix saves nothing
+    (and hazard classes without a counter-level fix model, H003/H004)
+    keep impact 0.
+    """
+    pred = predict_model(model)
+    base_counters = pred.totals()
+    base = _total_cycles(pred, base_counters)
+    if base <= 0:
+        return report
+    fixed_findings: list[Finding] = []
+    for finding in report.findings:
+        vp = pred.variables.get(finding.variable)
+        impact = 0.0
+        if vp is not None and finding.code in ("H001", "H002"):
+            fixed_var = (
+                vp.fixed_h001() if finding.code == "H001" else vp.fixed_h002()
+            )
+            fixed_total = dict(base_counters)
+            for name in _COUNTER_NAMES:
+                fixed_total[name] = (
+                    fixed_total.get(name, 0.0)
+                    - vp.counters.get(name, 0.0)
+                    + fixed_var.get(name, 0.0)
+                )
+            fixed = _total_cycles(pred, fixed_total)
+            impact = max(0.0, (base - fixed) / base)
+        fixed_findings.append(replace(finding, predicted_impact=impact))
+    out = StaticReport(
+        app=report.app,
+        variant=report.variant,
+        n_functions=report.n_functions,
+        n_edges=report.n_edges,
+        n_reachable=report.n_reachable,
+        truncated=report.truncated,
+        variables=list(report.variables),
+        findings=fixed_findings,
+    )
+    return out
+
+
+def predicted_boundness(pred: ModelPrediction) -> EvalResult:
+    """Evaluate the whole boundness DAG over the model prediction."""
+    return evaluate_boundness(model_source(pred))

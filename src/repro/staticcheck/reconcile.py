@@ -3,8 +3,10 @@
 The paper's thesis is that data-centric *measurement* pinpoints the
 variables worth fixing; the static pass makes the complementary claim
 that some of those variables are predictable without running.  This
-module closes the loop: given a :class:`StaticReport` and a merged
-``.rpdb``, each H001 prediction is labelled
+module closes the loop twice over:
+
+**Prediction labelling** (:func:`reconcile`) — each H001 prediction is
+labelled
 
 - ``confirmed``   — the variable shows up in the dynamic profile with a
   remote-access fraction above the confirmation threshold;
@@ -27,6 +29,24 @@ silently dropped.
 Precision = confirmed / (confirmed + unconfirmed);
 recall    = confirmed / (confirmed + missed).  ``no-data`` predictions
 count against neither — absence of samples is not evidence of absence.
+
+Every judgement is a *formula flag*: ``h001_confirmed``,
+``is_remote_dominant`` and ``is_significant`` are nodes of the boundness
+DAG (:mod:`repro.metrics.boundness`), evaluated per variable over a
+:class:`~repro.metrics.sources.VariableProfileSource` — the identical
+nodes the static predictor evaluates over model-predicted counters, with
+the same per-architecture constant overrides.
+
+**Metric reconciliation** (:func:`reconcile_metrics`) — beyond labels,
+compare the *numbers*: static vs dynamic evaluation of the same derived
+metrics, per variable, with per-metric relative error.  Static counters
+are conditioned to the profile's sampling vocabulary first (a marked
+remote-DRAM event sampler observes only remote accesses; comparing raw
+cache-level predictions against it would mismatch by construction).
+
+Profiles whose metadata lacks the ``machine`` stamp (v1 / pre-PR-7
+recordings) degrade to default-variant formula constants with a warning
+instead of failing.
 """
 
 from __future__ import annotations
@@ -36,18 +56,50 @@ from dataclasses import dataclass, field
 from repro.core.analyzer import ExperimentDB
 from repro.core.metrics import MetricKind
 from repro.core.storage import StorageClass
-from repro.staticcheck.analyze import MIN_SHARE, Finding, StaticReport
+from repro.core.views import VariableReport
+from repro.metrics.boundness import REGISTRY
+from repro.metrics.sources import ProfileSource, VariableProfileSource
+from repro.staticcheck.analyze import Finding, StaticReport
+from repro.staticcheck.model import StaticModel
+from repro.staticcheck.predict import (
+    ModelPrediction,
+    condition_counters,
+    model_source,
+    predict_model,
+    source_vocabulary,
+)
 
-__all__ = ["Verdict", "Reconciliation", "reconcile"]
+__all__ = [
+    "Verdict",
+    "Reconciliation",
+    "reconcile",
+    "MetricDelta",
+    "VariableMetrics",
+    "MetricReconciliation",
+    "reconcile_metrics",
+]
 
-# A prediction confirms when the variable's remote fraction (judged
-# among DRAM-serviced samples, as guidance does) clears this bar.  It
-# sits well below guidance's 0.5 "dominant" bar: confirmation asks "did
-# remote traffic appear where predicted", not "is it the top problem".
-_CONFIRM_REMOTE = 0.2
-# A dynamic variable is a "miss" when the static pass said nothing and
-# the dynamic side shows remote dominance at a guidance-level share.
-_MISS_REMOTE = 0.5
+# The flag nodes a per-variable dynamic source is judged by.
+_JUDGE_NODES = (
+    "remote_dram_fraction",
+    "h001_confirmed",
+    "is_remote_dominant",
+    "is_significant",
+    "is_tlb_hot",
+)
+
+# The derived metrics compared numerically, static vs dynamic.
+COMPARED_METRICS = (
+    "memory_cycle_fraction",
+    "dram_intensity",
+    "remote_dram_fraction",
+    "tlb_intensity",
+)
+
+_MISSING_MACHINE_WARNING = (
+    "profile meta lacks a 'machine' stamp (v1 / pre-formula-engine "
+    "recording); formula constants resolve with default-variant values"
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +122,7 @@ class Reconciliation:
     app: str
     variant: str
     verdicts: list[Verdict] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
 
     def with_label(self, label: str) -> list[Verdict]:
         return [v for v in self.verdicts if v.label == label]
@@ -97,46 +150,87 @@ class Reconciliation:
         return self.n_confirmed / known if known else 1.0
 
 
-def _dynamic_remote(exp: ExperimentDB, name: str) -> tuple[float, float, int]:
-    """(remote fraction, share, samples) for a variable name, summed over
-    its allocation contexts the way ``variable_share`` sums shares."""
-    reports = [
-        v
-        for v in exp.top_down(MetricKind.LATENCY).variables
-        if v.name == name
-    ]
-    if not reports:
-        return 0.0, 0.0, 0
-    share = sum(v.share for v in reports)
-    samples = sum(v.samples for v in reports)
-    # Weight remote fraction by samples across contexts.
-    if samples:
-        remote = (
-            sum(max(v.remote_fraction, v.dram_remote_fraction) * v.samples for v in reports)
-            / samples
-        )
-    else:
-        remote = max(
-            max(v.remote_fraction, v.dram_remote_fraction) for v in reports
-        )
-    return remote, share, samples
+def _machine_meta(exp: ExperimentDB) -> tuple[str, list[str]]:
+    """The profile's machine stamp, degrading to "" with a warning."""
+    try:
+        machine = str(exp.db.meta.get("machine", "") or "")
+    except Exception:
+        machine = ""
+    if machine:
+        return machine, []
+    return "", [_MISSING_MACHINE_WARNING]
 
 
-def _judge_h001(exp: ExperimentDB, finding: Finding) -> Verdict:
-    remote, share, samples = _dynamic_remote(exp, finding.variable)
-    if samples == 0:
-        label = "no-data"
-        detail = "no dynamic samples attribute to this variable"
-    elif remote >= _CONFIRM_REMOTE:
+def _merged_variables(exp: ExperimentDB) -> dict[str, VariableReport]:
+    """Per-variable reports with allocation contexts merged by name."""
+    merged: dict[str, VariableReport] = {}
+    for var in exp.top_down(MetricKind.LATENCY).variables:
+        if var.storage not in (StorageClass.HEAP, StorageClass.STATIC):
+            continue
+        seen = merged.get(var.name)
+        if seen is None:
+            merged[var.name] = VariableReport(
+                name=var.name,
+                storage=var.storage,
+                value=var.value,
+                share=var.share,
+                alloc_kind=var.alloc_kind,
+                samples=var.samples,
+                levels=tuple(var.levels),
+                latency=var.latency,
+                tlb_misses=var.tlb_misses,
+            )
+            continue
+        seen.value += var.value
+        seen.share += var.share
+        seen.samples += var.samples
+        levels = list(seen.levels) + [0] * max(
+            0, len(var.levels) - len(seen.levels)
+        )
+        for i, count in enumerate(var.levels):
+            levels[i] += count
+        seen.levels = tuple(levels)
+        seen.latency += var.latency
+        seen.tlb_misses += var.tlb_misses
+    return merged
+
+
+def _judge_flags(var: VariableReport, exp: ExperimentDB) -> dict[str, float]:
+    """Evaluate the per-variable judgement flags over the formula DAG."""
+    source = VariableProfileSource(var, exp)
+    result = REGISTRY.evaluate(source, only=_JUDGE_NODES)
+    return {name: result[name] for name in _JUDGE_NODES}
+
+
+def _judge_h001(
+    exp: ExperimentDB,
+    finding: Finding,
+    merged: dict[str, VariableReport],
+) -> Verdict:
+    var = merged.get(finding.variable)
+    if var is None or var.samples == 0:
+        return Verdict(
+            variable=finding.variable,
+            code=finding.code,
+            label="no-data",
+            remote_fraction=0.0,
+            dynamic_share=0.0,
+            samples=0,
+            detail="no dynamic samples attribute to this variable",
+        )
+    flags = _judge_flags(var, exp)
+    remote = flags["remote_dram_fraction"]
+    share = var.share
+    if flags["h001_confirmed"]:
         label = "confirmed"
         detail = (
-            f"remote fraction {remote:.0%} over {samples} samples "
+            f"remote fraction {remote:.0%} over {var.samples} samples "
             f"(dynamic share {share:.1%})"
         )
     else:
         label = "unconfirmed"
         detail = (
-            f"remote fraction only {remote:.0%} over {samples} samples — "
+            f"remote fraction only {remote:.0%} over {var.samples} samples — "
             f"predicted remote traffic did not materialize"
         )
     return Verdict(
@@ -145,7 +239,7 @@ def _judge_h001(exp: ExperimentDB, finding: Finding) -> Verdict:
         label=label,
         remote_fraction=remote,
         dynamic_share=share,
-        samples=samples,
+        samples=var.samples,
         detail=detail,
     )
 
@@ -153,15 +247,26 @@ def _judge_h001(exp: ExperimentDB, finding: Finding) -> Verdict:
 def reconcile(
     report: StaticReport,
     exp: ExperimentDB,
-    min_share: float = MIN_SHARE,
+    min_share: float | None = None,
 ) -> Reconciliation:
-    """Label every prediction in ``report`` against the merged profile."""
-    result = Reconciliation(app=report.app, variant=report.variant)
+    """Label every prediction in ``report`` against the merged profile.
+
+    ``min_share=None`` resolves the noise threshold through the formula
+    registry with the profile's ``(machine, "profile")`` override keys.
+    """
+    machine, warnings = _machine_meta(exp)
+    if min_share is None:
+        keys = (machine, "profile") if machine else ("profile",)
+        min_share = REGISTRY.constant_value("min_share", keys)
+    result = Reconciliation(
+        app=report.app, variant=report.variant, warnings=warnings
+    )
+    merged = _merged_variables(exp)
     predicted_h001 = set()
     for finding in report.findings:
         if finding.code == "H001":
             predicted_h001.add(finding.variable)
-            result.verdicts.append(_judge_h001(exp, finding))
+            result.verdicts.append(_judge_h001(exp, finding, merged))
         else:
             result.verdicts.append(
                 Verdict(
@@ -178,29 +283,183 @@ def reconcile(
                 )
             )
 
-    # Dynamic-only hot spots the static pass failed to predict.
-    seen_missed: set[str] = set()
-    for var in exp.top_down(MetricKind.LATENCY).variables:
-        if var.name in predicted_h001 or var.name in seen_missed:
+    # Dynamic-only hot spots the static pass failed to predict: judged by
+    # the same is_remote_dominant / is_significant flag nodes, so a
+    # below-min_share variable is never reported as a miss.
+    for name in sorted(merged):
+        if name in predicted_h001:
             continue
-        if var.storage not in (StorageClass.HEAP, StorageClass.STATIC):
+        var = merged[name]
+        if var.samples == 0:
             continue
-        remote = max(var.remote_fraction, var.dram_remote_fraction)
-        share = exp.variable_share(var.name, MetricKind.LATENCY)
-        if remote >= _MISS_REMOTE and share >= min_share:
-            seen_missed.add(var.name)
-            result.verdicts.append(
-                Verdict(
-                    variable=var.name,
-                    code="H001",
-                    label="missed",
-                    remote_fraction=remote,
-                    dynamic_share=share,
-                    samples=var.samples,
-                    detail=(
-                        f"dynamically remote-dominant ({remote:.0%}, share "
-                        f"{share:.1%}) but not predicted statically"
-                    ),
-                )
+        flags = _judge_flags(var, exp)
+        if not flags["is_remote_dominant"]:
+            continue
+        if var.share < min_share:
+            continue
+        result.verdicts.append(
+            Verdict(
+                variable=name,
+                code="H001",
+                label="missed",
+                remote_fraction=flags["remote_dram_fraction"],
+                dynamic_share=var.share,
+                samples=var.samples,
+                detail=(
+                    f"dynamically remote-dominant "
+                    f"({flags['remote_dram_fraction']:.0%}, share "
+                    f"{var.share:.1%}) but not predicted statically"
+                ),
             )
+        )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Metric-level reconciliation: same DAG, two sources, relative error
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One derived metric, evaluated statically and dynamically."""
+
+    metric: str
+    static_value: float
+    dynamic_value: float
+
+    @property
+    def rel_error(self) -> float:
+        if self.dynamic_value == 0:
+            return 0.0 if self.static_value == 0 else abs(self.static_value)
+        return abs(self.static_value - self.dynamic_value) / abs(
+            self.dynamic_value
+        )
+
+
+@dataclass
+class VariableMetrics:
+    """All compared metrics for one variable, plus the verdict pair."""
+
+    variable: str
+    static_share: float
+    dynamic_share: float
+    static_verdict: str
+    dynamic_verdict: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+
+    @property
+    def agree(self) -> bool:
+        return self.static_verdict == self.dynamic_verdict
+
+    def delta(self, metric: str) -> MetricDelta | None:
+        for d in self.deltas:
+            if d.metric == metric:
+                return d
+        return None
+
+
+@dataclass
+class MetricReconciliation:
+    """Per-variable metric comparison over the shared formula DAG."""
+
+    app: str
+    variant: str
+    vocabulary: str  # the profile's sampling vocabulary (all | rmem-only)
+    variables: list[VariableMetrics] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def for_variable(self, name: str) -> VariableMetrics | None:
+        for vm in self.variables:
+            if vm.variable == name:
+                return vm
+        return None
+
+    @property
+    def n_agree(self) -> int:
+        return sum(1 for vm in self.variables if vm.agree)
+
+
+def _verdict_from_flags(result: dict[str, float]) -> str:
+    """The per-variable top-level verdict, from the flag nodes."""
+    if result["is_remote_dominant"]:
+        return "numa"
+    if result["is_tlb_hot"]:
+        return "tlb"
+    return "local"
+
+
+def reconcile_metrics(
+    model: StaticModel,
+    exp: ExperimentDB,
+    pred: ModelPrediction | None = None,
+) -> MetricReconciliation:
+    """Compare static vs dynamic evaluations of the boundness DAG.
+
+    For every variable present in both the static model and the dynamic
+    profile, evaluate :data:`COMPARED_METRICS` over (a) the static
+    prediction's counters, conditioned to the profile's sampling
+    vocabulary, and (b) the variable's dynamic counter slice — and
+    report per-metric relative error plus top-level verdict agreement.
+    """
+    if pred is None:
+        pred = predict_model(model)
+    machine, warnings = _machine_meta(exp)
+    vocab = source_vocabulary(ProfileSource(exp))
+    out = MetricReconciliation(
+        app=model.name,
+        variant=model.variant,
+        vocabulary=vocab,
+        warnings=list(warnings),
+    )
+    merged = _merged_variables(exp)
+
+    # Conditioned static shares: under an rmem-only vocabulary a
+    # variable's observable share is its share of *remote* traffic.
+    conditioned = {
+        name: condition_counters(vp.counters, vocab)
+        for name, vp in pred.variables.items()
+    }
+    total_static = sum(c["samples"] for c in conditioned.values())
+
+    for name in sorted(pred.variables):
+        dyn = merged.get(name)
+        if dyn is None or dyn.samples == 0:
+            continue
+        static_counters = dict(conditioned[name])
+        if static_counters["samples"] <= 0:
+            continue
+        static_share = (
+            static_counters["samples"] / total_static if total_static else 0.0
+        )
+        static_counters["metric_share"] = static_share
+        static_src = model_source(pred, static_counters)
+        static_result = REGISTRY.evaluate(
+            static_src, only=COMPARED_METRICS + _JUDGE_NODES
+        )
+        dyn_src = VariableProfileSource(dyn, exp)
+        dyn_result = REGISTRY.evaluate(
+            dyn_src, only=COMPARED_METRICS + _JUDGE_NODES
+        )
+        out.variables.append(
+            VariableMetrics(
+                variable=name,
+                static_share=static_share,
+                dynamic_share=dyn.share,
+                static_verdict=_verdict_from_flags(
+                    {k: static_result[k] for k in _JUDGE_NODES}
+                ),
+                dynamic_verdict=_verdict_from_flags(
+                    {k: dyn_result[k] for k in _JUDGE_NODES}
+                ),
+                deltas=[
+                    MetricDelta(
+                        metric=metric,
+                        static_value=static_result[metric],
+                        dynamic_value=dyn_result[metric],
+                    )
+                    for metric in COMPARED_METRICS
+                ],
+            )
+        )
+    return out

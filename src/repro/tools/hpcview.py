@@ -11,8 +11,10 @@ files written with :meth:`repro.core.profiledb.ProfileDB.to_bytes`:
     python -m repro.tools.hpcview advise job.rpdb
     python -m repro.tools.hpcview topdown job.rpdb
     python -m repro.tools.hpcview topdown --app nw --preset smoke
+    python -m repro.tools.hpcview topdown --static-app nw
     python -m repro.tools.hpcview info   job.rpdb
     python -m repro.tools.hpcview staticcheck --app nw --reconcile job.rpdb
+    python -m repro.tools.hpcview staticcheck --app nw --reconcile-run --reconcile-metrics
     python -m repro.tools.hpcview info   --machine-stats run.mstats.json
 
 ``info --machine-stats`` renders a machine self-instrumentation snapshot
@@ -35,6 +37,7 @@ from repro.core.metrics import MetricKind
 from repro.core.profiledb import ProfileDB
 from repro.core.render import (
     render_bottom_up,
+    render_metric_reconciliation,
     render_reconciliation,
     render_sanitizer_report,
     render_static_report,
@@ -129,12 +132,17 @@ def cmd_advise(args: argparse.Namespace) -> None:
     print()
     static_findings = None
     if args.static_app:
-        from repro.staticcheck import analyze_model, build_static_model
+        from repro.staticcheck import (
+            analyze_model,
+            build_static_model,
+            report_with_impacts,
+        )
 
-        static_findings = analyze_model(
-            build_static_model(
-                args.static_app, args.static_variant, args.static_preset
-            )
+        model = build_static_model(
+            args.static_app, args.static_variant, args.static_preset
+        )
+        static_findings = report_with_impacts(
+            model, analyze_model(model)
         ).findings
     recommendations = advise(
         exp, _metric(args.metric), top_n=args.n, static_findings=static_findings
@@ -154,11 +162,29 @@ def cmd_topdown(args: argparse.Namespace) -> int:
         render_topdown,
     )
 
-    if bool(args.profiles) == bool(args.app):
+    n_modes = sum(
+        1 for given in (args.profiles, args.app, args.static_app) if given
+    )
+    if n_modes != 1:
         raise SystemExit(
-            "topdown: give merged profile files, or --app for a live run"
+            "topdown: give merged profile files, --app for a live run, "
+            "or --static-app for a no-execution prediction"
         )
-    if args.app:
+    if args.static_app:
+        # Static adapter: predict counters from the app's static model
+        # and render them on the same tree — no execution at all.
+        from repro.staticcheck import build_static_model, predict_model
+        from repro.staticcheck.predict import model_source
+
+        model = build_static_model(
+            args.static_app, args.variant, args.preset
+        )
+        source = model_source(predict_model(model))
+        title = (
+            f"topdown: {args.static_app}/{args.variant} ({args.preset} "
+            f"preset, static counter prediction — nothing executed)"
+        )
+    elif args.app:
         # Live machine adapter: run the app in-process and read the
         # hierarchy's exact counters (including observed per-hop DRAM).
         from importlib import import_module
@@ -302,7 +328,13 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
 
 
 def cmd_staticcheck(args: argparse.Namespace) -> int:
-    from repro.staticcheck import analyze_model, build_static_model, reconcile
+    from repro.staticcheck import (
+        analyze_model,
+        build_static_model,
+        reconcile,
+        reconcile_metrics,
+        report_with_impacts,
+    )
 
     if args.list_defects:
         module = _load_defect_module(args.defects_file)
@@ -325,7 +357,9 @@ def cmd_staticcheck(args: argparse.Namespace) -> int:
                 f"unknown static seed {args.defect!r}; known: {', '.join(seeds)}"
             )
         model = seeds[args.defect]()
-    report = analyze_model(model, min_share=args.min_share)
+    report = report_with_impacts(
+        model, analyze_model(model, min_share=args.min_share)
+    )
     print(render_static_report(report, top_n=args.n))
 
     exp = None
@@ -347,9 +381,16 @@ def cmd_staticcheck(args: argparse.Namespace) -> int:
                 )
             db = runners[args.defect]()
         exp = Analyzer("staticcheck").add(db).analyze()
+    if args.reconcile_metrics and exp is None:
+        args.parser.error(
+            "--reconcile-metrics needs --reconcile or --reconcile-run"
+        )
     if exp is not None:
         print()
         print(render_reconciliation(reconcile(report, exp, min_share=args.min_share)))
+        if args.reconcile_metrics:
+            print()
+            print(render_metric_reconciliation(reconcile_metrics(model, exp)))
 
     if args.fail_on:
         wanted = {c.strip().upper() for c in args.fail_on.split(",") if c.strip()}
@@ -541,10 +582,15 @@ def build_parser() -> argparse.ArgumentParser:
     topdown.add_argument("--app", default=None,
                          help="run this app in-process and read the live "
                               "machine counters instead of profiles")
+    topdown.add_argument("--static-app", default=None, metavar="APP",
+                         help="render the static counter prediction of APP "
+                              "on the same tree — nothing is executed")
     topdown.add_argument("--variant", default="original",
-                         help="app variant for --app (default: original)")
+                         help="app variant for --app/--static-app "
+                              "(default: original)")
     topdown.add_argument("--preset", default="smoke",
-                         help="workload preset for --app (default: smoke)")
+                         help="workload preset for --app/--static-app "
+                              "(default: smoke)")
     topdown.set_defaults(func=cmd_topdown)
 
     run = sub.add_parser(
@@ -650,9 +696,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload preset (default: smoke)")
     static.add_argument("-n", type=int, default=10,
                         help="variables to show (default 10)")
-    static.add_argument("--min-share", type=float, default=0.03,
+    static.add_argument("--min-share", type=float, default=None,
                         help="minimum static access share for a placement "
-                             "finding (default 0.03, the guidance threshold)")
+                             "finding (default: the formula registry's "
+                             "min_share constant, 0.03 unless overridden "
+                             "per preset)")
     static.add_argument("--fail-on", default=None, metavar="CODES",
                         help="exit 1 when findings match these hazard codes "
                              "(comma list of H001..H004, or 'any')")
@@ -662,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
     static.add_argument("--reconcile-run", action="store_true",
                         help="profile the app (rank 0) or the seed's dynamic "
                              "twin in-process and reconcile against it")
+    static.add_argument("--reconcile-metrics", action="store_true",
+                        help="also compare static vs dynamic evaluations of "
+                             "the derived-metric DAG per variable, with "
+                             "relative error (needs --reconcile or "
+                             "--reconcile-run)")
     static.set_defaults(func=cmd_staticcheck, parser=static)
 
     def add_telemetry_args(p):

@@ -69,13 +69,13 @@ class TestRules:
         assert _rules("def broken(:\n") == ["R000"]
 
     def test_classify_paths(self):
-        lib, _, _ = reprolint._classify(Path("src/repro/sim/runtime.py"))
+        lib, _, _, _ = reprolint._classify(Path("src/repro/sim/runtime.py"))
         assert lib
-        tools, _, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
+        tools, _, _, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
         assert not tools
-        _, rng, _ = reprolint._classify(Path("src/repro/util/rng.py"))
+        _, rng, _, _ = reprolint._classify(Path("src/repro/util/rng.py"))
         assert rng
-        test, _, _ = reprolint._classify(Path("tests/test_x.py"))
+        test, _, _, _ = reprolint._classify(Path("tests/test_x.py"))
         assert not test
 
 
@@ -103,11 +103,11 @@ class TestR005ObsClockDiscipline:
         assert _rules("import time\nt = time.perf_counter()\n") == []
 
     def test_classify_obs_paths(self):
-        _, _, obs = reprolint._classify(Path("src/repro/obs/trace.py"))
+        _, _, obs, _ = reprolint._classify(Path("src/repro/obs/trace.py"))
         assert obs
-        _, _, clock = reprolint._classify(Path("src/repro/obs/clock.py"))
+        _, _, clock, _ = reprolint._classify(Path("src/repro/obs/clock.py"))
         assert not clock
-        _, _, other = reprolint._classify(Path("src/repro/sim/process.py"))
+        _, _, other, _ = reprolint._classify(Path("src/repro/sim/process.py"))
         assert not other
 
 
@@ -134,7 +134,7 @@ class TestR006ExitDiscipline:
         assert _rules(src, in_library=True) == []
 
     def test_tools_cli_exempt(self):
-        lib, _, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
+        lib, _, _, _ = reprolint._classify(Path("src/repro/tools/hpcview.py"))
         assert not lib  # tools are not library code, so R004/R006 skip them
 
 
@@ -165,6 +165,50 @@ class TestR007LevelConstants:
         # Tests pin concrete orderings on purpose; only library code is held
         # to the symbolic-constant rule.
         assert _rules("assert levels[0] == 7\n", in_library=False) == []
+
+
+class TestR008ThresholdDiscipline:
+    """R008: analysis thresholds must come from the formula registry."""
+
+    def test_float_comparison_flagged_when_restricted(self):
+        src = "if share >= 0.03:\n    pass\n"
+        assert _rules(src, threshold_restricted=True) == ["R008"]
+        assert _rules(src, threshold_restricted=False) == []
+
+    def test_float_on_left_side_flagged(self):
+        assert _rules("ok = 0.5 < remote\n", threshold_restricted=True) == [
+            "R008"
+        ]
+
+    def test_int_literal_comparison_ok(self):
+        # Loop bounds / emptiness checks against integers stay legal;
+        # only float magic thresholds are banned.
+        src = "if n > 0:\n    pass\nif count == 2:\n    pass\n"
+        assert _rules(src, threshold_restricted=True) == []
+
+    def test_named_constant_comparison_ok(self):
+        src = "if share >= MIN_SHARE:\n    pass\n"
+        assert _rules(src, threshold_restricted=True) == []
+
+    def test_float_in_non_compare_context_ok(self):
+        # Arithmetic with float literals is fine — the rule targets
+        # decision thresholds, not math.
+        src = "x = value * 0.5\ny = max(0.0, x)\n"
+        assert _rules(src, threshold_restricted=True) == []
+
+    def test_classify_threshold_paths(self):
+        _, _, _, sc = reprolint._classify(
+            Path("src/repro/staticcheck/analyze.py")
+        )
+        assert sc
+        _, _, _, derived = reprolint._classify(
+            Path("src/repro/core/derived.py")
+        )
+        assert derived
+        _, _, _, other = reprolint._classify(Path("src/repro/core/views.py"))
+        assert not other
+        _, _, _, test = reprolint._classify(Path("tests/test_x.py"))
+        assert not test
 
 
 class TestRepoIsClean:

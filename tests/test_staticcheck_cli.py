@@ -105,6 +105,30 @@ class TestStaticcheckCommand:
         assert status == 0
         assert "confirmed" in out
 
+    def test_report_shows_predicted_impacts(self, capsys):
+        status, out, _ = _run(["staticcheck", "--app", "nw"], capsys)
+        assert status == 0
+        assert out.count("predicted impact") == 2
+
+    def test_reconcile_metrics_renders_comparison(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--defects-file", DEFECTS,
+             "--defect", "master_first_touch", "--reconcile-run",
+             "--reconcile-metrics"], capsys
+        )
+        assert status == 0
+        assert "metric reconciliation" in out
+        assert "remote_dram_fraction" in out
+        assert "verdict agreement=1/1" in out
+        # The twin's meta has no machine stamp: the degrade warning shows.
+        assert "warning:" in out and "machine" in out
+
+    def test_topdown_static_app_renders_hierarchy(self, capsys):
+        status, out, _ = _run(["topdown", "--static-app", "nw"], capsys)
+        assert status == 0
+        assert "backend_bound" in out
+        assert "static counter prediction" in out
+
     def test_advise_cites_static_predictions(self, capsys, tmp_path):
         import importlib.util
 
@@ -166,6 +190,18 @@ class TestArgumentErrors:
         )
         assert code == 2
         assert "no dynamic profile runner" in err
+
+    def test_staticcheck_reconcile_metrics_needs_reconcile_source(self, capsys):
+        code, err = _error(
+            ["staticcheck", "--app", "nw", "--reconcile-metrics"], capsys
+        )
+        assert code == 2
+        assert "--reconcile-metrics needs --reconcile or --reconcile-run" in err
+
+    def test_topdown_rejects_app_and_static_app_together(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["topdown", "--app", "nw", "--static-app", "nw"])
+        assert "no-execution prediction" in str(exc.value)
 
     def test_sanitize_needs_app_or_defect(self, capsys):
         code, err = _error(["sanitize"], capsys)

@@ -27,6 +27,12 @@ Rules:
         ``src/repro`` — use the ``LVL_*`` constants from
         ``repro.machine.hierarchy`` so reordering the hierarchy cannot
         silently skew derived reports
+  R008  comparison against a bare float literal inside
+        ``src/repro/staticcheck`` or ``src/repro/core/derived.py`` —
+        analysis thresholds must be registered formula constants
+        (``repro.metrics.boundness``) resolved through the override
+        registry, never hand-rolled magic numbers; integer literals
+        (loop bounds, counts) stay legal
 
 Usage: ``python tools/reprolint.py [paths...]`` (default: src tests
 benchmarks examples tools).  Prints ``file:line: RULE message`` per
@@ -69,12 +75,15 @@ class _Visitor(ast.NodeVisitor):
         in_library: bool,
         rng_exempt: bool,
         obs_restricted: bool = False,
+        threshold_restricted: bool = False,
     ) -> None:
         self.path = path
         self.in_library = in_library  # under src/repro but not src/repro/tools
         self.rng_exempt = rng_exempt  # the seeded-RNG facade itself
         # under src/repro/obs but not the clock facade: no wall-clock access
         self.obs_restricted = obs_restricted
+        # analysis code whose thresholds must come from the formula registry
+        self.threshold_restricted = threshold_restricted
         self.findings: list[tuple[int, str, str]] = []
 
     def _add(self, line: int, rule: str, message: str) -> None:
@@ -207,6 +216,23 @@ class _Visitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # R008 ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.threshold_restricted:
+            for side in [node.left, *node.comparators]:
+                if (
+                    isinstance(side, ast.Constant)
+                    and isinstance(side.value, float)
+                ):
+                    self._add(
+                        side.lineno, "R008",
+                        f"comparison against bare float literal {side.value!r} "
+                        "— register the threshold as a formula constant in "
+                        "repro.metrics.boundness and resolve it through the "
+                        "override registry",
+                    )
+        self.generic_visit(node)
+
     # R006 ------------------------------------------------------------------
     def visit_Raise(self, node: ast.Raise) -> None:
         exc = node.exc
@@ -230,6 +256,7 @@ def lint_source(
     in_library: bool = False,
     rng_exempt: bool = False,
     obs_restricted: bool = False,
+    threshold_restricted: bool = False,
 ) -> list[tuple[int, str, str]]:
     """Lint one file's source text; returns (line, rule, message) findings."""
     try:
@@ -239,19 +266,29 @@ def lint_source(
     visitor = _Visitor(
         path, in_library=in_library, rng_exempt=rng_exempt,
         obs_restricted=obs_restricted,
+        threshold_restricted=threshold_restricted,
     )
     visitor.visit(tree)
     return sorted(visitor.findings)
 
 
-def _classify(path: Path) -> tuple[bool, bool, bool]:
+def _classify(path: Path) -> tuple[bool, bool, bool, bool]:
     parts = path.as_posix()
     in_repro = "src/repro/" in parts or parts.startswith("src/repro/")
     in_tools = "src/repro/tools/" in parts
     rng_exempt = parts.endswith("repro/util/rng.py")
     in_obs = "src/repro/obs/" in parts
     obs_restricted = in_obs and not parts.endswith("repro/obs/clock.py")
-    return (in_repro and not in_tools), rng_exempt, obs_restricted
+    threshold_restricted = (
+        "src/repro/staticcheck/" in parts
+        or parts.endswith("repro/core/derived.py")
+    )
+    return (
+        (in_repro and not in_tools),
+        rng_exempt,
+        obs_restricted,
+        threshold_restricted,
+    )
 
 
 def lint_paths(targets: list[Path]) -> list[str]:
@@ -259,11 +296,14 @@ def lint_paths(targets: list[Path]) -> list[str]:
     for target in targets:
         files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
         for file in files:
-            in_library, rng_exempt, obs_restricted = _classify(file)
+            (
+                in_library, rng_exempt, obs_restricted, threshold_restricted,
+            ) = _classify(file)
             findings = lint_source(
                 file.read_text(encoding="utf-8"), file,
                 in_library=in_library, rng_exempt=rng_exempt,
                 obs_restricted=obs_restricted,
+                threshold_restricted=threshold_restricted,
             )
             for line, rule, message in findings:
                 reports.append(f"{file}:{line}: {rule} {message}")
