@@ -34,3 +34,15 @@ class ProfileError(ReproError):
 class FormulaError(ReproError):
     """A derived-metric formula is ill-formed (unknown reference, unit
     mismatch, dependency cycle) or cannot be evaluated over a source."""
+
+
+class ObsError(ReproError):
+    """The telemetry layer was used inconsistently (e.g. one metric name
+    observed with different label-key sets, which would silently
+    interleave unrelated series in the exports)."""
+
+
+class ServeError(ReproError):
+    """The continuous-profiling service rejected a request or reached an
+    inconsistent store state (bad namespace, malformed frame, querying an
+    app that has no compacted rollup yet)."""

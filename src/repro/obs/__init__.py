@@ -63,11 +63,13 @@ WALL_PID = 0
 WALL_TID_DRIVER = 1
 WALL_TID_MERGE = 2
 WALL_TID_CODEC = 3
+WALL_TID_SERVE = 4
 
 _WALL_TID_NAMES = {
     WALL_TID_DRIVER: "driver",
     WALL_TID_MERGE: "merge",
     WALL_TID_CODEC: "codec",
+    WALL_TID_SERVE: "serve",
 }
 
 

@@ -6,7 +6,8 @@ kinds, mirroring the Prometheus data model:
 * counter   — monotonically increasing float (``inc``)
 * gauge     — last-write-wins float (``set_gauge``)
 * histogram — fixed-bucket distribution (``observe``) exported as
-  cumulative ``_bucket``/``_sum``/``_count`` series
+  cumulative ``_bucket``/``_sum``/``_count`` series plus estimated
+  ``_p50``/``_p95``/``_p99`` summary lines (bucket interpolation)
 
 Every series is identified by ``(name, sorted label items)``; both
 export formats emit series sorted by that key, so two runs that record
@@ -19,9 +20,14 @@ from __future__ import annotations
 
 import json
 
+from repro.errors import ObsError
+
 DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 
 _KINDS = ("counter", "gauge", "histogram")
+
+# Quantile summaries derived from histogram buckets at export time.
+SUMMARY_QUANTILES = ((50, 0.50), (95, 0.95), (99, 0.99))
 
 
 def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
@@ -75,6 +81,29 @@ class _Histogram:
             out.append((bound, running))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from bucket counts (Prometheus-style).
+
+        Linear interpolation inside the bucket that crosses the target
+        rank; observations above the last finite bucket are clamped to
+        that bound (the same convention as ``histogram_quantile``), so
+        the estimate is bucket-resolution accurate, not exact.
+        """
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        prev_bound, prev_cum = 0.0, 0
+        for bound, cum in self.cumulative():
+            if cum >= target:
+                in_bucket = cum - prev_cum
+                if in_bucket == 0:
+                    return bound
+                frac = (target - prev_cum) / in_bucket
+                return prev_bound + (bound - prev_bound) * frac
+            prev_bound, prev_cum = bound, cum
+        # Target rank lies among overflow (> last bucket) observations.
+        return self.buckets[-1] if self.buckets else 0.0
+
 
 class MetricsRegistry:
     """Collects labelled series; exports deterministic JSON/Prometheus."""
@@ -84,6 +113,10 @@ class MetricsRegistry:
         self._meta: dict[str, tuple[str, str]] = {}
         # (name, label_key) -> float | _Histogram
         self._series: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        # name -> label-key names of the first observation; every later
+        # observation must use the same keys or the exports would silently
+        # interleave unrelated series under one metric name.
+        self._label_names: dict[str, tuple[str, ...]] = {}
 
     # -- declaration --------------------------------------------------------
 
@@ -98,6 +131,22 @@ class MetricsRegistry:
         if existing is None:
             self._meta[name] = (kind, help_text)
 
+    def _checked_label_key(
+        self, name: str, labels: dict[str, str] | None
+    ) -> tuple[tuple[str, str], ...]:
+        key = _label_key(labels)
+        names = tuple(k for k, _ in key)
+        expected = self._label_names.get(name)
+        if expected is None:
+            self._label_names[name] = names
+        elif expected != names:
+            raise ObsError(
+                f"metric {name!r} observed with label keys {names!r}; "
+                f"previous observations used {expected!r} — one metric "
+                f"name must keep one label-key set"
+            )
+        return key
+
     # -- recording ----------------------------------------------------------
 
     def inc(
@@ -108,7 +157,7 @@ class MetricsRegistry:
         help_text: str = "",
     ) -> None:
         self._declare(name, "counter", help_text)
-        key = (name, _label_key(labels))
+        key = (name, self._checked_label_key(name, labels))
         self._series[key] = float(self._series.get(key, 0.0)) + float(amount)
 
     def set_gauge(
@@ -119,7 +168,7 @@ class MetricsRegistry:
         help_text: str = "",
     ) -> None:
         self._declare(name, "gauge", help_text)
-        self._series[(name, _label_key(labels))] = float(value)
+        self._series[(name, self._checked_label_key(name, labels))] = float(value)
 
     def observe(
         self,
@@ -130,7 +179,7 @@ class MetricsRegistry:
         help_text: str = "",
     ) -> None:
         self._declare(name, "histogram", help_text)
-        key = (name, _label_key(labels))
+        key = (name, self._checked_label_key(name, labels))
         hist = self._series.get(key)
         if hist is None:
             hist = _Histogram(buckets)
@@ -174,6 +223,8 @@ class MetricsRegistry:
                 record["buckets"] = [
                     {"le": bound, "count": n} for bound, n in entry.cumulative()
                 ]
+                for pct, q in SUMMARY_QUANTILES:
+                    record[f"p{pct}"] = entry.quantile(q)
             else:
                 record["value"] = entry
             series.append(record)
@@ -208,6 +259,11 @@ class MetricsRegistry:
                 lines.append(
                     f"{name}_count{_render_labels(label_key)} {entry.count}"
                 )
+                for pct, q in SUMMARY_QUANTILES:
+                    lines.append(
+                        f"{name}_p{pct}{_render_labels(label_key)} "
+                        f"{_format_value(entry.quantile(q))}"
+                    )
             else:
                 lines.append(
                     f"{name}{_render_labels(label_key)} "

@@ -20,13 +20,20 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 DEFAULT_MAX_EVENTS = 200_000
 
 
 class TraceWriter:
-    """Bounded in-memory recorder for Chrome trace-event JSON."""
+    """Bounded in-memory recorder for Chrome trace-event JSON.
+
+    Emission is thread-safe: the bound check, the append and the drop
+    counter update happen under one lock, so concurrent emitters (the
+    ingest service's client handlers, pool-merge callbacks) can never
+    overshoot ``max_events`` or lose a drop from the count.
+    """
 
     def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
         if max_events <= 0:
@@ -34,14 +41,16 @@ class TraceWriter:
         self.max_events = max_events
         self.events: list[dict] = []
         self.dropped_events = 0
+        self._lock = threading.Lock()
 
     # -- recording ----------------------------------------------------------
 
     def _emit(self, event: dict) -> None:
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
-            return
-        self.events.append(event)
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self.events.append(event)
 
     def complete(
         self,
@@ -117,10 +126,15 @@ class TraceWriter:
         return {e["cat"] for e in self.events if "cat" in e}
 
     def to_json(self) -> str:
+        # Snapshot under the lock so a concurrent emitter can't mutate the
+        # event list while json.dumps iterates it (torn serialization).
+        with self._lock:
+            events = list(self.events)
+            dropped = self.dropped_events
         payload = {
-            "traceEvents": self.events,
+            "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {"dropped_events": self.dropped_events},
+            "otherData": {"dropped_events": dropped},
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 

@@ -1,0 +1,237 @@
+"""Query layer over the profile store: memoized analysis views.
+
+Each query materializes the app's compacted rollup into an
+:class:`repro.core.analyzer.ExperimentDB` (the rollup is already a
+fully merged profile, so this is a decode, not a re-merge) and renders
+one of the analysis views the one-shot ``hpcview view`` pipeline
+offers — plus service introspection:
+
+* ``topdown``   — the :mod:`repro.metrics` formula-DAG top-down tree
+  (boundness triage over the rollup's sampled counters)
+* ``bottomup``  — allocation call-site pane
+* ``variables`` — per-variable ranking table
+* ``status``    — store occupancy (leaves, shards, generation)
+* ``metricsz``  — the service's own ``repro_serve_*`` telemetry,
+  rendered as Prometheus text (``/metricsz``-style introspection)
+
+Memoization: both the materialized experiment and every rendered view
+are cached keyed on the rollup *generation*.  A compaction bumps the
+generation, so the next query misses and stale entries for that app are
+evicted — the invalidation rule is exactly "cache lives as long as the
+rollup bytes it was computed from".  Hit/miss counts feed the
+``repro_serve_query_cache_*`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.analyzer import ExperimentDB
+from repro.core.metrics import MetricKind
+from repro.core.render import render_bottom_up, render_variable_table
+from repro.errors import ServeError
+from repro.metrics import ProfileSource, evaluate_boundness, render_topdown
+from repro.serve.store import ProfileStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsSession
+
+__all__ = ["QueryEngine", "VIEWS"]
+
+VIEWS = ("topdown", "bottomup", "variables", "status", "metricsz")
+
+# Views computed from an app's rollup (and therefore cacheable by
+# generation); status/metricsz always reflect the live state instead.
+_ROLLUP_VIEWS = ("topdown", "bottomup", "variables")
+
+
+def _metric_kind(metric: str) -> MetricKind:
+    try:
+        return MetricKind(metric)
+    except ValueError:
+        choices = ", ".join(k.value for k in MetricKind)
+        raise ServeError(
+            f"unknown metric {metric!r} (choose from: {choices})"
+        ) from None
+
+
+class QueryEngine:
+    """Serves analysis views over compacted rollups, memoized by generation."""
+
+    def __init__(
+        self, store: ProfileStore, session: "ObsSession | None" = None
+    ) -> None:
+        self.store = store
+        self.session = session
+        # (app, view, metric, n) -> (generation, payload)
+        self._view_cache: dict[tuple[str, str, str, int], tuple[int, dict]] = {}
+        # app -> (generation, ExperimentDB)
+        self._exp_cache: dict[str, tuple[int, ExperimentDB]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def invalidate(self, app: str) -> int:
+        """Drop every cached entry for ``app``; returns how many went."""
+        stale = [key for key in self._view_cache if key[0] == app]
+        for key in stale:
+            del self._view_cache[key]
+        dropped = len(stale)
+        if app in self._exp_cache:
+            del self._exp_cache[app]
+            dropped += 1
+        return dropped
+
+    def _experiment(self, app: str, generation: int) -> ExperimentDB:
+        cached = self._exp_cache.get(app)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        rollup = self.store.rollup(app)
+        if rollup is None:
+            raise ServeError(
+                f"app {app!r} has no compacted rollup yet — ingest blobs "
+                f"and run a compaction before querying"
+            )
+        exp = ExperimentDB(rollup)
+        self._exp_cache[app] = (generation, exp)
+        return exp
+
+    def _count_cache(self, hit: bool, view: str) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if self.session is not None:
+            self.session.metrics.inc(
+                "repro_serve_query_cache_hits_total" if hit
+                else "repro_serve_query_cache_misses_total",
+                labels={"view": view},
+                help_text=(
+                    "memoized view-materialization cache hits" if hit
+                    else "memoized view-materialization cache misses"
+                ),
+            )
+            self.session.metrics.set_gauge(
+                "repro_serve_query_cache_hit_ratio",
+                self.hit_ratio(),
+                help_text="query cache hits / total lookups",
+            )
+
+    # -- views ---------------------------------------------------------------
+
+    def query(
+        self, app: str, view: str, metric: str = "latency", n: int = 10
+    ) -> dict:
+        """Serve one view; returns a JSON-able payload with rendered text.
+
+        Every payload carries ``view``, ``text`` and ``cached``; rollup
+        views add ``app``, ``generation`` and ``metric``.
+        """
+        if view not in VIEWS:
+            raise ServeError(
+                f"unknown view {view!r} (choose from: {', '.join(VIEWS)})"
+            )
+        if view == "status":
+            return self._status()
+        if view == "metricsz":
+            return self._metricsz()
+
+        self.store.check_app(app)
+        generation = self.store.generation(app)
+        key = (app, view, metric, n)
+        cached = self._view_cache.get(key)
+        if cached is not None and cached[0] == generation:
+            self._count_cache(True, view)
+            return dict(cached[1], cached=True)
+        if cached is not None:
+            # Stale generation: compaction ran since this was rendered.
+            self.invalidate(app)
+        self._count_cache(False, view)
+
+        exp = self._experiment(app, generation)
+        if view == "topdown":
+            result = evaluate_boundness(ProfileSource(exp))
+            text = render_topdown(
+                result, title=f"{app} (rollup gen {generation})"
+            )
+            detail = {"nodes": result.node_values()}
+        elif view == "bottomup":
+            kind = _metric_kind(metric)
+            bu = exp.bottom_up(kind)
+            text = render_bottom_up(
+                bu, top_n=n, title=f"{app} bottom-up by {kind} (gen {generation})"
+            )
+            detail = {
+                "sites": [
+                    {"label": s.label, "location": s.location, "value": s.value}
+                    for s in bu.top(n)
+                ]
+            }
+        else:  # variables
+            kind = _metric_kind(metric)
+            td = exp.top_down(kind)
+            text = render_variable_table(
+                td, top_n=n, title=f"{app} variables by {kind} (gen {generation})"
+            )
+            detail = {
+                "variables": [
+                    {
+                        "name": v.name,
+                        "storage": v.storage.value,
+                        "value": v.value,
+                        "share": v.share,
+                    }
+                    for v in td.top(n)
+                ]
+            }
+
+        payload = {
+            "view": view,
+            "app": app,
+            "generation": generation,
+            "metric": metric,
+            "text": text,
+            "cached": False,
+            **detail,
+        }
+        self._view_cache[key] = (generation, payload)
+        return dict(payload)
+
+    def _status(self) -> dict:
+        apps = {}
+        lines = []
+        for app in self.store.apps():
+            stats = self.store.stats(app)
+            apps[app] = {
+                "leaves": stats.leaves,
+                "uncompacted": stats.uncompacted,
+                "leaf_bytes": stats.leaf_bytes,
+                "generation": stats.generation,
+                "rollup_bytes": stats.rollup_bytes,
+                "shards": stats.shards,
+            }
+            lines.append(
+                f"{app}: {stats.leaves} leaves ({stats.uncompacted} "
+                f"uncompacted) across {len(stats.shards)} shard(s), "
+                f"gen {stats.generation} rollup {stats.rollup_bytes}B"
+            )
+        text = "\n".join(lines) if lines else "store is empty"
+        return {"view": "status", "apps": apps, "text": text, "cached": False}
+
+    def _metricsz(self) -> dict:
+        if self.session is None:
+            return {
+                "view": "metricsz",
+                "text": "no telemetry session attached",
+                "cached": False,
+            }
+        return {
+            "view": "metricsz",
+            "text": self.session.metrics.to_prometheus().rstrip("\n"),
+            "cached": False,
+        }

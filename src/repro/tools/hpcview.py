@@ -16,6 +16,10 @@ files written with :meth:`repro.core.profiledb.ProfileDB.to_bytes`:
     python -m repro.tools.hpcview staticcheck --app nw --reconcile job.rpdb
     python -m repro.tools.hpcview staticcheck --app nw --reconcile-run --reconcile-metrics
     python -m repro.tools.hpcview info   --machine-stats run.mstats.json
+    python -m repro.tools.hpcview serve  --store store --port 9178
+    python -m repro.tools.hpcview serve  --smoke --smoke-blobs 32
+    python -m repro.tools.hpcview query  nw --port 9178 --view topdown
+    python -m repro.tools.hpcview query  --port 9178 --view metricsz
 
 ``info --machine-stats`` renders a machine self-instrumentation snapshot
 (a JSON-serialized :class:`repro.machine.stats.MachineStats`, as written
@@ -409,13 +413,15 @@ def _run_observed(
 ):
     """Shared trace/metrics pipeline, executed under an active obs session.
 
-    Three legs, so every span category and metric layer is exercised by
+    Four legs, so every span category and metric layer is exercised by
     real subsystem code paths: (1) each rank once in-process — the only
     place sim-time spans (phase, parallel region, rank, malloc) and
     machine/profiler metrics can be captured, since driver workers are
     separate OS processes; (2) the real multiprocess driver — wall-clock
     driver spans and retry/timeout metrics; (3) a pool merge of the
-    driver's output — merge spans/metrics plus codec decode spans.
+    driver's output — merge spans/metrics plus codec decode spans;
+    (4) a loopback pass through the continuous-profiling service —
+    ingest/compaction/query serve spans and ``repro_serve_*`` metrics.
     """
     from repro.parallel import merge_rpdb_files, profile_ranks
     from repro.parallel.registry import run_app_rank
@@ -431,7 +437,39 @@ def _run_observed(
         merged, _stats, _merge_report = merge_rpdb_files(
             report.paths, app, jobs=1
         )
+        _serve_leg(app, report.paths)
     return report, merged
+
+
+def _serve_leg(app: str, paths: list) -> None:
+    """Loop the driver's output back through ``repro.serve``.
+
+    Single sequential client so the span/metric stream stays
+    deterministic under ``--deterministic`` (ManualClock); the repeated
+    topdown query records one cache miss and one hit, populating the
+    cache-ratio gauge with a stable value.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.serve import ProfileService, ProfileStore, ServeClient
+
+    async def _loop_back() -> None:
+        with tempfile.TemporaryDirectory(prefix="hpcview-serve-") as root:
+            store = ProfileStore(Path(root) / "store", shards=2)
+            service = ProfileService(store, queue_size=8)
+            host, port = await service.start()
+            try:
+                async with ServeClient(host, port) as client:
+                    for path in paths:
+                        await client.ingest(app, Path(path).read_bytes())
+                    await client.compact(app)
+                    await client.query(app, "topdown")
+                    await client.query(app, "topdown")
+            finally:
+                await service.stop()
+
+    asyncio.run(_loop_back())
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -527,6 +565,107 @@ def cmd_merge(args: argparse.Namespace) -> int:
     stats = exp.merge_stats
     print(f"merged {stats.profiles_in} thread profiles in {stats.rounds} rounds "
           f"-> {args.output} ({human_bytes(size)})")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ProfileService, ProfileStore
+
+    store = ProfileStore(args.store, shards=args.shards, arity=args.arity)
+    service = ProfileService(
+        store, queue_size=args.queue_size, compact_every=args.compact_every
+    )
+    if args.smoke:
+        return asyncio.run(_serve_smoke(service, args.smoke_blobs))
+
+    async def _serve_forever() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(f"serving {store.root} on {host}:{port} "
+              f"(queue {args.queue_size}, {store.shards} shards/app, "
+              f"compact_every={args.compact_every or 'manual'})")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+async def _serve_smoke(service, n_blobs: int) -> int:
+    """Self-test: concurrent two-app ingest, compact, query, verify.
+
+    One client connection per app ingesting concurrently, then a
+    compaction and a topdown query per app, then the store invariant:
+    each rollup must be byte-identical to a sequential merge of its
+    leaves.  Exit 0 only if both rollups verify.
+    """
+    import asyncio
+
+    from repro.parallel.registry import run_app_rank
+    from repro.serve import ServeClient
+
+    apps = ("nw", "streamcluster")
+    per_app = max(1, n_blobs // len(apps))
+    host, port = await service.start("127.0.0.1", 0)
+
+    async def _ship(app: str) -> None:
+        async with ServeClient(host, port) as client:
+            for rank in range(per_app):
+                blob = run_app_rank(app, rank, per_app).to_bytes(canonical=True)
+                await client.ingest(app, blob)
+
+    try:
+        await asyncio.gather(*(_ship(app) for app in apps))
+        async with ServeClient(host, port) as client:
+            for app in apps:
+                print((await client.compact(app))["text"])
+            print((await client.query(apps[0], "topdown"))["text"])
+            print((await client.query("", "status"))["text"])
+    finally:
+        await service.stop()
+
+    ok = True
+    for app in apps:
+        identical, covered = service.store.verify_rollup(app)
+        verdict = "PASS" if identical else "FAIL"
+        print(f"{app}: rollup vs sequential merge of {covered} leaves "
+              f"-> byte-identical {verdict}")
+        ok = ok and identical
+    return 0 if ok else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ServeError
+    from repro.serve import ServeClient
+
+    async def _ask() -> dict:
+        async with ServeClient(args.host, args.port) as client:
+            if args.compact:
+                return await client.compact(args.app)
+            return await client.query(
+                args.app, args.view, metric=args.metric, n=args.n
+            )
+
+    try:
+        result = asyncio.run(_ask())
+    except ServeError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result, sort_keys=True, indent=2))
+    else:
+        print(result.get("text", json.dumps(result, sort_keys=True)))
     return 0
 
 
@@ -761,6 +900,62 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run without the sanitizer (drops that "
                               "layer's metric series)")
     metrics.set_defaults(func=cmd_metrics)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous-profiling service: async ingest of "
+             ".rpdb blobs, sharded store, incremental rollup compaction",
+    )
+    serve.add_argument("--store", default="store", metavar="DIR",
+                       help="store root; grows DIR/<app>/<shard>/ "
+                            "(default: store)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0: ephemeral, printed)")
+    serve.add_argument("--queue-size", type=int, default=64, metavar="N",
+                       help="bounded ingest queue: validated blobs "
+                            "awaiting commit (the backpressure window)")
+    serve.add_argument("--compact-every", type=int, default=0, metavar="N",
+                       help="auto-compact an app after N ingests "
+                            "(default 0: only on explicit compact requests)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="leaf shards per app (default 4)")
+    serve.add_argument("--arity", type=int, default=8,
+                       help="compaction reduction-tree fan-in (default 8)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="self-test: concurrent two-app ingest, compact, "
+                            "query, then verify rollups byte-identical to a "
+                            "sequential merge; exit 1 on mismatch")
+    serve.add_argument("--smoke-blobs", type=int, default=32, metavar="N",
+                       help="total blobs the smoke test ingests (default 32)")
+    serve.set_defaults(func=cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="query a running serve instance: topdown/bottomup/variables "
+             "views, store status, service metricsz",
+    )
+    query.add_argument("app", nargs="?", default="",
+                       help="app namespace (omit for status/metricsz)")
+    query.add_argument("--host", default="127.0.0.1",
+                       help="service address (default 127.0.0.1)")
+    query.add_argument("--port", type=int, required=True,
+                       help="service port")
+    query.add_argument("--view", default="status",
+                       choices=("topdown", "bottomup", "variables",
+                                "status", "metricsz"),
+                       help="view to render (default: status)")
+    query.add_argument("--metric", default="latency",
+                       help="metric for bottomup/variables "
+                            "(samples|latency|events|remote|tlb_miss)")
+    query.add_argument("-n", type=int, default=10,
+                       help="rows for bottomup/variables (default 10)")
+    query.add_argument("--compact", action="store_true",
+                       help="trigger a compaction for APP instead of a view")
+    query.add_argument("--json", action="store_true",
+                       help="print the raw JSON payload, not rendered text")
+    query.set_defaults(func=cmd_query)
     return parser
 
 

@@ -14,11 +14,12 @@ import json
 import os
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ObsError
 from repro.obs import (
     ManualClock,
     MetricsRegistry,
@@ -129,6 +130,75 @@ class TestTraceWriter:
         assert errors
 
 
+class TestTraceWriterConcurrency:
+    """Emission under contention: exact drop accounting, no torn output."""
+
+    def test_concurrent_emission_exact_drop_count(self):
+        trace = TraceWriter(max_events=50)
+        n_threads, per_thread = 8, 100
+        barrier = threading.Barrier(n_threads)
+
+        def emit(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                trace.complete(f"t{tid}.{i}", "c", i, 1.0, pid=0, tid=tid)
+
+        threads = [
+            threading.Thread(target=emit, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # The lock makes bound-check + append + drop-count atomic: the
+        # buffer never overshoots and every rejected event is counted.
+        assert len(trace.events) == 50
+        assert trace.dropped_events == n_threads * per_thread - 50
+
+    def test_to_json_during_concurrent_emission(self):
+        trace = TraceWriter(max_events=10_000)
+        stop = threading.Event()
+
+        def emit() -> None:
+            i = 0
+            while not stop.is_set():
+                trace.complete(f"e{i}", "c", i, 1.0, pid=0, tid=1)
+                i += 1
+
+        worker = threading.Thread(target=emit)
+        worker.start()
+        try:
+            for _ in range(20):
+                payload = json.loads(trace.to_json())  # must not tear
+                assert isinstance(payload["traceEvents"], list)
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_atomic_write_under_full_buffer_and_contention(self, tmp_path):
+        trace = TraceWriter(max_events=5)
+        done = threading.Event()
+
+        def emit() -> None:
+            i = 0
+            while not done.is_set():
+                trace.complete(f"e{i}", "c", i, 1.0, pid=0, tid=1)
+                i += 1
+
+        worker = threading.Thread(target=emit)
+        worker.start()
+        try:
+            for round_ in range(5):
+                out = trace.write(tmp_path / f"trace{round_}.json")
+                payload = json.loads(out.read_text())  # complete file
+                assert len(payload["traceEvents"]) == 5
+                assert payload["otherData"]["dropped_events"] >= 0
+        finally:
+            done.set()
+            worker.join()
+        assert list(tmp_path.glob("*.tmp.*")) == []  # rename happened
+
+
 # ---------------------------------------------------------------- metrics
 
 
@@ -191,7 +261,8 @@ class TestMetricsRegistry:
         reg.observe("h", 0.05, {"app": "nw"})
         errors, samples = trace_schema.validate_prometheus(reg.to_prometheus())
         assert errors == []
-        assert samples == 2 + (len(reg._series[("h", (("app", "nw"),))].buckets) + 3)
+        # histogram: len(buckets) + _bucket{+Inf} + _sum + _count + p50/95/99
+        assert samples == 2 + (len(reg._series[("h", (("app", "nw"),))].buckets) + 6)
 
     def test_json_export_shape(self):
         reg = MetricsRegistry()
@@ -209,6 +280,98 @@ class TestMetricsRegistry:
         reg.set_gauge("g", 0)
         assert reg.series_count() == 3
         assert reg.metric_names() == ["c", "g"]
+
+
+class TestHistogramQuantiles:
+    def test_summary_lines_in_prometheus_export(self):
+        reg = MetricsRegistry()
+        for v in (0.005, 0.005, 0.05, 0.5, 5.0):
+            reg.observe("lat", v, {"op": "q"})
+        prom = reg.to_prometheus()
+        for suffix in ("_p50", "_p95", "_p99"):
+            assert f'lat{suffix}{{op="q"}}' in prom
+        errors, _ = trace_schema.validate_prometheus(prom)
+        assert errors == []
+
+    def test_summary_fields_in_json_export(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.05)
+        (series,) = json.loads(reg.to_json())["series"]
+        assert {"p50", "p95", "p99"} <= set(series)
+
+    def test_quantiles_interpolate_within_buckets(self):
+        # 100 observations uniform in (0, 1]: every one lands in the
+        # (0.1, 1.0] bucket except the ten <= 0.1.  The interpolated p50
+        # sits mid-bucket; estimates are monotone in q and bounded by
+        # the bucket that contains the rank.
+        reg = MetricsRegistry()
+        for i in range(1, 101):
+            reg.observe("u", i / 100.0)
+        hist = reg._series[("u", ())]
+        p50, p95, p99 = (
+            hist.quantile(0.50), hist.quantile(0.95), hist.quantile(0.99)
+        )
+        assert 0.1 < p50 <= 1.0
+        assert p50 <= p95 <= p99 <= 1.0
+        assert p50 == pytest.approx(0.5, abs=0.06)
+
+    def test_overflow_observations_clamp_to_last_bucket(self):
+        reg = MetricsRegistry()
+        for _ in range(10):
+            reg.observe("big", 1e6)  # beyond every finite bucket
+        hist = reg._series[("big", ())]
+        assert hist.quantile(0.99) == hist.buckets[-1]
+
+    def test_empty_histogram_quantile_is_zero(self):
+        from repro.obs.metrics import _Histogram
+
+        hist = _Histogram((1.0, 2.0))
+        assert hist.quantile(0.99) == 0.0
+
+
+class TestLabelKeyConsistency:
+    """One metric name must keep one label-key set (ObsError otherwise)."""
+
+    def test_counter_label_key_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("reqs", 1, {"app": "nw"})
+        with pytest.raises(ObsError, match="label keys"):
+            reg.inc("reqs", 1, {"job": "merge"})
+
+    def test_error_at_observation_time_names_both_key_sets(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.1, {"op": "ingest"})
+        with pytest.raises(ObsError) as exc:
+            reg.observe("lat", 0.1, {"op": "ingest", "shard": "0"})
+        assert "('op',)" in str(exc.value)
+        assert "('op', 'shard')" in str(exc.value)
+
+    def test_same_keys_different_values_fine(self):
+        reg = MetricsRegistry()
+        reg.inc("reqs", 1, {"app": "nw"})
+        reg.inc("reqs", 1, {"app": "lulesh"})
+        assert reg.value("reqs", {"app": "nw"}) == 1
+
+    def test_unlabelled_then_labelled_raises(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 1)
+        with pytest.raises(ObsError):
+            reg.set_gauge("depth", 2, {"queue": "a"})
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.inc("m", 1, {"a": "1", "b": "2"})
+        reg.inc("m", 1, {"b": "3", "a": "4"})  # same key set, reordered
+        assert reg.value("m", {"a": "4", "b": "3"}) == 1
+
+    def test_rejected_observation_leaves_no_series_behind(self):
+        reg = MetricsRegistry()
+        reg.inc("reqs", 1, {"app": "nw"})
+        with pytest.raises(ObsError):
+            reg.inc("reqs", 1, {"zone": "x"})
+        assert reg.series_count() == 1
+        errors, samples = trace_schema.validate_prometheus(reg.to_prometheus())
+        assert errors == [] and samples == 1
 
 
 # ---------------------------------------------------------------- activation

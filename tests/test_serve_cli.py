@@ -1,0 +1,119 @@
+"""CLI legs of the continuous-profiling service: ``hpcview serve``/``query``.
+
+The smoke leg runs the whole scenario in-process (concurrent two-app
+ingest, compaction, a topdown query, rollup-vs-sequential-merge byte
+verification); the query tests speak real TCP to a service running on a
+background thread's event loop — the same path a human's ``hpcview
+query`` takes against a long-running ``hpcview serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.parallel.registry import run_app_rank
+from repro.serve import ProfileService, ProfileStore
+from repro.tools.hpcview import main
+
+
+class TestServeSmoke:
+    def test_smoke_verifies_byte_identity(self, tmp_path, capsys):
+        rc = main([
+            "serve", "--smoke", "--smoke-blobs", "4",
+            "--store", str(tmp_path / "store"), "--shards", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("byte-identical PASS") == 2
+        assert "folded 2 leaf blob(s)" in out
+        assert "backend_bound" in out  # the topdown query rendered
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    """A compacted two-blob service on a daemon thread; yields its port."""
+    store = ProfileStore(tmp_path / "store", shards=2)
+    for rank in range(2):
+        store.ingest(
+            "nw", run_app_rank("nw", rank, 2).to_bytes(canonical=True)
+        )
+    store.compact("nw")
+
+    loop = asyncio.new_event_loop()
+    service = ProfileService(store, queue_size=4)
+    started = threading.Event()
+    bound: dict = {}
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        bound["host"], bound["port"] = loop.run_until_complete(service.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10)
+    try:
+        yield bound["port"]
+    finally:
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+class TestQueryCommand:
+    def test_topdown_over_tcp(self, live_service, capsys):
+        rc = main([
+            "query", "nw", "--port", str(live_service), "--view", "topdown",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend_bound" in out and "rollup gen 1" in out
+
+    def test_status_and_json_payload(self, live_service, capsys):
+        rc = main([
+            "query", "--port", str(live_service), "--view", "status", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["apps"]["nw"]["leaves"] == 2
+        assert payload["apps"]["nw"]["generation"] == 1
+
+    def test_compact_flag_triggers_compaction(self, live_service, capsys):
+        rc = main(["query", "nw", "--port", str(live_service), "--compact"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "nothing to compact" in out  # already fully compacted
+
+    def test_metricsz_shows_serve_series(self, live_service, capsys):
+        main(["query", "nw", "--port", str(live_service), "--view", "topdown"])
+        capsys.readouterr()
+        rc = main([
+            "query", "--port", str(live_service), "--view", "metricsz",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro_serve_request_seconds" in out
+        assert "repro_serve_query_latency_seconds" in out
+
+    def test_query_failure_exits_one_with_stderr(self, live_service, capsys):
+        rc = main([
+            "query", "ghost-app", "--port", str(live_service),
+            "--view", "topdown",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "query failed" in captured.err
+        assert "no compacted rollup" in captured.err
+
+    def test_unreachable_service_exits_one(self, capsys):
+        rc = main(["query", "nw", "--port", "1", "--view", "status"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "cannot reach" in captured.err

@@ -216,6 +216,33 @@ class TestArgumentErrors:
         assert code == 2
         assert "unknown defect seed" in err
 
+    def test_serve_unknown_flag(self, capsys):
+        code, err = _error(["serve", "--frobnicate"], capsys)
+        assert code == 2
+        assert "usage:" in err
+
+    def test_serve_rejects_non_integer_port(self, capsys):
+        code, err = _error(["serve", "--port", "not-a-port"], capsys)
+        assert code == 2
+        assert "usage:" in err and "invalid int value" in err
+
+    def test_query_requires_port(self, capsys):
+        code, err = _error(["query", "nw"], capsys)
+        assert code == 2
+        assert "usage:" in err and "--port" in err
+
+    def test_query_unknown_view(self, capsys):
+        code, err = _error(
+            ["query", "nw", "--port", "1", "--view", "flamegraph"], capsys
+        )
+        assert code == 2
+        assert "usage:" in err and "invalid choice" in err
+
+    def test_query_unknown_flag(self, capsys):
+        code, err = _error(["query", "nw", "--port", "1", "--wat"], capsys)
+        assert code == 2
+        assert "usage:" in err
+
     def test_staticcheck_unknown_app_is_config_error(self, capsys):
         from repro.errors import ConfigError
 

@@ -123,7 +123,7 @@ def validate_prometheus(text: str) -> tuple[list[str], int]:
             errors.append(f"line {lineno}: unparseable sample: {line!r}")
             continue
         name = match.group("name")
-        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        base = re.sub(r"_(bucket|sum|count|p50|p95|p99)$", "", name)
         if name not in types and base not in types:
             errors.append(f"line {lineno}: sample {name!r} has no TYPE header")
         labels = match.group("labels")
