@@ -68,6 +68,35 @@ PROBLEM_ARRAYS = (
     ("P_diag_data", 49152),
 )
 
+# Source-line anchors for par_amg.c, shared by the program image, the
+# kernel, and static_model() (reprolint R009 bans restating them as
+# literals there); the extraction drift gate verifies each against the
+# interpreted kernel.
+L_CALL_BUILD = 20
+L_CALL_SETUP = 40
+L_CALL_SOLVE = 60
+L_CALLOC_BODY = 175
+L_ALLOC_WORKSPACE0 = 210   # three workspaces, one line each
+L_WORKSPACE_SWEEP = 220
+L_CALL_CHURN_ENTRY = 305
+L_ALLOC_PROBLEM0 = 330     # seven call sites, one line per array
+L_MATRIX_FILL = 340
+L_ALLOC_TABLES = 350
+L_PARALLEL_RELAX = 460
+L_ALLOC_VTEMP = 465
+L_TOUCH_VTEMP = 466
+L_RELAX_S = 470
+L_RELAX_AJ = 471
+L_RELAX_AD = 472
+L_RELAX_WS = 474
+L_PARALLEL_INTERP = 490
+L_INTERP_S = 495
+L_INTERP_PJ = 496
+L_INTERP_PD = 497
+L_CHURN_FN0 = 600          # hypre_SetupLevel{d} starts at +20*d
+L_CHURN_ALLOC = 604
+L_CHURN_FREE = 605
+
 
 @dataclass
 class Config:
@@ -92,13 +121,15 @@ def _build_image(process: SimProcess):
     src = SourceFile(
         "par_amg.c",
         {
-            175: "ptr = calloc(count, elt_size);",
-            330: "S_diag_j = hypre_CTAlloc(HYPRE_Int, num_nonzeros_diag);",
-            470: "for (jj = A_i[i]; jj < A_i[i+1]; jj++) temp += S_diag_j[jj];",
-            471: "jcol = A_diag_j[jj];",
-            472: "tmp  = A_diag_data[jj];",
-            474: "vtmp = Vtemp_data[i];",
-            495: "if (S_diag_j[jj] == col) weight += 1.0;",
+            L_CALLOC_BODY: "ptr = calloc(count, elt_size);",
+            L_ALLOC_PROBLEM0:
+                "S_diag_j = hypre_CTAlloc(HYPRE_Int, num_nonzeros_diag);",
+            L_RELAX_S:
+                "for (jj = A_i[i]; jj < A_i[i+1]; jj++) temp += S_diag_j[jj];",
+            L_RELAX_AJ: "jcol = A_diag_j[jj];",
+            L_RELAX_AD: "tmp  = A_diag_data[jj];",
+            L_RELAX_WS: "vtmp = Vtemp_data[i];",
+            L_INTERP_S: "if (S_diag_j[jj] == col) weight += 1.0;",
         },
     )
     exe = LoadModule("amg2006.exe", is_executable=True)
@@ -107,12 +138,14 @@ def _build_image(process: SimProcess):
     build_fn = exe.add_function("hypre_BuildIJLaplacian", src, 200, 60)
     setup_fn = exe.add_function("hypre_BoomerAMGSetup", src, 300, 100)
     churn_fns = [
-        exe.add_function(f"hypre_SetupLevel{d}", src, 600 + 20 * d, 18)
+        exe.add_function(f"hypre_SetupLevel{d}", src, L_CHURN_FN0 + 20 * d, 18)
         for d in range(8)
     ]
     solve_fn = exe.add_function("hypre_BoomerAMGSolve", src, 450, 70)
-    relax_region = declare_outlined(exe, solve_fn, 460, 25, region_index=0)
-    interp_region = declare_outlined(exe, solve_fn, 490, 25, region_index=1)
+    relax_region = declare_outlined(exe, solve_fn, L_PARALLEL_RELAX, 25,
+                                    region_index=0)
+    interp_region = declare_outlined(exe, solve_fn, L_PARALLEL_INTERP, 25,
+                                     region_index=1)
     process.load_module(exe)
     return (
         src, main_fn, calloc_fn, build_fn, setup_fn, churn_fns,
@@ -141,16 +174,17 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
             # zero-fill and the consumer remote — the 26s -> 52s pathology.
             workspaces = []
             for w in range(3):
-                addr = c.calloc(192 * 1024, line=210 + w, var=f"grid_workspace_{w}")
+                addr = c.calloc(192 * 1024, line=L_ALLOC_WORKSPACE0 + w,
+                                var=f"grid_workspace_{w}")
                 workspaces.append(addr)
-            ip220 = c.ip(220)
+            ip_sweep = c.ip(L_WORKSPACE_SWEEP)
             for addr in workspaces:
                 # Fixed-stride consumer sweep over a contiguous workspace:
                 # one batched run per workspace.
-                c.load_run(addr, 192 * 1024 // 256, 256, ip220)
+                c.load_run(addr, 192 * 1024 // 256, 256, ip_sweep)
             c.compute(cfg.init_compute)
 
-        ctx.call_sync(build_fn, 20, build_body)
+        ctx.call_sync(build_fn, L_CALL_BUILD, build_body)
 
     # ---- setup phase -----------------------------------------------------------
     arrays: dict[str, SimArray] = {}
@@ -162,14 +196,17 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
             for idx, (name, nbytes) in enumerate(PROBLEM_ARRAYS):
                 if cfg.variant == "libnuma":
                     arrays[name] = numa_alloc_interleaved(
-                        c, name, (nbytes // 4,), line=330 + idx, elem=4, kind="calloc"
+                        c, name, (nbytes // 4,), line=L_ALLOC_PROBLEM0 + idx,
+                        elem=4, kind="calloc"
                     )
                 else:
                     def do_alloc(cc: Ctx, nb=nbytes, nm=name) -> SimArray:
-                        base = cc.calloc(nb, line=175, var=nm)
+                        base = cc.calloc(nb, line=L_CALLOC_BODY, var=nm)
                         return SimArray(nm, base, (nb // 4,), elem=4)
 
-                    arrays[name] = c.call_sync(calloc_fn, 330 + idx, do_alloc)
+                    arrays[name] = c.call_sync(
+                        calloc_fn, L_ALLOC_PROBLEM0 + idx, do_alloc
+                    )
 
             # High-frequency small allocations in deep call chains: the
             # §4.1.3 overhead stress (+150% when tracked exhaustively).
@@ -177,11 +214,14 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
                 if depth == 0:
                     live = []
                     for k in range(count):
-                        live.append(cc.malloc(192 + (k % 4) * 16, line=604))
+                        live.append(
+                            cc.malloc(192 + (k % 4) * 16, line=L_CHURN_ALLOC,
+                                      var="churn")
+                        )
                         if len(live) > 16:
-                            cc.free(live.pop(0), line=605)
+                            cc.free(live.pop(0), line=L_CHURN_FREE)
                     for addr in live:
-                        cc.free(addr, line=605)
+                        cc.free(addr, line=L_CHURN_FREE)
                     return None
                 callee = churn_fns[depth - 1]
                 call_line = cc.thread.current_function.start_line + 5
@@ -195,18 +235,18 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
             # untracked (below the 4KB threshold), so their samples land
             # in *unknown data* — Figure 4's ~5% non-heap remainder.
             for t in range(8):
-                small_tables.append(c.malloc(3968, line=350))
-                c.touch_range(small_tables[-1], 3968, line=350)
+                small_tables.append(c.malloc(3968, line=L_ALLOC_TABLES))
+                c.touch_range(small_tables[-1], 3968, line=L_ALLOC_TABLES)
 
             # Master fills the matrix entries (sequential writes) — one
             # batched store run per array.
-            ip340 = c.ip(340)
+            ip_fill = c.ip(L_MATRIX_FILL)
             for name, _ in PROBLEM_ARRAYS[:3]:
                 arr = arrays[name]
-                c.store_run(arr.base, arr.nbytes // 512, 512, ip340)
+                c.store_run(arr.base, arr.nbytes // 512, 512, ip_fill)
             c.compute(cfg.setup_compute)
 
-        ctx.call_sync(setup_fn, 40, setup_body)
+        ctx.call_sync(setup_fn, L_CALL_SETUP, setup_body)
 
     # ---- solver phase --------------------------------------------------------------
     with process.phase("solve"):
@@ -223,17 +263,18 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
         worker_ws: dict[int, int] = {}
 
         def relax_factory(iteration: int):
-            ip_s = relax_region.ip(470)
-            ip_ai = relax_region.ip(470, 1)
-            ip_aj = relax_region.ip(471)
-            ip_ad = relax_region.ip(472)
-            ip_ws = relax_region.ip(474)
+            ip_s = relax_region.ip(L_RELAX_S)
+            ip_ai = relax_region.ip(L_RELAX_S, 1)
+            ip_aj = relax_region.ip(L_RELAX_AJ)
+            ip_ad = relax_region.ip(L_RELAX_AD)
+            ip_ws = relax_region.ip(L_RELAX_WS)
 
             def worker(wctx: Ctx, tid: int):
                 ws = worker_ws.get(tid)
                 if ws is None:
-                    ws = wctx.malloc(16 * 1024, line=465, var="Vtemp_data")
-                    wctx.touch_range(ws, 16 * 1024, line=466)
+                    ws = wctx.malloc(16 * 1024, line=L_ALLOC_VTEMP,
+                                     var="Vtemp_data")
+                    wctx.touch_range(ws, 16 * 1024, line=L_TOUCH_VTEMP)
                     worker_ws[tid] = ws
                 chunk = omp_chunk(rows, n_threads, (tid + iteration * 31) % n_threads)
                 for j, row in enumerate(chunk):
@@ -258,10 +299,10 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
             return worker
 
         def interp_factory(iteration: int):
-            ip_s2 = interp_region.ip(495)
-            ip_si = interp_region.ip(495, 1)
-            ip_pj = interp_region.ip(496)
-            ip_pd = interp_region.ip(497)
+            ip_s2 = interp_region.ip(L_INTERP_S)
+            ip_si = interp_region.ip(L_INTERP_S, 1)
+            ip_pj = interp_region.ip(L_INTERP_PJ)
+            ip_pd = interp_region.ip(L_INTERP_PD)
 
             def worker(wctx: Ctx, tid: int):
                 chunk = omp_chunk(
@@ -287,11 +328,13 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
 
         def solve_body(c: Ctx) -> None:
             for it in range(cfg.solve_iterations):
-                c.parallel(relax_region, relax_factory(it), n_threads, line=460)
-                c.parallel(interp_region, interp_factory(it), n_threads, line=490)
+                c.parallel(relax_region, relax_factory(it), n_threads,
+                           line=L_PARALLEL_RELAX)
+                c.parallel(interp_region, interp_factory(it), n_threads,
+                           line=L_PARALLEL_INTERP)
                 c.comm(rows * 8)  # halo exchange with neighbor ranks
 
-        ctx.call_sync(solve_fn, 60, solve_body)
+        ctx.call_sync(solve_fn, L_CALL_SOLVE, solve_body)
 
     ctx.leave()
 
@@ -324,15 +367,18 @@ def static_model(variant: str = "original", preset: str = "smoke"):
     interp_region = outlined_name("hypre_BoomerAMGSolve", 1)
 
     model.entry("main")
-    model.call("main", 20, "hypre_BuildIJLaplacian")
-    model.call("main", 40, "hypre_BoomerAMGSetup")
-    model.call("main", 60, "hypre_BoomerAMGSolve")
-    model.parallel_region("hypre_BoomerAMGSolve", 460, relax_region, cfg.n_threads)
-    model.parallel_region("hypre_BoomerAMGSolve", 490, interp_region, cfg.n_threads)
+    model.call("main", L_CALL_BUILD, "hypre_BuildIJLaplacian")
+    model.call("main", L_CALL_SETUP, "hypre_BoomerAMGSetup")
+    model.call("main", L_CALL_SOLVE, "hypre_BoomerAMGSolve")
+    model.parallel_region("hypre_BoomerAMGSolve", L_PARALLEL_RELAX,
+                          relax_region, cfg.n_threads)
+    model.parallel_region("hypre_BoomerAMGSolve", L_PARALLEL_INTERP,
+                          interp_region, cfg.n_threads)
     # The churn call chain: setup -> SetupLevel7 -> ... -> SetupLevel0.
-    model.call("hypre_BoomerAMGSetup", 305, "hypre_SetupLevel7")
+    model.call("hypre_BoomerAMGSetup", L_CALL_CHURN_ENTRY, "hypre_SetupLevel7")
     for d in range(7, 0, -1):
-        model.call(f"hypre_SetupLevel{d}", 600 + 20 * d + 5, f"hypre_SetupLevel{d - 1}")
+        model.call(f"hypre_SetupLevel{d}", L_CHURN_FN0 + 20 * d + 5,
+                   f"hypre_SetupLevel{d - 1}")
 
     rows = float(cfg.rows)
     iters = float(cfg.solve_iterations)
@@ -342,53 +388,69 @@ def static_model(variant: str = "original", preset: str = "smoke"):
     # paper's numactl init pathology, not a first-touch defect).
     for w in range(3):
         name = f"grid_workspace_{w}"
-        model.alloc("hypre_BuildIJLaplacian", 210 + w, name, 192 * 1024, kind="calloc")
-        model.access("hypre_BuildIJLaplacian", 220, name, weight=192 * 1024 / 256)
+        model.alloc("hypre_BuildIJLaplacian", L_ALLOC_WORKSPACE0 + w, name,
+                    192 * 1024, kind="calloc")
+        model.access("hypre_BuildIJLaplacian", L_WORKSPACE_SWEEP, name,
+                     weight=192 * 1024 / 256)
 
     # The seven problem arrays: libnuma interleaves them at their call
     # sites; otherwise each goes through the shared hypre_CAlloc site.
     for idx, (name, nbytes) in enumerate(PROBLEM_ARRAYS):
         if variant == "libnuma":
             model.alloc(
-                "hypre_BoomerAMGSetup", 330 + idx, name, nbytes,
+                "hypre_BoomerAMGSetup", L_ALLOC_PROBLEM0 + idx, name, nbytes,
                 kind="numa_interleaved",
             )
         else:
-            model.call("hypre_BoomerAMGSetup", 330 + idx, "hypre_CAlloc")
-            model.alloc("hypre_CAlloc", 175, name, nbytes, kind="calloc")
+            model.call("hypre_BoomerAMGSetup", L_ALLOC_PROBLEM0 + idx,
+                       "hypre_CAlloc")
+            model.alloc("hypre_CAlloc", L_CALLOC_BODY, name, nbytes,
+                        kind="calloc")
 
-    model.alloc("hypre_SetupLevel0", 604, "churn", 256, kind="malloc", in_loop=True)
-    model.free("hypre_SetupLevel0", 605, "churn")
-    model.alloc("hypre_BoomerAMGSetup", 350, "small_tables", 8 * 3968, kind="malloc")
-    model.touch("hypre_BoomerAMGSetup", 350, "small_tables", by="master")
+    model.alloc("hypre_SetupLevel0", L_CHURN_ALLOC, "churn", 256,
+                kind="malloc", in_loop=True)
+    model.free("hypre_SetupLevel0", L_CHURN_FREE, "churn")
+    model.alloc("hypre_BoomerAMGSetup", L_ALLOC_TABLES, "small_tables",
+                8 * 3968, kind="malloc")
+    model.touch("hypre_BoomerAMGSetup", L_ALLOC_TABLES, "small_tables",
+                by="master")
 
     # Master matrix fill (one batched store run each, first three arrays).
     for name, nbytes in PROBLEM_ARRAYS[:3]:
         model.access(
-            "hypre_BoomerAMGSetup", 340, name, weight=nbytes / 512, is_store=True
+            "hypre_BoomerAMGSetup", L_MATRIX_FILL, name, weight=nbytes / 512,
+            is_store=True
         )
 
     # Per-worker solver workspace: allocated inside the relax region,
     # first-touched by its worker, never freed.
-    model.alloc(relax_region, 465, "Vtemp_data", 16 * 1024, kind="malloc")
-    model.touch(relax_region, 466, "Vtemp_data", by="workers")
+    model.alloc(relax_region, L_ALLOC_VTEMP, "Vtemp_data", 16 * 1024,
+                kind="malloc")
+    model.touch(relax_region, L_TOUCH_VTEMP, "Vtemp_data", by="workers")
 
     # Relax sweep: per row one A_diag_i load, two S_diag_j loads, four
     # A_diag_j/A_diag_data loads, two workspace loads, a table poke.
-    model.access(relax_region, 470, "A_diag_i", weight=rows * iters)
-    model.access(relax_region, 470, "S_diag_j", weight=2 * rows * iters)
-    model.access(relax_region, 471, "A_diag_j", weight=4 * rows * iters)
-    model.access(relax_region, 472, "A_diag_data", weight=4 * rows * iters)
-    model.access(relax_region, 474, "Vtemp_data", weight=2 * rows * iters)
-    model.access(relax_region, 474, "small_tables", weight=rows * iters / 12)
+    model.access(relax_region, L_RELAX_S, "A_diag_i", weight=rows * iters)
+    model.access(relax_region, L_RELAX_S, "S_diag_j",
+                 weight=2 * rows * iters)
+    model.access(relax_region, L_RELAX_AJ, "A_diag_j",
+                 weight=4 * rows * iters)
+    model.access(relax_region, L_RELAX_AD, "A_diag_data",
+                 weight=4 * rows * iters)
+    model.access(relax_region, L_RELAX_WS, "Vtemp_data",
+                 weight=2 * rows * iters)
+    model.access(relax_region, L_RELAX_WS, "small_tables",
+                 weight=rows * iters / 12)
 
     # Interpolation sweep over rows/2.
     half = rows / 2
-    model.access(interp_region, 495, "S_diag_i", weight=half * iters)
-    model.access(interp_region, 495, "A_diag_i", weight=half * iters)
-    model.access(interp_region, 495, "S_diag_j", weight=half * iters / 8)
-    model.access(interp_region, 496, "P_diag_j", weight=half * iters)
-    model.access(interp_region, 497, "P_diag_data", weight=half * iters)
+    model.access(interp_region, L_INTERP_S, "S_diag_i", weight=half * iters)
+    model.access(interp_region, L_INTERP_S, "A_diag_i", weight=half * iters)
+    model.access(interp_region, L_INTERP_S, "S_diag_j",
+                 weight=half * iters / 8)
+    model.access(interp_region, L_INTERP_PJ, "P_diag_j", weight=half * iters)
+    model.access(interp_region, L_INTERP_PD, "P_diag_data",
+                 weight=half * iters)
     return model
 
 

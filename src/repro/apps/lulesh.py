@@ -56,6 +56,26 @@ DOMAIN_ARRAYS = (
 
 _F_ELEM_MAX_NODES = 2048
 
+# Source-line anchors for lulesh.cc, shared by the program image, the
+# kernel, and static_model() (reprolint R009 bans restating them as
+# literals there); the extraction drift gate verifies each against the
+# interpreted kernel.
+L_STATIC_F_ELEM = 15
+L_STATIC_GAMMA = 16
+L_ALLOC_DOMAIN0 = 22      # first domain array; one line per array
+L_ALLOC_CORNER_LIST = 40
+L_ALLOC_SCRATCH = 45
+L_TOUCH_INIT = 60
+L_CALL_KINEMATICS = 85
+L_CALL_STRESS = 86
+L_PARALLEL_KIN = 690
+L_KIN_STREAM = 700
+L_KIN_STORE = 705
+L_PARALLEL_STRESS = 790
+L_STRESS_STREAM = 800
+L_CORNER_GATHER = 801
+L_F_ELEM_STORE = 802
+
 
 @dataclass
 class Config:
@@ -77,22 +97,26 @@ def _build_image(process: SimProcess):
     src = SourceFile(
         "lulesh.cc",
         {
-            22: "m_x = new Real_t[numElem]; /* ... one line per array */",
-            60: "for (Index_t i=0; i<numElem; ++i) m_x[i] = Real_t(0.);",
-            700: "Real_t vx = xd[k]; Real_t vy = yd[k]; ...",
-            705: "e_new[k] = e[k] - delvc[k]*p[k];",
-            801: "Index_t corner = nodeElemCornerList[i*2+c];",
-            802: "f_elem[corner][k][Find_Pos(i,c)] += fx_local;",
+            L_ALLOC_DOMAIN0:
+                "m_x = new Real_t[numElem]; /* ... one line per array */",
+            L_TOUCH_INIT:
+                "for (Index_t i=0; i<numElem; ++i) m_x[i] = Real_t(0.);",
+            L_KIN_STREAM: "Real_t vx = xd[k]; Real_t vy = yd[k]; ...",
+            L_KIN_STORE: "e_new[k] = e[k] - delvc[k]*p[k];",
+            L_CORNER_GATHER: "Index_t corner = nodeElemCornerList[i*2+c];",
+            L_F_ELEM_STORE: "f_elem[corner][k][Find_Pos(i,c)] += fx_local;",
         },
     )
     exe = LoadModule("lulesh.exe", is_executable=True)
     main_fn = exe.add_function("main", src, 1, 120)
     kinematics = exe.add_function("CalcKinematicsForElems", src, 680, 40)
     stress = exe.add_function("IntegrateStressForElems", src, 780, 40)
-    kin_region = declare_outlined(exe, kinematics, 690, 25)
-    stress_region = declare_outlined(exe, stress, 790, 25)
-    f_elem_sym = exe.add_static("f_elem", _F_ELEM_MAX_NODES * 3 * 8 * 8, src, 15)
-    gamma_sym = exe.add_static("Gamma", 4 * 8 * 8 * 8 * 8, src, 16)
+    kin_region = declare_outlined(exe, kinematics, L_PARALLEL_KIN, 25)
+    stress_region = declare_outlined(exe, stress, L_PARALLEL_STRESS, 25)
+    f_elem_sym = exe.add_static(
+        "f_elem", _F_ELEM_MAX_NODES * 3 * 8 * 8, src, L_STATIC_F_ELEM
+    )
+    gamma_sym = exe.add_static("Gamma", 4 * 8 * 8 * 8 * 8, src, L_STATIC_GAMMA)
     process.load_module(exe)
     return (
         src, main_fn, kinematics, stress,
@@ -144,43 +168,52 @@ def static_model(variant: str = "original", preset: str = "smoke"):
     stress_region = outlined_name("IntegrateStressForElems", 0)
 
     model.entry("main")
-    model.call("main", 85, "CalcKinematicsForElems")
-    model.call("main", 86, "IntegrateStressForElems")
-    model.parallel_region("CalcKinematicsForElems", 690, kin_region, cfg.n_threads)
-    model.parallel_region("IntegrateStressForElems", 790, stress_region, cfg.n_threads)
+    model.call("main", L_CALL_KINEMATICS, "CalcKinematicsForElems")
+    model.call("main", L_CALL_STRESS, "IntegrateStressForElems")
+    model.parallel_region("CalcKinematicsForElems", L_PARALLEL_KIN,
+                          kin_region, cfg.n_threads)
+    model.parallel_region("IntegrateStressForElems", L_PARALLEL_STRESS,
+                          stress_region, cfg.n_threads)
 
     interleaved = variant in ("libnuma", "both")
     kind = "numa_interleaved" if interleaved else "malloc"
     nelem = float(cfg.nelem)
     iters = float(cfg.iterations)
     for idx, name in enumerate(DOMAIN_ARRAYS):
-        model.alloc("main", 22 + idx, name, cfg.nelem * 8, kind=kind)
-        model.touch("main", 60, name, by="master")
-    model.alloc("main", 40, "nodeElemCornerList", cfg.nelem * 2 * 4, kind="malloc")
-    model.touch("main", 60, "nodeElemCornerList", by="master")
-    model.alloc("main", 45, "scratch", 12 * 3968, kind="malloc")
-    model.touch("main", 60, "scratch", by="master")
-    model.alloc("main", 15, "f_elem", 0, kind="static")
-    model.alloc("main", 16, "Gamma", 0, kind="static")
+        model.alloc("main", L_ALLOC_DOMAIN0 + idx, name, cfg.nelem * 8,
+                    kind=kind)
+        model.touch("main", L_TOUCH_INIT, name, by="master")
+    model.alloc("main", L_ALLOC_CORNER_LIST, "nodeElemCornerList",
+                cfg.nelem * 2 * 4, kind="malloc")
+    model.touch("main", L_TOUCH_INIT, "nodeElemCornerList", by="master")
+    model.alloc("main", L_ALLOC_SCRATCH, "scratch", 12 * 3968, kind="malloc")
+    model.touch("main", L_TOUCH_INIT, "scratch", by="master")
+    model.alloc("main", L_STATIC_F_ELEM, "f_elem", 0, kind="static")
+    model.alloc("main", L_STATIC_GAMMA, "Gamma", 0, kind="static")
 
     # Kinematics: six streamed loads per element, one energy-family store
     # and one force load (each array takes a third), plus a scratch poke.
     for name in ("m_x", "m_y", "m_z", "m_xd", "m_yd", "m_zd"):
-        model.access(kin_region, 700, name, weight=nelem * iters)
+        model.access(kin_region, L_KIN_STREAM, name, weight=nelem * iters)
     for name in ("m_e", "m_p", "m_q"):
-        model.access(kin_region, 705, name, weight=nelem * iters / 3, is_store=True)
+        model.access(kin_region, L_KIN_STORE, name, weight=nelem * iters / 3,
+                     is_store=True)
     for name in ("m_fx", "m_fy", "m_fz"):
-        model.access(kin_region, 705, name, weight=nelem * iters / 3)
-    model.access(kin_region, 705, "scratch", weight=nelem * iters / 4)
+        model.access(kin_region, L_KIN_STORE, name, weight=nelem * iters / 3)
+    model.access(kin_region, L_KIN_STORE, "scratch", weight=nelem * iters / 4)
 
     # Stress integration: six streamed loads per element, corner-list
     # gather + three f_elem stores every 4th element, Gamma every 4th.
     for name in ("m_fx", "m_fy", "m_fz", "m_p", "m_q", "m_e"):
-        model.access(stress_region, 800, name, weight=nelem * iters)
+        model.access(stress_region, L_STRESS_STREAM, name,
+                     weight=nelem * iters)
     corner = nelem * iters / max(1, cfg.corner_every)
-    model.access(stress_region, 801, "nodeElemCornerList", weight=corner)
-    model.access(stress_region, 802, "f_elem", weight=3 * corner, is_store=True)
-    model.access(stress_region, 802, "Gamma", weight=nelem * iters / 4)
+    model.access(stress_region, L_CORNER_GATHER, "nodeElemCornerList",
+                 weight=corner)
+    model.access(stress_region, L_F_ELEM_STORE, "f_elem", weight=3 * corner,
+                 is_store=True)
+    model.access(stress_region, L_F_ELEM_STORE, "Gamma",
+                 weight=nelem * iters / 4)
     return model
 
 
@@ -214,23 +247,28 @@ def run(cfg: Config) -> AppResult:
         for idx, name in enumerate(DOMAIN_ARRAYS):
             if interleaved:
                 arrays[name] = numa_alloc_interleaved(
-                    ctx, name, (nelem,), line=22 + idx, elem=8
+                    ctx, name, (nelem,), line=L_ALLOC_DOMAIN0 + idx, elem=8
                 )
             else:
-                arrays[name] = ctx.alloc_array(name, (nelem,), line=22 + idx, elem=8)
+                arrays[name] = ctx.alloc_array(
+                    name, (nelem,), line=L_ALLOC_DOMAIN0 + idx, elem=8
+                )
         corner_list = ctx.alloc_array(
-            "nodeElemCornerList", (nelem * 2,), line=40, elem=4
+            "nodeElemCornerList", (nelem * 2,), line=L_ALLOC_CORNER_LIST,
+            elem=4
         )
         # Sub-threshold temporaries (sigxx/determ scratch): land in
         # *unknown data*, the ~10% latency remainder of Figure 8.
-        scratch = [ctx.malloc(3968, line=45) for _ in range(12)]
+        scratch = [ctx.malloc(3968, line=L_ALLOC_SCRATCH) for _ in range(12)]
         # Master-thread initialization commits first touch (or fills the
         # interleave override ranges) for every page.
         for name in DOMAIN_ARRAYS:
-            ctx.touch_range(arrays[name].base, arrays[name].nbytes, line=60)
-        ctx.touch_range(corner_list.base, corner_list.nbytes, line=60)
+            ctx.touch_range(arrays[name].base, arrays[name].nbytes,
+                            line=L_TOUCH_INIT)
+        ctx.touch_range(corner_list.base, corner_list.nbytes,
+                        line=L_TOUCH_INIT)
         for addr in scratch:
-            ctx.touch_range(addr, 3968, line=60)
+            ctx.touch_range(addr, 3968, line=L_TOUCH_INIT)
 
         if transposed:
             f_elem = ctx.static_array(f_elem_sym, (nnode, 8, 3), elem=8)
@@ -242,10 +280,13 @@ def run(cfg: Config) -> AppResult:
     store_names = ("m_e", "m_p", "m_q")
 
     def kin_worker_factory(iteration: int):
-        ips = [kin_region.ip(700, slot) for slot in range(len(stream_names))]
-        ip_store = kin_region.ip(705, 0)
-        ip_force = kin_region.ip(705, 1)
-        ip_scratch = kin_region.ip(705, 2)
+        ips = [
+            kin_region.ip(L_KIN_STREAM, slot)
+            for slot in range(len(stream_names))
+        ]
+        ip_store = kin_region.ip(L_KIN_STORE, 0)
+        ip_force = kin_region.ip(L_KIN_STORE, 1)
+        ip_scratch = kin_region.ip(L_KIN_STORE, 2)
         bases = [arrays[n] for n in stream_names]
         stores = [arrays[n] for n in store_names]
         forces = [arrays["m_fx"], arrays["m_fy"], arrays["m_fz"]]
@@ -278,11 +319,11 @@ def run(cfg: Config) -> AppResult:
         return worker
 
     def stress_worker_factory(iteration: int):
-        ip_corner = stress_region.ip(801)
-        ip_f = [stress_region.ip(802, slot) for slot in range(3)]
-        ip_gamma = stress_region.ip(802, 3)
+        ip_corner = stress_region.ip(L_CORNER_GATHER)
+        ip_f = [stress_region.ip(L_F_ELEM_STORE, slot) for slot in range(3)]
+        ip_gamma = stress_region.ip(L_F_ELEM_STORE, 3)
         stream_bases = [arrays[n] for n in ("m_fx", "m_fy", "m_fz", "m_p", "m_q", "m_e")]
-        stream_ips = [stress_region.ip(800, slot) for slot in range(6)]
+        stream_ips = [stress_region.ip(L_STRESS_STREAM, slot) for slot in range(6)]
 
         def worker(wctx: Ctx, tid: int):
             chunk = omp_chunk(
@@ -322,16 +363,18 @@ def run(cfg: Config) -> AppResult:
         for it in range(cfg.iterations):
             ctx.call_sync(
                 kinematics,
-                85,
+                L_CALL_KINEMATICS,
                 lambda c, it=it: c.parallel(
-                    kin_region, kin_worker_factory(it), cfg.n_threads, line=690
+                    kin_region, kin_worker_factory(it), cfg.n_threads,
+                    line=L_PARALLEL_KIN
                 ),
             )
             ctx.call_sync(
                 stress,
-                86,
+                L_CALL_STRESS,
                 lambda c, it=it: c.parallel(
-                    stress_region, stress_worker_factory(it), cfg.n_threads, line=790
+                    stress_region, stress_worker_factory(it), cfg.n_threads,
+                    line=L_PARALLEL_STRESS
                 ),
             )
 

@@ -34,6 +34,19 @@ __all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "static_model
 
 VARIANTS = ("original", "libnuma")
 
+# Source-line anchors for needle.cpp, shared by the program image, the
+# kernel, and static_model() (reprolint R009 bans restating them as
+# literals there); the extraction drift gate verifies each against the
+# interpreted kernel.
+L_ALLOC_REFERRENCE = 45
+L_ALLOC_ITEMSETS = 46
+L_TOUCH_INIT = 50
+L_CALL_RUNTEST = 60
+L_PARALLEL_WAVEFRONT = 150
+L_REF_LOAD = 163
+L_ITEMS_LOAD = 164
+L_ITEMS_STORE = 165
+
 
 @dataclass
 class Config:
@@ -51,6 +64,10 @@ class Config:
     # knob that sets referrence's ~2:1 lead over input_itemsets in
     # Figure 11's remote-access ranking.
     ref_gather_every: int = 4
+    # Differential twin: replay the worker's exact access order through
+    # scalar load_ip/store_ip instead of batched load_run/store_run.
+    # The two must be bit-identical (pinned in tests).
+    scalar_worker: bool = False
     seed: int = 0x2F
 
 
@@ -58,18 +75,24 @@ def _build_image(process: SimProcess):
     src = SourceFile(
         "needle.cpp",
         {
-            45: "referrence = (int*)malloc(max_rows*max_cols*sizeof(int));",
-            46: "input_itemsets = (int*)malloc(max_rows*max_cols*sizeof(int));",
-            50: "for(i=0;i<max_rows*max_cols;i++) input_itemsets[i] = 0;",
-            163: "t1 = input_itemsets[idx-1-max_cols] + referrence[idx];",
-            164: "t2 = input_itemsets[idx-1] - penalty;",
-            165: "input_itemsets[idx] = maximum(t1, t2, t3);",
+            L_ALLOC_REFERRENCE:
+                "referrence = (int*)malloc(max_rows*max_cols*sizeof(int));",
+            L_ALLOC_ITEMSETS:
+                "input_itemsets = (int*)malloc(max_rows*max_cols*sizeof(int));",
+            L_TOUCH_INIT:
+                "for(i=0;i<max_rows*max_cols;i++) input_itemsets[i] = 0;",
+            L_REF_LOAD:
+                "t1 = input_itemsets[idx-1-max_cols] + referrence[idx];",
+            L_ITEMS_LOAD: "t2 = input_itemsets[idx-1] - penalty;",
+            L_ITEMS_STORE: "input_itemsets[idx] = maximum(t1, t2, t3);",
         },
     )
     exe = LoadModule("needle.exe", is_executable=True)
     main_fn = exe.add_function("main", src, 1, 100)
     run_test = exe.add_function("_Z7runTestiPPc", src, 120, 90)
-    region = declare_outlined(exe, run_test, 150, 40, region_index=0)
+    region = declare_outlined(
+        exe, run_test, L_PARALLEL_WAVEFRONT, 40, region_index=0
+    )
     process.load_module(exe)
     return src, main_fn, run_test, region
 
@@ -120,21 +143,25 @@ def static_model(variant: str = "original", preset: str = "smoke"):
     region = outlined_name("_Z7runTestiPPc", 0)
 
     model.entry("main")
-    model.call("main", 60, "_Z7runTestiPPc")
-    model.parallel_region("_Z7runTestiPPc", 150, region, cfg.n_threads)
+    model.call("main", L_CALL_RUNTEST, "_Z7runTestiPPc")
+    model.parallel_region(
+        "_Z7runTestiPPc", L_PARALLEL_WAVEFRONT, region, cfg.n_threads
+    )
 
     kind = "numa_interleaved" if variant == "libnuma" else "malloc"
     n = cfg.n
     nbytes = n * n * 4
-    model.alloc("main", 45, "referrence", nbytes, kind=kind)
-    model.alloc("main", 46, "input_itemsets", nbytes, kind=kind)
-    model.touch("main", 50, "referrence", by="master")
-    model.touch("main", 50, "input_itemsets", by="master")
+    model.alloc("main", L_ALLOC_REFERRENCE, "referrence", nbytes, kind=kind)
+    model.alloc("main", L_ALLOC_ITEMSETS, "input_itemsets", nbytes, kind=kind)
+    model.touch("main", L_TOUCH_INIT, "referrence", by="master")
+    model.touch("main", L_TOUCH_INIT, "input_itemsets", by="master")
 
     cells = float((n - 1) * (n - 1))  # interior wavefront cells
-    model.access(region, 163, "referrence", weight=2 * cells)
-    model.access(region, 164, "input_itemsets", weight=cells)
-    model.access(region, 165, "input_itemsets", weight=cells, is_store=True)
+    model.access(region, L_REF_LOAD, "referrence", weight=2 * cells)
+    model.access(region, L_ITEMS_LOAD, "input_itemsets", weight=cells)
+    model.access(
+        region, L_ITEMS_STORE, "input_itemsets", weight=cells, is_store=True
+    )
     return model
 
 
@@ -162,20 +189,24 @@ def run(cfg: Config) -> AppResult:
     with process.phase("init"):
         if cfg.variant == "libnuma":
             referrence = numa_alloc_interleaved(
-                ctx, "referrence", (n, n), line=45, elem=4
+                ctx, "referrence", (n, n), line=L_ALLOC_REFERRENCE, elem=4
             )
             itemsets = numa_alloc_interleaved(
-                ctx, "input_itemsets", (n, n), line=46, elem=4
+                ctx, "input_itemsets", (n, n), line=L_ALLOC_ITEMSETS, elem=4
             )
         else:
-            referrence = ctx.alloc_array("referrence", (n, n), line=45, elem=4)
-            itemsets = ctx.alloc_array("input_itemsets", (n, n), line=46, elem=4)
+            referrence = ctx.alloc_array(
+                "referrence", (n, n), line=L_ALLOC_REFERRENCE, elem=4
+            )
+            itemsets = ctx.alloc_array(
+                "input_itemsets", (n, n), line=L_ALLOC_ITEMSETS, elem=4
+            )
         # The master initializes both matrices either way (the libnuma fix
         # leaves the init code alone; the policy override spreads pages).
         # One store per page commits placement; the identical zero-fill
         # streaming cost is left unmodelled so alignment dominates runtime.
-        ctx.touch_range(referrence.base, referrence.nbytes, line=50)
-        ctx.touch_range(itemsets.base, itemsets.nbytes, line=50)
+        ctx.touch_range(referrence.base, referrence.nbytes, line=L_TOUCH_INIT)
+        ctx.touch_range(itemsets.base, itemsets.nbytes, line=L_TOUCH_INIT)
 
     block = cfg.block  # Rodinia-style blocked wavefront, one tile per task
 
@@ -188,10 +219,10 @@ def run(cfg: Config) -> AppResult:
         take part; the scaled-down matrix must preserve that regime or
         the short diagonals would execute entirely on socket 0.
         """
-        ip_ref = region.ip(163, 0)
-        ip_ref2 = region.ip(163, 1)
-        ip_items_load = region.ip(164, 0)
-        ip_items_store = region.ip(165, 0)
+        ip_ref = region.ip(L_REF_LOAD, 0)
+        ip_ref2 = region.ip(L_REF_LOAD, 1)
+        ip_items_load = region.ip(L_ITEMS_LOAD, 0)
+        ip_items_store = region.ip(L_ITEMS_STORE, 0)
         stride = max(1, cfg.n_threads // max(1, nblocks_on_diag))
         assignment = [
             (b * stride + bdiag * 13) % cfg.n_threads
@@ -200,34 +231,59 @@ def run(cfg: Config) -> AppResult:
 
         gather = max(1, cfg.ref_gather_every)
 
+        batched = not cfg.scalar_worker
+
         def worker(wctx: Ctx, tid: int):
-            # Not ported to the batched Ctx.load_run/store_run API: each
-            # cell interleaves reads of two arrays (including a
-            # data-dependent gather) with a store, so no fixed-stride run
-            # exists whose batching preserves the simulated access order.
-            # Initialization (touch_range) rides the fast path instead.
+            # Batched Ctx.load_run/store_run port: the fixed-stride row
+            # sweeps (referrence row read at 163, input_itemsets read at
+            # 164 and store at 165) each issue one run per block row; the
+            # column-wise substitution-score gather is data-dependent and
+            # stays scalar.  cfg.scalar_worker selects a twin that
+            # replays the identical access order through scalar
+            # load_ip/store_ip — the bit-identity pin.
             chunk = [b for b in range(nblocks_on_diag) if assignment[b] == tid]
             for b in chunk:
                 bi = brow0 + b
                 bj = bdiag - bi
-                for i in range(bi * block, min((bi + 1) * block, n)):
-                    for j in range(bj * block, min((bj + 1) * block, n)):
-                        if i == 0 or j == 0:
-                            continue
-                        # Two reads of referrence (one row-wise, one the
-                        # column-wise substitution-score gather), one read
-                        # + (every other cell) one store of input_itemsets
-                        # — the ~2:1 remote split of Figure 11.
-                        wctx.load_ip(referrence.addr_unchecked(i, j), ip_ref)
+                j_lo = max(bj * block, 1)
+                j_hi = min((bj + 1) * block, n)
+                ncols = j_hi - j_lo
+                for i in range(max(bi * block, 1), min((bi + 1) * block, n)):
+                    # Row-wise referrence read — the 2:1 lead of Figure 11
+                    # together with the gather below.
+                    if batched:
+                        wctx.load_run(
+                            referrence.addr_unchecked(i, j_lo), ncols, 4, ip_ref
+                        )
+                    else:
+                        for j in range(j_lo, j_hi):
+                            wctx.load_ip(referrence.addr_unchecked(i, j), ip_ref)
+                    for j in range(j_lo, j_hi):
                         if (i + j) % gather == 0:
                             wctx.load_ip(
                                 referrence.addr_unchecked((j * 31 + i) % n, i), ip_ref2
                             )
                         else:
                             wctx.load_ip(referrence.addr_unchecked(i, j - 1), ip_ref2)
-                        wctx.load_ip(itemsets.addr_unchecked(i - 1, j), ip_items_load)
-                        wctx.store_ip(itemsets.addr_unchecked(i, j), ip_items_store)
-                        wctx.compute(cfg.compute_per_cell)
+                    if batched:
+                        wctx.load_run(
+                            itemsets.addr_unchecked(i - 1, j_lo), ncols, 4,
+                            ip_items_load,
+                        )
+                        wctx.store_run(
+                            itemsets.addr_unchecked(i, j_lo), ncols, 4,
+                            ip_items_store,
+                        )
+                    else:
+                        for j in range(j_lo, j_hi):
+                            wctx.load_ip(
+                                itemsets.addr_unchecked(i - 1, j), ip_items_load
+                            )
+                        for j in range(j_lo, j_hi):
+                            wctx.store_ip(
+                                itemsets.addr_unchecked(i, j), ip_items_store
+                            )
+                    wctx.compute(cfg.compute_per_cell * ncols)
                     yield
             yield
 
@@ -245,10 +301,10 @@ def run(cfg: Config) -> AppResult:
                     region,
                     wavefront_worker_factory(hi - lo + 1, lo, bd),
                     cfg.n_threads,
-                    line=150,
+                    line=L_PARALLEL_WAVEFRONT,
                 )
 
-        ctx.call_sync(run_test, 60, run_test_body)
+        ctx.call_sync(run_test, L_CALL_RUNTEST, run_test_body)
 
     ctx.leave()
     profilers = [profiler] if profiler else []

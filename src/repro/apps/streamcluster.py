@@ -39,6 +39,26 @@ __all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "static_model
 
 VARIANTS = ("original", "parallel-init")
 
+# Source-line anchors for streamcluster.cpp, shared by the program
+# image, the kernel, and static_model() (reprolint R009 bans restating
+# them as literals there); the extraction drift gate verifies each
+# against the interpreted kernel.
+L_ALLOC_BLOCK = 30
+L_ALLOC_POINT_P = 32
+L_ALLOC_SCRATCH = 34
+L_TOUCH_SERIAL = 40
+L_PARALLEL_INIT = 42
+L_TOUCH_PARALLEL = 43
+L_CALL_PGAIN = 50
+L_PARALLEL_REGION1 = 140
+L_CALL_DIST1 = 141
+L_PARALLEL_REGION2 = 160
+L_CALL_DIST2 = 161
+L_DIST_COORD = 175
+# The weight/scratch poke slots sit 7 lines into each region body.
+L_WEIGHT_SLOT1 = L_CALL_DIST1 + 7
+L_WEIGHT_SLOT2 = L_CALL_DIST2 + 7
+
 
 @dataclass
 class Config:
@@ -67,12 +87,16 @@ def _build_image(process: SimProcess):
     src = SourceFile(
         "streamcluster.cpp",
         {
-            30: "block = (float*)malloc(numPoints*dim*sizeof(float));",
-            32: "points.p = (Point*)malloc(numPoints*sizeof(Point));",
-            40: "for(i=0;i<n*d;i++) block[i] = 0;  /* serial init */",
+            L_ALLOC_BLOCK:
+                "block = (float*)malloc(numPoints*dim*sizeof(float));",
+            L_ALLOC_POINT_P:
+                "points.p = (Point*)malloc(numPoints*sizeof(Point));",
+            L_TOUCH_SERIAL:
+                "for(i=0;i<n*d;i++) block[i] = 0;  /* serial init */",
             145: "change += pgain_dist(x, points, k);",
             165: "cost += pgain_dist(x, points, k);",
-            175: "result += (p1.coord[i]-p2.coord[i])*(p1.coord[i]-p2.coord[i]);",
+            L_DIST_COORD:
+                "result += (p1.coord[i]-p2.coord[i])*(p1.coord[i]-p2.coord[i]);",
             178: "w = p2.weight;",
         },
     )
@@ -80,9 +104,12 @@ def _build_image(process: SimProcess):
     main_fn = exe.add_function("main", src, 1, 100)
     pgain_fn = exe.add_function("_Z5pgainlP6Points", src, 130, 80)
     dist_fn = exe.add_function("_Z4distP5PointS0_i", src, 170, 15)
-    init_region = declare_outlined(exe, main_fn, 42, 8, region_index=0)
-    region1 = declare_outlined(exe, pgain_fn, 140, 65, region_index=0)
-    region2 = declare_outlined(exe, pgain_fn, 160, 45, region_index=1)
+    init_region = declare_outlined(exe, main_fn, L_PARALLEL_INIT, 8,
+                                   region_index=0)
+    region1 = declare_outlined(exe, pgain_fn, L_PARALLEL_REGION1, 65,
+                               region_index=0)
+    region2 = declare_outlined(exe, pgain_fn, L_PARALLEL_REGION2, 45,
+                               region_index=1)
     process.load_module(exe)
     return src, main_fn, pgain_fn, dist_fn, init_region, region1, region2
 
@@ -138,36 +165,40 @@ def static_model(variant: str = "original", preset: str = "smoke"):
     region2 = outlined_name(pgain, 1)
 
     model.entry("main")
-    model.call("main", 50, pgain)
-    model.parallel_region(pgain, 140, region1, cfg.n_threads)
-    model.parallel_region(pgain, 160, region2, cfg.n_threads)
-    model.call(region1, 141, dist)
-    model.call(region2, 161, dist)
+    model.call("main", L_CALL_PGAIN, pgain)
+    model.parallel_region(pgain, L_PARALLEL_REGION1, region1, cfg.n_threads)
+    model.parallel_region(pgain, L_PARALLEL_REGION2, region2, cfg.n_threads)
+    model.call(region1, L_CALL_DIST1, dist)
+    model.call(region2, L_CALL_DIST2, dist)
 
     npoints, dim = cfg.npoints, cfg.dim
-    model.alloc("main", 30, "block", npoints * dim * 4, kind="malloc")
-    model.alloc("main", 32, "point.p", npoints * 32, kind="malloc")
-    model.alloc("main", 34, "scratch", 16 * 3968, kind="malloc")
-    model.touch("main", 34, "scratch", by="master")
+    model.alloc("main", L_ALLOC_BLOCK, "block", npoints * dim * 4,
+                kind="malloc")
+    model.alloc("main", L_ALLOC_POINT_P, "point.p", npoints * 32,
+                kind="malloc")
+    model.alloc("main", L_ALLOC_SCRATCH, "scratch", 16 * 3968, kind="malloc")
+    model.touch("main", L_ALLOC_SCRATCH, "scratch", by="master")
     if variant == "parallel-init":
-        model.parallel_region("main", 42, init_region, cfg.n_threads)
-        model.touch(init_region, 43, "block", by="workers")
-        model.touch(init_region, 43, "point.p", by="workers")
+        model.parallel_region("main", L_PARALLEL_INIT, init_region,
+                              cfg.n_threads)
+        model.touch(init_region, L_TOUCH_PARALLEL, "block", by="workers")
+        model.touch(init_region, L_TOUCH_PARALLEL, "point.p", by="workers")
     else:
-        model.touch("main", 40, "block", by="master")
-        model.touch("main", 40, "point.p", by="master")
+        model.touch("main", L_TOUCH_SERIAL, "block", by="master")
+        model.touch("main", L_TOUCH_SERIAL, "point.p", by="master")
 
     passes = float(cfg.passes_region1 + cfg.passes_region2)
     per_pass = float(npoints)
     # dist streams dim coords of p2 from block plus one p1 load per call.
-    model.access(dist, 175, "block", weight=passes * per_pass * (dim + 1))
+    model.access(dist, L_DIST_COORD, "block",
+                 weight=passes * per_pass * (dim + 1))
     # One point.p weight read per 8 points, one scratch poke per 12, at
-    # the ip(call_line+7) slots inside each region body.
+    # the weight slots inside each region body.
     for region, region_passes in (
         (region1, float(cfg.passes_region1)),
         (region2, float(cfg.passes_region2)),
     ):
-        line = 148 if region == region1 else 168
+        line = L_WEIGHT_SLOT1 if region == region1 else L_WEIGHT_SLOT2
         model.access(region, line, "point.p", weight=region_passes * per_pass / 8)
         model.access(region, line, "scratch", weight=region_passes * per_pass / 12)
     return model
@@ -194,15 +225,17 @@ def run(cfg: Config) -> AppResult:
     npoints, dim = cfg.npoints, cfg.dim
     line_size = 1 << machine.hierarchy.line_bits
 
-    block = ctx.alloc_array("block", (npoints, dim), line=30, elem=4)
-    point_p = ctx.alloc_array("point.p", (npoints,), line=32, elem=32)
+    block = ctx.alloc_array("block", (npoints, dim), line=L_ALLOC_BLOCK,
+                            elem=4)
+    point_p = ctx.alloc_array("point.p", (npoints,), line=L_ALLOC_POINT_P,
+                              elem=32)
     # Sub-threshold scratch blocks (temporary vectors the real code keeps
     # per pgain round): too small for the profiler to capture contexts,
     # so their samples land in *unknown data* — the ~2% non-heap remainder
     # of Figure 10.
-    scratch = [ctx.malloc(3968, line=34) for _ in range(16)]
+    scratch = [ctx.malloc(3968, line=L_ALLOC_SCRATCH) for _ in range(16)]
     for addr in scratch:
-        ctx.touch_range(addr, 3968, line=34)
+        ctx.touch_range(addr, 3968, line=L_ALLOC_SCRATCH)
     chunks = omp_chunks(npoints, cfg.n_threads)
 
     with process.phase("init"):
@@ -211,19 +244,22 @@ def run(cfg: Config) -> AppResult:
         # streaming cost is not modelled so the clustering phase dominates,
         # as it does at the paper's full scale.
         if cfg.variant == "original":
-            ip40 = ctx.ip(40)
-            ctx.touch_range(block.base, block.nbytes, line=40)
-            ctx.touch_range(point_p.base, point_p.nbytes, line=40)
+            ctx.touch_range(block.base, block.nbytes, line=L_TOUCH_SERIAL)
+            ctx.touch_range(point_p.base, point_p.nbytes, line=L_TOUCH_SERIAL)
         else:
             # Parallel first touch: each worker initializes its own chunk.
             def init_worker(wctx: Ctx, tid: int):
                 chunk = chunks[tid]
                 if len(chunk):
-                    wctx.touch_range(block.addr(chunk.start, 0), len(chunk) * dim * 4, line=43)
-                    wctx.touch_range(point_p.addr(chunk.start), len(chunk) * 8, line=43)
+                    wctx.touch_range(block.addr(chunk.start, 0),
+                                     len(chunk) * dim * 4,
+                                     line=L_TOUCH_PARALLEL)
+                    wctx.touch_range(point_p.addr(chunk.start),
+                                     len(chunk) * 8, line=L_TOUCH_PARALLEL)
                 yield
 
-            ctx.parallel(init_region, init_worker, cfg.n_threads, line=42)
+            ctx.parallel(init_region, init_worker, cfg.n_threads,
+                         line=L_PARALLEL_INIT)
 
     def dist_body(c: Ctx, pt: int, ip_p2: int, ip_p1: int) -> None:
         # p2.coord streams from block; p1.coord is the candidate center
@@ -234,9 +270,9 @@ def run(cfg: Config) -> AppResult:
         c.compute(cfg.compute_per_coord * dim)
 
     def make_region_worker(region_fn, passes: int, rotation_salt: int):
-        ip_p2 = dist_fn.ip(175, 0)
-        ip_p1 = dist_fn.ip(175, 1)
-        call_line = 141 if region_fn is region1 else 161
+        ip_p2 = dist_fn.ip(L_DIST_COORD, 0)
+        ip_p1 = dist_fn.ip(L_DIST_COORD, 1)
+        call_line = L_CALL_DIST1 if region_fn is region1 else L_CALL_DIST2
         ip_weight = region_fn.ip(call_line + 7)
 
         def worker(wctx: Ctx, tid: int):
@@ -268,17 +304,17 @@ def run(cfg: Config) -> AppResult:
             region1,
             make_region_worker(region1, cfg.passes_region1, 17),
             cfg.n_threads,
-            line=140,
+            line=L_PARALLEL_REGION1,
         )
         c.parallel(
             region2,
             make_region_worker(region2, cfg.passes_region2, 29),
             cfg.n_threads,
-            line=160,
+            line=L_PARALLEL_REGION2,
         )
 
     with process.phase("cluster"):
-        ctx.call_sync(pgain_fn, 50, pgain_body)
+        ctx.call_sync(pgain_fn, L_CALL_PGAIN, pgain_body)
 
     ctx.leave()
 

@@ -38,6 +38,23 @@ __all__ = ["Config", "run", "run_rank", "rank_config", "VARIANTS", "static_model
 
 VARIANTS = ("original", "transposed")
 
+# Source-line anchors for sweep.f, shared by the program image, the
+# kernel, and static_model() (reprolint R009 bans restating them as
+# literals there); the extraction drift gate verifies each against the
+# interpreted kernel.
+L_ALLOC_FLUX = 20
+L_ALLOC_SRC = 21
+L_ALLOC_FACE = 22
+L_TOUCH_INIT = 25
+L_CALL_INNER = 30
+L_CALL_SWEEP = 140
+L_FACE_LOAD = 475
+L_PHI_STACK = 476
+L_SRC_LOAD = 477
+L_SRC_LOAD2 = 478
+L_FLUX_LOAD = 480
+L_FLUX_STORE = 482
+
 
 @dataclass
 class Config:
@@ -61,14 +78,14 @@ def _build_image(process: SimProcess):
     src = SourceFile(
         "sweep.f",
         {
-            20: "allocate(Flux(it,jt,kt))",
-            21: "allocate(Src(it,jt,kt))",
-            22: "allocate(Face(it,jt,mm))",
-            475: "leak = Face(i,j,1) + Face(i,j,2)",
-            477: "phi = Src(i,j,k)",
-            478: "phi = phi + Src(i,j,k)*w(m)",
-            480: "phi = phi + Flux(i,j,k)",
-            482: "Flux(i,j,k) = phi",
+            L_ALLOC_FLUX: "allocate(Flux(it,jt,kt))",
+            L_ALLOC_SRC: "allocate(Src(it,jt,kt))",
+            L_ALLOC_FACE: "allocate(Face(it,jt,mm))",
+            L_FACE_LOAD: "leak = Face(i,j,1) + Face(i,j,2)",
+            L_SRC_LOAD: "phi = Src(i,j,k)",
+            L_SRC_LOAD2: "phi = phi + Src(i,j,k)*w(m)",
+            L_FLUX_LOAD: "phi = phi + Flux(i,j,k)",
+            L_FLUX_STORE: "Flux(i,j,k) = phi",
         },
     )
     exe = LoadModule("sweep3d.exe", is_executable=True)
@@ -86,13 +103,16 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
 
     it, jt, kt = cfg.it, cfg.jt, cfg.kt
     with process.phase("setup"):
-        flux = ctx.alloc_array("Flux", (it, jt, kt), line=20, elem=8, order="F")
-        source = ctx.alloc_array("Src", (it, jt, kt), line=21, elem=8, order="F")
-        face = ctx.alloc_array("Face", (it, jt, 16), line=22, elem=8, order="F")
+        flux = ctx.alloc_array("Flux", (it, jt, kt), line=L_ALLOC_FLUX,
+                               elem=8, order="F")
+        source = ctx.alloc_array("Src", (it, jt, kt), line=L_ALLOC_SRC,
+                                 elem=8, order="F")
+        face = ctx.alloc_array("Face", (it, jt, 16), line=L_ALLOC_FACE,
+                               elem=8, order="F")
         # Each rank initializes its own arrays: first touch places every
         # page locally — the reason pure-MPI codes have no NUMA problem.
         for arr in (flux, source, face):
-            ctx.touch_range(arr.base, arr.nbytes, line=25)
+            ctx.touch_range(arr.base, arr.nbytes, line=L_TOUCH_INIT)
 
     transposed = cfg.variant == "transposed"
     if transposed:
@@ -120,12 +140,12 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
     phi_stack = ctx.thread.stack_alloc(4096)
 
     def sweep_gen(octant: int):
-        ip_phi = sweep_fn.ip(476)
-        ip_face = sweep_fn.ip(475)
-        ip_src1 = sweep_fn.ip(477)
-        ip_src2 = sweep_fn.ip(478)
-        ip_flux_load = sweep_fn.ip(480)
-        ip_flux_store = sweep_fn.ip(482)
+        ip_phi = sweep_fn.ip(L_PHI_STACK)
+        ip_face = sweep_fn.ip(L_FACE_LOAD)
+        ip_src1 = sweep_fn.ip(L_SRC_LOAD)
+        ip_src2 = sweep_fn.ip(L_SRC_LOAD2)
+        ip_flux_load = sweep_fn.ip(L_FLUX_LOAD)
+        ip_flux_store = sweep_fn.ip(L_FLUX_STORE)
         for i in range(it):
             # Receive the incoming wavefront face for this pencil.
             ctx.comm(jt * 8)
@@ -154,7 +174,8 @@ def _rank_main(cfg: Config, process: SimProcess, rank: int, n_ranks: int) -> Non
         with process.phase("sweep"):
             for octant in range(cfg.octants):
                 yield from ctx.call(
-                    inner_fn, 30, ctx.call(sweep_fn, 140, sweep_gen(octant))
+                    inner_fn, L_CALL_INNER,
+                    ctx.call(sweep_fn, L_CALL_SWEEP, sweep_gen(octant))
                 )
 
     process.run_serial(main_gen())
@@ -181,21 +202,27 @@ def static_model(variant: str = "original", preset: str = "smoke"):
     model = StaticModel("sweep3d", variant, process, machine, 1)
 
     model.entry("MAIN__")
-    model.call("MAIN__", 30, "inner_")
-    model.call("inner_", 140, "sweep_")
+    model.call("MAIN__", L_CALL_INNER, "inner_")
+    model.call("inner_", L_CALL_SWEEP, "sweep_")
 
     it, jt, kt = cfg.it, cfg.jt, cfg.kt
     cells = float(it * jt * kt * cfg.octants)
-    model.alloc("MAIN__", 20, "Flux", it * jt * kt * 8, kind="malloc")
-    model.alloc("MAIN__", 21, "Src", it * jt * kt * 8, kind="malloc")
-    model.alloc("MAIN__", 22, "Face", it * jt * 16 * 8, kind="malloc")
+    model.alloc("MAIN__", L_ALLOC_FLUX, "Flux", it * jt * kt * 8,
+                kind="malloc")
+    model.alloc("MAIN__", L_ALLOC_SRC, "Src", it * jt * kt * 8, kind="malloc")
+    model.alloc("MAIN__", L_ALLOC_FACE, "Face", it * jt * 16 * 8,
+                kind="malloc")
     for name in ("Flux", "Src", "Face"):
-        model.touch("MAIN__", 25, name, by="master")
+        model.touch("MAIN__", L_TOUCH_INIT, name, by="master")
 
-    model.access("sweep_", 477, "Src", weight=cells * 1.5)
-    model.access("sweep_", 480, "Flux", weight=cells)
-    model.access("sweep_", 482, "Flux", weight=cells, is_store=True)
-    model.access("sweep_", 475, "Face", weight=2.0 * float(it * jt * cfg.octants))
+    # Two distinct source anchors: the unconditional read and the
+    # octant-gated read (k % 2 == octant % 2 hits half the cells).
+    model.access("sweep_", L_SRC_LOAD, "Src", weight=cells)
+    model.access("sweep_", L_SRC_LOAD2, "Src", weight=cells * 0.5)
+    model.access("sweep_", L_FLUX_LOAD, "Flux", weight=cells)
+    model.access("sweep_", L_FLUX_STORE, "Flux", weight=cells, is_store=True)
+    model.access("sweep_", L_FACE_LOAD, "Face",
+                 weight=2.0 * float(it * jt * cfg.octants))
     return model
 
 

@@ -24,6 +24,7 @@ __all__ = [
     "render_variable_table",
     "render_sanitizer_report",
     "render_static_report",
+    "render_hazard_catalogue",
     "render_reconciliation",
     "render_metric_reconciliation",
 ]
@@ -164,6 +165,55 @@ def render_static_report(
             )
         for ctx in finding.contexts:
             lines.append(f"    alloc context: {ctx}")
+    return "\n".join(lines)
+
+
+def render_hazard_catalogue(min_share: float | None = None) -> str:
+    """The H001..H004 catalogue with thresholds from the formula registry.
+
+    Every numeric threshold is resolved through the shared override
+    registry under the ``("static",)`` keys — the same constants the
+    analyzer, the predictor and the dynamic triage read, so the printed
+    catalogue can never drift from what the passes actually apply.
+    """
+    from repro.metrics.boundness import REGISTRY
+
+    keys = ("static",)
+
+    def const(name: str) -> float:
+        return REGISTRY.constant_value(name, keys)
+
+    ms = min_share if min_share is not None else const("min_share")
+    lines = [
+        "hazard catalogue (thresholds resolved from the formula registry):",
+        "",
+        "  H001  master first-touch before a multi-node parallel region",
+        "        placement-committing store runs on the master thread while",
+        "        a team spanning >1 NUMA node accesses the variable with",
+        f"        static share >= min_share ({ms:g});",
+        "        dynamic confirmation needs remote_dram_fraction >=",
+        f"        confirm_remote_fraction ({const('confirm_remote_fraction'):g}); a missed",
+        "        variable is one that is remote-dominant dynamically",
+        f"        (>= remote_dominant_fraction, {const('remote_dominant_fraction'):g}) without a",
+        "        prediction",
+        "",
+        "  H002  false-sharing-prone layout",
+        "        byte-disjoint per-thread store footprints landing in one",
+        "        cache line (line geometry from the machine spec; predicate",
+        "        shared with the dynamic sanitizer via repro.util.linemath)",
+        "",
+        "  H003  allocation in a parallel body or loop without a free",
+        "        structural: unbounded growth under iteration, no threshold",
+        "",
+        "  H004  dead allocation",
+        "        structural: site unreachable from every entry, or the",
+        "        variable is never accessed, touched, or freed",
+        "",
+        "  triage constants shared with the boundness DAG:",
+        f"        memory_bound_fraction = {const('memory_bound_fraction'):g}",
+        f"        numa_bound_remote     = {const('numa_bound_remote'):g}",
+        f"        tlb_pressure          = {const('tlb_pressure'):g}",
+    ]
     return "\n".join(lines)
 
 

@@ -16,7 +16,11 @@ Entry points:
   evaluate them on the same formula DAG the profiler reports;
 - :func:`reconcile` — label predictions against an ``ExperimentDB``;
 - :func:`reconcile_metrics` — compare static vs dynamic evaluations of
-  the same derived metrics, per variable, with relative error.
+  the same derived metrics, per variable, with relative error;
+- :func:`extract_model` — recover a model from kernel source by AST
+  interpretation (``repro.staticcheck.extract``), and
+  :func:`diff_models` — the structural drift gate against the
+  registered declarations.
 """
 
 from repro.staticcheck.analyze import (
@@ -50,8 +54,16 @@ from repro.staticcheck.reconcile import (
     reconcile,
     reconcile_metrics,
 )
+from repro.staticcheck.extract import (
+    ExtractionError,
+    ExtractionResult,
+    ModelDiff,
+    diff_models,
+    extract_model,
+)
 from repro.staticcheck.registry import (
     STATIC_APPS,
+    app_variants,
     build_static_model,
     register_static_app,
 )
@@ -83,7 +95,13 @@ __all__ = [
     "MetricReconciliation",
     "VariableMetrics",
     "reconcile_metrics",
+    "ExtractionError",
+    "ExtractionResult",
+    "ModelDiff",
+    "diff_models",
+    "extract_model",
     "STATIC_APPS",
+    "app_variants",
     "build_static_model",
     "register_static_app",
 ]

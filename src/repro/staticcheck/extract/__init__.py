@@ -1,0 +1,27 @@
+"""AST-driven static-model extraction (the anti-drift pass).
+
+``extract_model`` recovers, from kernel source alone, the same
+declaration set the hand-written ``static_model()`` builders publish —
+entries, call edges, parallel regions, allocation / touch / access /
+free sites — by interpreting the kernel over a real program image with
+a recording ``Ctx``.  ``diff_models`` structurally compares an
+extracted model against the registered one, which is the CI drift gate
+behind ``hpcview staticcheck --extract --diff-model``.
+"""
+
+from repro.staticcheck.extract.builder import (
+    ExtractionResult,
+    classify_pattern,
+    extract_model,
+)
+from repro.staticcheck.extract.diff import ModelDiff, diff_models
+from repro.staticcheck.extract.interp import ExtractionError
+
+__all__ = [
+    "ExtractionResult",
+    "ExtractionError",
+    "ModelDiff",
+    "classify_pattern",
+    "diff_models",
+    "extract_model",
+]

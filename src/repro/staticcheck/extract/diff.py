@@ -1,0 +1,136 @@
+"""Structural drift diff between a registered and an extracted model.
+
+The diff compares exactly the facts a kernel edit can invalidate —
+entries, call edges, regions (host/line/team), per-variable storage and
+placement policy, allocation sites (fn/line/kind/in-loop, and byte-exact
+sizes where extraction observed them exactly), touch sites with their
+executor, access-site coordinates, free sites, and the process-wide
+interleave flag.  It deliberately ignores what extraction cannot pin
+byte-for-byte or what the hand models never declared: access weights,
+classified patterns, and the compute estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.staticcheck.model import StaticModel
+
+__all__ = ["ModelDiff", "diff_models"]
+
+
+@dataclass
+class ModelDiff:
+    """All structural divergences between two models of one app/variant."""
+
+    app: str
+    variant: str
+    differences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.differences
+
+    def render(self) -> str:
+        head = f"{self.app}/{self.variant}: "
+        if self.ok:
+            return head + "models agree"
+        lines = [head + f"{len(self.differences)} divergence(s)"]
+        lines.extend(f"  - {d}" for d in self.differences)
+        return "\n".join(lines)
+
+
+def _diff_sets(
+    label: str, registered: set, extracted: set, out: list[str]
+) -> None:
+    missing = registered - extracted
+    extra = extracted - registered
+    if missing:
+        out.append(f"{label} missing from extraction: {sorted(missing)}")
+    if extra:
+        out.append(f"{label} extra in extraction: {sorted(extra)}")
+
+
+def _fmt_sites(sites: Iterable[tuple]) -> list[tuple]:
+    return sorted(sites)
+
+
+def diff_models(
+    registered: StaticModel,
+    extracted: StaticModel,
+    inexact_sizes: frozenset[tuple[str, str, int]] = frozenset(),
+) -> ModelDiff:
+    """Structurally compare the two models of one app/variant."""
+    out: list[str] = []
+    _diff_sets("entries", set(registered.entries), set(extracted.entries), out)
+    _diff_sets(
+        "call edges",
+        {(c.caller, c.line, c.callee, c.kind) for c in registered.calls},
+        {(c.caller, c.line, c.callee, c.kind) for c in extracted.calls},
+        out,
+    )
+    _diff_sets(
+        "regions",
+        {(r.outlined, r.host, r.line, r.n_threads)
+         for r in registered.regions.values()},
+        {(r.outlined, r.host, r.line, r.n_threads)
+         for r in extracted.regions.values()},
+        out,
+    )
+    if registered.process_interleaved != extracted.process_interleaved:
+        out.append(
+            "process_interleaved: registered="
+            f"{registered.process_interleaved} "
+            f"extracted={extracted.process_interleaved}"
+        )
+    reg_vars = set(registered.variables)
+    ext_vars = set(extracted.variables)
+    _diff_sets("variables", reg_vars, ext_vars, out)
+    for name in sorted(reg_vars & ext_vars):
+        reg = registered.variables[name]
+        ext = extracted.variables[name]
+        if reg.storage != ext.storage:
+            out.append(
+                f"{name}: storage registered={reg.storage} "
+                f"extracted={ext.storage}"
+            )
+        if reg.policy != ext.policy:
+            out.append(
+                f"{name}: policy registered={reg.policy} extracted={ext.policy}"
+            )
+        _diff_sets(
+            f"{name}: alloc sites",
+            {(s.fn, s.line, s.kind, s.in_loop) for s in reg.alloc_sites},
+            {(s.fn, s.line, s.kind, s.in_loop) for s in ext.alloc_sites},
+            out,
+        )
+        reg_sizes = {(s.fn, s.line): s.nbytes for s in reg.alloc_sites}
+        ext_sizes = {(s.fn, s.line): s.nbytes for s in ext.alloc_sites}
+        for key in sorted(reg_sizes.keys() & ext_sizes.keys()):
+            if (name, key[0], key[1]) in inexact_sizes:
+                continue
+            if reg_sizes[key] != ext_sizes[key]:
+                out.append(
+                    f"{name}: nbytes at {key[0]}:{key[1]} "
+                    f"registered={reg_sizes[key]} extracted={ext_sizes[key]}"
+                )
+        _diff_sets(
+            f"{name}: touch sites",
+            {(s.fn, s.line, s.by) for s in reg.touch_sites},
+            {(s.fn, s.line, s.by) for s in ext.touch_sites},
+            out,
+        )
+        _diff_sets(
+            f"{name}: access sites",
+            {(s.fn, s.line, s.is_store) for s in reg.access_sites},
+            {(s.fn, s.line, s.is_store) for s in ext.access_sites},
+            out,
+        )
+        _diff_sets(
+            f"{name}: free sites",
+            {(s.fn, s.line) for s in reg.free_sites},
+            {(s.fn, s.line) for s in ext.free_sites},
+            out,
+        )
+    return ModelDiff(registered.name, registered.variant, out)

@@ -1,0 +1,826 @@
+"""Bounded abstract interpreter over kernel-function AST.
+
+The pass executes an app's ``run()`` / ``_rank_main()`` the way the
+simulator would, with three systematic substitutions:
+
+* the :class:`repro.sim.runtime.Ctx` the kernel drives is the recording
+  proxy (:mod:`repro.staticcheck.extract.recorder`);
+* a parallel region's worker is interpreted **once**, with ``tid`` bound
+  to a tagged :class:`Unknown` and the iteration weight multiplied by
+  the team size — ``omp_chunk``/tid-filter results become
+  :class:`FilteredSeq` populations whose ``1/team`` fraction cancels the
+  team multiplier, so per-site weights sum over the whole team exactly;
+* loops longer than :data:`UNROLL_LIMIT` are stratum-sampled at
+  :data:`SAMPLE_K` points with a stride coprime to both the trip count
+  and every modulus ≤ 12 (their lcm is 27720), so ``i % m`` gates up to
+  ``m = 12`` keep their exact hit fraction under sampling.
+
+Everything else is *real*: module-level helpers, ``SimArray`` address
+math, the heap, the program image.  Functions reached through
+``parallel``/``call_sync``/``call`` boundaries are lifted to closures
+(AST + captured cells) and interpreted; functions called directly run
+natively, with :class:`Unknown`'s arithmetic operators carrying symbolic
+provenance straight through real helper code.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import operator
+import textwrap
+import types
+from math import gcd
+from typing import Any
+
+from repro.staticcheck.extract.recorder import ExtractionCtx, Recorder
+from repro.staticcheck.extract.values import (
+    CallToken,
+    Closure,
+    Env,
+    FilteredSeq,
+    LazyBody,
+    OneOf,
+    Unknown,
+    is_generator_def,
+    rep_of,
+    tags_of,
+)
+
+__all__ = ["ExtractionError", "Interp", "UNROLL_LIMIT", "SAMPLE_K"]
+
+UNROLL_LIMIT = 128
+SAMPLE_K = 96
+_MAX_DEPTH = 64
+_STMT_BUDGET = 5_000_000
+# lcm(1..12): strides coprime to this preserve every small-modulus gate.
+_GATE_LCM = 27720
+
+
+class ExtractionError(Exception):
+    """The interpreter met source it cannot soundly model."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+    ast.LShift: operator.lshift,
+    ast.RShift: operator.rshift,
+    ast.BitAnd: operator.and_,
+    ast.BitOr: operator.or_,
+    ast.BitXor: operator.xor,
+}
+
+_CMPOPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.Is: operator.is_,
+    ast.IsNot: operator.is_not,
+}
+
+
+def _sample_plan(n: int) -> tuple[list[int], float]:
+    """Stratified sample indices for an ``n``-trip loop, plus the weight
+    scale that makes the sampled sum unbiased (``n / K``)."""
+    k = SAMPLE_K
+    stride = max(1, -(-n // k))
+    while gcd(stride, n) != 1 or gcd(stride, _GATE_LCM) != 1:
+        stride += 1
+    return [(i * stride) % n for i in range(k)], n / k
+
+
+class Interp:
+    """One extraction pass over one app module's kernel."""
+
+    def __init__(self, recorder: Recorder, intercepts: dict[int, Any]) -> None:
+        self.rec = recorder
+        self.intercepts = intercepts
+        self.depth = 0
+        self.stmts = 0
+        self._lift_cache: dict[Any, Closure] = {}
+        self._sampled_sites: set[int] = set()
+        self._unknown_cond_sites: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # function lifting and calling
+    # ------------------------------------------------------------------
+    def lift(self, fn: types.FunctionType) -> Closure:
+        """Turn a real Python function into an interpretable closure."""
+        cached = self._lift_cache.get(fn.__code__)
+        if cached is not None:
+            return cached
+        try:
+            source = textwrap.dedent(inspect.getsource(fn))
+            node = ast.parse(source).body[0]
+        except (OSError, TypeError, SyntaxError) as exc:
+            raise ExtractionError(
+                f"cannot lift {fn.__qualname__} to AST: {exc}"
+            ) from exc
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            raise ExtractionError(f"{fn.__qualname__}: not a function def")
+        cells: dict[str, Any] = {}
+        if fn.__closure__:
+            for name, cell in zip(fn.__code__.co_freevars, fn.__closure__):
+                try:
+                    cells[name] = cell.cell_contents
+                except ValueError:
+                    pass
+        env = Env(cells, parent=Env(fn.__globals__))
+        closure = Closure(
+            node, env, fn.__name__, is_generator_def(node),
+            defaults=tuple(fn.__defaults__ or ()),
+            kw_defaults=dict(fn.__kwdefaults__ or {}),
+        )
+        self._lift_cache[fn.__code__] = closure
+        return closure
+
+    def call_value(self, fn: Any, args: tuple, kwargs: dict | None = None) -> Any:
+        """Call a kernel-side callable, interpreting it when possible."""
+        kwargs = kwargs or {}
+        if isinstance(fn, Closure):
+            return self.call_closure(fn, args, kwargs)
+        if isinstance(fn, types.FunctionType):
+            return self.call_closure(self.lift(fn), args, kwargs)
+        if callable(fn):
+            return fn(*args, **kwargs)
+        raise ExtractionError(f"cannot call non-callable {fn!r}")
+
+    def call_closure(self, clo: Closure, args: tuple, kwargs: dict) -> Any:
+        if clo.is_generator:
+            return LazyBody(clo, args, kwargs)
+        return self._exec_closure(clo, args, kwargs)
+
+    def _bind_params(self, clo: Closure, args: tuple, kwargs: dict) -> Env:
+        node_args = clo.node.args
+        env = Env(parent=clo.env)
+        names = [a.arg for a in node_args.args]
+        n_named = len(names)
+        for i, name in enumerate(names):
+            if i < len(args):
+                env.assign(name, args[i])
+            elif name in kwargs:
+                env.assign(name, kwargs.pop(name))
+            else:
+                d_idx = i - (n_named - len(clo.defaults))
+                if 0 <= d_idx < len(clo.defaults):
+                    env.assign(name, clo.defaults[d_idx])
+                else:
+                    raise ExtractionError(
+                        f"{clo.name}: missing argument {name!r}"
+                    )
+        if node_args.vararg is not None:
+            env.assign(node_args.vararg.arg, tuple(args[n_named:]))
+        elif len(args) > n_named:
+            raise ExtractionError(f"{clo.name}: too many arguments")
+        for a in node_args.kwonlyargs:
+            if a.arg in kwargs:
+                env.assign(a.arg, kwargs.pop(a.arg))
+            elif a.arg in clo.kw_defaults:
+                env.assign(a.arg, clo.kw_defaults[a.arg])
+            else:
+                raise ExtractionError(f"{clo.name}: missing kwonly {a.arg!r}")
+        if node_args.kwarg is not None:
+            env.assign(node_args.kwarg.arg, dict(kwargs))
+        elif kwargs:
+            raise ExtractionError(
+                f"{clo.name}: unexpected kwargs {sorted(kwargs)}"
+            )
+        return env
+
+    def _exec_closure(self, clo: Closure, args: tuple, kwargs: dict) -> Any:
+        if self.depth >= _MAX_DEPTH:
+            raise ExtractionError(f"interpretation depth cap at {clo.name}")
+        env = self._bind_params(clo, args, dict(kwargs))
+        self.depth += 1
+        try:
+            if isinstance(clo.node, ast.Lambda):
+                return self.eval(clo.node.body, env)
+            self.exec_body(clo.node.body, env)
+        except _Return as ret:
+            return ret.value
+        finally:
+            self.depth -= 1
+        return None
+
+    def consume(self, value: Any) -> None:
+        """Drive a deferred body: generator closures and call tokens."""
+        if isinstance(value, LazyBody):
+            clo = value.closure
+            env = self._bind_params(clo, value.args, dict(value.kwargs))
+            self.depth += 1
+            try:
+                self.exec_body(clo.node.body, env)
+            except _Return:
+                pass
+            finally:
+                self.depth -= 1
+        elif isinstance(value, CallToken):
+            rec = self.rec
+            rec.record_call(
+                rec.current_fn.name, value.line, value.fn.name, "call"
+            )
+            rec.frames.append(value.fn)
+            try:
+                self.consume(value.gen)
+            finally:
+                rec.frames.pop()
+        elif isinstance(value, types.GeneratorType):
+            for _ in value:
+                pass
+
+    def run_worker(
+        self, proxy: ExtractionCtx, outlined_fn: Any, worker: Any, n: int
+    ) -> None:
+        """Interpret a region's worker once, weighted by the team size."""
+        rec = self.rec
+        rec.frames.append(outlined_fn)
+        rec.worker_depth += 1
+        rec.team_stack.append(max(1, n))
+        old_mult = rec.mult
+        rec.mult = old_mult * max(1, n)
+        tid = Unknown(0, frozenset({"tid"}))
+        try:
+            self.consume(self.call_value(worker, (proxy, tid)))
+        finally:
+            rec.mult = old_mult
+            rec.team_stack.pop()
+            rec.worker_depth -= 1
+            rec.frames.pop()
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def exec_body(self, body: list[ast.stmt], env: Env) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, node: ast.stmt, env: Env) -> None:
+        self.stmts += 1
+        if self.stmts > _STMT_BUDGET:
+            raise ExtractionError("statement budget exhausted")
+        method = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if method is None:
+            raise ExtractionError(
+                f"unsupported statement {type(node).__name__} "
+                f"at line {node.lineno}"
+            )
+        method(node, env)
+
+    def _stmt_Expr(self, node: ast.Expr, env: Env) -> None:
+        value = self.eval(node.value, env)
+        if isinstance(value, (LazyBody, CallToken, types.GeneratorType)):
+            self.consume(value)
+
+    def _stmt_Pass(self, node: ast.Pass, env: Env) -> None:
+        pass
+
+    def _stmt_Assert(self, node: ast.Assert, env: Env) -> None:
+        pass
+
+    def _stmt_Return(self, node: ast.Return, env: Env) -> None:
+        value = self.eval(node.value, env) if node.value is not None else None
+        raise _Return(value)
+
+    def _stmt_Break(self, node: ast.Break, env: Env) -> None:
+        raise _Break
+
+    def _stmt_Continue(self, node: ast.Continue, env: Env) -> None:
+        raise _Continue
+
+    def _stmt_Raise(self, node: ast.Raise, env: Env) -> None:
+        exc = self.eval(node.exc, env) if node.exc is not None else None
+        raise ExtractionError(f"kernel raised: {exc!r}")
+
+    def _stmt_FunctionDef(self, node: ast.FunctionDef, env: Env) -> None:
+        if node.decorator_list:
+            raise ExtractionError(f"decorators unsupported: {node.name}")
+        env.assign(node.name, self._make_closure(node, env, node.name))
+
+    def _stmt_Assign(self, node: ast.Assign, env: Env) -> None:
+        hint = None
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            hint = node.targets[0].id
+        value = self._eval_with_hint(node.value, env, hint)
+        for target in node.targets:
+            self.bind_target(target, value, env)
+
+    def _stmt_AnnAssign(self, node: ast.AnnAssign, env: Env) -> None:
+        if node.value is None:
+            return
+        hint = node.target.id if isinstance(node.target, ast.Name) else None
+        value = self._eval_with_hint(node.value, env, hint)
+        self.bind_target(node.target, value, env)
+
+    def _stmt_AugAssign(self, node: ast.AugAssign, env: Env) -> None:
+        op = _BINOPS[type(node.op)]
+        current = self.eval(node.target, env)
+        value = op(current, self.eval(node.value, env))
+        self.bind_target(node.target, value, env)
+
+    def _stmt_If(self, node: ast.If, env: Env) -> None:
+        cond = self.eval(node.test, env)
+        if isinstance(cond, Unknown):
+            self._note_unknown_cond(node.lineno)
+            old = self.rec.mult
+            if node.orelse:
+                # Both arms are possible: weight each at half.
+                self.rec.mult = old * 0.5
+                try:
+                    self.exec_body(node.body, env)
+                    self.exec_body(node.orelse, env)
+                finally:
+                    self.rec.mult = old
+            else:
+                self.exec_body(node.body, env)
+            return
+        if cond:
+            self.exec_body(node.body, env)
+        elif node.orelse:
+            self.exec_body(node.orelse, env)
+
+    def _stmt_For(self, node: ast.For, env: Env) -> None:
+        items, weight, sampled = self._loop_items(
+            self.eval(node.iter, env), node.lineno
+        )
+        rec = self.rec
+        if sampled:
+            rec.sampled_depth += 1
+        try:
+            broke = False
+            for item in items:
+                self.bind_target(node.target, item, env)
+                old = rec.mult
+                rec.mult = old * weight
+                try:
+                    self.exec_body(node.body, env)
+                except _Continue:
+                    pass
+                except _Break:
+                    rec.mult = old
+                    broke = True
+                    break
+                rec.mult = old
+        finally:
+            if sampled:
+                rec.sampled_depth -= 1
+        if node.orelse and not broke:
+            self.exec_body(node.orelse, env)
+
+    def _stmt_While(self, node: ast.While, env: Env) -> None:
+        count = 0
+        while True:
+            cond = self.eval(node.test, env)
+            if isinstance(cond, Unknown):
+                self._note_unknown_cond(node.lineno)
+                break
+            if not cond:
+                break
+            count += 1
+            if count > 100_000:
+                raise ExtractionError(
+                    f"while loop at line {node.lineno} exceeded 100000 trips"
+                )
+            try:
+                self.exec_body(node.body, env)
+            except _Continue:
+                continue
+            except _Break:
+                return
+        if node.orelse:
+            self.exec_body(node.orelse, env)
+
+    def _stmt_With(self, node: ast.With, env: Env) -> None:
+        managers = []
+        try:
+            for item in node.items:
+                cm = self.eval(item.context_expr, env)
+                entered = cm.__enter__()
+                managers.append(cm)
+                if item.optional_vars is not None:
+                    self.bind_target(item.optional_vars, entered, env)
+            self.exec_body(node.body, env)
+        finally:
+            for cm in reversed(managers):
+                cm.__exit__(None, None, None)
+
+    # ------------------------------------------------------------------
+    # assignment targets
+    # ------------------------------------------------------------------
+    def bind_target(self, target: ast.expr, value: Any, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            values = list(value)
+            if len(values) != len(target.elts):
+                raise ExtractionError(
+                    f"unpack arity mismatch at line {target.lineno}"
+                )
+            for sub, val in zip(target.elts, values):
+                self.bind_target(sub, val, env)
+        elif isinstance(target, ast.Subscript):
+            owner = self.eval(target.value, env)
+            index = self._eval_index(target.slice, env)
+            owner[index] = value
+        elif isinstance(target, ast.Attribute):
+            setattr(self.eval(target.value, env), target.attr, value)
+        else:
+            raise ExtractionError(
+                f"unsupported assignment target {type(target).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _eval_with_hint(self, node: ast.expr, env: Env, hint: str | None) -> Any:
+        if hint is None:
+            return self.eval(node, env)
+        rec = self.rec
+        prior = rec.name_hint
+        rec.name_hint = hint
+        try:
+            return self.eval(node, env)
+        finally:
+            rec.name_hint = prior
+
+    def eval(self, node: ast.expr, env: Env) -> Any:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            raise ExtractionError(
+                f"unsupported expression {type(node).__name__} "
+                f"at line {getattr(node, 'lineno', '?')}"
+            )
+        return method(node, env)
+
+    def _eval_Constant(self, node: ast.Constant, env: Env) -> Any:
+        return node.value
+
+    def _eval_Name(self, node: ast.Name, env: Env) -> Any:
+        found, value = env.lookup(node.id)
+        if found:
+            return value
+        try:
+            return getattr(builtins, node.id)
+        except AttributeError:
+            raise ExtractionError(f"unresolved name {node.id!r}") from None
+
+    def _eval_Attribute(self, node: ast.Attribute, env: Env) -> Any:
+        owner = self.eval(node.value, env)
+        if isinstance(owner, OneOf):
+            return owner.getattr_common(node.attr)
+        if isinstance(owner, Unknown):
+            return Unknown(getattr(owner.rep, node.attr), owner.tags)
+        return getattr(owner, node.attr)
+
+    def _eval_index(self, node: ast.expr, env: Env) -> Any:
+        if isinstance(node, ast.Slice):
+            def part(sub: ast.expr | None) -> Any:
+                return None if sub is None else rep_of(self.eval(sub, env))
+
+            return slice(part(node.lower), part(node.upper), part(node.step))
+        return self.eval(node, env)
+
+    def _eval_Subscript(self, node: ast.Subscript, env: Env) -> Any:
+        owner = self.eval(node.value, env)
+        index = self._eval_index(node.slice, env)
+        if isinstance(owner, FilteredSeq):
+            return FilteredSeq(owner.items[index], owner.fraction) \
+                if isinstance(index, slice) else owner.items[rep_of(index)]
+        if isinstance(index, Unknown):
+            if isinstance(owner, (list, tuple)) and owner:
+                return OneOf(list(owner), index.tags)
+            if isinstance(owner, dict):
+                return owner[index]  # tag-hashed Unknown keys
+            return Unknown(owner[rep_of(index)], index.tags)
+        return owner[index]
+
+    def _eval_BinOp(self, node: ast.BinOp, env: Env) -> Any:
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise ExtractionError(f"unsupported operator {type(node.op).__name__}")
+        return op(self.eval(node.left, env), self.eval(node.right, env))
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env: Env) -> Any:
+        value = self.eval(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            if isinstance(value, Unknown):
+                return Unknown(not value.rep, value.tags)
+            return not value
+        if isinstance(node.op, ast.USub):
+            return -value
+        if isinstance(node.op, ast.UAdd):
+            return +value
+        if isinstance(node.op, ast.Invert):
+            return ~rep_of(value)
+        raise ExtractionError("unsupported unary operator")
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env: Env) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        unknown_tags: frozenset[str] | None = None
+        rep = is_and
+        last: Any = None
+        for sub in node.values:
+            value = self.eval(sub, env)
+            last = value
+            if isinstance(value, Unknown):
+                unknown_tags = (unknown_tags or frozenset()) | value.tags
+                rep = (rep and value.rep) if is_and else (rep or value.rep)
+                continue
+            if unknown_tags is None:
+                if is_and and not value:
+                    return value
+                if not is_and and value:
+                    return value
+            rep = (rep and value) if is_and else (rep or value)
+        if unknown_tags is not None:
+            return Unknown(bool(rep), unknown_tags)
+        return last
+
+    def _eval_Compare(self, node: ast.Compare, env: Env) -> Any:
+        left = self.eval(node.left, env)
+        for op_node, comp in zip(node.ops, node.comparators):
+            right = self.eval(comp, env)
+            if isinstance(left, Unknown) or isinstance(right, Unknown):
+                rep = self._cmp(op_node, rep_of(left), rep_of(right))
+                return Unknown(bool(rep), tags_of(left) | tags_of(right))
+            if not self._cmp(op_node, left, right):
+                return False
+            left = right
+        return True
+
+    @staticmethod
+    def _cmp(op_node: ast.cmpop, left: Any, right: Any) -> Any:
+        if isinstance(op_node, ast.In):
+            return left in right
+        if isinstance(op_node, ast.NotIn):
+            return left not in right
+        return _CMPOPS[type(op_node)](left, right)
+
+    def _eval_IfExp(self, node: ast.IfExp, env: Env) -> Any:
+        cond = self.eval(node.test, env)
+        if isinstance(cond, Unknown):
+            self._note_unknown_cond(node.lineno)
+            return self.eval(node.body if cond.rep else node.orelse, env)
+        return self.eval(node.body if cond else node.orelse, env)
+
+    def _eval_Tuple(self, node: ast.Tuple, env: Env) -> tuple:
+        return tuple(self._eval_elts(node.elts, env))
+
+    def _eval_List(self, node: ast.List, env: Env) -> list:
+        return self._eval_elts(node.elts, env)
+
+    def _eval_Set(self, node: ast.Set, env: Env) -> set:
+        return set(self._eval_elts(node.elts, env))
+
+    def _eval_elts(self, elts: list[ast.expr], env: Env) -> list:
+        out: list[Any] = []
+        for elt in elts:
+            if isinstance(elt, ast.Starred):
+                out.extend(self.eval(elt.value, env))
+            else:
+                out.append(self.eval(elt, env))
+        return out
+
+    def _eval_Dict(self, node: ast.Dict, env: Env) -> dict:
+        out: dict[Any, Any] = {}
+        for key, value in zip(node.keys, node.values):
+            if key is None:
+                out.update(self.eval(value, env))
+            else:
+                out[self.eval(key, env)] = self.eval(value, env)
+        return out
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr, env: Env) -> str:
+        parts: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append(self._eval_FormattedValue(piece, env))
+        return "".join(parts)
+
+    def _eval_FormattedValue(self, node: ast.FormattedValue, env: Env) -> str:
+        value = rep_of(self.eval(node.value, env))
+        if node.conversion == ord("r"):
+            value = repr(value)
+        elif node.conversion == ord("s"):
+            value = str(value)
+        elif node.conversion == ord("a"):
+            value = ascii(value)
+        spec = self.eval(node.format_spec, env) if node.format_spec else ""
+        return format(value, spec)
+
+    def _make_closure(
+        self, node: ast.FunctionDef | ast.Lambda, env: Env, name: str
+    ) -> Closure:
+        defaults = tuple(self.eval(d, env) for d in node.args.defaults)
+        kw_defaults = {
+            arg.arg: self.eval(default, env)
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+            if default is not None
+        }
+        return Closure(
+            node, env, name, is_generator_def(node),
+            defaults=defaults, kw_defaults=kw_defaults,
+        )
+
+    def _eval_Lambda(self, node: ast.Lambda, env: Env) -> Closure:
+        return self._make_closure(node, env, "<lambda>")
+
+    def _eval_Yield(self, node: ast.Yield, env: Env) -> None:
+        if node.value is not None:
+            self.eval(node.value, env)
+        return None
+
+    def _eval_YieldFrom(self, node: ast.YieldFrom, env: Env) -> None:
+        self.consume(self.eval(node.value, env))
+        return None
+
+    def _eval_ListComp(self, node: ast.ListComp, env: Env) -> Any:
+        return self._eval_comp(node, env)
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp, env: Env) -> Any:
+        return self._eval_comp(node, env)
+
+    def _eval_SetComp(self, node: ast.SetComp, env: Env) -> Any:
+        result = self._eval_comp(node, env)
+        return set(result) if isinstance(result, list) else result
+
+    def _eval_comp(self, node: Any, env: Env) -> Any:
+        if len(node.generators) != 1:
+            raise ExtractionError("nested comprehensions unsupported")
+        gen = node.generators[0]
+        items, weight, sampled = self._loop_items(
+            self.eval(gen.iter, env), node.lineno
+        )
+        comp_env = Env(parent=env)
+        out: list[Any] = []
+        cond_fraction = 1.0
+        if sampled:
+            self.rec.sampled_depth += 1
+        try:
+            for item in items:
+                self.bind_target(gen.target, item, comp_env)
+                include = True
+                for test in gen.ifs:
+                    cond = self.eval(test, comp_env)
+                    if isinstance(cond, Unknown):
+                        # A tid-gated membership test partitions the
+                        # population across the team: keep the item at
+                        # its team-fraction weight.
+                        self._note_unknown_cond(test.lineno)
+                        frac = (
+                            1.0 / self.rec.team_size
+                            if "tid" in cond.tags else 0.5
+                        )
+                        cond_fraction = min(cond_fraction, frac)
+                    elif not cond:
+                        include = False
+                        break
+                if include:
+                    out.append(self.eval(node.elt, comp_env))
+        finally:
+            if sampled:
+                self.rec.sampled_depth -= 1
+        fraction = weight * cond_fraction
+        if fraction != 1:
+            return FilteredSeq(out, fraction)
+        return out
+
+    # ------------------------------------------------------------------
+    # loops
+    # ------------------------------------------------------------------
+    def _loop_items(
+        self, iterable: Any, lineno: int
+    ) -> tuple[list[Any], float, bool]:
+        """Concretize a loop's iteration space: (items, per-iter weight
+        multiplier, was-sampled)."""
+        fraction = 1.0
+        if isinstance(iterable, OneOf):
+            iterable = iterable.flatten()
+        if isinstance(iterable, FilteredSeq):
+            fraction = iterable.fraction
+            items = list(iterable.items)
+        elif isinstance(iterable, Unknown):
+            self.rec.diag(f"iterating Unknown at line {lineno} (representative)")
+            items = list(iterable.rep)
+        else:
+            items = list(iterable)
+        n = len(items)
+        if n <= UNROLL_LIMIT:
+            return items, fraction, False
+        indices, scale = _sample_plan(n)
+        if lineno not in self._sampled_sites:
+            self._sampled_sites.add(lineno)
+            self.rec.diag(
+                f"sampled loop at line {lineno}: {n} trips -> {SAMPLE_K} "
+                f"(weight x{scale:.3g})"
+            )
+        return [items[i] for i in indices], fraction * scale, True
+
+    def _note_unknown_cond(self, lineno: int) -> None:
+        if lineno not in self._unknown_cond_sites:
+            self._unknown_cond_sites.add(lineno)
+            self.rec.diag(f"unresolved condition at line {lineno}")
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def _eval_Call(self, node: ast.Call, env: Env) -> Any:
+        rec = self.rec
+        hinted = False
+        if isinstance(node.func, ast.Attribute):
+            owner = self.eval(node.func.value, env)
+            attr = node.func.attr
+            if attr == "append" and isinstance(node.func.value, ast.Name):
+                # ``small_tables.append(ctx.malloc(...))``: the owner's
+                # name is the allocation's variable name.
+                rec.name_hint = node.func.value.id
+                hinted = True
+            if isinstance(owner, OneOf):
+                func_obj = owner.getattr_common(attr)
+            elif isinstance(owner, Unknown):
+                func_obj = Unknown(getattr(owner.rep, attr), owner.tags)
+            elif owner is rec.process and attr == "run_serial":
+                func_obj = self._consume_call
+            else:
+                func_obj = getattr(owner, attr)
+        else:
+            func_obj = self.eval(node.func, env)
+        args: list[Any] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                args.extend(self.eval(arg.value, env))
+            else:
+                args.append(self.eval(arg, env))
+        kwargs: dict[str, Any] = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                kwargs.update(self.eval(kw.value, env))
+            else:
+                kwargs[kw.arg] = self.eval(kw.value, env)
+        if hinted:
+            rec.name_hint = None
+        return self.apply(func_obj, tuple(args), kwargs, node)
+
+    def _consume_call(self, gen: Any) -> None:
+        self.consume(gen)
+
+    def apply(
+        self, func_obj: Any, args: tuple, kwargs: dict, node: ast.Call
+    ) -> Any:
+        handler = self.intercepts.get(id(func_obj))
+        if handler is not None:
+            return handler(self, args, kwargs)
+        if isinstance(func_obj, Closure):
+            return self.call_closure(func_obj, args, kwargs)
+        if isinstance(func_obj, Unknown):
+            reps = tuple(rep_of(a) for a in args)
+            tags = func_obj.tags
+            for a in args:
+                tags |= tags_of(a)
+            return Unknown(func_obj.rep(*reps, **kwargs), tags)
+        if func_obj is enumerate and args:
+            seq = args[0]
+            if isinstance(seq, OneOf):
+                items = [
+                    pair for cand in seq.candidates for pair in enumerate(cand)
+                ]
+                return FilteredSeq(items, 1.0 / len(seq.candidates))
+            if isinstance(seq, FilteredSeq):
+                return FilteredSeq(list(enumerate(seq.items)), seq.fraction)
+        if func_obj is len and args and isinstance(args[0], (OneOf, FilteredSeq)):
+            return len(args[0])
+        if not callable(func_obj):
+            raise ExtractionError(f"not callable at line {node.lineno}")
+        try:
+            return func_obj(*args, **kwargs)
+        except ExtractionError:
+            raise
+        except Exception as exc:
+            name = getattr(func_obj, "__qualname__", repr(func_obj))
+            raise ExtractionError(
+                f"native call {name} failed at line {node.lineno}: {exc!r}"
+            ) from exc

@@ -1,0 +1,290 @@
+"""Value domain for the bounded abstract interpreter.
+
+The extractor executes kernel source over *mostly concrete* values: the
+allocator, the program image, and all address arithmetic are real (the
+same objects ``run()`` would build), so variable attribution can resolve
+addresses against real heap ranges exactly like the dynamic profiler.
+Abstraction enters in exactly four places:
+
+* :class:`Unknown` — a value the pass cannot pin down (a worker's
+  ``tid``, arithmetic over one).  Every ``Unknown`` carries a concrete
+  *representative* so downstream arithmetic stays evaluable, plus
+  provenance ``tags`` (``"tid"``) so tid-dependent addressing is
+  recognizable for pattern classification.  Arithmetic operators
+  propagate symbolically (representative math, union of tags), which
+  lets *real* helper code (``SimArray.addr``) consume Unknowns
+  transparently.  Hashing and ``==`` compare by tags so a per-team
+  cache keyed by ``tid`` (AMG's ``worker_ws``) hits across region
+  interpretations instead of re-allocating.
+* :class:`OneOf` — a value known to be one of a concrete candidate set
+  (``chunks[tid]``).  Uniform queries (``len`` when all candidates
+  agree) stay concrete; iteration flattens to the whole population.
+* :class:`FilteredSeq` — a sequence whose membership depends on an
+  unknown (a thread's ``omp_chunk`` slice, a comprehension filtered on
+  ``tid``).  The interpreter iterates the *whole underlying population*
+  and scales each iteration's weight by ``fraction`` — summing over the
+  team instead of guessing one thread's share.
+* :class:`Closure` / :class:`LazyBody` / :class:`CallToken` — the
+  control-flow values: interpreted functions, un-consumed generator
+  bodies, and ``Ctx.call`` tokens whose call edge is recorded when the
+  token is finally driven (``yield from`` / ``run_serial``).
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Unknown",
+    "OneOf",
+    "FilteredSeq",
+    "Closure",
+    "LazyBody",
+    "CallToken",
+    "Env",
+    "rep_of",
+    "tags_of",
+    "is_generator_def",
+]
+
+
+def rep_of(value: Any) -> Any:
+    """The concrete representative of a (possibly symbolic) value."""
+    if isinstance(value, Unknown):
+        return value.rep
+    if isinstance(value, OneOf):
+        return value.candidates[0]
+    return value
+
+
+def tags_of(value: Any) -> frozenset[str]:
+    if isinstance(value, (Unknown, OneOf)):
+        return value.tags
+    return frozenset()
+
+
+def _arith(op: Callable[[Any, Any], Any], swap: bool = False):
+    def method(self: "Unknown", other: Any) -> "Unknown":
+        a, b = rep_of(other), self.rep
+        if not swap:
+            a, b = b, a
+        try:
+            rep = op(a, b)
+        except Exception:
+            return NotImplemented
+        return Unknown(rep, self.tags | tags_of(other))
+
+    return method
+
+
+def _compare(op: Callable[[Any, Any], Any]):
+    def method(self: "Unknown", other: Any) -> bool:
+        # Real helper code (bounds checks in SimArray.addr) needs a plain
+        # bool; representative semantics keep it on the concrete path.
+        return bool(op(self.rep, rep_of(other)))
+
+    return method
+
+
+class Unknown:
+    """A symbolic value with a concrete representative and provenance tags."""
+
+    __slots__ = ("rep", "tags")
+
+    def __init__(self, rep: Any = 0, tags: frozenset[str] = frozenset()) -> None:
+        self.rep = rep
+        self.tags = frozenset(tags)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = ",".join(sorted(self.tags))
+        return f"Unknown(rep={self.rep!r}{', ' + tag if tag else ''})"
+
+    # Tag-keyed identity: two Unknowns with the same provenance are "the
+    # same unknown" (every worker's tid is one symbol), which makes real
+    # dicts keyed by tid behave as a per-team cache.
+    def __hash__(self) -> int:
+        return hash(("Unknown", self.tags))
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, Unknown):
+            return self.tags == other.tags
+        return NotImplemented
+
+    def __bool__(self) -> bool:
+        return bool(self.rep)
+
+    __add__ = _arith(operator.add)
+    __radd__ = _arith(operator.add, swap=True)
+    __sub__ = _arith(operator.sub)
+    __rsub__ = _arith(operator.sub, swap=True)
+    __mul__ = _arith(operator.mul)
+    __rmul__ = _arith(operator.mul, swap=True)
+    __floordiv__ = _arith(operator.floordiv)
+    __rfloordiv__ = _arith(operator.floordiv, swap=True)
+    __truediv__ = _arith(operator.truediv)
+    __rtruediv__ = _arith(operator.truediv, swap=True)
+    __mod__ = _arith(operator.mod)
+    __rmod__ = _arith(operator.mod, swap=True)
+    __and__ = _arith(operator.and_)
+    __rand__ = _arith(operator.and_, swap=True)
+    __or__ = _arith(operator.or_)
+    __ror__ = _arith(operator.or_, swap=True)
+    __lshift__ = _arith(operator.lshift)
+    __rshift__ = _arith(operator.rshift)
+
+    __lt__ = _compare(operator.lt)
+    __le__ = _compare(operator.le)
+    __gt__ = _compare(operator.gt)
+    __ge__ = _compare(operator.ge)
+
+    def __neg__(self) -> "Unknown":
+        return Unknown(-self.rep, self.tags)
+
+    def __index__(self) -> int:
+        return int(self.rep)
+
+
+class OneOf:
+    """A value known to be exactly one of a concrete candidate list."""
+
+    __slots__ = ("candidates", "tags")
+
+    def __init__(self, candidates: list, tags: frozenset[str] = frozenset()) -> None:
+        if not candidates:
+            raise ValueError("OneOf needs at least one candidate")
+        self.candidates = list(candidates)
+        self.tags = frozenset(tags)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OneOf({len(self.candidates)} candidates)"
+
+    def __len__(self) -> Any:
+        lens = {len(c) for c in self.candidates}
+        if len(lens) == 1:
+            return lens.pop()
+        return Unknown(len(self.candidates[0]), self.tags)
+
+    def __bool__(self) -> bool:
+        return bool(self.candidates[0])
+
+    def getattr_common(self, name: str) -> Any:
+        values = [getattr(c, name) for c in self.candidates]
+        head = values[0]
+        if all(v == head for v in values[1:]):
+            return head
+        return Unknown(head, self.tags)
+
+    def flatten(self) -> "FilteredSeq":
+        """The union population, each member weighted ``1/candidates``."""
+        items: list = []
+        for cand in self.candidates:
+            items.extend(cand)
+        return FilteredSeq(items, 1.0 / len(self.candidates))
+
+
+@dataclass
+class FilteredSeq:
+    """A sequence known only as ``population x fraction``.
+
+    ``items`` is the full candidate population; each item is understood
+    to be present with probability ``fraction`` (e.g. the ``1/team``
+    share of a thread's chunk).  Iterating one of these multiplies the
+    interpreter's weight by ``fraction`` per item, which makes a
+    team-wide loop sum to the whole population exactly.
+    """
+
+    items: list[Any]
+    fraction: float
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class Closure:
+    """An interpreted function value: AST node + defining environment."""
+
+    node: ast.FunctionDef | ast.Lambda
+    env: "Env"
+    name: str = "<lambda>"
+    is_generator: bool = False
+    defaults: tuple[Any, ...] = ()
+    kw_defaults: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LazyBody:
+    """A called generator closure whose body has not been driven yet."""
+
+    closure: Closure
+    args: tuple[Any, ...]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CallToken:
+    """A pending ``Ctx.call`` — edge + frame recorded at consumption."""
+
+    fn: Any  # repro.sim.program.Function
+    line: int
+    gen: Any  # LazyBody | CallToken | None
+
+
+class Env:
+    """A lexical environment: one dict per function frame, chained.
+
+    Name assignment writes the innermost frame (Python's default
+    scoping for the closure-heavy kernels here: inner functions only
+    *mutate* outer objects — ``arrays[name] = ...`` — and never rebind
+    outer names, so cell/nonlocal emulation is unnecessary).
+    """
+
+    __slots__ = ("values", "parent")
+
+    def __init__(self, values: dict[str, Any] | None = None,
+                 parent: "Env | None" = None) -> None:
+        self.values: dict[str, Any] = values if values is not None else {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> tuple[bool, Any]:
+        env: Env | None = self
+        while env is not None:
+            if name in env.values:
+                return True, env.values[name]
+            env = env.parent
+        return False, None
+
+    def assign(self, name: str, value: Any) -> None:
+        self.values[name] = value
+
+
+def is_generator_def(node: ast.FunctionDef | ast.Lambda) -> bool:
+    """Does this def contain a yield of its own (not in a nested def)?"""
+    if isinstance(node, ast.Lambda):
+        return False
+    body: Iterable[ast.stmt] = node.body
+
+    class _Finder(ast.NodeVisitor):
+        found = False
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            pass  # do not descend into nested defs
+
+        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            self.found = True
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            self.found = True
+
+    finder = _Finder()
+    for stmt in body:
+        finder.visit(stmt)
+    return finder.found

@@ -35,6 +35,7 @@ __all__ = [
     "AccessPattern",
     "OmpBlockPattern",
     "PerThreadSlotPattern",
+    "OpaquePattern",
     "AllocSite",
     "TouchSite",
     "AccessSite",
@@ -92,6 +93,25 @@ class PerThreadSlotPattern(AccessPattern):
 
     def thread_run(self, tid: int, n_threads: int) -> Run:
         return make_run(tid * self.elem_bytes, 1, 0)
+
+
+@dataclass(frozen=True)
+class OpaquePattern(AccessPattern):
+    """An extracted site whose footprint fits no structured pattern.
+
+    The extractor reports these explicitly (never a silent drop): the
+    whole observed footprint ``[lo, hi)`` relative to the variable base
+    is attributed to *every* thread.  Identical per-thread runs always
+    byte-conflict, so the H002 line-sharing predicate can never flag an
+    opaque site — the conservative polarity for an unclassified layout.
+    """
+
+    lo: int
+    hi: int
+
+    def thread_run(self, tid: int, n_threads: int) -> Run:
+        span = max(1, self.hi - self.lo)
+        return make_run(self.lo, span, 1)
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,13 @@ engine"):
 * first-touch placement commits on the declared executor — master
   stores pin every page to the master's node, worker stores pin each
   thread's chunk locally; interleaved policies spread pages uniformly;
+* cross-site reuse — access sites of the same variable whose footprints
+  overlap sweep the same lines, so only the first site (declaration
+  order) pays the cold DRAM fetch; later sites in the group find the
+  lines at the smallest cache level whose capacity covers the group's
+  per-thread reuse distance.  Without this term co-sweeping sites (nw's
+  ``input_itemsets`` load + store, streamcluster's two ``point.p``
+  regions) double-count cold misses;
 * line-sharing store sites (the H002 shape) serve their steady-state
   stores at L3 cost — the coherence ping-pong — tracked separately so
   the virtual "pad the line" fix can move them back.
@@ -138,6 +145,9 @@ class ModelPrediction:
     spec: MachineSpec
     variables: dict[str, VarPrediction] = field(default_factory=dict)
     compute_cycles: float = 0.0
+    # Cross-site reuse bookkeeping: variable -> {site index -> cache
+    # level ("l1"|"l2"|"l3") serving that site's would-be cold misses}.
+    reuse: dict[str, dict[int, str]] = field(default_factory=dict)
 
     @property
     def override_keys(self) -> tuple[str, str]:
@@ -276,6 +286,118 @@ def _dram_split(
 
 
 # ---------------------------------------------------------------------------
+# Cross-site reuse: overlapping footprints share their cold misses
+# ---------------------------------------------------------------------------
+
+
+def _site_interval(
+    var: VarDecl, site: AccessSite, team: int
+) -> tuple[float, float]:
+    """The byte interval a site's whole team sweeps.
+
+    Pattern-less sites cover the whole variable; pattern-bearing sites
+    report the union of their per-thread runs.  (Patterns measure
+    offsets in their own space — extraction's ``OpaquePattern`` carries
+    absolute addresses — but grouping only ever compares sites of the
+    *same* variable, where the spaces coincide or the mismatch merely
+    forfeits the optimization, never invents overlap across variables.)
+    """
+    if site.pattern is None:
+        return (0.0, float(max(var.nbytes, 0)))
+    runs = [site.pattern.thread_run(tid, team) for tid in range(team)]
+    return (float(min(r.lo for r in runs)), float(max(r.hi for r in runs)))
+
+
+def _working_sets(
+    model: StaticModel, graph: CallGraph
+) -> tuple[dict[str, int], int]:
+    """Per-function and whole-model per-thread working sets.
+
+    ``fn_ws[fn]`` sums the largest per-thread footprint of every access
+    site (any variable) in ``fn`` — the bytes one thread streams through
+    per sweep of that function, which is the first-order reuse distance
+    between two sites of the same loop nest.  The total across all
+    functions is the distance between sites in different functions (the
+    whole working set cycles between visits).
+    """
+    fn_ws: dict[str, int] = {}
+    for var in model.iter_variables():
+        for site in var.access_sites:
+            team = _team_width(model, graph, site)
+            footprints = _thread_footprints(site, var, team)
+            fp = max(footprints) if footprints else 0
+            fn_ws[site.fn] = fn_ws.get(site.fn, 0) + fp
+    return fn_ws, sum(fn_ws.values())
+
+
+def _reuse_levels(
+    model: StaticModel,
+    graph: CallGraph,
+    var: VarDecl,
+    fn_ws: dict[str, int],
+    total_ws: int,
+) -> dict[int, str]:
+    """Which of a variable's access sites get their cold misses served
+    from cache, and at which level.
+
+    Worker-team sites (team >= 2) are grouped by overlapping team
+    footprint (transitively, in declaration order); serial sites never
+    participate — a serial setup sweep is separated from the parallel
+    phases by whole streamed arrays, not a loop body.  Within a group
+    the first site keeps the cold DRAM charge; every later site
+    re-touches lines the group already pulled, separated by at most the
+    per-thread reuse distance: the enclosing function's working set when
+    the group sits in one function, the whole model's when it spans
+    several.  The smallest cache level whose capacity covers that
+    distance serves those would-be cold misses; if even L3 cannot, the
+    lines were evicted and the cold charge stays at DRAM.
+    """
+    sites = list(var.access_sites)
+    if len(sites) < 2:
+        return {}
+    l1_cap, l2_cap, l3_cap = _cache_capacities(model.machine.spec)
+    intervals: dict[int, tuple[float, float]] = {}
+    for idx, site in enumerate(sites):
+        team = _team_width(model, graph, site)
+        if team < 2:
+            continue
+        intervals[idx] = _site_interval(var, site, team)
+    groups: list[list[int]] = []
+    bounds: list[tuple[float, float]] = []
+    for idx in sorted(intervals):
+        lo, hi = intervals[idx]
+        if hi <= lo:
+            continue
+        for g, (glo, ghi) in enumerate(bounds):
+            if lo < ghi and glo < hi:
+                groups[g].append(idx)
+                bounds[g] = (min(glo, lo), max(ghi, hi))
+                break
+        else:
+            groups.append([idx])
+            bounds.append((lo, hi))
+    out: dict[int, str] = {}
+    for group in groups:
+        if len(group) < 2:
+            continue
+        fns = {sites[i].fn for i in group}
+        distance = (
+            fn_ws.get(next(iter(fns)), 0) if len(fns) == 1 else total_ws
+        )
+        if distance <= 0 or distance > l3_cap:
+            continue
+        if distance <= l1_cap:
+            level = "l1"
+        elif distance <= l2_cap:
+            level = "l2"
+        else:
+            level = "l3"
+        for idx in group[1:]:
+            out[idx] = level
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Per-site counter prediction
 # ---------------------------------------------------------------------------
 
@@ -285,6 +407,7 @@ def _site_counters(
     graph: CallGraph,
     var: VarDecl,
     site: AccessSite,
+    reuse_level: str | None = None,
 ) -> tuple[dict[str, float], float]:
     """Predict one access site's counters; returns (counters, sharing_l3)."""
     spec = model.machine.spec
@@ -317,7 +440,15 @@ def _site_counters(
     remaining = accesses - cold
     steady_line_touches = min(remaining, float((passes - 1) * lines_total))
 
-    dram_total = cold
+    if reuse_level is None:
+        dram_total = cold
+    else:
+        # Cross-site reuse: an earlier co-sweeping site of the same
+        # group already pulled these lines, and the group's reuse
+        # distance fits `reuse_level` — the would-be cold misses are
+        # served there instead of DRAM.
+        dram_total = 0.0
+        counters[reuse_level + "_samples"] += cold
     l1_hits = remaining
     if fp_max > l3_cap:
         # DRAM-resident sweeps: every pass re-fetches each line.
@@ -359,8 +490,15 @@ def _site_counters(
 # ---------------------------------------------------------------------------
 
 
-def predict_model(model: StaticModel) -> ModelPrediction:
-    """Predict the full counter set for every variable of ``model``."""
+def predict_model(
+    model: StaticModel, *, cross_site_reuse: bool = True
+) -> ModelPrediction:
+    """Predict the full counter set for every variable of ``model``.
+
+    ``cross_site_reuse=False`` disables the shared-cold-miss term and
+    charges every access site its own cold DRAM sweep — the pre-reuse
+    behaviour, kept for A/B comparison in the reconciliation budgets.
+    """
     graph = build_callgraph(model)
     spec = model.machine.spec
     total_weight = model.total_weight
@@ -370,11 +508,23 @@ def predict_model(model: StaticModel) -> ModelPrediction:
         spec=spec,
         compute_cycles=float(model.compute_cycles_estimate),
     )
+    fn_ws, total_ws = (
+        _working_sets(model, graph) if cross_site_reuse else ({}, 0)
+    )
     for var in model.iter_variables():
         share = var.total_weight / total_weight if total_weight else 0.0
         vp = VarPrediction(name=var.name, storage=var.storage, share=share)
-        for site in var.access_sites:
-            counters, sharing = _site_counters(model, graph, var, site)
+        reuse = (
+            _reuse_levels(model, graph, var, fn_ws, total_ws)
+            if cross_site_reuse
+            else {}
+        )
+        if reuse:
+            pred.reuse[var.name] = dict(reuse)
+        for idx, site in enumerate(var.access_sites):
+            counters, sharing = _site_counters(
+                model, graph, var, site, reuse_level=reuse.get(idx)
+            )
             _merge_into(vp.counters, counters)
             vp.sharing_l3 += sharing
         pred.variables[var.name] = vp

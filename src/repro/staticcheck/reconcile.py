@@ -352,6 +352,12 @@ class VariableMetrics:
     def agree(self) -> bool:
         return self.static_verdict == self.dynamic_verdict
 
+    @property
+    def share_error(self) -> float:
+        """Absolute error of the predicted traffic share — the quantity
+        behind the paper's Figure-11-style variable ranking."""
+        return abs(self.static_share - self.dynamic_share)
+
     def delta(self, metric: str) -> MetricDelta | None:
         for d in self.deltas:
             if d.metric == metric:
@@ -378,6 +384,24 @@ class MetricReconciliation:
     @property
     def n_agree(self) -> int:
         return sum(1 for vm in self.variables if vm.agree)
+
+    @property
+    def mean_share_error(self) -> float:
+        """Mean absolute share error over the compared variables."""
+        if not self.variables:
+            return 0.0
+        return sum(vm.share_error for vm in self.variables) / len(
+            self.variables
+        )
+
+    def mean_rel_error(self, metric: str) -> float:
+        """Mean relative error of one compared metric."""
+        deltas = [
+            d for vm in self.variables for d in vm.deltas if d.metric == metric
+        ]
+        if not deltas:
+            return 0.0
+        return sum(d.rel_error for d in deltas) / len(deltas)
 
 
 def _verdict_from_flags(result: dict[str, float]) -> str:

@@ -14,7 +14,12 @@ from typing import Callable
 from repro.errors import ConfigError
 from repro.staticcheck.model import StaticModel
 
-__all__ = ["STATIC_APPS", "build_static_model", "register_static_app"]
+__all__ = [
+    "STATIC_APPS",
+    "app_variants",
+    "build_static_model",
+    "register_static_app",
+]
 
 _APP_MODULES: dict[str, str] = {
     "nw": "repro.apps.nw",
@@ -34,6 +39,15 @@ def register_static_app(
 ) -> None:
     """Register an out-of-tree static model builder (tests use this)."""
     _CUSTOM[name] = builder
+
+
+def app_variants(app: str) -> tuple[str, ...]:
+    """The ``VARIANTS`` tuple a bundled app module publishes."""
+    module_name = _APP_MODULES.get(app)
+    if module_name is None:
+        known = ", ".join(sorted(set(_APP_MODULES) | set(_CUSTOM)))
+        raise ConfigError(f"unknown app {app!r} (known: {known})")
+    return tuple(import_module(module_name).VARIANTS)
 
 
 def build_static_model(

@@ -41,6 +41,7 @@ from repro.core.metrics import MetricKind
 from repro.core.profiledb import ProfileDB
 from repro.core.render import (
     render_bottom_up,
+    render_hazard_catalogue,
     render_metric_reconciliation,
     render_reconciliation,
     render_sanitizer_report,
@@ -334,12 +335,18 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
 def cmd_staticcheck(args: argparse.Namespace) -> int:
     from repro.staticcheck import (
         analyze_model,
+        app_variants,
         build_static_model,
+        diff_models,
+        extract_model,
         reconcile,
         reconcile_metrics,
         report_with_impacts,
     )
 
+    if args.list_hazards:
+        print(render_hazard_catalogue(min_share=args.min_share))
+        return 0
     if args.list_defects:
         module = _load_defect_module(args.defects_file)
         expected = getattr(module, "STATIC_EXPECTED", {})
@@ -347,60 +354,101 @@ def cmd_staticcheck(args: argparse.Namespace) -> int:
             codes, _var = expected.get(name, ((), None))
             print(f"{name:20s} -> {', '.join(codes) or '<no finding>'}")
         return 0
+    if args.diff_model and not args.extract:
+        args.parser.error("--diff-model needs --extract")
     if bool(args.app) == bool(args.defect):
         args.parser.error("give exactly one of --app or --defect")
+    if args.extract and not args.app:
+        args.parser.error("--extract interprets app kernels; give --app")
+    if args.variant == "all" and not args.app:
+        args.parser.error("--variant all needs --app")
+    if args.variant == "all" and (args.reconcile or args.reconcile_run):
+        args.parser.error("--variant all cannot reconcile; pick one variant")
 
-    module = None
-    if args.app:
-        model = build_static_model(args.app, args.variant, args.preset)
-    else:
-        module = _load_defect_module(args.defects_file)
-        seeds = module.STATIC_SEEDS
-        if args.defect not in seeds:
-            args.parser.error(
-                f"unknown static seed {args.defect!r}; known: {', '.join(seeds)}"
-            )
-        model = seeds[args.defect]()
-    report = report_with_impacts(
-        model, analyze_model(model, min_share=args.min_share)
+    variants = (
+        list(app_variants(args.app))
+        if args.app and args.variant == "all"
+        else [args.variant]
     )
-    print(render_static_report(report, top_n=args.n))
 
-    exp = None
-    if args.reconcile:
-        exp = _experiment(args.reconcile)
-    elif args.reconcile_run:
-        if args.app:
-            from repro.parallel.registry import run_app_rank
-
-            db = run_app_rank(
-                args.app, 0, 1, variant=args.variant, preset=args.preset
+    if args.diff_model:
+        # The drift gate: structural diff of extracted vs registered
+        # declarations per variant; exit 1 on any divergence.
+        diverged = False
+        for variant in variants:
+            extraction = extract_model(args.app, variant, args.preset)
+            registered = build_static_model(args.app, variant, args.preset)
+            diff = diff_models(
+                registered, extraction.model, extraction.inexact_sizes
             )
-        else:
-            runners = getattr(module, "STATIC_PROFILE_RUNNERS", {})
-            if args.defect not in runners:
-                args.parser.error(
-                    f"static seed {args.defect!r} has no dynamic profile "
-                    f"runner to reconcile against"
-                )
-            db = runners[args.defect]()
-        exp = Analyzer("staticcheck").add(db).analyze()
-    if args.reconcile_metrics and exp is None:
-        args.parser.error(
-            "--reconcile-metrics needs --reconcile or --reconcile-run"
-        )
-    if exp is not None:
-        print()
-        print(render_reconciliation(reconcile(report, exp, min_share=args.min_share)))
-        if args.reconcile_metrics:
-            print()
-            print(render_metric_reconciliation(reconcile_metrics(model, exp)))
+            print(diff.render())
+            diverged = diverged or not diff.ok
+        return 1 if diverged else 0
 
-    if args.fail_on:
-        wanted = {c.strip().upper() for c in args.fail_on.split(",") if c.strip()}
-        if any("ANY" in wanted or f.code in wanted for f in report.findings):
-            return 1
-    return 0
+    exit_code = 0
+    module = None
+    for variant in variants:
+        if args.app:
+            if args.extract:
+                model = extract_model(args.app, variant, args.preset).model
+            else:
+                model = build_static_model(args.app, variant, args.preset)
+        else:
+            module = _load_defect_module(args.defects_file)
+            seeds = module.STATIC_SEEDS
+            if args.defect not in seeds:
+                args.parser.error(
+                    f"unknown static seed {args.defect!r}; "
+                    f"known: {', '.join(seeds)}"
+                )
+            model = seeds[args.defect]()
+        report = report_with_impacts(
+            model, analyze_model(model, min_share=args.min_share)
+        )
+        title = "static model extracted from source" if args.extract else ""
+        print(render_static_report(report, top_n=args.n, title=title))
+
+        exp = None
+        if args.reconcile:
+            exp = _experiment(args.reconcile)
+        elif args.reconcile_run:
+            if args.app:
+                from repro.parallel.registry import run_app_rank
+
+                db = run_app_rank(
+                    args.app, 0, 1, variant=variant, preset=args.preset
+                )
+            else:
+                runners = getattr(module, "STATIC_PROFILE_RUNNERS", {})
+                if args.defect not in runners:
+                    args.parser.error(
+                        f"static seed {args.defect!r} has no dynamic profile "
+                        f"runner to reconcile against"
+                    )
+                db = runners[args.defect]()
+            exp = Analyzer("staticcheck").add(db).analyze()
+        if args.reconcile_metrics and exp is None:
+            args.parser.error(
+                "--reconcile-metrics needs --reconcile or --reconcile-run"
+            )
+        if exp is not None:
+            print()
+            print(render_reconciliation(
+                reconcile(report, exp, min_share=args.min_share)
+            ))
+            if args.reconcile_metrics:
+                print()
+                print(render_metric_reconciliation(
+                    reconcile_metrics(model, exp)
+                ))
+
+        if args.fail_on:
+            wanted = {
+                c.strip().upper() for c in args.fail_on.split(",") if c.strip()
+            }
+            if any("ANY" in wanted or f.code in wanted for f in report.findings):
+                exit_code = 1
+    return exit_code
 
 
 def _run_observed(
@@ -830,9 +878,21 @@ def build_parser() -> argparse.ArgumentParser:
     static.add_argument("--list-defects", action="store_true",
                         help="list static seeds and expected hazard codes")
     static.add_argument("--variant", default="original",
-                        help="app variant (default: original)")
+                        help="app variant, or 'all' to loop every variant "
+                             "(default: original)")
     static.add_argument("--preset", default="smoke",
                         help="workload preset (default: smoke)")
+    static.add_argument("--extract", action="store_true",
+                        help="recover the model from kernel source by AST "
+                             "interpretation instead of the registered "
+                             "static_model() declarations")
+    static.add_argument("--diff-model", action="store_true",
+                        help="structurally diff the extracted model against "
+                             "the registered declarations (the drift gate); "
+                             "exit 1 on divergence; needs --extract")
+    static.add_argument("--list-hazards", action="store_true",
+                        help="print the H001..H004 hazard catalogue with "
+                             "registry-resolved thresholds and exit")
     static.add_argument("-n", type=int, default=10,
                         help="variables to show (default 10)")
     static.add_argument("--min-share", type=float, default=None,

@@ -7,6 +7,8 @@ harness (`benchmarks/`).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.apps import amg2006, lulesh, nw, streamcluster, sweep3d
@@ -128,6 +130,31 @@ class TestNW:
         assert var.alloc_kind == "malloc"
         assert var.accesses
         assert any("163" in a.label for a in var.accesses)
+
+    def test_batched_worker_bit_identical_to_scalar_twin(self):
+        # The wavefront worker batches its fixed-stride row sweeps through
+        # load_run/store_run; cfg.scalar_worker replays the identical
+        # access order through scalar load_ip/store_ip.  Everything
+        # observable must match bit-for-bit.
+        cfg = nw.Config(n=48, block=8, n_threads=32, profile=True, pmu_period=24)
+        runs = [nw.run(cfg), nw.run(replace(cfg, scalar_worker=True))]
+
+        def state(res):
+            h = res.machines[0].hierarchy
+            return (
+                res.elapsed_cycles,
+                list(h.level_counts),
+                h.load_count,
+                h.store_count,
+                [(t.hits, t.misses) for t in h.tlb],
+                h.stats(),
+                {
+                    name: res.experiment.variable_share(name, MetricKind.REMOTE)
+                    for name in ("referrence", "input_itemsets")
+                },
+            )
+
+        assert state(runs[0]) == state(runs[1])
 
 
 # --------------------------------------------------------------------- sweep3d

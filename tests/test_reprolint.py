@@ -211,6 +211,100 @@ class TestR008ThresholdDiscipline:
         assert not test
 
 
+class TestR009ModelLineAnchors:
+    """static_model() bodies may not restate source lines as literals."""
+
+    def test_literal_line_in_alloc_flagged(self):
+        src = (
+            "def static_model(variant='original'):\n"
+            "    model.alloc('main', 45, 'x', 64)\n"
+        )
+        assert _rules(src) == ["R009"]
+
+    def test_literal_line_kwarg_flagged(self):
+        src = (
+            "def static_model():\n"
+            "    model.access(region, line=163, var='x', weight=1.0)\n"
+        )
+        assert _rules(src) == ["R009"]
+
+    def test_every_declaration_method_covered(self):
+        calls = (
+            "model.alloc('f', 1, 'x', 8)",
+            "model.call('f', 2, 'g')",
+            "model.touch('f', 3, 'x')",
+            "model.access('f', 4, 'x', weight=1.0)",
+            "model.free('f', 5, 'x')",
+            "model.parallel_region('f', 6, 'r', 4)",
+        )
+        body = "".join(f"    {c}\n" for c in calls)
+        src = f"def static_model():\n{body}"
+        assert _rules(src) == ["R009"] * len(calls)
+
+    def test_named_constant_ok(self):
+        src = (
+            "L_ALLOC = 45\n"
+            "def static_model():\n"
+            "    model.alloc('main', L_ALLOC, 'x', 64)\n"
+            "    model.alloc('main', L_ALLOC + 1, 'y', 64)\n"
+        )
+        assert _rules(src) == []
+
+    def test_other_functions_unaffected(self):
+        src = "def run(cfg):\n    model.alloc('main', 45, 'x', 64)\n"
+        assert _rules(src) == []
+
+    def test_nested_helper_inside_static_model_flagged(self):
+        src = (
+            "def static_model():\n"
+            "    def declare():\n"
+            "        model.touch('main', 50, 'x')\n"
+            "    declare()\n"
+        )
+        assert _rules(src) == ["R009"]
+
+    def test_entry_has_no_line_argument(self):
+        # model.entry() takes no line; a same-named non-model call with a
+        # non-integer second argument is also fine.
+        src = (
+            "def static_model():\n"
+            "    model.entry('main')\n"
+            "    registry.call('main', region, 'g')\n"
+        )
+        assert _rules(src) == []
+
+
+class TestUnlintableFiles:
+    """Undecodable or unreadable inputs are findings, not crashes."""
+
+    def test_non_utf8_file_reported_with_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "latin1.py"
+        bad.write_bytes(b"x = '\xe9'\n")
+        status = reprolint.main([str(bad)])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "R000" in out and "not valid UTF-8" in out
+
+    def test_unparseable_file_reported_with_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        status = reprolint.main([str(bad)])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "R000" in out and "syntax error" in out
+
+    def test_mixed_tree_reports_bad_and_lints_good(self, tmp_path, capsys):
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_bytes(b"\xff\xfe junk")
+        (tmp_path / "dirty.py").write_text("try:\n    pass\nexcept:\n    pass\n")
+        status = reprolint.main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "bad.py:0: R000" in out
+        assert "dirty.py:3: R001" in out
+        assert "good.py" not in out
+
+
 class TestRepoIsClean:
     def test_whole_repo_green(self, capsys):
         # Run from the repo root so the default targets resolve.

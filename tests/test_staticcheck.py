@@ -27,6 +27,7 @@ from repro.staticcheck import (
     build_static_model,
     reconcile,
 )
+from repro.staticcheck.model import CallSite
 
 REPO = Path(__file__).resolve().parents[1]
 
@@ -139,6 +140,101 @@ class TestCallGraphGolden:
         hosts = {frame.fn for ctx in ctxs for frame in ctx}
         assert "_Z5pgainlP6Points$$OL$$0" in hosts
         assert "_Z5pgainlP6Points$$OL$$1" in hosts
+
+
+class _StubModel:
+    """Just the three attributes ``build_callgraph`` reads.
+
+    Building a combinatorial call structure through ``StaticModel``
+    would need a real ``SimProcess`` with hundreds of functions; the
+    enumeration cap is a property of the graph walk alone, so a stub
+    keeps the tests on-point.
+    """
+
+    def __init__(self, functions, entries, calls):
+        self.functions = {fn: None for fn in functions}
+        self.entries = list(entries)
+        self.calls = list(calls)
+
+
+def _fanout_model(width: int):
+    """main calls f at ``width`` sites; f calls g at ``width`` sites.
+
+    g is reached through ``width**2`` distinct contexts — enough to
+    cross any small ``max_contexts`` cap.
+    """
+    calls = [CallSite("main", line, "f", "call") for line in range(1, width + 1)]
+    calls += [CallSite("f", line, "g", "call") for line in range(1, width + 1)]
+    return _StubModel(["main", "f", "g"], ["main"], calls)
+
+
+class TestContextEnumerationCap:
+    """The cap truncates with a flag instead of blowing up (callgraph.py)."""
+
+    def test_truncated_false_below_cap(self):
+        graph = build_callgraph(_fanout_model(3))
+        assert not graph.truncated
+        assert len(graph.contexts_of("g")) == 9
+
+    def test_max_contexts_caps_bucket_and_sets_flag(self):
+        graph = build_callgraph(_fanout_model(10), max_contexts=16)
+        assert graph.truncated
+        assert len(graph.contexts_of("g")) == 16
+        # Other buckets stay complete: only g crossed the cap.
+        assert len(graph.contexts_of("f")) == 10
+
+    def test_capped_enumeration_is_a_prefix_of_the_full_one(self):
+        # Determinism pin: the cap must keep the FIRST max_contexts
+        # contexts of the full enumeration, not an arbitrary subset.
+        full = build_callgraph(_fanout_model(10)).contexts_of("g")
+        capped = build_callgraph(_fanout_model(10), max_contexts=16)
+        assert capped.contexts_of("g") == full[:16]
+
+    def test_capped_contexts_sorted_and_reproducible(self):
+        # Call sites are declared in ascending line order, so the DFS
+        # emits contexts in sorted (caller, line)-tuple order; repeated
+        # builds must agree exactly.
+        first = build_callgraph(_fanout_model(10), max_contexts=16)
+        second = build_callgraph(_fanout_model(10), max_contexts=16)
+        ctxs = first.contexts_of("g")
+        assert ctxs == second.contexts_of("g")
+        keys = [tuple((fr.fn, fr.line) for fr in ctx) for ctx in ctxs]
+        assert keys == sorted(keys)
+
+    def test_max_depth_stops_deep_chains(self):
+        fns = [f"f{i}" for i in range(12)]
+        calls = [
+            CallSite(fns[i], 1, fns[i + 1], "call")
+            for i in range(len(fns) - 1)
+        ]
+        model = _StubModel(fns, [fns[0]], calls)
+        graph = build_callgraph(model, max_depth=4)
+        assert graph.truncated
+        # Functions within the depth budget keep their one context;
+        # anything deeper is simply never visited.
+        assert graph.reachable("f4")
+        assert not graph.reachable("f5")
+        full = build_callgraph(model)
+        assert not full.truncated
+        assert all(full.reachable(fn) for fn in fns)
+
+    def test_cycle_cut_flags_truncation_but_terminates(self):
+        calls = [
+            CallSite("main", 1, "f", "call"),
+            CallSite("f", 2, "g", "call"),
+            CallSite("g", 3, "f", "call"),  # back edge
+        ]
+        graph = build_callgraph(_StubModel(["main", "f", "g"], ["main"], calls))
+        assert graph.truncated
+        assert len(graph.contexts_of("f")) == 1
+        assert len(graph.contexts_of("g")) == 1
+
+    def test_bundled_models_fit_comfortably_under_the_defaults(self, reports):
+        # The GRAPH_GOLDEN pin already asserts not-truncated per app;
+        # this pins the headroom so a default-cap change cannot silently
+        # start truncating real models.
+        for report in reports.values():
+            assert not report.truncated
 
 
 class TestFindingsGolden:

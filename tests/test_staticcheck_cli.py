@@ -123,6 +123,47 @@ class TestStaticcheckCommand:
         # The twin's meta has no machine stamp: the degrade warning shows.
         assert "warning:" in out and "machine" in out
 
+    def test_list_hazards_prints_registry_thresholds(self, capsys):
+        from repro.metrics.boundness import REGISTRY
+
+        status, out, _ = _run(["staticcheck", "--list-hazards"], capsys)
+        assert status == 0
+        for code in ("H001", "H002", "H003", "H004"):
+            assert code in out
+        # Thresholds come from the registry, not hard-coded prose.
+        for name in (
+            "min_share", "confirm_remote_fraction",
+            "remote_dominant_fraction", "memory_bound_fraction",
+            "numa_bound_remote", "tlb_pressure",
+        ):
+            value = REGISTRY.constant_value(name, ("static",))
+            assert f"{value:g}" in out, f"{name}={value:g} missing"
+
+    def test_list_hazards_respects_min_share_override(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--list-hazards", "--min-share", "0.42"], capsys
+        )
+        assert status == 0
+        assert "0.42" in out
+
+    def test_extract_reports_same_findings_as_registered(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--app", "nw", "--extract",
+             "--fail-on", "H001"], capsys
+        )
+        assert status == 1
+        assert "static model extracted from source" in out
+        assert "referrence" in out and "input_itemsets" in out
+
+    def test_diff_model_gate_passes_on_agreement(self, capsys):
+        status, out, _ = _run(
+            ["staticcheck", "--app", "nw", "--extract", "--diff-model",
+             "--variant", "all"], capsys
+        )
+        assert status == 0
+        assert "nw/original: models agree" in out
+        assert "nw/libnuma: models agree" in out
+
     def test_topdown_static_app_renders_hierarchy(self, capsys):
         status, out, _ = _run(["topdown", "--static-app", "nw"], capsys)
         assert status == 0
@@ -197,6 +238,34 @@ class TestArgumentErrors:
         )
         assert code == 2
         assert "--reconcile-metrics needs --reconcile or --reconcile-run" in err
+
+    def test_staticcheck_diff_model_needs_extract(self, capsys):
+        code, err = _error(
+            ["staticcheck", "--app", "nw", "--diff-model"], capsys
+        )
+        assert code == 2
+        assert "usage:" in err and "--diff-model needs --extract" in err
+
+    def test_staticcheck_extract_needs_app(self, capsys):
+        code, err = _error(
+            ["staticcheck", "--defects-file", DEFECTS,
+             "--defect", "dead_alloc", "--extract"], capsys
+        )
+        assert code == 2
+        assert "usage:" in err and "--extract" in err
+
+    def test_staticcheck_variant_all_rejects_reconcile(self, capsys):
+        code, err = _error(
+            ["staticcheck", "--app", "nw", "--variant", "all",
+             "--reconcile-run"], capsys
+        )
+        assert code == 2
+        assert "usage:" in err and "pick one variant" in err
+
+    def test_staticcheck_unknown_flag(self, capsys):
+        code, err = _error(["staticcheck", "--frobnicate"], capsys)
+        assert code == 2
+        assert "usage:" in err
 
     def test_topdown_rejects_app_and_static_app_together(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -1,0 +1,159 @@
+"""End-to-end tests for AST-driven model extraction and the drift gate.
+
+Three contracts, in order of importance:
+
+- every bundled app x variant extracts a model that is structurally
+  identical to the hand-registered declarations (the drift gate is
+  clean on an unmodified tree);
+- the hazard analyzer reaches the same findings on the extracted model
+  as on the registered one, so extraction can stand in for the hand
+  model in CI;
+- the gate is *sensitive*: moving a parallel region or an allocation
+  site without updating the registered model reports a divergence.
+"""
+
+from __future__ import annotations
+
+import types
+from dataclasses import replace
+from importlib import import_module
+
+import pytest
+
+from repro.staticcheck import (
+    analyze_model,
+    app_variants,
+    build_static_model,
+    diff_models,
+    extract_model,
+)
+
+APPS = ("nw", "streamcluster", "lulesh", "amg2006", "sweep3d")
+ALL_COMBOS = [(app, variant) for app in APPS for variant in app_variants(app)]
+
+# Variants whose registered model predicts no placement hazard; the
+# extracted model must stay equally silent.
+FIXED_VARIANTS = (
+    ("nw", "libnuma"),
+    ("streamcluster", "parallel-init"),
+    ("lulesh", "both"),
+)
+
+
+@pytest.fixture(scope="module")
+def extractions():
+    cache: dict = {}
+
+    def get(app, variant="original"):
+        if (app, variant) not in cache:
+            cache[(app, variant)] = extract_model(app, variant)
+        return cache[(app, variant)]
+
+    return get
+
+
+def _finding_keys(model):
+    # Sorted: the report orders findings by static share, and access
+    # weights are estimates the drift gate deliberately leaves out, so
+    # near-ties may rank differently between the two models.
+    return sorted(
+        (f.code, f.variable, f.site, f.contexts)
+        for f in analyze_model(model).findings
+    )
+
+
+class TestExtractionAgreesWithRegistry:
+    @pytest.mark.parametrize("app,variant", ALL_COMBOS)
+    def test_drift_gate_clean_on_unmodified_tree(
+        self, extractions, app, variant
+    ):
+        extraction = extractions(app, variant)
+        registered = build_static_model(app, variant)
+        diff = diff_models(
+            registered, extraction.model, extraction.inexact_sizes
+        )
+        assert diff.ok, diff.render()
+
+    @pytest.mark.parametrize("app,variant", ALL_COMBOS)
+    def test_findings_parity(self, extractions, app, variant):
+        registered = build_static_model(app, variant)
+        extracted = extractions(app, variant).model
+        assert _finding_keys(extracted) == _finding_keys(registered)
+
+    @pytest.mark.parametrize("app,variant", FIXED_VARIANTS)
+    def test_fixed_variants_extract_clean_of_h001(
+        self, extractions, app, variant
+    ):
+        findings = analyze_model(extractions(app, variant).model).findings
+        assert not [f for f in findings if f.code == "H001"]
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_every_access_site_carries_a_pattern(self, extractions, app):
+        # Unclassifiable footprints become OpaquePattern — never None,
+        # never a silent drop.
+        model = extractions(app).model
+        sites = [
+            site
+            for var in model.variables.values()
+            for site in var.access_sites
+        ]
+        assert sites
+        assert all(site.pattern is not None for site in sites)
+
+
+class TestDriftGateSensitivity:
+    def test_moved_parallel_region_diverges(self, extractions):
+        extraction = extractions("nw")
+        registered = build_static_model("nw")
+        name = next(iter(registered.regions))
+        region = registered.regions[name]
+        registered.regions[name] = replace(region, line=region.line + 7)
+        diff = diff_models(
+            registered, extraction.model, extraction.inexact_sizes
+        )
+        assert not diff.ok
+        assert any("regions" in d for d in diff.differences)
+
+    def test_moved_alloc_site_diverges(self, extractions):
+        extraction = extractions("nw")
+        registered = build_static_model("nw")
+        var = registered.variables["referrence"]
+        site = var.alloc_sites[0]
+        var.alloc_sites[0] = replace(site, line=site.line + 1)
+        diff = diff_models(
+            registered, extraction.model, extraction.inexact_sizes
+        )
+        assert not diff.ok
+        assert any("alloc sites" in d for d in diff.differences)
+
+    def test_changed_team_width_diverges(self, extractions):
+        extraction = extractions("streamcluster")
+        registered = build_static_model("streamcluster")
+        name = next(iter(registered.regions))
+        region = registered.regions[name]
+        registered.regions[name] = replace(
+            region, n_threads=region.n_threads * 2
+        )
+        diff = diff_models(
+            registered, extraction.model, extraction.inexact_sizes
+        )
+        assert not diff.ok
+
+
+class TestModuleObjectEntry:
+    def test_extract_accepts_a_module_object(self):
+        # The gate can interpret a kernel module that is not in the
+        # registry — what an out-of-tree CI hook would hand it.
+        nw = import_module("repro.apps.nw")
+        fake = types.ModuleType("kernel_under_test")
+        fake.APP_NAME = "nw"
+        fake.rank_config = nw.rank_config
+        fake.run = nw.run
+        extraction = extract_model(fake)
+        assert extraction.app == "nw"
+        diff = diff_models(
+            build_static_model("nw"),
+            extraction.model,
+            extraction.inexact_sizes,
+        )
+        assert diff.ok, diff.render()

@@ -184,6 +184,105 @@ class TestPredictionMath:
         assert source_vocabulary(full) == "all"
 
 
+class TestCrossSiteReuse:
+    """The shared-cold-miss term: grouping semantics and error budgets."""
+
+    def test_nw_itemsets_store_rides_the_load_sweep(self):
+        # input_itemsets' load (164) and store (165) co-sweep the array
+        # inside one region body: the store's cold misses are served at
+        # L1, halving the variable's predicted DRAM traffic.
+        model = build_static_model("nw")
+        pred = predict_model(model)
+        assert pred.reuse == {"input_itemsets": {1: "l1"}}
+        off = predict_model(model, cross_site_reuse=False)
+        assert off.reuse == {}
+        with_c = pred.variables["input_itemsets"].counters
+        without_c = off.variables["input_itemsets"].counters
+        assert with_c["rmem_samples"] == without_c["rmem_samples"] / 2
+        assert with_c["samples"] == without_c["samples"]
+
+    def test_streamcluster_groups_span_the_two_regions(self):
+        # point.p is read by both pgain regions; the whole-model working
+        # set still fits L1, so the second region re-finds the lines.
+        pred = predict_model(build_static_model("streamcluster"))
+        assert pred.reuse == {"point.p": {1: "l1"}, "scratch": {1: "l1"}}
+
+    def test_serial_sites_never_group(self):
+        # sweep3d is pure MPI (team of 1 everywhere): Flux's load+store
+        # pair and Src's two anchors must keep their own cold charges.
+        pred = predict_model(build_static_model("sweep3d"))
+        assert pred.reuse == {}
+
+    def test_cross_phase_sweeps_get_no_credit(self):
+        # amg's matrix arrays are swept by the serial builder, the relax
+        # region and the interp region; between phases the whole working
+        # set streams through, so nothing survives to be re-found.
+        pred = predict_model(build_static_model("amg2006"))
+        assert pred.reuse == {}
+
+    def _ab(self, experiments, app):
+        model = build_static_model(app)
+        exp = experiments[app]
+        return tuple(
+            reconcile_metrics(
+                model, exp, predict_model(model, cross_site_reuse=on)
+            )
+            for on in (False, True)
+        )
+
+    @pytest.mark.parametrize(
+        "app,budget", [("nw", 0.20), ("streamcluster", 0.35)]
+    )
+    def test_reuse_strictly_improves_remote_share_ranking(
+        self, experiments, app, budget
+    ):
+        # The paper's Figure-11-style split: without the reuse term the
+        # double-counted cold misses invert nw's referrence-vs-itemsets
+        # ranking and dilute streamcluster's block share.
+        without, with_reuse = self._ab(experiments, app)
+        assert with_reuse.mean_share_error < without.mean_share_error
+        assert with_reuse.mean_share_error <= budget
+
+    @pytest.mark.parametrize(
+        "app,budgets",
+        [
+            ("nw", {"tlb_intensity": 0.95}),
+            ("streamcluster", {"tlb_intensity": 0.99}),
+            (
+                "lulesh",
+                {
+                    "dram_intensity": 0.85,
+                    "remote_dram_fraction": 0.35,
+                    "tlb_intensity": 0.25,
+                },
+            ),
+            ("amg2006", {"tlb_intensity": 0.55}),
+            ("sweep3d", {"dram_intensity": 0.80, "tlb_intensity": 0.05}),
+        ],
+    )
+    def test_per_metric_budgets_hold_with_reuse(
+        self, experiments, app, budgets
+    ):
+        # No-regression bounds for every app, asserted on the reuse-on
+        # predictor (the default reconcile path).
+        _, with_reuse = self._ab(experiments, app)
+        for metric, budget in budgets.items():
+            assert with_reuse.mean_rel_error(metric) <= budget, (
+                f"{app}:{metric} = {with_reuse.mean_rel_error(metric):.4f} "
+                f"exceeds budget {budget}"
+            )
+
+    @pytest.mark.parametrize("app", sorted(PATHOLOGY_H001))
+    def test_reuse_never_drops_compared_variables(self, experiments, app):
+        # Redirected cold misses must not zero a variable out of the
+        # comparison (the failure mode of crediting a serial setup
+        # sweep): coverage is identical with and without the term.
+        without, with_reuse = self._ab(experiments, app)
+        assert {vm.variable for vm in with_reuse.variables} == {
+            vm.variable for vm in without.variables
+        }
+
+
 class TestPredictedImpacts:
     def test_h001_seed_impact_positive(self, corpus):
         model = corpus.STATIC_SEEDS["master_first_touch"]()

@@ -33,6 +33,17 @@ Rules:
         (``repro.metrics.boundness``) resolved through the override
         registry, never hand-rolled magic numbers; integer literals
         (loop bounds, counts) stay legal
+  R009  integer source-line literal passed to a model declaration call
+        (``alloc``/``call``/``touch``/``access``/``free``/
+        ``parallel_region``) inside a ``static_model()`` body — line
+        anchors must be module-level named constants shared with the
+        kernel, so the extraction drift gate
+        (``repro.staticcheck.extract``) and the declarations can never
+        disagree about where a site lives
+
+Files that cannot be linted are findings, not crashes: a syntax error,
+a non-UTF-8 byte sequence, or an unreadable file reports as ``R000``
+and exits 1 like any other finding.
 
 Usage: ``python tools/reprolint.py [paths...]`` (default: src tests
 benchmarks examples tools).  Prints ``file:line: RULE message`` per
@@ -59,6 +70,12 @@ _BANNED_CALLS = {
 # ordering is defined once, by the LVL_* constants in repro.machine.hierarchy.
 _LEVEL_ARRAYS = {"level_counts", "levels", "counts", "hop_counts"}
 
+# R009: StaticModel declaration methods whose second positional argument
+# (or ``line=`` keyword) is a source line number.
+_MODEL_LINE_METHODS = {
+    "alloc", "call", "touch", "access", "free", "parallel_region",
+}
+
 
 def _is_mutable_default(node: ast.expr) -> bool:
     if isinstance(node, (ast.List, ast.Dict, ast.Set)):
@@ -84,6 +101,9 @@ class _Visitor(ast.NodeVisitor):
         self.obs_restricted = obs_restricted
         # analysis code whose thresholds must come from the formula registry
         self.threshold_restricted = threshold_restricted
+        # >0 while visiting the body of a ``static_model`` definition
+        # (including nested helpers), where R009 applies.
+        self._static_model_depth = 0
         self.findings: list[tuple[int, str, str]] = []
 
     def _add(self, line: int, rule: str, message: str) -> None:
@@ -109,6 +129,11 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        if node.name == "static_model":
+            self._static_model_depth += 1
+            self.generic_visit(node)
+            self._static_model_depth -= 1
+            return
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
@@ -191,6 +216,30 @@ class _Visitor(ast.NodeVisitor):
                 "sys.exit() in library code — raise a repro.errors exception; "
                 "only CLIs in repro.tools choose exit codes",
             )
+        # R009
+        if (
+            self._static_model_depth
+            and isinstance(func, ast.Attribute)
+            and func.attr in _MODEL_LINE_METHODS
+        ):
+            line_arg = None
+            if len(node.args) > 1:
+                line_arg = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "line":
+                    line_arg = kw.value
+            if (
+                isinstance(line_arg, ast.Constant)
+                and isinstance(line_arg.value, int)
+                and not isinstance(line_arg.value, bool)
+            ):
+                self._add(
+                    line_arg.lineno, "R009",
+                    f"hand-maintained line literal {line_arg.value} in "
+                    f"static_model() {func.attr}() — use a module-level "
+                    "anchor constant shared with the kernel so the "
+                    "extraction drift gate pins it",
+                )
         self.generic_visit(node)
 
     # R007 ------------------------------------------------------------------
@@ -299,8 +348,19 @@ def lint_paths(targets: list[Path]) -> list[str]:
             (
                 in_library, rng_exempt, obs_restricted, threshold_restricted,
             ) = _classify(file)
+            try:
+                source = file.read_text(encoding="utf-8")
+            except UnicodeDecodeError as exc:
+                reports.append(
+                    f"{file}:0: R000 not valid UTF-8 "
+                    f"(byte offset {exc.start}: {exc.reason})"
+                )
+                continue
+            except OSError as exc:
+                reports.append(f"{file}:0: R000 unreadable: {exc}")
+                continue
             findings = lint_source(
-                file.read_text(encoding="utf-8"), file,
+                source, file,
                 in_library=in_library, rng_exempt=rng_exempt,
                 obs_restricted=obs_restricted,
                 threshold_restricted=threshold_restricted,
